@@ -1,0 +1,404 @@
+(* slif — command-line front end to the SLIF / SpecSyn reproduction.
+
+   Subcommands:
+     dump-spec   print a bundled benchmark specification (VHDL subset)
+     build       parse + build + annotate; print stats, text form, or DOT
+     estimate    metrics for a named partition heuristic
+     partition   run a partitioning algorithm and report the design
+     compare     SLIF vs ADD vs CDFG format sizes
+     figure4     regenerate the paper's Figure 4 table *)
+
+open Cmdliner
+
+let spec_names = List.map (fun s -> s.Specs.Registry.spec_name) Specs.Registry.all
+
+let load_spec name =
+  match Specs.Registry.find name with
+  | Some s -> s
+  | None ->
+      Printf.eprintf "unknown spec %S (expected one of: %s)\n" name
+        (String.concat ", " spec_names);
+      exit 1
+
+let read_source = function
+  | `Bundled spec -> (load_spec spec).Specs.Registry.source
+  | `File path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let source_of ~file ~spec =
+  match (file, spec) with
+  | Some path, _ -> `File path
+  | None, Some s -> `Bundled s
+  | None, None ->
+      prerr_endline "specify a bundled spec name or --file";
+      exit 1
+
+(* A source whose first token is the word "spec" is SpecCharts-lite and is
+   lowered to the VHDL subset; anything else parses as VHDL directly. *)
+let parse_any source =
+  match Vhdl.Lexer.tokenize source with
+  | (Vhdl.Token.Ident "spec", _) :: _ ->
+      Spc.Lower.design_of_spec (Spc.Parser.parse source)
+  | _ -> Vhdl.Parser.parse source
+
+let annotated_slif ?profile source =
+  let design = parse_any source in
+  let sem = Vhdl.Sem.build design in
+  let slif = Slif.Build.build ?profile sem in
+  (design, sem, Slif.Annotate.run ?profile ~techs:Tech.Parts.all sem slif)
+
+let load_profile = function
+  | None -> None
+  | Some path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some (Flow.Profile.of_string s)
+
+(* [--auto-profile] runs the interpreter on the design under pseudo-random
+   stimuli and uses the measured branch probabilities and loop trip
+   counts. *)
+let resolve_profile ~auto ~profile source =
+  match (load_profile profile, auto) with
+  | Some p, _ -> Some p
+  | None, false -> None
+  | None, true ->
+      let sem = Vhdl.Sem.build (parse_any source) in
+      Some (Flow.Profiler.auto ~runs:5 ~seed:1 sem)
+
+(* --- Common arguments ---------------------------------------------------- *)
+
+let spec_arg =
+  let doc = "Bundled benchmark spec (ans, ether, fuzzy, vol)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+
+let file_arg =
+  let doc = "Read the specification from $(docv) instead of a bundled spec." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc = "Branch-probability file (see lib/flow/profile.mli for syntax)." in
+  Arg.(value & opt (some file) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let auto_profile_arg =
+  let doc = "Derive branch probabilities by interpreting the design under \
+             pseudo-random stimuli instead of using static defaults." in
+  Arg.(value & flag & info [ "auto-profile" ] ~doc)
+
+(* --- dump-spec ------------------------------------------------------------ *)
+
+let dump_spec_cmd =
+  let run spec =
+    print_string (load_spec spec).Specs.Registry.source;
+    0
+  in
+  let spec =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"Spec name.")
+  in
+  Cmd.v
+    (Cmd.info "dump-spec" ~doc:"Print a bundled benchmark specification.")
+    Term.(const run $ spec)
+
+(* --- build ----------------------------------------------------------------- *)
+
+let build_cmd =
+  let run spec file profile auto dot text annotations =
+    let source = read_source (source_of ~file ~spec) in
+    let profile = resolve_profile ~auto ~profile source in
+    let _, _, slif = annotated_slif ?profile source in
+    if dot then print_string (Slif.Dot.to_dot ~annotations slif)
+    else if text then print_string (Slif.Text.to_string slif)
+    else begin
+      Printf.printf "%s: %s\n" slif.Slif.Types.design_name
+        (Slif.Stats.to_string (Slif.Stats.of_slif slif));
+      Array.iter
+        (fun (n : Slif.Types.node) ->
+          let kind =
+            match n.n_kind with
+            | Slif.Types.Behavior { is_process = true } -> "process "
+            | Slif.Types.Behavior _ -> "behavior"
+            | Slif.Types.Variable _ -> "variable"
+          in
+          Printf.printf "  %-8s %s\n" kind n.n_name)
+        slif.Slif.Types.nodes
+    end;
+    0
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of stats.") in
+  let text = Arg.(value & flag & info [ "text" ] ~doc:"Emit the SLIF text serialization.") in
+  let ann =
+    Arg.(value & flag & info [ "annotations" ] ~doc:"Include annotations in DOT output.")
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build (and annotate) the SLIF of a specification.")
+    Term.(const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ dot $ text $ ann)
+
+(* --- estimate / partition --------------------------------------------------- *)
+
+let algo_conv =
+  let parse = function
+    | "random" -> Ok (Specsyn.Explore.Random 200)
+    | "greedy" -> Ok Specsyn.Explore.Greedy
+    | "gm" | "group-migration" -> Ok Specsyn.Explore.Group_migration
+    | "sa" | "annealing" -> Ok (Specsyn.Explore.Annealing Specsyn.Annealing.default_params)
+    | "cluster" | "clustering" -> Ok (Specsyn.Explore.Clustering 4)
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Specsyn.Explore.algo_name a))
+
+let algo_arg =
+  let doc = "Partitioning algorithm: random, greedy, gm, sa, cluster." in
+  Arg.(value & opt algo_conv Specsyn.Explore.Greedy & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+
+let run_algo algo problem =
+  match algo with
+  | Specsyn.Explore.Random restarts -> Specsyn.Random_part.run ~restarts problem
+  | Specsyn.Explore.Greedy -> Specsyn.Greedy.run problem
+  | Specsyn.Explore.Group_migration -> Specsyn.Group_migration.run problem
+  | Specsyn.Explore.Annealing params -> Specsyn.Annealing.run ~params problem
+  | Specsyn.Explore.Clustering k -> Specsyn.Cluster.run ~k problem
+
+let parse_deadlines deadlines =
+  List.map
+    (fun spec ->
+      match String.split_on_char '=' spec with
+      | [ name; us ] -> (
+          match float_of_string_opt us with
+          | Some v -> (name, v)
+          | None ->
+              Printf.eprintf "bad deadline %S (expected name=microseconds)\n" spec;
+              exit 1)
+      | _ ->
+          Printf.eprintf "bad deadline %S (expected name=microseconds)\n" spec;
+          exit 1)
+    deadlines
+
+let partition_cmd =
+  let run spec file profile auto algo explore pareto deadlines save load_ =
+    let source = read_source (source_of ~file ~spec) in
+    let profile = resolve_profile ~auto ~profile source in
+    let _, _, slif = annotated_slif ?profile source in
+    let constraints = { Specsyn.Cost.deadlines_us = parse_deadlines deadlines } in
+    if explore then begin
+      let entries = Specsyn.Explore.run ~constraints slif in
+      print_endline (Specsyn.Report.explore_report entries)
+    end
+    else if pareto then begin
+      let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+      let graph = Slif.Graph.make s in
+      let points = Specsyn.Pareto.sweep ~constraints graph in
+      let table =
+        Slif_util.Table.create
+          ~header:[ "worst exectime (us)"; "hw gates"; "sw bytes"; "time weight" ]
+      in
+      List.iter
+        (fun (p : Specsyn.Pareto.point) ->
+          Slif_util.Table.add_row table
+            [
+              Printf.sprintf "%.1f" p.worst_exectime_us;
+              Printf.sprintf "%.0f" p.hw_gates;
+              Printf.sprintf "%.0f" p.sw_bytes;
+              Printf.sprintf "%.1f" p.weight_time;
+            ])
+        points;
+      print_endline "Pareto front of the performance/area trade-off:";
+      Slif_util.Table.print table
+    end
+    else begin
+      let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+      let graph = Slif.Graph.make s in
+      let part, header =
+        match load_ with
+        | Some path ->
+            let ic = open_in_bin path in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let part = Slif.Decision.of_string s text in
+            let note =
+              match Slif.Decision.note text with
+              | Some n -> Printf.sprintf " (note: %s)" n
+              | None -> ""
+            in
+            (part, Printf.sprintf "recorded decision from %s%s\n" path note)
+        | None ->
+            let problem = Specsyn.Search.problem ~constraints graph in
+            let solution = run_algo algo problem in
+            ( solution.Specsyn.Search.part,
+              Printf.sprintf "algorithm=%s cost=%.4f partitions-evaluated=%d\n"
+                (Specsyn.Explore.algo_name algo) solution.Specsyn.Search.cost
+                solution.Specsyn.Search.evaluated )
+      in
+      let est = Specsyn.Search.estimator graph part in
+      print_string header;
+      print_newline ();
+      print_endline (Specsyn.Report.partition_report ~constraints est);
+      match save with
+      | Some path ->
+          let note = "produced by slif partition" in
+          let oc = open_out path in
+          output_string oc (Slif.Decision.to_string ~note part);
+          close_out oc;
+          Printf.printf "decision recorded to %s\n" path
+      | None -> ()
+    end;
+    0
+  in
+  let explore =
+    Arg.(value & flag & info [ "explore" ] ~doc:"Sweep all stock allocations and algorithms.")
+  in
+  let pareto =
+    Arg.(value & flag
+         & info [ "pareto" ] ~doc:"Report the Pareto front of the performance/area trade-off.")
+  in
+  let deadlines =
+    Arg.(value & opt_all string []
+         & info [ "deadline"; "d" ] ~docv:"PROC=US"
+             ~doc:"Execution-time constraint on a process, e.g. --deadline fuzzymain=2000. \
+                   Repeatable.")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE" ~doc:"Record the resulting decision to $(docv).")
+  in
+  let load_ =
+    Arg.(value & opt (some file) None
+         & info [ "load" ] ~docv:"FILE" ~doc:"Replay a recorded decision instead of searching.")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Partition a specification onto a processor-ASIC architecture.")
+    Term.(
+      const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ algo_arg $ explore
+      $ pareto $ deadlines $ save $ load_)
+
+let estimate_cmd =
+  let run spec file profile auto bounds =
+    let source = read_source (source_of ~file ~spec) in
+    let profile = resolve_profile ~auto ~profile source in
+    let _, _, slif = annotated_slif ?profile source in
+    let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+    let graph = Slif.Graph.make s in
+    let part = Specsyn.Search.seed_partition s in
+    let est = Specsyn.Search.estimator graph part in
+    print_endline "all-software partition (everything on the cpu):";
+    print_endline (Specsyn.Report.partition_report est);
+    if bounds then begin
+      (* The paper's min/max access-frequency extension: best- and
+         worst-case execution times alongside the average. *)
+      let est_min = Slif.Estimate.create ~mode:Slif.Estimate.Min ~recursion_depth:4 graph part in
+      let est_max = Slif.Estimate.create ~mode:Slif.Estimate.Max ~recursion_depth:4 graph part in
+      let table =
+        Slif_util.Table.create ~header:[ "process"; "min(us)"; "avg(us)"; "max(us)" ]
+      in
+      Array.iter
+        (fun (n : Slif.Types.node) ->
+          if Slif.Types.is_process n then
+            Slif_util.Table.add_row table
+              [
+                n.n_name;
+                Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est_min n.n_id);
+                Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est n.n_id);
+                Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est_max n.n_id);
+              ])
+        s.Slif.Types.nodes;
+      print_endline "\nexecution-time bounds (min / avg / max access frequencies):";
+      Slif_util.Table.print table
+    end;
+    0
+  in
+  let bounds =
+    Arg.(value & flag
+         & info [ "bounds" ]
+             ~doc:"Also report best/worst-case execution times from the min/max \
+                   access-frequency annotations.")
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Report metrics for the all-software seed partition.")
+    Term.(const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ bounds)
+
+(* --- compare ----------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run spec file =
+    let source = read_source (source_of ~file ~spec) in
+    let design = parse_any source in
+    let sem = Vhdl.Sem.build design in
+    let slif = Slif.Build.build sem in
+    let stats = Slif.Stats.of_slif slif in
+    let cdfg = Cdfg.Graph.of_design design in
+    let add = Addfmt.Add.of_design design in
+    let table = Slif_util.Table.create ~header:[ "format"; "nodes"; "edges"; "n^2" ] in
+    let row name n e =
+      Slif_util.Table.add_row table
+        [ name; string_of_int n; string_of_int e; string_of_int (n * n) ]
+    in
+    row "SLIF-AG" stats.Slif.Stats.bv stats.Slif.Stats.channels;
+    row "ADD/VT" (Addfmt.Add.node_count add) (Addfmt.Add.edge_count add);
+    row "CDFG" (Cdfg.Graph.node_count cdfg) (Cdfg.Graph.edge_count cdfg);
+    Slif_util.Table.print table;
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare SLIF size against the ADD and CDFG formats.")
+    Term.(const run $ spec_arg $ file_arg)
+
+(* --- figure4 ------------------------------------------------------------------- *)
+
+let figure4_cmd =
+  let run () =
+    let table =
+      Slif_util.Table.create ~header:[ ""; "Lines"; "BV"; "C"; "T-slif(s)"; "T-est(s)" ]
+    in
+    List.iter
+      (fun (spec : Specs.Registry.spec) ->
+        let build () =
+          let design = Vhdl.Parser.parse spec.source in
+          let sem = Vhdl.Sem.build design in
+          Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem)
+        in
+        let slif, t_slif = Slif_util.Timer.time build in
+        let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+        let graph = Slif.Graph.make s in
+        let part = Specsyn.Search.seed_partition s in
+        let estimate () =
+          let est = Specsyn.Search.estimator graph part in
+          Array.iter
+            (fun (n : Slif.Types.node) ->
+              if Slif.Types.is_process n then
+                ignore (Slif.Estimate.exectime_us est n.n_id))
+            s.Slif.Types.nodes;
+          ignore (Slif.Estimate.size est (Slif.Partition.Cproc 0));
+          ignore (Slif.Estimate.io_pins est (Slif.Partition.Cproc 0));
+          ignore (Slif.Estimate.bus_bitrate_mbps est 0)
+        in
+        let (), t_est = Slif_util.Timer.time estimate in
+        let stats = Slif.Stats.of_slif slif in
+        Slif_util.Table.add_row table
+          [
+            spec.spec_name;
+            string_of_int (Specs.Registry.line_count spec);
+            string_of_int stats.Slif.Stats.bv;
+            string_of_int stats.Slif.Stats.channels;
+            Printf.sprintf "%.4f" t_slif;
+            Printf.sprintf "%.6f" t_est;
+          ])
+      Specs.Registry.all;
+    Slif_util.Table.print table;
+    0
+  in
+  Cmd.v
+    (Cmd.info "figure4" ~doc:"Regenerate the paper's Figure 4 results table.")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "SLIF: a specification-level intermediate format for system design" in
+  Cmd.group
+    (Cmd.info "slif" ~version:"1.0.0" ~doc)
+    [ dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

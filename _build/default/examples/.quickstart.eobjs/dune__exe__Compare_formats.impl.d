@@ -1,0 +1,1 @@
+examples/compare_formats.ml: Addfmt Cdfg List Printf Slif Slif_util Specs Specsyn Tech Vhdl

@@ -1,0 +1,1 @@
+examples/explore.ml: List Printf Slif Specs Specsyn Tech Vhdl

@@ -1,0 +1,1 @@
+examples/profiling.ml: Array Flow Printf Slif Specs Specsyn Tech Vhdl

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Slif Specs Specsyn String Tech Vhdl

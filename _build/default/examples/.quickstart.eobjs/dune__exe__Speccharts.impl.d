@@ -1,0 +1,1 @@
+examples/speccharts.ml: Flow List Printf Slif Spc Specsyn String Tech Vhdl

@@ -1,0 +1,1 @@
+examples/transform.ml: Array Printf Slif Specs Specsyn Tech Vhdl

@@ -1,0 +1,59 @@
+(* Format-size comparison (the paper's Results section).
+
+   Builds the SLIF access graph, the ADD/VT-like format and the CDFG for
+   each benchmark and prints node/edge counts plus the cost an n-squared
+   partitioning algorithm would pay on each, and contrasts SLIF's
+   preprocessed size estimation with rough synthesis over the CDFG.
+
+   Run with: dune exec examples/compare_formats.exe *)
+
+let () =
+  print_endline "== Format sizes per benchmark ==\n";
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let design = Vhdl.Parser.parse spec.source in
+      let sem = Vhdl.Sem.build design in
+      let stats = Slif.Stats.of_slif (Slif.Build.build sem) in
+      let add = Addfmt.Add.of_design design in
+      let cdfg = Cdfg.Graph.of_design design in
+      let table = Slif_util.Table.create ~header:[ "format"; "nodes"; "edges"; "n^2 cost" ] in
+      let row name n e =
+        Slif_util.Table.add_row table
+          [ name; string_of_int n; string_of_int e; string_of_int (n * n) ]
+      in
+      row "SLIF-AG" stats.Slif.Stats.bv stats.Slif.Stats.channels;
+      row "ADD/VT" (Addfmt.Add.node_count add) (Addfmt.Add.edge_count add);
+      row "CDFG" (Cdfg.Graph.node_count cdfg) (Cdfg.Graph.edge_count cdfg);
+      Printf.printf "--- %s ---\n" spec.spec_name;
+      Slif_util.Table.print table;
+      print_newline ())
+    Specs.Registry.all;
+
+  (* Size-estimation cost: preprocessed lookups vs rough synthesis. *)
+  print_endline "== Size estimation: SLIF lookups vs CDFG rough synthesis (fuzzy) ==\n";
+  let spec = Specs.Registry.find_exn "fuzzy" in
+  let design = Vhdl.Parser.parse spec.source in
+  let sem = Vhdl.Sem.build design in
+  let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+  let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+  let graph = Slif.Graph.make s in
+  let part = Specsyn.Search.seed_partition s in
+  let est = Specsyn.Search.estimator graph part in
+  let queries = 1000 in
+  let t_slif =
+    Slif_util.Timer.time_n queries (fun () ->
+        Slif.Estimate.invalidate_all est;
+        Slif.Estimate.size est (Slif.Partition.Cproc 0))
+  in
+  let cdfg = Cdfg.Graph.of_design design in
+  let t_synth =
+    Slif_util.Timer.time_n 50 (fun () ->
+        Cdfg.Synthest.rough_synthesis Tech.Parts.asic_gal cdfg)
+  in
+  Printf.printf "SLIF size query:      %.3f us\n" (t_slif *. 1e6);
+  Printf.printf "CDFG rough synthesis: %.3f us\n" (t_synth *. 1e6);
+  Printf.printf "speedup:              %.0fx\n" (t_synth /. t_slif);
+  Printf.printf
+    "\nAt 1000 candidate partitions, SLIF answers in %.3f ms; re-synthesis needs %.1f ms.\n"
+    (t_slif *. 1e3 *. float_of_int queries)
+    (t_synth *. 1e3 *. float_of_int queries)

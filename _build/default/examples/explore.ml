@@ -1,0 +1,66 @@
+(* Design-space exploration of the ethernet coprocessor.
+
+   The paper motivates SLIF with "algorithms that explore thousands of
+   possible designs": this example sweeps the stock allocation catalog
+   with four partitioning algorithms under performance constraints on the
+   transmit and receive engines, then details the winning design.
+
+   Run with: dune exec examples/explore.exe *)
+
+let () =
+  let spec = Specs.Registry.find_exn "ether" in
+  let sem = Vhdl.Sem.build (Vhdl.Parser.parse spec.source) in
+  let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+  Printf.printf "ether: %s\n\n" (Slif.Stats.to_string (Slif.Stats.of_slif slif));
+
+  let constraints =
+    { Specsyn.Cost.deadlines_us = [ ("txctl", 2000.0); ("rxctl", 2000.0) ] }
+  in
+  let entries =
+    Specsyn.Explore.run ~constraints
+      ~algos:
+        [
+          Specsyn.Explore.Random 100;
+          Specsyn.Explore.Greedy;
+          Specsyn.Explore.Group_migration;
+          Specsyn.Explore.Annealing { Specsyn.Annealing.default_params with steps = 1500 };
+        ]
+      slif
+  in
+  print_endline "== Allocation x algorithm sweep (sorted by cost) ==";
+  print_endline (Specsyn.Report.explore_report entries);
+
+  let total_partitions =
+    List.fold_left (fun acc e -> acc + e.Specsyn.Explore.solution.Specsyn.Search.evaluated) 0 entries
+  in
+  let total_time =
+    List.fold_left (fun acc e -> acc +. e.Specsyn.Explore.elapsed_s) 0.0 entries
+  in
+  Printf.printf "\n%d partitions evaluated in %.2fs (%.0f designs/second)\n\n"
+    total_partitions total_time
+    (float_of_int total_partitions /. total_time);
+
+  (match entries with
+  | best :: _ ->
+      Printf.printf "== Best design: %s / %s ==\n"
+        best.Specsyn.Explore.alloc.Specsyn.Alloc.alloc_name
+        (Specsyn.Explore.algo_name best.Specsyn.Explore.algo);
+      let s = Specsyn.Alloc.apply slif best.Specsyn.Explore.alloc in
+      let graph = Slif.Graph.make s in
+      (* Re-evaluate the winning partition against the same constraints. *)
+      let est =
+        Specsyn.Search.estimator graph best.Specsyn.Explore.solution.Specsyn.Search.part
+      in
+      print_endline (Specsyn.Report.partition_report ~constraints est)
+  | [] -> print_endline "no designs produced");
+
+  (* The designer's view: the performance/area trade-off curve. *)
+  let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+  let graph = Slif.Graph.make s in
+  let points = Specsyn.Pareto.sweep ~constraints graph in
+  print_endline "\n== Pareto front (worst-case time vs custom hardware) ==";
+  List.iter
+    (fun (p : Specsyn.Pareto.point) ->
+      Printf.printf "  %8.1f us  |  %8.0f gates  |  %6.0f bytes software\n"
+        p.worst_exectime_us p.hw_gates p.sw_bytes)
+    points

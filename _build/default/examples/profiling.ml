@@ -1,0 +1,75 @@
+(* Profiling-driven estimation on the volume-measuring instrument.
+
+   The paper's accfreq weights come from a branch-probability file,
+   "obtained manually or through profiling".  This example takes the
+   profiling path: it executes the spec's processes in the bundled
+   interpreter under two different stimulus scenarios, derives a profile
+   from each, and shows how the measured branch probabilities move the
+   execution-time estimates relative to the static (uniform) defaults.
+
+   Run with: dune exec examples/profiling.exe *)
+
+let estimate_with profile label =
+  let spec = Specs.Registry.find_exn "vol" in
+  let sem = Vhdl.Sem.build (Vhdl.Parser.parse spec.source) in
+  let slif =
+    Slif.Annotate.run ?profile ~techs:Tech.Parts.all sem
+      (Slif.Build.build ?profile sem)
+  in
+  let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+  let graph = Slif.Graph.make s in
+  let part = Specsyn.Search.seed_partition s in
+  let est = Specsyn.Search.estimator graph part in
+  Printf.printf "%-34s" label;
+  Array.iter
+    (fun (n : Slif.Types.node) ->
+      if Slif.Types.is_process n then
+        Printf.printf "  %s=%8.2fus" n.n_name (Slif.Estimate.exectime_us est n.n_id))
+    s.Slif.Types.nodes;
+  print_newline ()
+
+let profile_scenario ~label ~inputs ~runs =
+  let spec = Specs.Registry.find_exn "vol" in
+  let sem = Vhdl.Sem.build (Vhdl.Parser.parse spec.source) in
+  let machine = Flow.Interp.create ~inputs sem in
+  for pass = 1 to runs do
+    ignore pass;
+    Flow.Interp.run_all_processes machine
+  done;
+  let profile = Flow.Interp.profile machine in
+  Printf.printf "\nscenario %s: measured profile entries:\n%s" label
+    (Flow.Profile.to_string profile);
+  profile
+
+let () =
+  print_endline "== Volume instrument: static defaults vs measured profiles ==\n";
+  estimate_with None "static defaults (0.5 / uniform)";
+
+  (* Scenario A: patient connected and breathing — the measurement path
+     (sample/integrate/detect) runs every pass. *)
+  let breathing =
+    profile_scenario ~label:"A (patient breathing)" ~runs:8 ~inputs:(fun name ->
+        match name with
+        | "patient_on" -> 1
+        | "cal_btn" -> 0
+        | "flow_in" -> 600
+        | _ -> 0)
+  in
+  estimate_with (Some breathing) "profiled: patient breathing";
+
+  (* Scenario B: idle with a calibration request — only the calibration
+     branch runs, so the measurement-path frequencies collapse. *)
+  let calibrating =
+    profile_scenario ~label:"B (idle, calibrating)" ~runs:8 ~inputs:(fun name ->
+        match name with
+        | "patient_on" -> 0
+        | "cal_btn" -> 1
+        | "flow_in" -> 12
+        | _ -> 0)
+  in
+  estimate_with (Some calibrating) "profiled: idle + calibration";
+
+  print_endline
+    "\nThe same specification yields different accfreq annotations per usage\n\
+     scenario, and the execution-time estimates follow the measured control\n\
+     flow rather than the uniform-branch assumption."

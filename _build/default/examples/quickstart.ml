@@ -1,0 +1,63 @@
+(* Quickstart: the full SLIF flow on the paper's fuzzy-logic controller.
+
+   Parses the Figure-1-style specification, builds the basic access graph
+   (Figure 2), annotates it with per-technology weights (Figure 3), and
+   queries the Section 3 estimators for a processor+ASIC partition.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Parse the specification and build the basic SLIF-AG. *)
+  let spec = Specs.Registry.find_exn "fuzzy" in
+  let design = Vhdl.Parser.parse spec.source in
+  let sem = Vhdl.Sem.build design in
+  let basic = Slif.Build.build sem in
+  Printf.printf "== Basic SLIF-AG (paper Figure 2) ==\n%s\n\n"
+    (Slif.Stats.to_string (Slif.Stats.of_slif basic));
+  Array.iter
+    (fun (c : Slif.Types.channel) ->
+      let dst =
+        match c.c_dst with
+        | Slif.Types.Dnode d -> basic.Slif.Types.nodes.(d).n_name
+        | Slif.Types.Dport p -> basic.Slif.Types.ports.(p).pt_name ^ " (port)"
+      in
+      if c.c_src = 0 then
+        Printf.printf "  %s -> %-18s accfreq=%-6g bits=%d\n"
+          basic.Slif.Types.nodes.(c.c_src).n_name dst c.c_accfreq c.c_bits)
+    basic.Slif.Types.chans;
+
+  (* 2. Annotate: pseudo-compile / pseudo-synthesize each behavior for
+     every candidate technology (the one-time preprocessing step). *)
+  let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem basic in
+  print_endline "\n== Annotations (paper Figure 3) ==";
+  List.iter
+    (fun name ->
+      match Slif.Types.node_by_name slif name with
+      | Some n ->
+          let show (tech, v) = Printf.sprintf "%s: %.1f us" tech v in
+          Printf.printf "  ict(%s) = { %s }\n" name
+            (String.concat "; " (List.map show n.n_ict))
+      | None -> ())
+    [ "fuzzymain"; "evaluate_rule"; "convolve"; "compute_centroid" ];
+
+  (* 3. Allocate a processor + ASIC architecture and estimate. *)
+  let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+  let graph = Slif.Graph.make s in
+  let part = Specsyn.Search.seed_partition s in
+  (* Move the datapath-heavy behaviors and their tables to the ASIC. *)
+  List.iter
+    (fun name ->
+      match Slif.Types.node_by_name s name with
+      | Some n -> Slif.Partition.assign_node part ~node:n.n_id (Slif.Partition.Cproc 1)
+      | None -> ())
+    [ "evaluate_rule"; "convolve"; "min2"; "max2"; "tmr1"; "tmr2"; "mr1"; "mr2"; "conv" ];
+  let est = Specsyn.Search.estimator graph part in
+  print_endline "\n== Estimates for a hand partition (cpu + asic) ==";
+  print_endline (Specsyn.Report.partition_report est);
+
+  (* 4. Export the annotated graph for graphviz. *)
+  let dot = Slif.Dot.to_dot ~annotations:true ~partition:part s in
+  let oc = open_out "fuzzy_slif.dot" in
+  output_string oc dot;
+  close_out oc;
+  print_endline "wrote fuzzy_slif.dot (render with: dot -Tpdf fuzzy_slif.dot)"

@@ -1,0 +1,1 @@
+lib/addfmt/add.ml: Array Hashtbl List Tech Vhdl

@@ -1,0 +1,1 @@
+lib/addfmt/add.mli: Tech Vhdl

@@ -1,0 +1,142 @@
+module Ast = Vhdl.Ast
+
+type node_kind =
+  | Decision of string
+  | Condition
+  | Operation of Tech.Optype.t
+  | Access of string
+
+type node = { id : int; kind : node_kind; behavior : string }
+
+type edge = { e_src : int; e_dst : int }
+
+type t = { nodes : node array; edges : edge array }
+
+type builder = {
+  mutable nodes : node list;
+  mutable edges : edge list;
+  mutable next : int;
+  mutable behavior : string;
+  accesses : (string * string, int) Hashtbl.t;  (* (behavior, name) -> node *)
+}
+
+let add_node b kind =
+  let id = b.next in
+  b.next <- id + 1;
+  b.nodes <- { id; kind; behavior = b.behavior } :: b.nodes;
+  id
+
+let add_edge b e_src e_dst = b.edges <- { e_src; e_dst } :: b.edges
+
+(* One access node per (behavior, variable): the ADD shares read points. *)
+let access_node b name =
+  let key = (b.behavior, name) in
+  match Hashtbl.find_opt b.accesses key with
+  | Some id -> id
+  | None ->
+      let id = add_node b (Access name) in
+      Hashtbl.replace b.accesses key id;
+      id
+
+let rec expr_nodes b e =
+  match e with
+  | Ast.Int_lit _ | Ast.Bool_lit _ -> None
+  | Ast.Name n | Ast.Attr (n, _) -> Some (access_node b n)
+  | Ast.Index (n, i) ->
+      let acc = access_node b n in
+      (match expr_nodes b i with Some v -> add_edge b v acc | None -> ());
+      Some acc
+  | Ast.Call (n, args) ->
+      let acc = access_node b n in
+      List.iter (fun a -> match expr_nodes b a with Some v -> add_edge b v acc | None -> ()) args;
+      Some acc
+  | Ast.Binop (op, x, y) ->
+      let node = add_node b (Operation (Tech.Optype.of_binop op)) in
+      (match expr_nodes b x with Some v -> add_edge b v node | None -> ());
+      (match expr_nodes b y with Some v -> add_edge b v node | None -> ());
+      Some node
+  | Ast.Unop (op, x) ->
+      let node = add_node b (Operation (Tech.Optype.of_unop op)) in
+      (match expr_nodes b x with Some v -> add_edge b v node | None -> ());
+      Some node
+
+let target_name = function Ast.Tname n -> n | Ast.Tindex (n, _) -> n
+
+(* Walk statements carrying the stack of guard nodes in scope; every
+   assignment creates a decision wired to all live guards and its value. *)
+let rec stmt_nodes b guards s =
+  let decide t value_opt =
+    let d = add_node b (Decision (target_name t)) in
+    List.iter (fun g -> add_edge b g d) guards;
+    (match value_opt with Some v -> add_edge b v d | None -> ());
+    (match t with
+    | Ast.Tindex (_, i) -> (
+        match expr_nodes b i with Some v -> add_edge b v d | None -> ())
+    | Ast.Tname _ -> ())
+  in
+  match s with
+  | Ast.Assign (t, e) | Ast.Signal_assign (t, e) -> decide t (expr_nodes b e)
+  | Ast.If (arms, els) ->
+      List.iter
+        (fun (cond, body) ->
+          let g = add_node b Condition in
+          (match expr_nodes b cond with Some v -> add_edge b v g | None -> ());
+          List.iter (stmt_nodes b (g :: guards)) body)
+        arms;
+      (match els with
+      | [] -> ()
+      | _ ->
+          let g = add_node b Condition in
+          List.iter (stmt_nodes b (g :: guards)) els)
+  | Ast.Case (subject, alts) ->
+      let subj = expr_nodes b subject in
+      List.iter
+        (fun (_, body) ->
+          let g = add_node b Condition in
+          (match subj with Some v -> add_edge b v g | None -> ());
+          List.iter (stmt_nodes b (g :: guards)) body)
+        alts
+  | Ast.For (_, _, _, body) | Ast.While (_, body) | Ast.Loop_forever body ->
+      let g = add_node b Condition in
+      (match s with
+      | Ast.While (cond, _) -> (
+          match expr_nodes b cond with Some v -> add_edge b v g | None -> ())
+      | _ -> ());
+      List.iter (stmt_nodes b (g :: guards)) body
+  | Ast.Pcall (n, args) ->
+      let acc = access_node b n in
+      List.iter
+        (fun a -> match expr_nodes b a with Some v -> add_edge b v acc | None -> ())
+        args;
+      List.iter (fun g -> add_edge b g acc) guards
+  | Ast.Par calls ->
+      List.iter
+        (fun (n, args) ->
+          let acc = access_node b n in
+          List.iter
+            (fun a -> match expr_nodes b a with Some v -> add_edge b v acc | None -> ())
+            args)
+        calls
+  | Ast.Send (ch, e) ->
+      let acc = access_node b ch in
+      (match expr_nodes b e with Some v -> add_edge b v acc | None -> ())
+  | Ast.Receive (ch, t) ->
+      let acc = access_node b ch in
+      decide t (Some acc)
+  | Ast.Wait_until e -> ignore (expr_nodes b e)
+  | Ast.Return (Some e) -> decide (Ast.Tname "return") (expr_nodes b e)
+  | Ast.Wait_for _ | Ast.Wait_on _ | Ast.Return None | Ast.Null_stmt | Ast.Exit_loop -> ()
+
+let of_design (design : Ast.design) =
+  let b =
+    { nodes = []; edges = []; next = 0; behavior = ""; accesses = Hashtbl.create 64 }
+  in
+  List.iter
+    (fun (name, _decls, body) ->
+      b.behavior <- name;
+      List.iter (stmt_nodes b []) body)
+    (Ast.behaviors design);
+  { nodes = Array.of_list (List.rev b.nodes); edges = Array.of_list (List.rev b.edges) }
+
+let node_count (t : t) = Array.length t.nodes
+let edge_count (t : t) = Array.length t.edges

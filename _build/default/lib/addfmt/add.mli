@@ -1,0 +1,28 @@
+(** Assignment-decision-diagram-like format (the VT/ADD comparator).
+
+    The Results section cites the ADD format — "similar in form and
+    complexity to the VT format" — at roughly 450 nodes / 400 edges for
+    the fuzzy example: coarser than a CDFG (no explicit control nodes, no
+    constant nodes) but far finer than the SLIF access graph.  We model
+    that granularity faithfully: one {e assignment decision} node per
+    assignment target occurrence, one {e condition} node per guard in
+    scope, one {e operation} node per operator of the assigned value, and
+    one {e access} node per distinct variable referenced by a behavior;
+    edges wire guards and values into decisions.  See DESIGN.md §5. *)
+
+type node_kind =
+  | Decision of string        (* assignment decision for a target *)
+  | Condition                 (* a guard expression *)
+  | Operation of Tech.Optype.t
+  | Access of string          (* variable/port access point *)
+
+type node = { id : int; kind : node_kind; behavior : string }
+
+type edge = { e_src : int; e_dst : int }
+
+type t = { nodes : node array; edges : edge array }
+
+val of_design : Vhdl.Ast.design -> t
+
+val node_count : t -> int
+val edge_count : t -> int

@@ -1,0 +1,1 @@
+lib/cdfg/graph.ml: Array List String Tech Vhdl

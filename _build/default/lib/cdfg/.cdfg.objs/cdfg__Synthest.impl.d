@@ -1,0 +1,1 @@
+lib/cdfg/synthest.ml: Array Graph Hashtbl List Option Slif_util Tech

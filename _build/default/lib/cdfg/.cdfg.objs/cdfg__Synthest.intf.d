@@ -1,0 +1,1 @@
+lib/cdfg/synthest.mli: Graph Tech

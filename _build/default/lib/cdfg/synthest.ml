@@ -1,0 +1,87 @@
+type result = {
+  gates : float;
+  csteps : int;
+  fu_used : (Tech.Optype.t * int) list;
+}
+
+(* ASAP levels over data edges restricted to the selected nodes. *)
+let asap_levels ~selected (t : Graph.t) =
+  let n = Array.length t.nodes in
+  let level = Array.make n 0 in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      if e.e_kind = Graph.Data && selected.(e.e_src) && selected.(e.e_dst) then
+        preds.(e.e_dst) <- e.e_src :: preds.(e.e_dst))
+    t.edges;
+  (* Nodes are created in topological order of data dependence (producers
+     before consumers), so one forward pass suffices. *)
+  for id = 0 to n - 1 do
+    if selected.(id) then
+      level.(id) <- List.fold_left (fun acc p -> max acc (level.(p) + 1)) 0 preds.(id)
+  done;
+  level
+
+let rough_synthesis ?(belongs = fun _ -> true) (asic : Tech.Asic_model.t) (t : Graph.t) =
+  let n = Array.length t.nodes in
+  let selected = Array.make n false in
+  Array.iter (fun (node : Graph.node) -> selected.(node.id) <- belongs node) t.nodes;
+  let level = asap_levels ~selected t in
+  (* Demand per (level, op class): the FUs needed in each control step. *)
+  let demand : (int * Tech.Optype.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let max_level = ref 0 in
+  let reg_bits = ref 0 in
+  Array.iter
+    (fun (node : Graph.node) ->
+      if selected.(node.id) then begin
+        max_level := max !max_level level.(node.id);
+        match node.kind with
+        | Graph.Op op ->
+            let key = (level.(node.id), op) in
+            Hashtbl.replace demand key
+              (1 + Option.value (Hashtbl.find_opt demand key) ~default:0)
+        | Graph.Read _ | Graph.Write _ ->
+            (* Each distinct access holds a value in a register; widths are
+               unknown at this granularity, so a 8-bit default is used. *)
+            reg_bits := !reg_bits + 8
+        | _ -> ()
+      end)
+    t.nodes;
+  (* FU binding with sharing: allocate, per op class, the peak demand over
+     all levels (bounded by the library), and stretch levels whose demand
+     exceeds the allocation. *)
+  let alloc : (Tech.Optype.t, int) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (_, op) d ->
+      let cap = (asic.Tech.Asic_model.fu_of op).Tech.Asic_model.available in
+      let prev = Option.value (Hashtbl.find_opt alloc op) ~default:0 in
+      Hashtbl.replace alloc op (min cap (max prev d)))
+    demand;
+  let csteps = ref 0 in
+  for l = 0 to !max_level do
+    let stretch = ref 1 in
+    Hashtbl.iter
+      (fun (lvl, op) d ->
+        if lvl = l then begin
+          let a = max 1 (Option.value (Hashtbl.find_opt alloc op) ~default:1) in
+          let fu = asic.Tech.Asic_model.fu_of op in
+          stretch :=
+            max !stretch
+              (Slif_util.Bitmath.ceil_div d a * fu.Tech.Asic_model.cycles_per_op)
+        end)
+      demand;
+    csteps := !csteps + !stretch
+  done;
+  let fu_used = Hashtbl.fold (fun op d acc -> (op, d) :: acc) alloc [] in
+  let fu_area =
+    List.fold_left
+      (fun acc (op, d) ->
+        acc +. (float_of_int d *. (asic.Tech.Asic_model.fu_of op).Tech.Asic_model.area_gates))
+      0.0 fu_used
+  in
+  let gates =
+    fu_area
+    +. (float_of_int !reg_bits *. asic.Tech.Asic_model.reg_gates_per_bit)
+    +. (float_of_int !csteps *. asic.Tech.Asic_model.ctrl_gates_per_op)
+  in
+  { gates; csteps = !csteps; fu_used = List.sort compare fu_used }

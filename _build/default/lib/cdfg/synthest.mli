@@ -1,0 +1,23 @@
+(** Rough synthesis over a CDFG node set.
+
+    The paper's Results section argues that a fine-grained format cannot
+    pre-compute per-node sizes — summing per-operation areas would ignore
+    all functional-unit sharing — so every size query must re-run a rough
+    synthesis over the whole node set, costing seconds instead of
+    microseconds.  This module is that rough synthesis: an ASAP
+    levelization of the operation nodes followed by per-level functional
+    unit binding with sharing across levels.  Its cost is O(nodes + edges)
+    per query, and it must be re-run from scratch for every candidate
+    node set. *)
+
+type result = {
+  gates : float;       (* area after FU sharing *)
+  csteps : int;        (* schedule length *)
+  fu_used : (Tech.Optype.t * int) list;  (* allocated units per op class *)
+}
+
+val rough_synthesis :
+  ?belongs:(Graph.node -> bool) -> Tech.Asic_model.t -> Graph.t -> result
+(** [rough_synthesis asic cdfg] synthesizes the operation nodes selected
+    by [belongs] (default: all).  Registers for carried values are charged
+    per read/write node in the selection. *)

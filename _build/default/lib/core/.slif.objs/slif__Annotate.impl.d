@@ -1,0 +1,1 @@
+lib/core/annotate.ml: Array Flow List Tech Types Vhdl

@@ -1,0 +1,1 @@
+lib/core/annotate.mli: Flow Tech Types Vhdl

@@ -1,0 +1,1 @@
+lib/core/build.ml: Array Flow Hashtbl List Option Types Vhdl

@@ -1,0 +1,1 @@
+lib/core/build.mli: Flow Types Vhdl

@@ -1,0 +1,1 @@
+lib/core/decision.ml: Array Buffer List Partition Printf String Types

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Array Buffer List Partition Printf String Types

@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Float Graph Hashtbl List Option Partition Printf Slif_util Types

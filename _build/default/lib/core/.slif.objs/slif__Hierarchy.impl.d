@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Estimate Graph List Partition Types

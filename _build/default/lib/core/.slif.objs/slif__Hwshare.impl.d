@@ -1,0 +1,1 @@
+lib/core/hwshare.ml: Array Estimate Float Flow Graph Hashtbl List Map Option Partition String Tech Types Vhdl

@@ -1,0 +1,1 @@
+lib/core/hwshare.mli: Estimate Flow Partition Tech Types Vhdl

@@ -1,0 +1,1 @@
+lib/core/text.ml: Array Buffer List Printf String Types

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array List Partition Printf Types

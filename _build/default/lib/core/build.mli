@@ -1,0 +1,23 @@
+(** Construction of the SLIF access graph from a parsed specification.
+
+    One node per process, per subprogram and per architecture-level
+    variable or signal; one port per entity port; one channel per distinct
+    (accessor behavior, accessed object) pair, with access frequencies
+    summed over all access sites (paper: the two calls of EvaluateRule by
+    FuzzyMain form a single edge).  Subprogram locals, parameters,
+    constants and loop indices stay inside their behavior.
+
+    Message-pass [send]/[receive] statements connect the sending behavior
+    to every behavior that receives on the same abstract channel name; a
+    send with no receiver becomes a channel to an implicit port of that
+    name.
+
+    Concurrency tags: channels whose every access site lies in the same
+    [par] block share a tag, as do channels whose every site lies in the
+    same statement (the schedule-derived tags of Section 2.4.1). *)
+
+val build :
+  ?profile:Flow.Profile.t -> ?name:string -> Vhdl.Sem.t -> Types.t
+(** [build sem] constructs the access graph with empty component sets and
+    no ict/size annotations (see {!Annotate}).  [name] defaults to the
+    design's entity name. *)

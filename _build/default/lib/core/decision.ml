@@ -1,0 +1,121 @@
+let kind_to_string = function
+  | Types.Call -> "call"
+  | Types.Var_access -> "var"
+  | Types.Port_access -> "port"
+  | Types.Message -> "msg"
+
+let kind_of_string lineno = function
+  | "call" -> Types.Call
+  | "var" -> Types.Var_access
+  | "port" -> Types.Port_access
+  | "msg" -> Types.Message
+  | s -> failwith (Printf.sprintf "Decision line %d: bad channel kind %S" lineno s)
+
+let dest_name (s : Types.t) = function
+  | Types.Dnode d -> ("node", s.nodes.(d).Types.n_name)
+  | Types.Dport p -> ("port", s.ports.(p).Types.pt_name)
+
+let to_string ?note part =
+  let s = Partition.slif part in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (fun line -> Buffer.add_string buf (line ^ "\n")) fmt in
+  pr "decision %s" s.Types.design_name;
+  (match note with
+  | Some n -> pr "note %s" (String.concat " " (String.split_on_char '\n' n))
+  | None -> ());
+  Array.iter
+    (fun (node : Types.node) ->
+      match Partition.comp_of part node.n_id with
+      | None -> ()
+      | Some comp ->
+          let kind = match comp with Partition.Cproc _ -> "proc" | Partition.Cmem _ -> "mem" in
+          pr "map %s %s %s" node.n_name kind (Partition.comp_name s comp))
+    s.Types.nodes;
+  Array.iter
+    (fun (c : Types.channel) ->
+      match Partition.bus_of part c.c_id with
+      | None -> ()
+      | Some bus ->
+          let dkind, dname = dest_name s c.c_dst in
+          pr "chan %s %s %s %s %s" s.Types.nodes.(c.c_src).Types.n_name dkind dname
+            (kind_to_string c.c_kind) s.Types.buses.(bus).Types.b_name)
+    s.Types.chans;
+  Buffer.contents buf
+
+let note text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         if String.length line > 5 && String.sub line 0 5 = "note " then
+           Some (String.sub line 5 (String.length line - 5))
+         else None)
+
+let of_string (s : Types.t) text =
+  let part = Partition.create s in
+  let find_comp lineno kind name =
+    match kind with
+    | "proc" -> (
+        let found = ref None in
+        Array.iteri
+          (fun i (p : Types.processor) -> if p.p_name = name then found := Some (Partition.Cproc i))
+          s.procs;
+        match !found with
+        | Some c -> c
+        | None -> failwith (Printf.sprintf "Decision line %d: no processor %S" lineno name))
+    | "mem" -> (
+        let found = ref None in
+        Array.iteri
+          (fun i (m : Types.memory) -> if m.m_name = name then found := Some (Partition.Cmem i))
+          s.mems;
+        match !found with
+        | Some c -> c
+        | None -> failwith (Printf.sprintf "Decision line %d: no memory %S" lineno name))
+    | k -> failwith (Printf.sprintf "Decision line %d: bad component kind %S" lineno k)
+  in
+  let find_bus lineno name =
+    let found = ref None in
+    Array.iteri
+      (fun i (b : Types.bus) -> if b.b_name = name then found := Some i)
+      s.buses;
+    match !found with
+    | Some b -> b
+    | None -> failwith (Printf.sprintf "Decision line %d: no bus %S" lineno name)
+  in
+  let find_chan lineno src dkind dname kind =
+    let matches (c : Types.channel) =
+      s.nodes.(c.c_src).Types.n_name = src
+      && c.c_kind = kind
+      && dest_name s c.c_dst = (dkind, dname)
+    in
+    let found = ref None in
+    Array.iter (fun c -> if matches c then found := Some c.Types.c_id) s.chans;
+    match !found with
+    | Some id -> id
+    | None ->
+        failwith
+          (Printf.sprintf "Decision line %d: no channel %s -> %s (%s)" lineno src dname
+             (kind_to_string kind))
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match String.split_on_char ' ' (String.trim line) |> List.filter (fun x -> x <> "") with
+      | [] -> ()
+      | "decision" :: rest ->
+          let name = String.concat " " rest in
+          if name <> s.Types.design_name then
+            failwith
+              (Printf.sprintf "Decision line %d: recorded for design %S, not %S" lineno name
+                 s.Types.design_name)
+      | "note" :: _ -> ()
+      | [ "map"; node_name; kind; comp_name ] -> (
+          match Types.node_by_name s node_name with
+          | Some node ->
+              Partition.assign_node part ~node:node.n_id (find_comp lineno kind comp_name)
+          | None -> failwith (Printf.sprintf "Decision line %d: no node %S" lineno node_name))
+      | [ "chan"; src; dkind; dname; kind; bus_name ] ->
+          let chan = find_chan lineno src dkind dname (kind_of_string lineno kind) in
+          Partition.assign_chan part ~chan ~bus:(find_bus lineno bus_name)
+      | word :: _ ->
+          failwith (Printf.sprintf "Decision line %d: unrecognized entry %S" lineno word))
+    (String.split_on_char '\n' text);
+  part

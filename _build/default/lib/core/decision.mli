@@ -1,0 +1,21 @@
+(** Recording partitioning decisions.
+
+    The paper's introduction faults current practice because
+    "documentation of decisions is scarce": design choices live in heads
+    and hand calculations.  This module makes a partition a durable,
+    reviewable artifact — a name-based text form that survives re-running
+    the front end (ids may shift; names are the identity) and can be
+    reloaded onto a freshly built SLIF of the same design. *)
+
+val to_string : ?note:string -> Partition.t -> string
+(** Serialize the partition's node and channel assignments by name.
+    Unassigned objects are omitted; [note] adds a free-form comment line. *)
+
+val of_string : Types.t -> string -> Partition.t
+(** Re-apply a recorded decision to a SLIF.  Node mappings are matched by
+    node and component name; channels by (source name, destination name,
+    kind).  Raises [Failure] with a line number for an unknown name, a
+    design-name mismatch, or malformed input. *)
+
+val note : string -> string option
+(** Extract the note line from a recorded decision, if present. *)

@@ -1,0 +1,59 @@
+let escape s =
+  String.concat "" (List.map (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let node_attrs ?(annotations = false) (n : Types.node) =
+  match n.n_kind with
+  | Types.Behavior { is_process } ->
+      let label =
+        if annotations && n.n_ict <> [] then
+          let icts =
+            String.concat "\\n"
+              (List.map (fun (tech, v) -> Printf.sprintf "%s: %.1f us" tech v) n.n_ict)
+          in
+          Printf.sprintf "%s\\n%s" n.n_name icts
+        else n.n_name
+      in
+      if is_process then
+        Printf.sprintf "[shape=ellipse style=bold label=\"%s\"]" (escape label)
+      else Printf.sprintf "[shape=ellipse label=\"%s\"]" (escape label)
+  | Types.Variable _ -> Printf.sprintf "[shape=box label=\"%s\"]" (escape n.n_name)
+
+let to_dot ?(annotations = false) ?partition (s : Types.t) =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph \"%s\" {\n" (escape s.design_name);
+  pr "  rankdir=TB;\n";
+  let emit_node (n : Types.node) = pr "  n%d %s;\n" n.n_id (node_attrs ~annotations n) in
+  (match partition with
+  | None -> Array.iter emit_node s.nodes
+  | Some part ->
+      let comps =
+        Array.to_list (Array.mapi (fun i _ -> Partition.Cproc i) s.procs)
+        @ Array.to_list (Array.mapi (fun i _ -> Partition.Cmem i) s.mems)
+      in
+      List.iteri
+        (fun k comp ->
+          pr "  subgraph cluster_%d {\n" k;
+          pr "    label=\"%s\";\n" (escape (Partition.comp_name s comp));
+          List.iter (fun id -> emit_node s.nodes.(id)) (Partition.nodes_of_comp part comp);
+          pr "  }\n")
+        comps;
+      (* Unassigned nodes are emitted outside any cluster. *)
+      Array.iter
+        (fun (n : Types.node) ->
+          if Partition.comp_of part n.n_id = None then emit_node n)
+        s.nodes);
+  Array.iter
+    (fun (p : Types.port) ->
+      pr "  p%d [shape=diamond label=\"%s\"];\n" p.pt_id (escape p.pt_name))
+    s.ports;
+  Array.iter
+    (fun (c : Types.channel) ->
+      let dst = match c.c_dst with Types.Dnode d -> Printf.sprintf "n%d" d | Types.Dport p -> Printf.sprintf "p%d" p in
+      if annotations then
+        pr "  n%d -> %s [label=\"%gx%db\"];\n" c.c_src dst c.c_accfreq c.c_bits
+      else pr "  n%d -> %s;\n" c.c_src dst)
+    s.chans;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

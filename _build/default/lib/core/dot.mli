@@ -1,0 +1,9 @@
+(** Graphviz export of a SLIF access graph (Figures 2 and 3).
+
+    Process nodes are drawn bold, other behaviors as ellipses, variables
+    as boxes and ports as diamonds.  With [annotations] the edges carry
+    accfreq / bits labels and behavior nodes list their ict weights, as in
+    the paper's Figure 3. *)
+
+val to_dot : ?annotations:bool -> ?partition:Partition.t -> Types.t -> string
+(** When [partition] is given, nodes are clustered by component. *)

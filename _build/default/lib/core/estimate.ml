@@ -1,0 +1,280 @@
+exception Recursive_specification of string
+
+type mode = Avg | Min | Max
+
+type t = {
+  graph : Graph.t;
+  part : Partition.t;
+  mode : mode;
+  concurrency : bool;
+  recursion_depth : int;
+  cyclic : bool;                    (* call cycle present: disable caching *)
+  cache : float option array;       (* exectime per node *)
+  mutable synced_version : int;
+  mutable queries : int;
+  mutable hits : int;
+}
+
+let create ?(mode = Avg) ?(concurrency = false) ?(recursion_depth = 0) graph part =
+  let s = Graph.slif graph in
+  {
+    graph;
+    part;
+    mode;
+    concurrency;
+    recursion_depth;
+    cyclic = Graph.has_call_cycle graph;
+    cache = Array.make (Array.length s.Types.nodes) None;
+    synced_version = Partition.version part;
+    queries = 0;
+    hits = 0;
+  }
+
+let graph t = t.graph
+let partition t = t.part
+
+let invalidate_all t =
+  Array.fill t.cache 0 (Array.length t.cache) None;
+  t.synced_version <- Partition.version t.part
+
+let note_node_moved t node =
+  List.iter (fun id -> t.cache.(id) <- None) (Graph.transitive_callers t.graph node);
+  t.synced_version <- Partition.version t.part
+
+let sync t = if Partition.version t.part <> t.synced_version then invalidate_all t
+
+let freq t (c : Types.channel) =
+  match t.mode with
+  | Avg -> c.c_accfreq
+  | Min -> c.c_accfreq_min
+  | Max -> c.c_accfreq_max
+
+let node_ict t id comp =
+  let s = Graph.slif t.graph in
+  let node = s.Types.nodes.(id) in
+  let tech = Partition.comp_tech s comp in
+  match Types.ict_on node tech with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Estimate: node %s has no ict weight for technology %s"
+           node.Types.n_name tech)
+
+let transfer_time_us_inner t (c : Types.channel) =
+  let s = Graph.slif t.graph in
+  let bus = s.Types.buses.(Partition.bus_of_exn t.part c.c_id) in
+  let transfers = Slif_util.Bitmath.ceil_div c.c_bits bus.Types.b_bitwidth in
+  let src_tech = Partition.comp_tech s (Partition.comp_of_exn t.part c.c_src) in
+  let bdt =
+    if Partition.same_component t.part c.c_src c.c_dst then
+      Types.bus_ts bus ~tech:src_tech
+    else
+      match c.c_dst with
+      | Types.Dport _ ->
+          (* External pins have no technology: the default td applies. *)
+          bus.Types.b_td_us
+      | Types.Dnode d ->
+          let dst_tech = Partition.comp_tech s (Partition.comp_of_exn t.part d) in
+          Types.bus_td bus ~a:src_tech ~b:dst_tech
+  in
+  float_of_int transfers *. bdt
+
+(* Communication cost of one channel access: bus transfer plus the accessed
+   object's execution time (eq. 1).  [exec] recurses for callees. *)
+let chan_cost t exec (c : Types.channel) =
+  let s = Graph.slif t.graph in
+  let transfer = transfer_time_us_inner t c in
+  let dst_time =
+    match c.c_dst with
+    | Types.Dport _ -> 0.0
+    | Types.Dnode d -> (
+        let node = s.Types.nodes.(d) in
+        match node.Types.n_kind with
+        | Types.Variable _ -> node_ict t d (Partition.comp_of_exn t.part d)
+        | Types.Behavior _ ->
+            (* Messages do not serialize the receiver (DESIGN.md §5). *)
+            if c.c_kind = Types.Message then 0.0 else exec d)
+  in
+  freq t c *. (transfer +. dst_time)
+
+(* Group same-tag channels: within a tag group, accesses can overlap, so
+   the group costs the max of its members (fork/join semantics). *)
+let comm_time t exec chans =
+  if not t.concurrency then List.fold_left (fun acc c -> acc +. chan_cost t exec c) 0.0 chans
+  else begin
+    let tagged = Hashtbl.create 8 in
+    let untagged = ref 0.0 in
+    List.iter
+      (fun (c : Types.channel) ->
+        let cost = chan_cost t exec c in
+        match c.c_tag with
+        | None -> untagged := !untagged +. cost
+        | Some tag ->
+            let prev = Option.value (Hashtbl.find_opt tagged tag) ~default:0.0 in
+            Hashtbl.replace tagged tag (max prev cost))
+      chans;
+    Hashtbl.fold (fun _ cost acc -> acc +. cost) tagged !untagged
+  end
+
+let exectime_us t id =
+  sync t;
+  let visiting = Hashtbl.create 8 in
+  let rec exec id =
+    t.queries <- t.queries + 1;
+    match t.cache.(id) with
+    | Some v ->
+        t.hits <- t.hits + 1;
+        v
+    | None ->
+        let depth = Option.value (Hashtbl.find_opt visiting id) ~default:0 in
+        if depth > 0 && t.recursion_depth = 0 then
+          raise
+            (Recursive_specification (Graph.slif t.graph).Types.nodes.(id).Types.n_name);
+        if depth > t.recursion_depth then 0.0
+        else begin
+          Hashtbl.replace visiting id (depth + 1);
+          let comp = Partition.comp_of_exn t.part id in
+          let ict = node_ict t id comp in
+          let value = ict +. comm_time t exec (Graph.out_chans t.graph id) in
+          Hashtbl.replace visiting id depth;
+          if not t.cyclic then t.cache.(id) <- Some value;
+          value
+        end
+  in
+  exec id
+
+let transfer_time_us t c =
+  sync t;
+  transfer_time_us_inner t c
+
+let chan_bitrate_mbps t (c : Types.channel) =
+  let src_time = exectime_us t c.c_src in
+  if src_time <= 0.0 then 0.0
+  else freq t c *. float_of_int c.c_bits /. src_time
+
+let bus_bitrate_mbps t bus =
+  let s = Graph.slif t.graph in
+  List.fold_left
+    (fun acc cid -> acc +. chan_bitrate_mbps t s.Types.chans.(cid))
+    0.0
+    (Partition.chans_of_bus t.part bus)
+
+let bus_bitrate_capacity_limited_mbps t bus =
+  let s = Graph.slif t.graph in
+  let raw = bus_bitrate_mbps t bus in
+  match s.Types.buses.(bus).Types.b_capacity_mbps with
+  | Some cap -> min raw cap
+  | None -> raw
+
+(* --- Capacity-aware (contended) execution time --------------------------
+   Transfers on an over-committed bus slow by the demand/capacity ratio;
+   slower transfers stretch execution times, which lowers demand, so the
+   factors are iterated to a fixpoint. *)
+
+let exectime_scaled t factors id =
+  let s = Graph.slif t.graph in
+  let visiting = Hashtbl.create 8 in
+  let rec exec id =
+    let depth = Option.value (Hashtbl.find_opt visiting id) ~default:0 in
+    if depth > 0 && t.recursion_depth = 0 then
+      raise (Recursive_specification s.Types.nodes.(id).Types.n_name);
+    if depth > t.recursion_depth then 0.0
+    else begin
+      Hashtbl.replace visiting id (depth + 1);
+      let comp = Partition.comp_of_exn t.part id in
+      let ict = node_ict t id comp in
+      let cost (c : Types.channel) =
+        let bus = Partition.bus_of_exn t.part c.Types.c_id in
+        let transfer = transfer_time_us_inner t c *. factors.(bus) in
+        let dst_time =
+          match c.Types.c_dst with
+          | Types.Dport _ -> 0.0
+          | Types.Dnode d -> (
+              let node = s.Types.nodes.(d) in
+              match node.Types.n_kind with
+              | Types.Variable _ -> node_ict t d (Partition.comp_of_exn t.part d)
+              | Types.Behavior _ -> if c.Types.c_kind = Types.Message then 0.0 else exec d)
+        in
+        freq t c *. (transfer +. dst_time)
+      in
+      let comm =
+        List.fold_left (fun acc c -> acc +. cost c) 0.0 (Graph.out_chans t.graph id)
+      in
+      Hashtbl.replace visiting id depth;
+      ict +. comm
+    end
+  in
+  exec id
+
+let bus_slowdowns ?(iterations = 8) t =
+  sync t;
+  let s = Graph.slif t.graph in
+  let n_buses = Array.length s.Types.buses in
+  let factors = Array.make n_buses 1.0 in
+  for _ = 1 to iterations do
+    (* Demand per bus under the current factors. *)
+    let demand = Array.make n_buses 0.0 in
+    Array.iter
+      (fun (c : Types.channel) ->
+        let bus = Partition.bus_of_exn t.part c.Types.c_id in
+        let src_time = exectime_scaled t factors c.Types.c_src in
+        if src_time > 0.0 then
+          demand.(bus) <- demand.(bus) +. (freq t c *. float_of_int c.Types.c_bits /. src_time))
+      s.Types.chans;
+    Array.iteri
+      (fun i (b : Types.bus) ->
+        match b.Types.b_capacity_mbps with
+        | Some cap when cap > 0.0 ->
+            (* Scale toward demand = capacity; the factor may shrink again
+               after an overshoot but never drops below 1 (an uncontended
+               bus runs at full speed). *)
+            factors.(i) <- Float.max 1.0 (factors.(i) *. (demand.(i) /. cap))
+        | _ -> ())
+      s.Types.buses
+  done;
+  factors
+
+let exectime_contended_us ?iterations t id =
+  let factors = bus_slowdowns ?iterations t in
+  exectime_scaled t factors id
+
+let size t comp =
+  let s = Graph.slif t.graph in
+  let tech = Partition.comp_tech s comp in
+  List.fold_left
+    (fun acc id ->
+      let node = s.Types.nodes.(id) in
+      match Types.size_on node tech with
+      | Some v -> acc +. v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Estimate: node %s has no size weight for technology %s"
+               node.Types.n_name tech))
+    0.0
+    (Partition.nodes_of_comp t.part comp)
+
+let crosses t comp (c : Types.channel) =
+  let src_in = Partition.comp_of t.part c.c_src = Some comp in
+  let dst_in =
+    match c.c_dst with
+    | Types.Dport _ -> false
+    | Types.Dnode d -> Partition.comp_of t.part d = Some comp
+  in
+  src_in <> dst_in
+
+let cut_chans t comp =
+  sync t;
+  let s = Graph.slif t.graph in
+  Array.to_list s.Types.chans |> List.filter (crosses t comp)
+
+let io_pins t comp =
+  let s = Graph.slif t.graph in
+  let cut_buses =
+    List.sort_uniq compare
+      (List.map (fun (c : Types.channel) -> Partition.bus_of_exn t.part c.c_id)
+         (cut_chans t comp))
+  in
+  List.fold_left (fun acc b -> acc + s.Types.buses.(b).Types.b_bitwidth) 0 cut_buses
+
+let stats_queries t = t.queries
+let stats_cache_hits t = t.hits

@@ -1,0 +1,96 @@
+(** Estimation of quality metrics from SLIF annotations (paper, Section 3).
+
+    All estimators work purely from the preprocessed annotations and the
+    current partition — no re-compilation or re-synthesis — which is the
+    paper's central claim.  A stateful estimator memoizes execution times
+    and invalidates on partition version changes; {!create_incremental}
+    additionally invalidates only the transitive accessors of moved nodes.
+
+    Deviations from the paper's equations are documented in DESIGN.md §5:
+    message channels contribute transfer time but not the receiver's
+    execution time (the receiver runs concurrently), and recursion (an AG
+    call cycle) raises {!Recursive_specification} unless an unrolling
+    depth is supplied. *)
+
+exception Recursive_specification of string
+(** Raised when execution-time estimation meets a call cycle and no
+    [recursion_depth] was given; carries the cycling node's name. *)
+
+type mode = Avg | Min | Max
+(** Which access-frequency weight drives the estimate (Section 2.4.1's
+    average / minimum / maximum accesses). *)
+
+type t
+
+val create :
+  ?mode:mode ->
+  ?concurrency:bool ->
+  ?recursion_depth:int ->
+  Graph.t ->
+  Partition.t ->
+  t
+(** [concurrency] (default false) makes same-tag channels of one behavior
+    cost the maximum instead of the sum of their communication times —
+    the fork/join extension of Section 2.4.1.  [recursion_depth] unrolls
+    call cycles that many times instead of failing. *)
+
+val graph : t -> Graph.t
+val partition : t -> Partition.t
+
+val exectime_us : t -> int -> float
+(** Equation 1: ict on the node's component plus communication time over
+    all outgoing channels.  For variable destinations the accessed
+    object's "execution time" is its storage access time; external ports
+    contribute transfer time only.  Raises [Invalid_argument] when the
+    partition is partial, {!Recursive_specification} on call cycles. *)
+
+val transfer_time_us : t -> Types.channel -> float
+(** Bus data-transfer time for one access: [ceil(bits / bitwidth)]
+    transfers at [ts] (same component) or [td] (different components). *)
+
+val chan_bitrate_mbps : t -> Types.channel -> float
+(** Equation 2: bits per access x accesses per execution / execution time
+    of the source.  (bits/us = Mbit/s.) *)
+
+val bus_bitrate_mbps : t -> int -> float
+(** Equation 3: sum of the bus's channel bitrates. *)
+
+val bus_bitrate_capacity_limited_mbps : t -> int -> float
+(** Bitrate clipped to the bus's capacity when one is declared — the
+    "more sophisticated" estimate the paper defers to reference [2]. *)
+
+val bus_slowdowns : ?iterations:int -> t -> float array
+(** Per-bus contention factors (>= 1): when the aggregate demand on a bus
+    exceeds its declared capacity, its transfers slow by the excess ratio,
+    which stretches execution times and in turn lowers demand; the factors
+    are iterated to a fixpoint (default 8 rounds).  Buses without a
+    capacity keep factor 1. *)
+
+val exectime_contended_us : ?iterations:int -> t -> int -> float
+(** Equation 1 with each channel's transfer time scaled by its bus's
+    contention factor — the capacity-aware execution time.  Channel
+    accesses are treated as sequential here (concurrency tags are a
+    property of the uncontended estimate). *)
+
+val size : t -> Partition.comp -> float
+(** Equations 4-5: sum of member size weights on the component's
+    technology (bytes for standard processors, gates for custom ones,
+    words for memories). *)
+
+val io_pins : t -> Partition.comp -> int
+(** Equation 6: total bitwidth of buses carrying at least one channel that
+    crosses the component's boundary. *)
+
+val cut_chans : t -> Partition.comp -> Types.channel list
+(** The channels crossing the component boundary (CutChans). *)
+
+(* --- Cache control ----------------------------------------------------- *)
+
+val invalidate_all : t -> unit
+
+val note_node_moved : t -> int -> unit
+(** Incremental invalidation: drop cached execution times of the moved
+    node's transitive accessors only (ablation A1). *)
+
+val stats_queries : t -> int
+val stats_cache_hits : t -> int

@@ -1,0 +1,83 @@
+type t = {
+  slif : Types.t;
+  out_ : Types.channel list array;   (* by source node id *)
+  in_ : Types.channel list array;    (* by destination node id *)
+}
+
+let make (s : Types.t) =
+  let n = Array.length s.nodes in
+  let out_ = Array.make n [] in
+  let in_ = Array.make n [] in
+  (* Iterate in reverse so the per-node lists end up in channel order. *)
+  for i = Array.length s.chans - 1 downto 0 do
+    let c = s.chans.(i) in
+    out_.(c.c_src) <- c :: out_.(c.c_src);
+    match c.c_dst with
+    | Types.Dnode d -> in_.(d) <- c :: in_.(d)
+    | Types.Dport _ -> ()
+  done;
+  { slif = s; out_; in_ }
+
+let slif t = t.slif
+
+let out_chans t id = t.out_.(id)
+let in_chans t id = t.in_.(id)
+
+let dedup ids = List.sort_uniq compare ids
+
+let callers t id =
+  dedup
+    (List.filter_map
+       (fun (c : Types.channel) -> if c.c_kind = Types.Call then Some c.c_src else None)
+       (in_chans t id))
+
+let callees t id =
+  dedup
+    (List.filter_map
+       (fun (c : Types.channel) ->
+         match (c.c_kind, c.c_dst) with
+         | Types.Call, Types.Dnode d -> Some d
+         | _ -> None)
+       (out_chans t id))
+
+let has_call_cycle t =
+  let n = Array.length t.slif.nodes in
+  (* 0 = unvisited, 1 = on stack, 2 = done *)
+  let state = Array.make n 0 in
+  let rec visit id =
+    if state.(id) = 1 then true
+    else if state.(id) = 2 then false
+    else begin
+      state.(id) <- 1;
+      let cyclic = List.exists visit (callees t id) in
+      state.(id) <- 2;
+      cyclic
+    end
+  in
+  let rec any id = id < n && (visit id || any (id + 1)) in
+  any 0
+
+let bfs ~next start =
+  let seen = Hashtbl.create 16 in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | id :: rest ->
+        if Hashtbl.mem seen id then loop acc rest
+        else begin
+          Hashtbl.add seen id ();
+          loop (id :: acc) (next id @ rest)
+        end
+  in
+  loop [] [ start ]
+
+let reachable_from t id =
+  bfs id ~next:(fun id ->
+      List.filter_map
+        (fun (c : Types.channel) ->
+          match c.c_dst with Types.Dnode d -> Some d | Types.Dport _ -> None)
+        (out_chans t id))
+
+let transitive_callers t id =
+  (* Any behavior with a channel to [id] depends on its mapping; so do that
+     behavior's transitive accessors. *)
+  bfs id ~next:(fun id -> dedup (List.map (fun (c : Types.channel) -> c.c_src) (in_chans t id)))

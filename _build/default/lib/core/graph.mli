@@ -1,0 +1,35 @@
+(** Adjacency queries over a SLIF access graph.
+
+    Precomputes per-node outgoing/incoming channel lists so that the
+    estimators' GetBehChans is O(out-degree) (paper, Section 3.1). *)
+
+type t
+
+val make : Types.t -> t
+
+val slif : t -> Types.t
+
+val out_chans : t -> int -> Types.channel list
+(** Channels whose source is the given behavior node — GetBehChans(b). *)
+
+val in_chans : t -> int -> Types.channel list
+(** Channels whose destination is the given node. *)
+
+val callers : t -> int -> int list
+(** Source nodes of incoming [Call] channels, deduplicated. *)
+
+val callees : t -> int -> int list
+(** Destination behavior nodes of outgoing [Call] channels, deduplicated. *)
+
+val has_call_cycle : t -> bool
+(** True when the call-channel subgraph has a cycle — recursion in the
+    specification (the paper notes an AG cycle represents recursion). *)
+
+val reachable_from : t -> int -> int list
+(** All nodes reachable from the given node over any channel kind,
+    including itself. *)
+
+val transitive_callers : t -> int -> int list
+(** All behaviors whose execution time depends on the given node: the
+    node itself (when a behavior) plus everything upstream over call
+    channels — the invalidation set for incremental estimation. *)

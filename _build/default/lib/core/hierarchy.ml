@@ -1,0 +1,57 @@
+type group = { g_name : string; g_members : Partition.comp list }
+
+let make ~name members =
+  if members = [] then invalid_arg "Hierarchy.make: empty group";
+  if List.length (List.sort_uniq compare members) <> List.length members then
+    invalid_arg "Hierarchy.make: duplicate members";
+  { g_name = name; g_members = members }
+
+let contains group comp = List.mem comp group.g_members
+
+let endpoint_inside part group node =
+  match Partition.comp_of part node with
+  | Some comp -> contains group comp
+  | None -> false
+
+let crosses est group (c : Types.channel) =
+  let part = Estimate.partition est in
+  let src_in = endpoint_inside part group c.c_src in
+  let dst_in =
+    match c.c_dst with
+    | Types.Dport _ -> false
+    | Types.Dnode d -> endpoint_inside part group d
+  in
+  src_in <> dst_in
+
+let inside est group (c : Types.channel) =
+  let part = Estimate.partition est in
+  endpoint_inside part group c.c_src
+  &&
+  match c.c_dst with
+  | Types.Dport _ -> false
+  | Types.Dnode d -> endpoint_inside part group d
+
+let all_chans est = Array.to_list (Graph.slif (Estimate.graph est)).Types.chans
+
+let cut_chans est group = List.filter (crosses est group) (all_chans est)
+
+let io_pins est group =
+  let s = Graph.slif (Estimate.graph est) in
+  let part = Estimate.partition est in
+  let buses =
+    List.sort_uniq compare
+      (List.map (fun (c : Types.channel) -> Partition.bus_of_exn part c.c_id)
+         (cut_chans est group))
+  in
+  List.fold_left (fun acc b -> acc + s.Types.buses.(b).Types.b_bitwidth) 0 buses
+
+let internal_traffic_mbps est group =
+  List.fold_left
+    (fun acc c -> if inside est group c then acc +. Estimate.chan_bitrate_mbps est c else acc)
+    0.0 (all_chans est)
+
+let sizes est group =
+  let s = Graph.slif (Estimate.graph est) in
+  List.map
+    (fun comp -> (Partition.comp_name s comp, Estimate.size est comp))
+    group.g_members

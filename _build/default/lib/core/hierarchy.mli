@@ -1,0 +1,31 @@
+(** Hierarchical components (the paper's future-work extension).
+
+    A {e group} is a set of components implemented together — chips on a
+    board, cores in a package.  Estimation lifts to the group boundary:
+    a channel is internal when both endpoints are inside the group (even
+    on different member components), and the group's I/O is the total
+    bitwidth of buses carrying channels that cross its boundary — eq. 6
+    applied one level up. *)
+
+type group = { g_name : string; g_members : Partition.comp list }
+
+val make : name:string -> Partition.comp list -> group
+(** Raises [Invalid_argument] on an empty member list or duplicates. *)
+
+val contains : group -> Partition.comp -> bool
+
+val cut_chans : Estimate.t -> group -> Types.channel list
+(** Channels with exactly one endpoint inside the group (port
+    destinations count as outside). *)
+
+val io_pins : Estimate.t -> group -> int
+(** Total bitwidth of buses carrying at least one group-crossing channel. *)
+
+val internal_traffic_mbps : Estimate.t -> group -> float
+(** Sum of bitrates of channels entirely inside the group — the traffic a
+    board-level bus would not see. *)
+
+val sizes : Estimate.t -> group -> (string * float) list
+(** Per-member sizes (component name, size on its own technology); sizes
+    of different technologies are not summed because their units differ
+    (bytes / gates / words). *)

@@ -1,0 +1,109 @@
+type comp = Cproc of int | Cmem of int
+
+type t = {
+  slif : Types.t;
+  node_comp : comp option array;
+  chan_bus : int option array;
+  mutable version : int;
+}
+
+let create (s : Types.t) =
+  {
+    slif = s;
+    node_comp = Array.make (Array.length s.nodes) None;
+    chan_bus = Array.make (Array.length s.chans) None;
+    version = 0;
+  }
+
+let copy t =
+  {
+    slif = t.slif;
+    node_comp = Array.copy t.node_comp;
+    chan_bus = Array.copy t.chan_bus;
+    version = t.version;
+  }
+
+let slif t = t.slif
+
+let version t = t.version
+
+let bump t = t.version <- t.version + 1
+
+let check_comp t = function
+  | Cproc p ->
+      if p < 0 || p >= Array.length t.slif.Types.procs then
+        invalid_arg "Partition.assign_node: no such processor"
+  | Cmem m ->
+      if m < 0 || m >= Array.length t.slif.Types.mems then
+        invalid_arg "Partition.assign_node: no such memory"
+
+let assign_node t ~node comp =
+  if node < 0 || node >= Array.length t.node_comp then
+    invalid_arg "Partition.assign_node: no such node";
+  check_comp t comp;
+  t.node_comp.(node) <- Some comp;
+  bump t
+
+let unassign_node t ~node =
+  if node < 0 || node >= Array.length t.node_comp then
+    invalid_arg "Partition.unassign_node: no such node";
+  t.node_comp.(node) <- None;
+  bump t
+
+let assign_chan t ~chan ~bus =
+  if chan < 0 || chan >= Array.length t.chan_bus then
+    invalid_arg "Partition.assign_chan: no such channel";
+  if bus < 0 || bus >= Array.length t.slif.Types.buses then
+    invalid_arg "Partition.assign_chan: no such bus";
+  t.chan_bus.(chan) <- Some bus;
+  bump t
+
+let comp_of t node = t.node_comp.(node)
+
+let comp_of_exn t node =
+  match t.node_comp.(node) with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Partition.comp_of_exn: node %s is unassigned"
+           t.slif.Types.nodes.(node).Types.n_name)
+
+let bus_of t chan = t.chan_bus.(chan)
+
+let bus_of_exn t chan =
+  match t.chan_bus.(chan) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Partition.bus_of_exn: channel %d is unassigned" chan)
+
+let is_total t =
+  Array.for_all Option.is_some t.node_comp && Array.for_all Option.is_some t.chan_bus
+
+let nodes_of_comp t comp =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c = Some comp then acc := i :: !acc) t.node_comp;
+  List.rev !acc
+
+let chans_of_bus t bus =
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b = Some bus then acc := i :: !acc) t.chan_bus;
+  List.rev !acc
+
+let same_component t src dst =
+  match dst with
+  | Types.Dport _ -> false
+  | Types.Dnode d -> (
+      match (t.node_comp.(src), t.node_comp.(d)) with
+      | Some a, Some b -> a = b
+      | _ -> false)
+
+let comp_name (s : Types.t) = function
+  | Cproc p -> s.procs.(p).Types.p_name
+  | Cmem m -> s.mems.(m).Types.m_name
+
+let comp_tech (s : Types.t) = function
+  | Cproc p -> s.procs.(p).Types.p_tech
+  | Cmem m -> s.mems.(m).Types.m_tech
+
+let assign_all_chans t ~bus =
+  Array.iteri (fun i _ -> t.chan_bus.(i) <- Some bus) t.chan_bus;
+  bump t

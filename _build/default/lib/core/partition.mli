@@ -1,0 +1,55 @@
+(** A partition: the mapping of functional objects onto system components.
+
+    The paper requires a proper partition to map every behavior to exactly
+    one processor, every variable to exactly one processor or memory, and
+    every channel to exactly one bus (Section 2.2).  The representation —
+    one component slot per node, one bus slot per channel — makes the
+    exactly-one property structural; {!Validate} checks the remaining
+    rules.
+
+    Assignments bump a version counter so estimator caches can notice
+    staleness cheaply. *)
+
+type comp = Cproc of int | Cmem of int
+
+type t
+
+val create : Types.t -> t
+(** All slots initially unassigned. *)
+
+val copy : t -> t
+
+val slif : t -> Types.t
+
+val version : t -> int
+(** Monotone counter, incremented by every assignment. *)
+
+val assign_node : t -> node:int -> comp -> unit
+val unassign_node : t -> node:int -> unit
+val assign_chan : t -> chan:int -> bus:int -> unit
+
+val comp_of : t -> int -> comp option
+val comp_of_exn : t -> int -> comp
+(** Raises [Invalid_argument] when the node is unassigned — the paper's
+    GetBvComp. *)
+
+val bus_of : t -> int -> int option
+val bus_of_exn : t -> int -> int
+(** The paper's GetChanBus. *)
+
+val is_total : t -> bool
+(** Every node and every channel is assigned. *)
+
+val nodes_of_comp : t -> comp -> int list
+val chans_of_bus : t -> int -> int list
+
+val same_component : t -> int -> Types.dest -> bool
+(** Whether a channel's source node and destination lie on the same
+    component; destinations that are external ports are never on a
+    component. *)
+
+val comp_name : Types.t -> comp -> string
+val comp_tech : Types.t -> comp -> Types.tech_name
+
+val assign_all_chans : t -> bus:int -> unit
+(** Convenience: map every channel to the given bus. *)

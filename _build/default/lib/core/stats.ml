@@ -1,0 +1,51 @@
+type t = {
+  behaviors : int;
+  processes : int;
+  variables : int;
+  bv : int;
+  ports : int;
+  channels : int;
+  call_chans : int;
+  var_chans : int;
+  port_chans : int;
+  message_chans : int;
+  max_out_degree : int;
+}
+
+let of_slif (s : Types.t) =
+  let behaviors = ref 0 and processes = ref 0 and variables = ref 0 in
+  Array.iter
+    (fun (n : Types.node) ->
+      match n.n_kind with
+      | Types.Behavior { is_process } ->
+          incr behaviors;
+          if is_process then incr processes
+      | Types.Variable _ -> incr variables)
+    s.nodes;
+  let count kind =
+    Array.fold_left
+      (fun acc (c : Types.channel) -> if c.c_kind = kind then acc + 1 else acc)
+      0 s.chans
+  in
+  let out_degree = Array.make (Array.length s.nodes) 0 in
+  Array.iter (fun (c : Types.channel) -> out_degree.(c.c_src) <- out_degree.(c.c_src) + 1) s.chans;
+  {
+    behaviors = !behaviors;
+    processes = !processes;
+    variables = !variables;
+    bv = !behaviors + !variables;
+    ports = Array.length s.ports;
+    channels = Array.length s.chans;
+    call_chans = count Types.Call;
+    var_chans = count Types.Var_access;
+    port_chans = count Types.Port_access;
+    message_chans = count Types.Message;
+    max_out_degree = Array.fold_left max 0 out_degree;
+  }
+
+let to_string t =
+  Printf.sprintf
+    "BV=%d (behaviors=%d of which processes=%d, variables=%d) ports=%d C=%d \
+     (call=%d var=%d port=%d msg=%d) max-out-degree=%d"
+    t.bv t.behaviors t.processes t.variables t.ports t.channels t.call_chans t.var_chans
+    t.port_chans t.message_chans t.max_out_degree

@@ -1,0 +1,21 @@
+(** Size statistics of a SLIF access graph — the numbers the paper's
+    Results section reports per example (BV and C counts) and compares
+    against finer-grained formats. *)
+
+type t = {
+  behaviors : int;
+  processes : int;     (* subset of behaviors *)
+  variables : int;
+  bv : int;            (* behaviors + variables: the paper's BV column *)
+  ports : int;
+  channels : int;      (* the paper's C column *)
+  call_chans : int;
+  var_chans : int;
+  port_chans : int;
+  message_chans : int;
+  max_out_degree : int;
+}
+
+val of_slif : Types.t -> t
+
+val to_string : t -> string

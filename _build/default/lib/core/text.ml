@@ -1,0 +1,260 @@
+(* Floats are serialized as hexadecimal literals ("%h") so that parsing
+   reproduces them bit-exactly. *)
+
+let fl v = Printf.sprintf "%h" v
+
+let opt_fl = function None -> "-" | Some v -> fl v
+let opt_int = function None -> "-" | Some v -> string_of_int v
+
+let to_string (s : Types.t) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun line -> Buffer.add_string buf (line ^ "\n")) fmt in
+  pr "slif %s" s.design_name;
+  Array.iter
+    (fun (n : Types.node) ->
+      (match n.n_kind with
+      | Types.Behavior { is_process } ->
+          pr "node %d %s %s" n.n_id (if is_process then "process" else "behavior") n.n_name
+      | Types.Variable { storage_bits; transfer_bits } ->
+          pr "node %d variable %s %d %d" n.n_id n.n_name storage_bits transfer_bits);
+      List.iter (fun (tech, v) -> pr "ict %d %s %s" n.n_id tech (fl v)) n.n_ict;
+      List.iter (fun (tech, v) -> pr "size %d %s %s" n.n_id tech (fl v)) n.n_size)
+    s.nodes;
+  Array.iter
+    (fun (p : Types.port) ->
+      let dir =
+        match p.pt_dir with Types.Pin -> "in" | Types.Pout -> "out" | Types.Pinout -> "inout"
+      in
+      pr "port %d %s %d %s" p.pt_id p.pt_name p.pt_bits dir)
+    s.ports;
+  Array.iter
+    (fun (c : Types.channel) ->
+      let dst_kind, dst_id =
+        match c.c_dst with Types.Dnode d -> ("node", d) | Types.Dport p -> ("port", p)
+      in
+      let kind =
+        match c.c_kind with
+        | Types.Call -> "call"
+        | Types.Var_access -> "var"
+        | Types.Port_access -> "port"
+        | Types.Message -> "msg"
+      in
+      pr "chan %d %d %s %d %s %s %s %d %s %s" c.c_id c.c_src dst_kind dst_id
+        (fl c.c_accfreq) (fl c.c_accfreq_min) (fl c.c_accfreq_max) c.c_bits
+        (opt_int c.c_tag) kind)
+    s.chans;
+  Array.iter
+    (fun (p : Types.processor) ->
+      pr "proc %d %s %s %s %s %s" p.p_id p.p_name
+        (match p.p_kind with Types.Standard -> "standard" | Types.Custom -> "custom")
+        p.p_tech (opt_fl p.p_size_constraint) (opt_int p.p_io_constraint))
+    s.procs;
+  Array.iter
+    (fun (m : Types.memory) ->
+      pr "mem %d %s %s %s" m.m_id m.m_name m.m_tech (opt_fl m.m_size_constraint))
+    s.mems;
+  Array.iter
+    (fun (b : Types.bus) ->
+      pr "bus %d %s %d %s %s %s" b.b_id b.b_name b.b_bitwidth (fl b.b_ts_us) (fl b.b_td_us)
+        (opt_fl b.b_capacity_mbps);
+      List.iter (fun (tech, v) -> pr "busts %d %s %s" b.b_id tech (fl v)) b.b_ts_by_tech;
+      List.iter
+        (fun ((a, bt), v) -> pr "bustd %d %s %s %s" b.b_id a bt (fl v))
+        b.b_td_by_pair)
+    s.buses;
+  Buffer.contents buf
+
+(* --- Parsing ------------------------------------------------------------- *)
+
+type builder = {
+  mutable name : string;
+  mutable nodes : Types.node list;          (* reversed *)
+  mutable ports : Types.port list;
+  mutable chans : Types.channel list;
+  mutable procs : Types.processor list;
+  mutable mems : Types.memory list;
+  mutable buses : Types.bus list;
+}
+
+let parse_error lineno msg = failwith (Printf.sprintf "Slif.Text line %d: %s" lineno msg)
+
+let parse_float lineno s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error lineno (Printf.sprintf "bad float %S" s)
+
+let parse_int lineno s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error lineno (Printf.sprintf "bad int %S" s)
+
+let parse_opt_fl lineno = function "-" -> None | s -> Some (parse_float lineno s)
+let parse_opt_int lineno = function "-" -> None | s -> Some (parse_int lineno s)
+
+let amend_node b lineno id f =
+  let rec go = function
+    | [] -> parse_error lineno (Printf.sprintf "no node %d yet" id)
+    | (n : Types.node) :: rest when n.n_id = id -> f n :: rest
+    | n :: rest -> n :: go rest
+  in
+  b.nodes <- go b.nodes
+
+let amend_bus b lineno id f =
+  let rec go = function
+    | [] -> parse_error lineno (Printf.sprintf "no bus %d yet" id)
+    | (bus : Types.bus) :: rest when bus.b_id = id -> f bus :: rest
+    | bus :: rest -> bus :: go rest
+  in
+  b.buses <- go b.buses
+
+let of_string text =
+  let b =
+    { name = ""; nodes = []; ports = []; chans = []; procs = []; mems = []; buses = [] }
+  in
+  let handle lineno line =
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [] -> ()
+    | "slif" :: rest -> b.name <- String.concat " " rest
+    | [ "node"; id; kind; name ] when kind = "process" || kind = "behavior" ->
+        b.nodes <-
+          {
+            Types.n_id = parse_int lineno id;
+            n_name = name;
+            n_kind = Types.Behavior { is_process = kind = "process" };
+            n_ict = [];
+            n_size = [];
+          }
+          :: b.nodes
+    | [ "node"; id; "variable"; name; storage; transfer ] ->
+        b.nodes <-
+          {
+            Types.n_id = parse_int lineno id;
+            n_name = name;
+            n_kind =
+              Types.Variable
+                {
+                  storage_bits = parse_int lineno storage;
+                  transfer_bits = parse_int lineno transfer;
+                };
+            n_ict = [];
+            n_size = [];
+          }
+          :: b.nodes
+    | [ "ict"; id; tech; v ] ->
+        amend_node b lineno (parse_int lineno id) (fun n ->
+            { n with Types.n_ict = n.Types.n_ict @ [ (tech, parse_float lineno v) ] })
+    | [ "size"; id; tech; v ] ->
+        amend_node b lineno (parse_int lineno id) (fun n ->
+            { n with Types.n_size = n.Types.n_size @ [ (tech, parse_float lineno v) ] })
+    | [ "port"; id; name; bits; dir ] ->
+        let pt_dir =
+          match dir with
+          | "in" -> Types.Pin
+          | "out" -> Types.Pout
+          | "inout" -> Types.Pinout
+          | _ -> parse_error lineno (Printf.sprintf "bad direction %S" dir)
+        in
+        b.ports <-
+          {
+            Types.pt_id = parse_int lineno id;
+            pt_name = name;
+            pt_bits = parse_int lineno bits;
+            pt_dir;
+          }
+          :: b.ports
+    | [ "chan"; id; src; dst_kind; dst_id; freq; mn; mx; bits; tag; kind ] ->
+        let c_dst =
+          match dst_kind with
+          | "node" -> Types.Dnode (parse_int lineno dst_id)
+          | "port" -> Types.Dport (parse_int lineno dst_id)
+          | _ -> parse_error lineno (Printf.sprintf "bad dst kind %S" dst_kind)
+        in
+        let c_kind =
+          match kind with
+          | "call" -> Types.Call
+          | "var" -> Types.Var_access
+          | "port" -> Types.Port_access
+          | "msg" -> Types.Message
+          | _ -> parse_error lineno (Printf.sprintf "bad channel kind %S" kind)
+        in
+        b.chans <-
+          {
+            Types.c_id = parse_int lineno id;
+            c_src = parse_int lineno src;
+            c_dst;
+            c_accfreq = parse_float lineno freq;
+            c_accfreq_min = parse_float lineno mn;
+            c_accfreq_max = parse_float lineno mx;
+            c_bits = parse_int lineno bits;
+            c_tag = parse_opt_int lineno tag;
+            c_kind;
+          }
+          :: b.chans
+    | [ "proc"; id; name; kind; tech; sizecon; iocon ] ->
+        let p_kind =
+          match kind with
+          | "standard" -> Types.Standard
+          | "custom" -> Types.Custom
+          | _ -> parse_error lineno (Printf.sprintf "bad processor kind %S" kind)
+        in
+        b.procs <-
+          {
+            Types.p_id = parse_int lineno id;
+            p_name = name;
+            p_kind;
+            p_tech = tech;
+            p_size_constraint = parse_opt_fl lineno sizecon;
+            p_io_constraint = parse_opt_int lineno iocon;
+          }
+          :: b.procs
+    | [ "mem"; id; name; tech; sizecon ] ->
+        b.mems <-
+          {
+            Types.m_id = parse_int lineno id;
+            m_name = name;
+            m_tech = tech;
+            m_size_constraint = parse_opt_fl lineno sizecon;
+          }
+          :: b.mems
+    | [ "bus"; id; name; bitwidth; ts; td; cap ] ->
+        b.buses <-
+          {
+            Types.b_id = parse_int lineno id;
+            b_name = name;
+            b_bitwidth = parse_int lineno bitwidth;
+            b_ts_us = parse_float lineno ts;
+            b_td_us = parse_float lineno td;
+            b_capacity_mbps = parse_opt_fl lineno cap;
+            b_ts_by_tech = [];
+            b_td_by_pair = [];
+          }
+          :: b.buses
+    | [ "busts"; id; tech; v ] ->
+        amend_bus b lineno (parse_int lineno id) (fun bus ->
+            {
+              bus with
+              Types.b_ts_by_tech =
+                bus.Types.b_ts_by_tech @ [ (tech, parse_float lineno v) ];
+            })
+    | [ "bustd"; id; ta; tb; v ] ->
+        amend_bus b lineno (parse_int lineno id) (fun bus ->
+            {
+              bus with
+              Types.b_td_by_pair =
+                bus.Types.b_td_by_pair @ [ ((ta, tb), parse_float lineno v) ];
+            })
+    | word :: _ -> parse_error lineno (Printf.sprintf "unrecognized line starting %S" word)
+  in
+  List.iteri
+    (fun i line -> if String.trim line <> "" then handle (i + 1) (String.trim line))
+    (String.split_on_char '\n' text);
+  let by_id f l = List.sort (fun a b -> compare (f a) (f b)) l in
+  {
+    Types.design_name = b.name;
+    nodes = Array.of_list (by_id (fun (n : Types.node) -> n.n_id) b.nodes);
+    ports = Array.of_list (by_id (fun (p : Types.port) -> p.pt_id) b.ports);
+    chans = Array.of_list (by_id (fun (c : Types.channel) -> c.c_id) b.chans);
+    procs = Array.of_list (by_id (fun (p : Types.processor) -> p.p_id) b.procs);
+    mems = Array.of_list (by_id (fun (m : Types.memory) -> m.m_id) b.mems);
+    buses = Array.of_list (by_id (fun (bus : Types.bus) -> bus.b_id) b.buses);
+  }

@@ -1,0 +1,11 @@
+(** Reference textual serialization of an annotated SLIF.
+
+    A line-oriented format covering the full sextuple and all annotations.
+    [of_string (to_string t)] reproduces [t] exactly (property tested), so
+    a preprocessed SLIF can be stored next to the specification and
+    reloaded without re-running the front end or the technology models. *)
+
+val to_string : Types.t -> string
+
+val of_string : string -> Types.t
+(** Raises [Failure] with a line number on malformed input. *)

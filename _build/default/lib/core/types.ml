@@ -1,0 +1,129 @@
+(** The SLIF data structure (paper, Sections 2.2 and 2.5).
+
+    A SLIF is the sextuple <BV, IO, C, P, M, I>: behavior and variable
+    nodes, external ports, access channels, and the structural objects —
+    processors, memories and buses — onto which the functional objects are
+    partitioned.  Nodes and channels carry the preprocessed annotations
+    that make estimation a matter of lookups:
+    - behaviors/variables: one ict and one size weight per candidate
+      technology ([ict_list], [size_list]);
+    - channels: average / min / max access frequency, bits per access, and
+      an optional concurrency tag;
+    - buses: bitwidth, same-component and cross-component transfer times. *)
+
+type tech_name = string
+(** Identifier of a component technology from the {!Tech.Parts} catalog. *)
+
+type node_kind =
+  | Behavior of { is_process : bool }
+  | Variable of { storage_bits : int; transfer_bits : int }
+
+type node = {
+  n_id : int;
+  n_name : string;
+  n_kind : node_kind;
+  n_ict : (tech_name * float) list;   (* internal computation time, us *)
+  n_size : (tech_name * float) list;  (* bytes / gates / words *)
+}
+
+type port_dir = Pin | Pout | Pinout
+
+type port = { pt_id : int; pt_name : string; pt_bits : int; pt_dir : port_dir }
+
+type dest = Dnode of int | Dport of int
+
+type chan_kind = Call | Var_access | Port_access | Message
+
+type channel = {
+  c_id : int;
+  c_src : int;                (* accessor behavior node *)
+  c_dst : dest;
+  c_accfreq : float;          (* accesses per start-to-finish run of src *)
+  c_accfreq_min : float;
+  c_accfreq_max : float;
+  c_bits : int;               (* bits moved per access *)
+  c_tag : int option;         (* same src + same tag => concurrent *)
+  c_kind : chan_kind;
+}
+
+type proc_kind = Standard | Custom
+
+type processor = {
+  p_id : int;
+  p_name : string;
+  p_kind : proc_kind;
+  p_tech : tech_name;
+  p_size_constraint : float option;   (* max bytes (standard) or gates (custom) *)
+  p_io_constraint : int option;       (* available pins *)
+}
+
+type memory = {
+  m_id : int;
+  m_name : string;
+  m_tech : tech_name;
+  m_size_constraint : float option;   (* max words *)
+}
+
+type bus = {
+  b_id : int;
+  b_name : string;
+  b_bitwidth : int;
+  b_ts_us : float;                                      (* default same-component time *)
+  b_td_us : float;                                      (* default cross-component time *)
+  b_capacity_mbps : float option;
+  (* The "more extensive set of annotations" the paper mentions but leaves
+     unexplored: a ts per component technology and a td per (unordered)
+     technology pair.  Missing entries fall back to the defaults. *)
+  b_ts_by_tech : (tech_name * float) list;
+  b_td_by_pair : ((tech_name * tech_name) * float) list;
+}
+
+(** Same-component transfer time on [bus] for a component of technology
+    [tech]. *)
+let bus_ts bus ~tech =
+  match List.assoc_opt tech bus.b_ts_by_tech with Some v -> v | None -> bus.b_ts_us
+
+(** Cross-component transfer time on [bus] between technologies [a] and
+    [b]; the pair is unordered. *)
+let bus_td bus ~a ~b =
+  match List.assoc_opt (a, b) bus.b_td_by_pair with
+  | Some v -> v
+  | None -> (
+      match List.assoc_opt (b, a) bus.b_td_by_pair with
+      | Some v -> v
+      | None -> bus.b_td_us)
+
+type t = {
+  design_name : string;
+  nodes : node array;
+  ports : port array;
+  chans : channel array;
+  procs : processor array;
+  mems : memory array;
+  buses : bus array;
+}
+
+let is_behavior n = match n.n_kind with Behavior _ -> true | Variable _ -> false
+let is_process n = match n.n_kind with Behavior { is_process } -> is_process | Variable _ -> false
+let is_variable n = match n.n_kind with Variable _ -> true | Behavior _ -> false
+
+let node_by_name t name =
+  let found = ref None in
+  Array.iter (fun n -> if n.n_name = name then found := Some n) t.nodes;
+  !found
+
+let port_by_name t name =
+  let found = ref None in
+  Array.iter (fun p -> if p.pt_name = name then found := Some p) t.ports;
+  !found
+
+(** Weight lookup: the paper's GetBvIct / GetBvSize, keyed by technology. *)
+let ict_on n tech = List.assoc_opt tech n.n_ict
+let size_on n tech = List.assoc_opt tech n.n_size
+
+let with_components t ~procs ~mems ~buses =
+  { t with
+    procs = Array.of_list procs;
+    mems = Array.of_list mems;
+    buses = Array.of_list buses;
+  }

@@ -1,0 +1,39 @@
+type violation =
+  | Unassigned_node of int
+  | Unassigned_chan of int
+  | Behavior_on_memory of int
+  | Missing_weight of int * string
+
+let violation_to_string (s : Types.t) = function
+  | Unassigned_node n ->
+      Printf.sprintf "node %s is not mapped to any component" s.nodes.(n).Types.n_name
+  | Unassigned_chan c -> Printf.sprintf "channel %d is not mapped to any bus" c
+  | Behavior_on_memory n ->
+      Printf.sprintf "behavior %s is mapped to a memory" s.nodes.(n).Types.n_name
+  | Missing_weight (n, tech) ->
+      Printf.sprintf "node %s has no weight for technology %s" s.nodes.(n).Types.n_name tech
+
+let check part =
+  let s = Partition.slif part in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  Array.iteri
+    (fun i (node : Types.node) ->
+      match Partition.comp_of part i with
+      | None -> add (Unassigned_node i)
+      | Some comp -> (
+          (match (node.n_kind, comp) with
+          | Types.Behavior _, Partition.Cmem _ -> add (Behavior_on_memory i)
+          | _ -> ());
+          let tech = Partition.comp_tech s comp in
+          match (Types.ict_on node tech, Types.size_on node tech) with
+          | Some _, Some _ -> ()
+          | _ -> add (Missing_weight (i, tech))))
+    s.nodes;
+  Array.iteri
+    (fun i (_ : Types.channel) ->
+      match Partition.bus_of part i with None -> add (Unassigned_chan i) | Some _ -> ())
+    s.chans;
+  List.rev !violations
+
+let is_proper part = check part = []

@@ -1,0 +1,19 @@
+(** Proper-partition checks (paper, Section 2.2).
+
+    A partition is proper when every behavior is on exactly one processor,
+    every variable on exactly one processor or memory, every channel on
+    exactly one bus, and every assigned technology actually carries a
+    weight for the object placed on it. *)
+
+type violation =
+  | Unassigned_node of int
+  | Unassigned_chan of int
+  | Behavior_on_memory of int        (* behaviors may only go to processors *)
+  | Missing_weight of int * string   (* node has no ict/size for its component's tech *)
+
+val violation_to_string : Types.t -> violation -> string
+
+val check : Partition.t -> violation list
+(** Empty list = proper partition. *)
+
+val is_proper : Partition.t -> bool

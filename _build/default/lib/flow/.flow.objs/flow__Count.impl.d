@@ -1,0 +1,1 @@
+lib/flow/count.ml: List Profile Vhdl

@@ -1,0 +1,1 @@
+lib/flow/count.mli: Profile Vhdl

@@ -1,0 +1,1 @@
+lib/flow/interp.ml: Array Hashtbl List Option Printf Profile Queue Sites Vhdl

@@ -1,0 +1,1 @@
+lib/flow/interp.mli: Profile Vhdl

@@ -1,0 +1,1 @@
+lib/flow/profile.ml: Buffer List Map Printf String

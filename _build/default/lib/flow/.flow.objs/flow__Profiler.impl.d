@@ -1,0 +1,1 @@
+lib/flow/profiler.ml: Interp List Slif_util Vhdl

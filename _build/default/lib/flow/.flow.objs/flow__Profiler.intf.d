@@ -1,0 +1,1 @@
+lib/flow/profiler.mli: Interp Profile Vhdl

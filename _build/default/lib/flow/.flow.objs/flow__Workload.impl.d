@@ -1,0 +1,1 @@
+lib/flow/workload.ml: Count Hashtbl List Option Printf Vhdl

@@ -1,0 +1,1 @@
+lib/flow/workload.mli: Profile Vhdl

@@ -1,0 +1,41 @@
+(** Branch-probability files.
+
+    The paper derives each channel's [accfreq] weight "from a branch
+    probability file", obtained manually or through profiling (Section
+    2.4.1).  A profile maps control sites of a behavior to probabilities
+    (branch arms) or expected trip counts (while loops).  Sites are
+    numbered in pre-order per behavior by {!Count}; anything not present in
+    the file takes a documented default.
+
+    File syntax, one entry per line ([#] starts a comment):
+    {v
+      behavior.branch<k>.arm<i>  <probability>
+      behavior.while<k>          <expected-trips>
+    v} *)
+
+type t
+
+val empty : t
+(** Profile with only defaults: uniform probability over the arms of a
+    branch (counting the implicit or explicit else arm), and
+    {!default_while_trips} iterations per while loop. *)
+
+val default_while_trips : float
+
+val set_branch : t -> behavior:string -> site:int -> arm:int -> float -> t
+val set_while : t -> behavior:string -> site:int -> trips:float -> t
+
+val branch_prob : t -> behavior:string -> site:int -> arm:int -> arms:int -> float
+(** [branch_prob t ~behavior ~site ~arm ~arms] is the probability of
+    taking arm [arm] of the branch at [site], where [arms] counts all arms
+    including the else arm.  Defaults to [1 /. arms]. *)
+
+val while_trips : t -> behavior:string -> site:int -> float
+
+val of_string : string -> t
+(** Parses the file syntax above.  Raises [Failure] with a line number on a
+    malformed entry. *)
+
+val to_string : t -> string
+(** Serializes all explicit entries, sorted; [of_string (to_string t)]
+    equals [t] on explicit entries. *)

@@ -1,0 +1,15 @@
+let auto ?(runs = 10) ?(seed = 1) ?limits sem =
+  let rng = Slif_util.Prng.create seed in
+  let machine =
+    Interp.create ?limits ~inputs:(fun _ -> Slif_util.Prng.int rng 256) sem
+  in
+  let design = Vhdl.Sem.design sem in
+  for _ = 1 to runs do
+    List.iter
+      (fun (p : Vhdl.Ast.process) ->
+        (* A pass that dies keeps its partial observations. *)
+        try Interp.run_process machine p.Vhdl.Ast.proc_name with
+        | Interp.Limit_exceeded _ | Interp.Runtime_error _ -> ())
+      design.Vhdl.Ast.processes
+  done;
+  Interp.profile machine

@@ -1,0 +1,38 @@
+type path = int list
+
+type t = { branches : (path, int) Hashtbl.t; whiles : (path, int) Hashtbl.t }
+
+(* The traversal below must mirror Count.walk exactly: branch sites are
+   assigned at each if/case in pre-order, while sites at each while, and
+   every nested statement list is entered in source order. *)
+let of_body body =
+  let t = { branches = Hashtbl.create 32; whiles = Hashtbl.create 8 } in
+  let branch_ctr = ref 0 and while_ctr = ref 0 in
+  let rec stmts path list =
+    List.iteri (fun i s -> stmt (i :: path) s) list
+  and stmt path s =
+    match s with
+    | Vhdl.Ast.If (arms, els) ->
+        Hashtbl.replace t.branches path !branch_ctr;
+        incr branch_ctr;
+        List.iteri (fun k (_, body) -> stmts (k :: path) body) arms;
+        stmts (List.length arms :: path) els
+    | Vhdl.Ast.Case (_, alts) ->
+        Hashtbl.replace t.branches path !branch_ctr;
+        incr branch_ctr;
+        List.iteri (fun k (_, body) -> stmts (k :: path) body) alts
+    | Vhdl.Ast.While (_, body) ->
+        Hashtbl.replace t.whiles path !while_ctr;
+        incr while_ctr;
+        stmts (0 :: path) body
+    | Vhdl.Ast.For (_, _, _, body) | Vhdl.Ast.Loop_forever body -> stmts (0 :: path) body
+    | Vhdl.Ast.Assign _ | Vhdl.Ast.Signal_assign _ | Vhdl.Ast.Pcall _ | Vhdl.Ast.Par _
+    | Vhdl.Ast.Send _ | Vhdl.Ast.Receive _ | Vhdl.Ast.Wait_for _ | Vhdl.Ast.Wait_until _
+    | Vhdl.Ast.Wait_on _ | Vhdl.Ast.Return _ | Vhdl.Ast.Null_stmt | Vhdl.Ast.Exit_loop ->
+        ()
+  in
+  stmts [] body;
+  t
+
+let branch_site t path = Hashtbl.find_opt t.branches path
+let while_site t path = Hashtbl.find_opt t.whiles path

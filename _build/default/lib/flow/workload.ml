@@ -1,0 +1,49 @@
+module Ast = Vhdl.Ast
+
+let expected_statements ~profile sem ~behavior =
+  let design = Vhdl.Sem.design sem in
+  let bodies = Hashtbl.create 16 in
+  List.iter (fun (name, _, body) -> Hashtbl.replace bodies name body) (Ast.behaviors design);
+  let memo = Hashtbl.create 16 in
+  let rec total name stack =
+    if List.mem name stack then
+      invalid_arg (Printf.sprintf "Workload.expected_statements: recursion through %s" name);
+    match Hashtbl.find_opt memo name with
+    | Some v -> v
+    | None ->
+        let body =
+          match Hashtbl.find_opt bodies name with
+          | Some b -> b
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Workload.expected_statements: unknown behavior %s" name)
+        in
+        (* Own statements, loop- and probability-weighted. *)
+        let own =
+          Count.fold_stmts ~profile ~behavior:name body ~init:0.0
+            ~f:(fun acc mult _ -> acc +. mult.Count.avg)
+        in
+        (* Callee statements, weighted by how often each callee runs. *)
+        let callees = Hashtbl.create 8 in
+        List.iter
+          (fun (e : Count.event) ->
+            match e.access with
+            | Count.Call callee when Hashtbl.mem bodies callee ->
+                Hashtbl.replace callees callee
+                  (e.mult.Count.avg
+                  +. Option.value (Hashtbl.find_opt callees callee) ~default:0.0)
+            | Count.Read r when Hashtbl.mem bodies r ->
+                (* A zero-argument function call parsed as a name read. *)
+                Hashtbl.replace callees r
+                  (e.mult.Count.avg +. Option.value (Hashtbl.find_opt callees r) ~default:0.0)
+            | _ -> ())
+          (Count.events ~profile ~behavior:name body);
+        let v =
+          Hashtbl.fold
+            (fun callee freq acc -> acc +. (freq *. total callee (name :: stack)))
+            callees own
+        in
+        Hashtbl.replace memo name v;
+        v
+  in
+  total behavior []

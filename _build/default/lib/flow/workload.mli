@@ -1,0 +1,16 @@
+(** Predicted dynamic workload of a behavior.
+
+    [expected_statements] is the frequency model underneath every SLIF
+    annotation, applied to statement counts: the statements one
+    start-to-finish execution of a behavior runs, including everything its
+    callees run, with loop trip counts and branch probabilities from the
+    given profile.  Because {!Interp} charges exactly one step per
+    executed statement, this prediction can be validated against a real
+    execution: with a profile measured from a deterministic run, the
+    prediction matches the interpreter's step count exactly — the
+    quantitative accuracy check the paper leaves to future work. *)
+
+val expected_statements :
+  profile:Profile.t -> Vhdl.Sem.t -> behavior:string -> float
+(** Raises [Invalid_argument] on an unknown behavior or a recursive call
+    chain. *)

@@ -1,0 +1,1 @@
+lib/spc/ast.ml: List Vhdl

@@ -1,0 +1,1 @@
+lib/spc/lower.ml: Ast List Printf Vhdl

@@ -1,0 +1,1 @@
+lib/spc/lower.mli: Ast Vhdl

@@ -1,0 +1,1 @@
+lib/spc/parser.ml: Array Ast List Printf String Vhdl

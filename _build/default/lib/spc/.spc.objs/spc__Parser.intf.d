@@ -1,0 +1,1 @@
+lib/spc/parser.mli: Ast

@@ -1,0 +1,60 @@
+(** Abstract syntax of SpecCharts-lite.
+
+    SpecSyn's specifications were written in SpecCharts — hierarchically
+    composed behaviors with completion transitions — which compile into
+    VHDL.  This front end supports that style: a specification is a tree
+    of behaviors; leaves hold sequential statements (reusing the VHDL
+    subset's statements and declarations), composites are sequential
+    (children run one at a time, completion arcs choose the successor) or
+    concurrent (children fork and join).
+
+    Concrete syntax sketch:
+    {v
+    spec fuzzy is
+      port ( in1 : in integer range 0 to 255; ... );
+      behavior top type seq is
+        variable shared_state : integer;        -- visible to the subtree
+        behavior init type code is
+          variable tmp : integer;               -- leaf-local
+        begin
+          ...statements...
+        end init;
+        behavior run type par is
+          behavior sample type code is begin ... end sample;
+          behavior react type code is begin ... end react;
+        end run;
+        transitions
+          init -> run;
+          run -> init on mode = 0;              -- else the spec completes
+      end top;
+    end;
+    v} *)
+
+type kind =
+  | Leaf                    (* 'code': a statement list *)
+  | Sequential              (* 'seq': children + completion transitions *)
+  | Concurrent              (* 'par': fork/join of all children *)
+
+type transition = {
+  tr_from : string;
+  tr_to : string;
+  tr_cond : Vhdl.Ast.expr option;   (* None = unconditional completion arc *)
+}
+
+type behavior = {
+  b_name : string;
+  b_kind : kind;
+  b_decls : Vhdl.Ast.decl list;
+  b_body : Vhdl.Ast.stmt list;      (* leaves only *)
+  b_children : behavior list;       (* composites only *)
+  b_transitions : transition list;  (* sequential composites only *)
+}
+
+type spec = {
+  spec_name : string;
+  spec_ports : Vhdl.Ast.port list;
+  spec_top : behavior;
+}
+
+(** [behaviors_preorder top] lists the behavior tree in pre-order. *)
+let rec behaviors_preorder b = b :: List.concat_map behaviors_preorder b.b_children

@@ -1,0 +1,111 @@
+module V = Vhdl.Ast
+
+exception Lowering_error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Lowering_error msg)) fmt
+
+let state_var = "spc_state"
+
+(* Dispatch value of each child within its sequential parent: children are
+   numbered 1..n; 0 means the composite has completed. *)
+let child_index children name =
+  let rec go k = function
+    | [] -> None
+    | (c : Ast.behavior) :: rest -> if c.b_name = name then Some k else go (k + 1) rest
+  in
+  go 1 children
+
+(* After child [k] completes: evaluate its arcs in order (first match
+   wins); fall through to the next sibling (or completion) otherwise. *)
+let successor_stmts (b : Ast.behavior) k (child : Ast.behavior) =
+  let n = List.length b.b_children in
+  let target name =
+    match child_index b.b_children name with
+    | Some ix -> ix
+    | None -> error "behavior %s: transition target %s is not a child" b.b_name name
+  in
+  let default = V.Assign (V.Tname state_var, V.Int_lit (if k = n then 0 else k + 1)) in
+  let arcs =
+    List.filter (fun (t : Ast.transition) -> t.tr_from = child.b_name) b.b_transitions
+  in
+  List.fold_right
+    (fun (t : Ast.transition) acc ->
+      let assign = V.Assign (V.Tname state_var, V.Int_lit (target t.tr_to)) in
+      match t.tr_cond with
+      | None -> [ assign ]
+      | Some cond -> [ V.If ([ (cond, [ assign ]) ], acc) ])
+    arcs [ default ]
+
+let lower_sequential (b : Ast.behavior) =
+  let arms =
+    List.mapi
+      (fun i child ->
+        let k = i + 1 in
+        ( V.Binop (V.Eq, V.Name state_var, V.Int_lit k),
+          V.Pcall (child.Ast.b_name, []) :: successor_stmts b k child ))
+      b.b_children
+  in
+  [
+    V.Assign (V.Tname state_var, V.Int_lit 1);
+    V.While (V.Binop (V.Gt, V.Name state_var, V.Int_lit 0), [ V.If (arms, []) ]);
+  ]
+
+let lower_concurrent (b : Ast.behavior) =
+  [ V.Par (List.map (fun (c : Ast.behavior) -> (c.Ast.b_name, [])) b.b_children) ]
+
+let subprogram_of_behavior (b : Ast.behavior) =
+  let decls, body =
+    match b.b_kind with
+    | Ast.Leaf -> (b.b_decls, b.b_body)
+    | Ast.Sequential ->
+        ( [
+            V.Var_decl
+              {
+                v_name = state_var;
+                v_type = V.Int_range (0, List.length b.b_children);
+                v_init = None;
+                v_shared = false;
+              };
+          ],
+          lower_sequential b )
+    | Ast.Concurrent -> ([], lower_concurrent b)
+  in
+  { V.sub_name = b.b_name; sub_params = []; sub_ret = None; sub_decls = decls; sub_body = body }
+
+let design_of_spec (spec : Ast.spec) =
+  let all = Ast.behaviors_preorder spec.spec_top in
+  let names = List.map (fun (b : Ast.behavior) -> b.b_name) all in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    error "duplicate behavior names in %s" spec.spec_name;
+  (* Composite declarations become architecture-level shared state. *)
+  let arch_decls =
+    List.concat_map
+      (fun (b : Ast.behavior) ->
+        if b.b_kind = Ast.Leaf then []
+        else
+          List.map
+            (fun d ->
+              match d with
+              | V.Var_decl v -> V.Var_decl { v with v_shared = true }
+              | other -> other)
+            b.b_decls)
+      all
+  in
+  let subprograms = List.map subprogram_of_behavior all in
+  let processes =
+    [
+      {
+        V.proc_name = spec.spec_name ^ "_main";
+        proc_decls = [];
+        proc_body = [ V.Pcall (spec.spec_top.b_name, []); V.Wait_for (1, V.Us) ];
+      };
+    ]
+  in
+  {
+    V.entity_name = spec.spec_name;
+    ports = spec.spec_ports;
+    arch_name = "lowered";
+    arch_decls;
+    subprograms;
+    processes;
+  }

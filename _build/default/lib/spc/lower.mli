@@ -1,0 +1,22 @@
+(** Lowering SpecCharts-lite to the behavioral-VHDL subset.
+
+    Each behavior becomes one subprogram (so the SLIF builder gives it its
+    own node):
+    - a leaf keeps its declarations and statements;
+    - a concurrent composite forks its children with a [par] block;
+    - a sequential composite becomes the classic state-machine encoding: a
+      state variable, a while loop, and one dispatch arm per child; after
+      a child completes, its transitions are evaluated in declaration
+      order (first match wins), an unconditional arc always fires, and
+      with no matching arc control falls through to the next sibling —
+      the last sibling completes the composite.
+
+    Composite declarations are hoisted to architecture level (shared
+    variables) so the whole subtree can access them; leaf declarations
+    stay local.  The top behavior is driven by a process named
+    [<spec>_main]. *)
+
+exception Lowering_error of string
+(** Duplicate behavior names, or a transition naming a non-sibling. *)
+
+val design_of_spec : Ast.spec -> Vhdl.Ast.design

@@ -1,0 +1,8 @@
+(** Parser for SpecCharts-lite (see {!Ast} for the syntax).
+
+    Reuses the VHDL subset's lexer; leaf statement lists, declaration
+    regions and transition guards are delegated to the VHDL parser, so
+    leaves accept exactly the VHDL statement subset.  Raises
+    [Vhdl.Loc.Error] on syntax errors. *)
+
+val parse : string -> Ast.spec

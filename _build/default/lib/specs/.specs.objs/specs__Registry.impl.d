@@ -1,0 +1,1 @@
+lib/specs/registry.ml: List Spec_ans Spec_ether Spec_fuzzy Spec_vol String

@@ -1,0 +1,49 @@
+type spec = {
+  spec_name : string;
+  source : string;
+  paper_lines : int;
+  paper_bv : int;
+  paper_c : int;
+}
+
+let all =
+  [
+    {
+      spec_name = Spec_ans.name;
+      source = Spec_ans.text;
+      paper_lines = 632;
+      paper_bv = 45;
+      paper_c = 64;
+    };
+    {
+      spec_name = Spec_ether.name;
+      source = Spec_ether.text;
+      paper_lines = 1021;
+      paper_bv = 123;
+      paper_c = 112;
+    };
+    {
+      spec_name = Spec_fuzzy.name;
+      source = Spec_fuzzy.text;
+      paper_lines = 350;
+      paper_bv = 35;
+      paper_c = 56;
+    };
+    {
+      spec_name = Spec_vol.name;
+      source = Spec_vol.text;
+      paper_lines = 214;
+      paper_bv = 30;
+      paper_c = 41;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.spec_name = name) all
+
+let find_exn name =
+  match find name with Some s -> s | None -> raise Not_found
+
+let line_count spec =
+  String.split_on_char '\n' spec.source
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

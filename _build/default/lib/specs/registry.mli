@@ -1,0 +1,20 @@
+(** The four benchmark specifications of the paper's Figure 4. *)
+
+type spec = {
+  spec_name : string;     (* ans | ether | fuzzy | vol *)
+  source : string;        (* VHDL-subset text *)
+  paper_lines : int;      (* columns of the paper's Figure 4 *)
+  paper_bv : int;
+  paper_c : int;
+}
+
+val all : spec list
+(** In the paper's order: ans, ether, fuzzy, vol. *)
+
+val find : string -> spec option
+
+val find_exn : string -> spec
+(** Raises [Not_found]. *)
+
+val line_count : spec -> int
+(** Number of non-empty source lines (the paper's "Lines" column). *)

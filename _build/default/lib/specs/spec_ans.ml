@@ -1,0 +1,610 @@
+(** The telephone answering machine benchmark ([ans] in Figure 4).
+
+    Ring detection with validation, line seizure, outgoing-announcement
+    playback, incoming-message recording into a banked message memory with
+    silence-based end detection, DTMF decoding for remote control, a
+    3-digit remote access code, and a local user interface (play back,
+    delete, set announcement). *)
+
+let name = "ans"
+
+let text =
+  {|-- Telephone answering machine.
+entity ansmachine is
+  port (
+    ring_in      : in boolean;
+    line_sample  : in integer range 0 to 255;
+    hook_ctl     : out boolean;
+    speaker_out  : out integer range 0 to 255;
+    line_out     : out integer range 0 to 255;
+    btn_play     : in boolean;
+    btn_delete   : in boolean;
+    btn_record   : in boolean;
+    led_msgs     : out integer range 0 to 99;
+    led_busy     : out boolean );
+end;
+
+architecture behavior of ansmachine is
+  type audio_mem  is array (1 to 4096) of integer range 0 to 255;
+  type msg_table  is array (1 to 16) of integer range 0 to 4095;
+  type dtmf_hist  is array (1 to 8) of integer range 0 to 15;
+
+  -- Line and ring state.
+  shared variable ring_count   : integer range 0 to 15;
+  shared variable ring_valid   : boolean;
+  shared variable off_hook     : boolean;
+  shared variable line_level   : integer range 0 to 255;
+  shared variable silence_cnt  : integer range 0 to 1023;
+
+  -- Announcement (outgoing message) storage.
+  shared variable ogm_mem      : audio_mem;
+  shared variable ogm_len      : integer range 0 to 4095;
+  shared variable ogm_pos      : integer range 0 to 4095;
+
+  -- Incoming message storage: banked audio memory with a directory.
+  shared variable msg_mem      : audio_mem;
+  shared variable msg_starts   : msg_table;
+  shared variable msg_lengths  : msg_table;
+  shared variable msg_count    : integer range 0 to 16;
+  shared variable write_pos    : integer range 0 to 4095;
+  shared variable play_pos     : integer range 0 to 4095;
+  shared variable play_msg     : integer range 0 to 16;
+
+  -- DTMF decoding.
+  shared variable goertzel_low  : integer;
+  shared variable goertzel_high : integer;
+  shared variable dtmf_digit    : integer range 0 to 15;
+  shared variable dtmf_valid    : boolean;
+  shared variable dtmf_history  : dtmf_hist;
+  shared variable dtmf_idx      : integer range 1 to 8;
+
+  -- Remote access.
+  shared variable access_code   : integer range 0 to 999;
+  shared variable entered_code  : integer range 0 to 999;
+  shared variable code_digits   : integer range 0 to 3;
+  shared variable remote_auth   : boolean;
+
+  -- Machine mode and status.
+  shared variable mode         : integer range 0 to 7;
+  shared variable answer_after : integer range 1 to 9;
+  shared variable error_code   : integer range 0 to 7;
+  shared variable busy         : boolean;
+
+  -- Wall clock and per-message timestamps.
+  type stamp_table is array (1 to 16) of integer;
+  shared variable clock_mins   : integer;
+  shared variable msg_stamps   : stamp_table;
+
+  -- Beep/prompt tone generator.
+  shared variable tone_phase   : integer range 0 to 255;
+  shared variable tone_step    : integer range 1 to 64;
+  shared variable tone_ticks   : integer;
+
+  -- Playback volume.
+  shared variable volume       : integer range 0 to 7;
+
+  -- Toll-saver: answer earlier when new messages are waiting.
+  shared variable toll_saver   : boolean;
+  shared variable new_messages : integer range 0 to 16;
+
+  -- Call screening.
+  shared variable screen_on    : boolean;
+  shared variable screened     : integer range 0 to 255;
+
+  -- Power-fail ride-through state.
+  shared variable power_good   : boolean;
+  shared variable backup_ticks : integer;
+  shared variable settings_dirty : boolean;
+
+  -- Two-mailbox support: messages are routed by the digit dialed after
+  -- the announcement; each mailbox has its own count and access code.
+  shared variable mailbox_sel   : integer range 1 to 2;
+  shared variable mb1_count     : integer range 0 to 16;
+  shared variable mb2_count     : integer range 0 to 16;
+  shared variable mb2_code      : integer range 0 to 999;
+  type owner_table is array (1 to 16) of integer range 1 to 2;
+  shared variable msg_owner     : owner_table;
+
+  -- Memo mode: record a local note without an incoming call.
+  shared variable memo_pending  : boolean;
+
+  function clamp_byte(v : in integer) return integer is
+  begin
+    if v < 0 then
+      return 0;
+    elsif v > 255 then
+      return 255;
+    else
+      return v;
+    end if;
+  end clamp_byte;
+
+  -- Debounced ring validation: a ring burst must persist across samples.
+  procedure detect_ring is
+  begin
+    if ring_in = true then
+      if ring_count < 15 then
+        ring_count := ring_count + 1;
+      end if;
+    else
+      if ring_count > 0 then
+        ring_count := ring_count - 1;
+      end if;
+    end if;
+    ring_valid := ring_count >= answer_after;
+  end detect_ring;
+
+  procedure seize_line is
+  begin
+    off_hook := true;
+    hook_ctl <= true;
+    busy := true;
+    silence_cnt := 0;
+  end seize_line;
+
+  procedure release_line is
+  begin
+    off_hook := false;
+    hook_ctl <= false;
+    busy := false;
+    remote_auth := false;
+    code_digits := 0;
+    entered_code := 0;
+  end release_line;
+
+  -- Track line energy for silence detection.
+  procedure monitor_line is
+    variable level : integer;
+  begin
+    level := line_sample;
+    if level > 128 then
+      level := level - 128;
+    else
+      level := 128 - level;
+    end if;
+    line_level := clamp_byte(line_level * 3 / 4 + level / 4);
+    if line_level < 8 then
+      silence_cnt := silence_cnt + 1;
+    else
+      silence_cnt := 0;
+    end if;
+  end monitor_line;
+
+  -- Play the outgoing announcement to the line.
+  procedure play_announcement is
+  begin
+    ogm_pos := 0;
+    while ogm_pos < ogm_len loop
+      ogm_pos := ogm_pos + 1;
+      line_out <= ogm_mem(ogm_pos);
+      wait for 125 us;
+    end loop;
+  end play_announcement;
+
+  -- Record from the line into the next free message slot.
+  procedure record_message is
+    variable start : integer;
+    variable sample : integer;
+  begin
+    if msg_count >= 16 then
+      error_code := 2;
+      return;
+    end if;
+    start := write_pos;
+    silence_cnt := 0;
+    while silence_cnt < 400 and write_pos < 4095 loop
+      monitor_line;
+      sample := clamp_byte(line_sample);
+      write_pos := write_pos + 1;
+      msg_mem(write_pos) := sample;
+      wait for 125 us;
+    end loop;
+    msg_count := msg_count + 1;
+    msg_starts(msg_count) := start + 1;
+    msg_lengths(msg_count) := write_pos - start;
+    if write_pos >= 4095 then
+      error_code := 3;
+    end if;
+  end record_message;
+
+  -- Play back one recorded message to the speaker (or line when remote).
+  procedure play_message(num : in integer) is
+    variable pos : integer;
+    variable remaining : integer;
+  begin
+    if num < 1 or num > msg_count then
+      error_code := 1;
+      return;
+    end if;
+    play_msg := num;
+    pos := msg_starts(num);
+    remaining := msg_lengths(num);
+    while remaining > 0 loop
+      if remote_auth = true then
+        line_out <= msg_mem(pos);
+      else
+        speaker_out <= msg_mem(pos);
+      end if;
+      pos := pos + 1;
+      remaining := remaining - 1;
+      wait for 125 us;
+    end loop;
+  end play_message;
+
+  procedure delete_all_messages is
+  begin
+    msg_count := 0;
+    write_pos := 0;
+    play_msg := 0;
+    for i in 1 to 16 loop
+      msg_starts(i) := 0;
+      msg_lengths(i) := 0;
+    end loop;
+  end delete_all_messages;
+
+  -- Two-tone (Goertzel-like) energy accumulation over the line samples.
+  procedure dtmf_step is
+    variable centered : integer;
+  begin
+    centered := line_sample - 128;
+    goertzel_low := goertzel_low + centered * centered / 64 - goertzel_low / 8;
+    goertzel_high := goertzel_high + centered * centered / 16 - goertzel_high / 8;
+  end dtmf_step;
+
+  -- Map the two band energies to a digit estimate.
+  procedure dtmf_decide is
+    variable row : integer;
+    variable col : integer;
+  begin
+    dtmf_valid := false;
+    if goertzel_low > 2000 and goertzel_high > 2000 then
+      row := goertzel_low / 2048;
+      col := goertzel_high / 2048;
+      if row > 3 then
+        row := 3;
+      end if;
+      if col > 3 then
+        col := 3;
+      end if;
+      dtmf_digit := row * 4 + col;
+      dtmf_valid := true;
+      dtmf_history(dtmf_idx) := dtmf_digit;
+      dtmf_idx := dtmf_idx mod 8 + 1;
+    end if;
+  end dtmf_decide;
+
+  -- Accumulate remote-access digits and check the 3-digit code.
+  procedure check_access_code is
+  begin
+    if dtmf_valid = true then
+      entered_code := (entered_code * 10 + dtmf_digit) mod 1000;
+      code_digits := code_digits + 1;
+      if code_digits >= 3 then
+        if entered_code = access_code then
+          remote_auth := true;
+        else
+          error_code := 4;
+          code_digits := 0;
+          entered_code := 0;
+        end if;
+      end if;
+    end if;
+  end check_access_code;
+
+  -- Message navigation for remote review.
+  procedure next_message is
+  begin
+    if play_msg < msg_count then
+      play_msg := play_msg + 1;
+    else
+      play_msg := 1;
+    end if;
+    play_message(play_msg);
+  end next_message;
+
+  procedure previous_message is
+  begin
+    if play_msg > 1 then
+      play_msg := play_msg - 1;
+    else
+      play_msg := msg_count;
+    end if;
+    play_message(play_msg);
+  end previous_message;
+
+  -- Speak a small number as beep groups (tens then units), used to
+  -- announce the message count to a remote caller.
+  procedure speak_count(value : in integer) is
+    variable tens : integer;
+    variable units : integer;
+  begin
+    tens := value / 10;
+    units := value mod 10;
+    for t in 1 to 9 loop
+      if t <= tens then
+        play_beep(80);
+      end if;
+    end loop;
+    for u in 1 to 9 loop
+      if u <= units then
+        play_beep(30);
+      end if;
+    end loop;
+  end speak_count;
+
+  -- Announce the timestamp of the current message as beep groups.
+  procedure speak_stamp is
+    variable stamp : integer;
+  begin
+    if play_msg >= 1 and play_msg <= 16 then
+      stamp := msg_stamps(play_msg);
+      speak_count(stamp / 60 mod 24);
+      speak_count(stamp mod 60);
+    end if;
+  end speak_stamp;
+
+  -- Interpret a DTMF digit as a remote command once authenticated.
+  procedure remote_command is
+  begin
+    if dtmf_valid = true and remote_auth = true then
+      case dtmf_digit is
+        when 1 =>
+          play_message(msg_count);
+        when 2 =>
+          for m in 1 to 16 loop
+            if m <= msg_count then
+              play_message(m);
+            end if;
+          end loop;
+        when 3 =>
+          delete_all_messages;
+        when 4 =>
+          next_message;
+        when 5 =>
+          previous_message;
+        when 6 =>
+          speak_count(new_messages);
+          new_messages := 0;
+        when 8 =>
+          speak_stamp;
+        when 7 =>
+          release_line;
+        when others =>
+          null;
+      end case;
+    end if;
+  end remote_command;
+
+  -- Emit a confirmation beep of the given duration to the speaker.
+  procedure play_beep(duration : in integer) is
+  begin
+    tone_ticks := duration;
+    tone_phase := 0;
+    while tone_ticks > 0 loop
+      tone_phase := (tone_phase + tone_step) mod 256;
+      if tone_phase < 128 then
+        speaker_out <= 40 * volume;
+      else
+        speaker_out <= 0;
+      end if;
+      tone_ticks := tone_ticks - 1;
+      wait for 125 us;
+    end loop;
+  end play_beep;
+
+  -- Reclaim the audio memory by sliding surviving messages down over the
+  -- holes left by deletions.
+  procedure compact_memory is
+    variable dst : integer;
+    variable src : integer;
+    variable remaining : integer;
+  begin
+    dst := 0;
+    for m in 1 to 16 loop
+      if m <= msg_count and msg_lengths(m) > 0 then
+        src := msg_starts(m);
+        remaining := msg_lengths(m);
+        msg_starts(m) := dst + 1;
+        while remaining > 0 loop
+          dst := dst + 1;
+          msg_mem(dst) := msg_mem(src);
+          src := src + 1;
+          remaining := remaining - 1;
+        end loop;
+      end if;
+    end loop;
+    write_pos := dst;
+  end compact_memory;
+
+  -- Record the wall-clock minute against a newly stored message.
+  procedure stamp_message(num : in integer) is
+  begin
+    if num >= 1 and num <= 16 then
+      msg_stamps(num) := clock_mins;
+      new_messages := new_messages + 1;
+    end if;
+  end stamp_message;
+
+  -- Toll-saver ring threshold: two rings with news, five without.
+  procedure update_answer_threshold is
+  begin
+    if toll_saver = true then
+      if new_messages > 0 then
+        answer_after := 2;
+      else
+        answer_after := 5;
+      end if;
+    end if;
+  end update_answer_threshold;
+
+  -- Route caller audio to the speaker while recording (call screening).
+  procedure screen_call is
+  begin
+    if screen_on = true then
+      screened := line_sample * volume / 8;
+      speaker_out <= screened;
+    end if;
+  end screen_call;
+
+  -- On power failure, freeze recording and count ride-through ticks; on
+  -- recovery, flag the settings for re-verification.
+  procedure handle_power is
+  begin
+    if power_good = false then
+      backup_ticks := backup_ticks + 1;
+      busy := true;
+      if backup_ticks > 1000 then
+        error_code := 5;
+      end if;
+    elsif backup_ticks > 0 then
+      backup_ticks := 0;
+      settings_dirty := true;
+      busy := false;
+    end if;
+    if settings_dirty = true then
+      if access_code > 999 then
+        access_code := 0;
+        error_code := 6;
+      end if;
+      settings_dirty := false;
+    end if;
+  end handle_power;
+
+  -- Route the newest message into the selected mailbox.
+  procedure route_message is
+  begin
+    if msg_count >= 1 and msg_count <= 16 then
+      msg_owner(msg_count) := mailbox_sel;
+      if mailbox_sel = 1 then
+        mb1_count := mb1_count + 1;
+      else
+        mb2_count := mb2_count + 1;
+      end if;
+    end if;
+    mailbox_sel := 1;
+  end route_message;
+
+  -- Select a mailbox from the first DTMF digit after the announcement.
+  procedure select_mailbox is
+  begin
+    if dtmf_valid = true and dtmf_digit = 2 then
+      mailbox_sel := 2;
+    else
+      mailbox_sel := 1;
+    end if;
+  end select_mailbox;
+
+  -- Play back only the selected mailbox's messages.
+  procedure play_mailbox(which : in integer) is
+  begin
+    for m in 1 to 16 loop
+      if m <= msg_count and msg_owner(m) = which then
+        play_message(m);
+      end if;
+    end loop;
+    if which = 1 then
+      mb1_count := 0;
+    else
+      mb2_count := 0;
+    end if;
+  end play_mailbox;
+
+  -- A memo is an incoming message recorded from the local microphone.
+  procedure record_memo is
+  begin
+    if memo_pending = true and busy = false then
+      busy := true;
+      play_beep(100);
+      record_message;
+      route_message;
+      memo_pending := false;
+      busy := false;
+    end if;
+  end record_memo;
+
+begin
+  -- Call handling: answer validated rings, play the announcement, then
+  -- record while watching for DTMF remote control.
+  callctl: process
+  begin
+    detect_ring;
+    update_answer_threshold;
+    if ring_valid = true and off_hook = false and mode > 0 then
+      seize_line;
+      play_announcement;
+      play_beep(200);
+      select_mailbox;
+      record_message;
+      stamp_message(msg_count);
+      route_message;
+      dtmf_decide;
+      check_access_code;
+      remote_command;
+      if remote_auth = false then
+        release_line;
+      end if;
+    end if;
+    wait for 10 ms;
+  end process;
+
+  -- Continuous line monitoring and tone accumulation while off hook.
+  linemon: process
+  begin
+    if off_hook = true then
+      monitor_line;
+      dtmf_step;
+      screen_call;
+      if silence_cnt > 800 then
+        release_line;
+      end if;
+    end if;
+    wait for 125 us;
+  end process;
+
+  -- Housekeeping: the wall clock, power supervision, and opportunistic
+  -- memory compaction while the machine is idle.
+  housekeeping: process
+  begin
+    clock_mins := clock_mins + 1;
+    handle_power;
+    if busy = false and off_hook = false then
+      if write_pos > 3500 and msg_count < 16 then
+        compact_memory;
+        play_beep(50);
+      end if;
+    end if;
+    if new_messages > 0 and busy = false then
+      led_msgs <= new_messages * 10 + msg_count;
+    end if;
+    wait for 50 ms;
+  end process;
+
+  -- Local user interface: buttons and the message-count display.
+  userio: process
+  begin
+    if btn_play = true and busy = false then
+      play_mailbox(1);
+      if entered_code = mb2_code then
+        play_mailbox(2);
+      end if;
+    end if;
+    record_memo;
+    if btn_delete = true and busy = false then
+      delete_all_messages;
+    end if;
+    if btn_record = true and busy = false then
+      busy := true;
+      ogm_len := 0;
+      while ogm_len < 2048 and btn_record = true loop
+        ogm_len := ogm_len + 1;
+        ogm_mem(ogm_len) := clamp_byte(line_sample);
+        wait for 125 us;
+      end loop;
+      busy := false;
+    end if;
+    led_msgs <= msg_count * 6 + error_code;
+    led_busy <= busy;
+    wait for 20 ms;
+  end process;
+end;
+|}

@@ -1,0 +1,974 @@
+(** The ethernet coprocessor benchmark ([ether] in Figure 4).
+
+    A MAC-layer coprocessor: a transmit path (host FIFO, preamble
+    generation, bytewise CRC-32, truncated binary exponential backoff), a
+    receive path (preamble sync, destination-address filtering against a
+    unicast address and a small multicast table, CRC check, receive FIFO),
+    a control/status register bank driven by host commands (delivered by
+    message passing), and a statistics block.  This is the largest of the
+    four specifications, dominated by its register file — which is what
+    pushes its BV count far above its channel count, as in the paper. *)
+
+let name = "ether"
+
+let text =
+  {|-- Ethernet MAC coprocessor.
+entity ethercop is
+  port (
+    -- Host side.
+    host_data_in  : in integer range 0 to 255;
+    host_data_out : out integer range 0 to 255;
+    host_cmd      : in integer range 0 to 15;
+    host_irq      : out boolean;
+    -- Medium side.
+    rx_bit_in     : in integer range 0 to 1;
+    tx_bit_out    : out integer range 0 to 1;
+    carrier_sense : in boolean;
+    collision_in  : in boolean;
+    link_ok       : out boolean );
+end;
+
+architecture behavior of ethercop is
+  type fifo_mem   is array (1 to 1536) of integer range 0 to 255;
+  type mcast_tab  is array (1 to 8) of integer range 0 to 255;
+  type crc_tab    is array (0 to 255) of integer;
+
+  -- ---- Transmit datapath state ----
+  shared variable tx_fifo      : fifo_mem;
+  shared variable tx_head      : integer range 0 to 1536;
+  shared variable tx_tail      : integer range 0 to 1536;
+  shared variable tx_count     : integer range 0 to 1536;
+  shared variable tx_byte      : integer range 0 to 255;
+  shared variable tx_bitpos    : integer range 0 to 7;
+  shared variable tx_crc       : integer;
+  shared variable tx_state     : integer range 0 to 7;
+  shared variable tx_frame_len : integer range 0 to 1536;
+  shared variable tx_sent      : integer range 0 to 1536;
+  shared variable tx_busy      : boolean;
+  shared variable tx_done      : boolean;
+  shared variable tx_underrun  : boolean;
+
+  -- ---- Collision and backoff state ----
+  shared variable retry_count  : integer range 0 to 15;
+  shared variable backoff_slots : integer;
+  shared variable backoff_timer : integer;
+  shared variable jam_counter  : integer range 0 to 63;
+  shared variable lfsr         : integer;
+  shared variable defer_flag   : boolean;
+  shared variable excess_coll  : boolean;
+
+  -- ---- Receive datapath state ----
+  shared variable rx_fifo      : fifo_mem;
+  shared variable rx_head      : integer range 0 to 1536;
+  shared variable rx_tail      : integer range 0 to 1536;
+  shared variable rx_count     : integer range 0 to 1536;
+  shared variable rx_byte      : integer range 0 to 255;
+  shared variable rx_bitpos    : integer range 0 to 7;
+  shared variable rx_crc       : integer;
+  shared variable rx_state     : integer range 0 to 7;
+  shared variable rx_frame_len : integer range 0 to 1536;
+  shared variable rx_sync_cnt  : integer range 0 to 63;
+  shared variable rx_drop      : boolean;
+  shared variable rx_ready     : boolean;
+  shared variable rx_overflow  : boolean;
+
+  -- ---- Address recognition ----
+  shared variable mac_addr0    : integer range 0 to 255;
+  shared variable mac_addr1    : integer range 0 to 255;
+  shared variable mac_addr2    : integer range 0 to 255;
+  shared variable mac_addr3    : integer range 0 to 255;
+  shared variable mac_addr4    : integer range 0 to 255;
+  shared variable mac_addr5    : integer range 0 to 255;
+  shared variable mcast_table  : mcast_tab;
+  shared variable mcast_count  : integer range 0 to 8;
+  shared variable addr_byte_ix : integer range 0 to 5;
+  shared variable addr_match   : boolean;
+  shared variable bcast_match  : boolean;
+  shared variable promiscuous  : boolean;
+
+  -- ---- CRC support ----
+  shared variable crc_table    : crc_tab;
+  shared variable crc_init_done : boolean;
+
+  -- ---- Control / status registers ----
+  shared variable csr_enable_tx : boolean;
+  shared variable csr_enable_rx : boolean;
+  shared variable csr_loopback  : boolean;
+  shared variable csr_irq_mask  : integer range 0 to 15;
+  shared variable csr_irq_pend  : integer range 0 to 15;
+  shared variable csr_cmd_arg   : integer range 0 to 255;
+  shared variable csr_result    : integer range 0 to 255;
+  shared variable link_state    : boolean;
+  shared variable duplex_full   : boolean;
+
+  -- ---- Statistics counters ----
+  shared variable stat_tx_frames : integer;
+  shared variable stat_tx_octets : integer;
+  shared variable stat_rx_frames : integer;
+  shared variable stat_rx_octets : integer;
+  shared variable stat_crc_errs  : integer;
+  shared variable stat_collisions : integer;
+  shared variable stat_drops     : integer;
+  shared variable stat_deferrals : integer;
+  shared variable stat_runts     : integer;
+  shared variable stat_giants    : integer;
+
+  -- ---- MII management interface (PHY register access) ----
+  shared variable mii_clk_div   : integer range 1 to 64;
+  shared variable mii_phy_addr  : integer range 0 to 31;
+  shared variable mii_reg_addr  : integer range 0 to 31;
+  shared variable mii_data_wr   : integer range 0 to 65535;
+  shared variable mii_data_rd   : integer range 0 to 65535;
+  shared variable mii_shift     : integer;
+  shared variable mii_busy      : boolean;
+  shared variable mii_op_write  : boolean;
+  shared variable phy_status    : integer range 0 to 65535;
+  shared variable phy_autoneg   : boolean;
+
+  -- ---- Flow control (802.3x pause frames) ----
+  shared variable flow_ctrl_en   : boolean;
+  shared variable pause_timer    : integer;
+  shared variable pause_quanta   : integer range 0 to 65535;
+  shared variable pause_requested : boolean;
+  shared variable pause_frames_rx : integer;
+
+  -- ---- Configuration EEPROM shadow ----
+  shared variable eeprom_mem    : mcast_tab;
+  shared variable eeprom_addr   : integer range 0 to 255;
+  shared variable eeprom_loaded : boolean;
+  shared variable config_word   : integer range 0 to 255;
+
+  -- ---- Inter-frame gap and deferral ----
+  shared variable ifg_timer     : integer range 0 to 255;
+  shared variable ifg_len       : integer range 0 to 255;
+
+  -- ---- Transmit descriptor ring ----
+  type txd_tab is array (1 to 16) of integer range 0 to 1536;
+  shared variable txd_lengths   : txd_tab;
+  shared variable txd_head_ix   : integer range 1 to 16;
+  shared variable txd_tail_ix   : integer range 1 to 16;
+  shared variable txd_pending   : integer range 0 to 16;
+
+  -- ---- Frame-size histogram and extended statistics ----
+  shared variable size_hist_64   : integer;
+  shared variable size_hist_128  : integer;
+  shared variable size_hist_256  : integer;
+  shared variable size_hist_512  : integer;
+  shared variable size_hist_1024 : integer;
+  shared variable size_hist_1518 : integer;
+  shared variable stat_broadcast : integer;
+  shared variable stat_multicast : integer;
+  shared variable stat_late_coll : integer;
+  shared variable stat_tx_errors : integer;
+  shared variable stat_summary   : integer;
+
+  -- ---- Loopback self-test ----
+  shared variable lb_pattern    : integer range 0 to 255;
+  shared variable lb_errors     : integer range 0 to 255;
+  shared variable lb_running    : boolean;
+
+  -- ---- Receive descriptor ring ----
+  type rxd_tab is array (1 to 16) of integer range 0 to 1536;
+  shared variable rxd_lengths   : rxd_tab;
+  shared variable rxd_head_ix   : integer range 1 to 16;
+  shared variable rxd_tail_ix   : integer range 1 to 16;
+  shared variable rxd_pending   : integer range 0 to 16;
+
+  -- ---- Interrupt moderation ----
+  shared variable irq_holdoff   : integer range 0 to 255;
+  shared variable irq_batch     : integer range 0 to 255;
+  shared variable irq_timer     : integer;
+
+  -- ---- Heartbeat (SQE) supervision ----
+  shared variable sqe_expected  : boolean;
+  shared variable sqe_seen      : boolean;
+  shared variable sqe_failures  : integer range 0 to 255;
+
+  -- ---- Host DMA engine state ----
+  shared variable dma_active    : boolean;
+  shared variable dma_addr      : integer;
+  shared variable dma_remaining : integer range 0 to 1536;
+  shared variable dma_burst     : integer range 1 to 64;
+
+  -- ---- Transmit padding and jabber protection ----
+  shared variable pad_enable    : boolean;
+  shared variable pad_count     : integer range 0 to 64;
+  shared variable jabber_timer  : integer;
+  shared variable jabber_limit  : integer;
+  shared variable jabber_tripped : boolean;
+  shared variable stat_pads     : integer;
+  shared variable stat_jabbers  : integer;
+
+  -- Build the byte-indexed CRC-32 remainder table once at startup.
+  procedure init_crc_table is
+    variable crc : integer;
+  begin
+    for n in 0 to 255 loop
+      crc := n;
+      for k in 1 to 8 loop
+        if crc mod 2 = 1 then
+          crc := crc / 2 + 79764919;
+        else
+          crc := crc / 2;
+        end if;
+      end loop;
+      crc_table(n) := crc;
+    end loop;
+    crc_init_done := true;
+  end init_crc_table;
+
+  -- One byte step of the table-driven CRC.
+  function crc_step(crc : in integer; data : in integer) return integer is
+    variable index : integer;
+  begin
+    index := (crc + data) mod 256;
+    return crc / 256 + crc_table(index);
+  end crc_step;
+
+  -- Pseudo-random slot count for truncated binary exponential backoff.
+  function backoff_random(bound : in integer) return integer is
+  begin
+    lfsr := (lfsr * 5 + 1) mod 65536;
+    return lfsr mod bound;
+  end backoff_random;
+
+  -- ---- Transmit helpers ----
+
+  procedure tx_fifo_push(b : in integer) is
+  begin
+    if tx_count >= 1536 then
+      tx_underrun := true;
+    else
+      tx_tail := tx_tail mod 1536 + 1;
+      tx_fifo(tx_tail) := b;
+      tx_count := tx_count + 1;
+    end if;
+  end tx_fifo_push;
+
+  function tx_fifo_pop return integer is
+    variable b : integer;
+  begin
+    if tx_count = 0 then
+      tx_underrun := true;
+      return 0;
+    end if;
+    tx_head := tx_head mod 1536 + 1;
+    b := tx_fifo(tx_head);
+    tx_count := tx_count - 1;
+    return b;
+  end tx_fifo_pop;
+
+  -- Send 7 preamble bytes plus the start-frame delimiter, bit by bit.
+  procedure tx_preamble is
+  begin
+    for i in 1 to 62 loop
+      tx_bit_out <= (i + 1) mod 2;
+      wait for 100 ns;
+    end loop;
+    tx_bit_out <= 1;
+    wait for 100 ns;
+    tx_bit_out <= 1;
+    wait for 100 ns;
+  end tx_preamble;
+
+  -- Serialize one byte, LSB first, watching for collisions.
+  procedure tx_send_byte(b : in integer) is
+    variable shreg : integer;
+  begin
+    shreg := b;
+    for i in 0 to 7 loop
+      tx_bit_out <= shreg mod 2;
+      shreg := shreg / 2;
+      if collision_in = true then
+        tx_state := 4;
+      end if;
+      wait for 100 ns;
+    end loop;
+    tx_crc := crc_step(tx_crc, b);
+    tx_sent := tx_sent + 1;
+  end tx_send_byte;
+
+  -- Jam then wait a random number of slot times.
+  procedure tx_backoff is
+  begin
+    stat_collisions := stat_collisions + 1;
+    for j in 1 to 32 loop
+      tx_bit_out <= 1;
+      wait for 100 ns;
+    end loop;
+    retry_count := retry_count + 1;
+    if retry_count > 15 then
+      excess_coll := true;
+      tx_state := 0;
+      return;
+    end if;
+    if retry_count < 10 then
+      backoff_slots := backoff_random(2 * retry_count + 2);
+    else
+      backoff_slots := backoff_random(1024);
+    end if;
+    backoff_timer := backoff_slots * 512;
+    while backoff_timer > 0 loop
+      backoff_timer := backoff_timer - 1;
+    end loop;
+  end tx_backoff;
+
+  -- Append the 4 CRC octets to the outgoing frame.
+  procedure tx_send_crc is
+    variable crc_out : integer;
+  begin
+    crc_out := tx_crc;
+    for i in 1 to 4 loop
+      tx_send_byte(crc_out mod 256);
+      crc_out := crc_out / 256;
+    end loop;
+  end tx_send_crc;
+
+  -- ---- Receive helpers ----
+
+  procedure rx_fifo_push(b : in integer) is
+  begin
+    if rx_count >= 1536 then
+      rx_overflow := true;
+      stat_drops := stat_drops + 1;
+    else
+      rx_tail := rx_tail mod 1536 + 1;
+      rx_fifo(rx_tail) := b;
+      rx_count := rx_count + 1;
+    end if;
+  end rx_fifo_push;
+
+  function rx_fifo_pop return integer is
+    variable b : integer;
+  begin
+    if rx_count = 0 then
+      return 0;
+    end if;
+    rx_head := rx_head mod 1536 + 1;
+    b := rx_fifo(rx_head);
+    rx_count := rx_count - 1;
+    return b;
+  end rx_fifo_pop;
+
+  -- Hunt for the 1010... preamble and the 11 start-frame delimiter.
+  procedure rx_sync is
+    variable expected : integer;
+  begin
+    rx_sync_cnt := 0;
+    expected := 1;
+    while rx_sync_cnt < 48 loop
+      if rx_bit_in = expected then
+        rx_sync_cnt := rx_sync_cnt + 1;
+        expected := 1 - expected;
+      else
+        rx_sync_cnt := 0;
+        expected := 1;
+      end if;
+      wait for 100 ns;
+    end loop;
+    while rx_bit_in = 0 loop
+      wait for 100 ns;
+    end loop;
+    rx_state := 1;
+  end rx_sync;
+
+  -- Deserialize one byte from the medium, LSB first.
+  procedure rx_get_byte is
+    variable acc : integer;
+    variable weight : integer;
+  begin
+    acc := 0;
+    weight := 1;
+    for i in 0 to 7 loop
+      acc := acc + rx_bit_in * weight;
+      weight := weight * 2;
+      wait for 100 ns;
+    end loop;
+    rx_byte := acc;
+  end rx_get_byte;
+
+  -- Match one destination-address byte against unicast/broadcast/mcast.
+  procedure rx_filter_byte is
+    variable want : integer;
+  begin
+    if addr_byte_ix = 0 then
+      want := mac_addr0;
+    elsif addr_byte_ix = 1 then
+      want := mac_addr1;
+    elsif addr_byte_ix = 2 then
+      want := mac_addr2;
+    elsif addr_byte_ix = 3 then
+      want := mac_addr3;
+    elsif addr_byte_ix = 4 then
+      want := mac_addr4;
+    else
+      want := mac_addr5;
+    end if;
+    if rx_byte /= want then
+      addr_match := false;
+    end if;
+    if rx_byte /= 255 then
+      bcast_match := false;
+    end if;
+    if addr_byte_ix = 0 and rx_byte mod 2 = 1 then
+      for m in 1 to 8 loop
+        if m <= mcast_count and mcast_table(m) = rx_byte then
+          addr_match := true;
+        end if;
+      end loop;
+    end if;
+    addr_byte_ix := addr_byte_ix + 1;
+  end rx_filter_byte;
+
+  -- Frame-size sanity per 802.3: runts under 64, giants over 1518.
+  procedure rx_classify is
+  begin
+    if rx_frame_len < 64 then
+      stat_runts := stat_runts + 1;
+      rx_drop := true;
+    end if;
+    if rx_frame_len > 1518 then
+      stat_giants := stat_giants + 1;
+      rx_drop := true;
+    end if;
+  end rx_classify;
+
+  -- ---- Host command dispatch ----
+
+  procedure exec_host_command is
+  begin
+    case host_cmd is
+      when 1 =>
+        csr_enable_tx := true;
+      when 2 =>
+        csr_enable_tx := false;
+      when 3 =>
+        csr_enable_rx := true;
+      when 4 =>
+        csr_enable_rx := false;
+      when 5 =>
+        tx_fifo_push(host_data_in);
+      when 6 =>
+        host_data_out <= rx_fifo_pop;
+      when 7 =>
+        send(tx_go, tx_frame_len);
+      when 8 =>
+        csr_loopback := true;
+      when 9 =>
+        csr_loopback := false;
+      when 10 =>
+        mcast_count := mcast_count mod 8 + 1;
+        mcast_table(mcast_count) := host_data_in;
+      when 11 =>
+        promiscuous := csr_cmd_arg > 0;
+      when 12 =>
+        csr_result := stat_crc_errs mod 256;
+      when 13 =>
+        csr_result := stat_collisions mod 256;
+      when 14 =>
+        txd_enqueue(csr_cmd_arg * 8);
+      when 15 =>
+        loopback_test;
+        csr_result := lb_errors;
+      when others =>
+        null;
+    end case;
+  end exec_host_command;
+
+  procedure raise_irq(cause : in integer) is
+  begin
+    csr_irq_pend := csr_irq_pend + cause;
+    if csr_irq_pend mod 16 > 0 and csr_irq_mask > 0 then
+      host_irq <= true;
+    end if;
+  end raise_irq;
+
+  -- ---- MII management helpers ----
+
+  -- Clause-22 write: 32 preamble bits, start/op, then 16 data bits.
+  procedure mii_write_reg is
+    variable frame : integer;
+  begin
+    mii_busy := true;
+    mii_op_write := true;
+    frame := mii_phy_addr * 32 + mii_reg_addr;
+    mii_shift := frame * 65536 + mii_data_wr;
+    for i in 1 to 64 loop
+      mii_shift := mii_shift * 2;
+      wait for 400 ns;
+    end loop;
+    mii_busy := false;
+  end mii_write_reg;
+
+  procedure mii_read_reg is
+    variable acc : integer;
+  begin
+    mii_busy := true;
+    mii_op_write := false;
+    acc := 0;
+    for i in 1 to 16 loop
+      acc := acc * 2 + rx_bit_in;
+      wait for 400 ns;
+    end loop;
+    mii_data_rd := acc mod 65536;
+    mii_busy := false;
+  end mii_read_reg;
+
+  -- Poll the PHY status register and track autonegotiation.
+  procedure poll_phy is
+  begin
+    mii_reg_addr := 1;
+    mii_read_reg;
+    phy_status := mii_data_rd;
+    phy_autoneg := phy_status mod 32 >= 16;
+    duplex_full := phy_status mod 256 >= 128;
+  end poll_phy;
+
+  -- ---- Flow control ----
+
+  -- Queue a pause frame: destination 01-80-C2-00-00-01, opcode 1.
+  procedure send_pause_frame is
+  begin
+    if flow_ctrl_en = true then
+      tx_fifo_push(1);
+      tx_fifo_push(128);
+      tx_fifo_push(194);
+      tx_fifo_push(0);
+      tx_fifo_push(0);
+      tx_fifo_push(1);
+      tx_fifo_push(pause_quanta / 256);
+      tx_fifo_push(pause_quanta mod 256);
+      pause_requested := false;
+    end if;
+  end send_pause_frame;
+
+  -- React to a received pause frame: stall transmission for its quanta.
+  procedure handle_pause_frame is
+  begin
+    pause_frames_rx := pause_frames_rx + 1;
+    pause_timer := pause_quanta * 512;
+    while pause_timer > 0 loop
+      pause_timer := pause_timer - 1;
+    end loop;
+  end handle_pause_frame;
+
+  -- ---- Configuration load ----
+
+  -- Shadow the serial EEPROM into the CSR defaults at reset.
+  procedure load_config is
+  begin
+    for a in 1 to 8 loop
+      eeprom_addr := a;
+      config_word := eeprom_mem(a);
+      if a = 1 then
+        mac_addr0 := config_word;
+      elsif a = 2 then
+        mac_addr1 := config_word;
+      elsif a = 3 then
+        mac_addr2 := config_word;
+      elsif a = 4 then
+        mac_addr3 := config_word;
+      elsif a = 5 then
+        mac_addr4 := config_word;
+      elsif a = 6 then
+        mac_addr5 := config_word;
+      elsif a = 7 then
+        flow_ctrl_en := config_word mod 2 = 1;
+        promiscuous := config_word mod 4 >= 2;
+      else
+        ifg_len := config_word;
+      end if;
+    end loop;
+    eeprom_loaded := true;
+  end load_config;
+
+  -- ---- Inter-frame gap ----
+
+  procedure wait_ifg is
+  begin
+    ifg_timer := ifg_len;
+    while ifg_timer > 0 loop
+      ifg_timer := ifg_timer - 1;
+      wait for 100 ns;
+    end loop;
+  end wait_ifg;
+
+  -- ---- Descriptor ring ----
+
+  procedure txd_enqueue(len : in integer) is
+  begin
+    if txd_pending >= 16 then
+      stat_tx_errors := stat_tx_errors + 1;
+    else
+      txd_lengths(txd_tail_ix) := len;
+      txd_tail_ix := txd_tail_ix mod 16 + 1;
+      txd_pending := txd_pending + 1;
+    end if;
+  end txd_enqueue;
+
+  function txd_dequeue return integer is
+    variable len : integer;
+  begin
+    if txd_pending = 0 then
+      return 0;
+    end if;
+    len := txd_lengths(txd_head_ix);
+    txd_head_ix := txd_head_ix mod 16 + 1;
+    txd_pending := txd_pending - 1;
+    return len;
+  end txd_dequeue;
+
+  -- ---- Statistics helpers ----
+
+  -- Bucket a completed frame into the RMON size histogram.
+  procedure classify_size(len : in integer) is
+  begin
+    if len <= 64 then
+      size_hist_64 := size_hist_64 + 1;
+    elsif len <= 128 then
+      size_hist_128 := size_hist_128 + 1;
+    elsif len <= 256 then
+      size_hist_256 := size_hist_256 + 1;
+    elsif len <= 512 then
+      size_hist_512 := size_hist_512 + 1;
+    elsif len <= 1024 then
+      size_hist_1024 := size_hist_1024 + 1;
+    else
+      size_hist_1518 := size_hist_1518 + 1;
+    end if;
+  end classify_size;
+
+  -- Cast classification of an accepted frame's first address byte.
+  procedure classify_cast(first_byte : in integer) is
+  begin
+    if first_byte = 255 then
+      stat_broadcast := stat_broadcast + 1;
+    elsif first_byte mod 2 = 1 then
+      stat_multicast := stat_multicast + 1;
+    end if;
+  end classify_cast;
+
+  -- ---- Receive descriptor ring ----
+
+  procedure rxd_enqueue(len : in integer) is
+  begin
+    if rxd_pending >= 16 then
+      rx_overflow := true;
+      stat_drops := stat_drops + 1;
+    else
+      rxd_lengths(rxd_tail_ix) := len;
+      rxd_tail_ix := rxd_tail_ix mod 16 + 1;
+      rxd_pending := rxd_pending + 1;
+    end if;
+  end rxd_enqueue;
+
+  function rxd_dequeue return integer is
+    variable len : integer;
+  begin
+    if rxd_pending = 0 then
+      return 0;
+    end if;
+    len := rxd_lengths(rxd_head_ix);
+    rxd_head_ix := rxd_head_ix mod 16 + 1;
+    rxd_pending := rxd_pending - 1;
+    return len;
+  end rxd_dequeue;
+
+  -- ---- Interrupt moderation ----
+
+  -- Batch interrupt causes: raise the host line only when the batch
+  -- counter or the holdoff timer trips.
+  procedure moderate_irq(cause : in integer) is
+  begin
+    csr_irq_pend := csr_irq_pend + cause;
+    irq_batch := irq_batch + 1;
+    if irq_batch >= irq_holdoff or irq_timer <= 0 then
+      if csr_irq_mask > 0 then
+        host_irq <= true;
+      end if;
+      irq_batch := 0;
+      irq_timer := 1000;
+    end if;
+  end moderate_irq;
+
+  -- ---- Heartbeat (SQE) supervision ----
+
+  -- After each transmission the transceiver must pulse SQE; count
+  -- misses and flag the transceiver after 8 consecutive failures.
+  procedure check_sqe is
+  begin
+    if sqe_expected = true then
+      if sqe_seen = false then
+        sqe_failures := sqe_failures + 1;
+        if sqe_failures >= 8 then
+          link_state := false;
+          raise_irq(4);
+        end if;
+      else
+        sqe_failures := 0;
+      end if;
+    end if;
+    sqe_expected := false;
+    sqe_seen := false;
+  end check_sqe;
+
+  -- ---- Transmit padding ----
+
+  -- 802.3 frames must carry at least 60 octets before the CRC: pad short
+  -- payloads with zero octets.
+  procedure tx_pad_frame is
+  begin
+    pad_count := 0;
+    if pad_enable = true and tx_sent < 60 then
+      while tx_sent < 60 loop
+        tx_send_byte(0);
+        pad_count := pad_count + 1;
+      end loop;
+      stat_pads := stat_pads + 1;
+    end if;
+  end tx_pad_frame;
+
+  -- ---- Jabber protection ----
+
+  -- A transmitter stuck on the medium must be cut off: the jabber timer
+  -- runs while transmitting and trips past the configured limit.
+  procedure jabber_watch is
+  begin
+    if tx_busy = true then
+      jabber_timer := jabber_timer + 1;
+      if jabber_timer > jabber_limit then
+        jabber_tripped := true;
+        stat_jabbers := stat_jabbers + 1;
+        excess_coll := true;
+        tx_state := 0;
+        raise_irq(8);
+      end if;
+    else
+      jabber_timer := 0;
+      jabber_tripped := false;
+    end if;
+  end jabber_watch;
+
+  -- ---- Loopback self-test ----
+
+  -- Push a walking pattern through both FIFOs and compare.
+  procedure loopback_test is
+    variable got : integer;
+  begin
+    lb_running := true;
+    lb_errors := 0;
+    lb_pattern := 1;
+    for i in 1 to 32 loop
+      tx_fifo_push(lb_pattern);
+      rx_fifo_push(tx_fifo_pop);
+      got := rx_fifo_pop;
+      if got /= lb_pattern then
+        lb_errors := lb_errors + 1;
+      end if;
+      lb_pattern := (lb_pattern * 2 + 1) mod 256;
+    end loop;
+    if lb_errors > 0 then
+      raise_irq(8);
+    end if;
+    lb_running := false;
+  end loopback_test;
+
+begin
+  -- Transmit engine: wait for a go message, defer to carrier, send the
+  -- frame with CRC, and back off on collisions.
+  txctl: process
+    variable frame_len : integer;
+  begin
+    if crc_init_done = false then
+      init_crc_table;
+    end if;
+    if eeprom_loaded = false then
+      load_config;
+    end if;
+    receive(tx_go, frame_len);
+    if frame_len = 0 then
+      frame_len := txd_dequeue;
+    end if;
+    if pause_requested = true then
+      send_pause_frame;
+    end if;
+    if csr_enable_tx = true then
+      tx_busy := true;
+      tx_frame_len := frame_len;
+      tx_sent := 0;
+      tx_crc := 0;
+      retry_count := 0;
+      excess_coll := false;
+      while carrier_sense = true loop
+        stat_deferrals := stat_deferrals + 1;
+        defer_flag := true;
+        wait for 100 ns;
+      end loop;
+      defer_flag := false;
+      tx_preamble;
+      while tx_sent < tx_frame_len and excess_coll = false loop
+        tx_byte := tx_fifo_pop;
+        tx_send_byte(tx_byte);
+        if tx_state = 4 then
+          tx_backoff;
+          tx_state := 1;
+        end if;
+      end loop;
+      tx_pad_frame;
+      tx_send_crc;
+      wait_ifg;
+      sqe_expected := true;
+      check_sqe;
+      stat_tx_frames := stat_tx_frames + 1;
+      stat_tx_octets := stat_tx_octets + tx_sent;
+      classify_size(tx_sent);
+      tx_busy := false;
+      tx_done := true;
+      moderate_irq(1);
+    end if;
+  end process;
+
+  -- Receive engine: sync, filter, store, and verify CRC.
+  rxctl: process
+  begin
+    if crc_init_done = false then
+      init_crc_table;
+    end if;
+    if csr_enable_rx = true then
+      rx_sync;
+      rx_crc := 0;
+      rx_frame_len := 0;
+      rx_drop := false;
+      addr_match := true;
+      bcast_match := true;
+      addr_byte_ix := 0;
+      while rx_state = 1 and rx_frame_len < 1536 loop
+        rx_get_byte;
+        if addr_byte_ix < 6 then
+          rx_filter_byte;
+        end if;
+        rx_crc := crc_step(rx_crc, rx_byte);
+        if addr_match = true or bcast_match = true or promiscuous = true then
+          rx_fifo_push(rx_byte);
+        end if;
+        rx_frame_len := rx_frame_len + 1;
+        if carrier_sense = false then
+          rx_state := 2;
+        end if;
+      end loop;
+      rx_classify;
+      if rx_crc mod 65536 /= 0 then
+        stat_crc_errs := stat_crc_errs + 1;
+        rx_drop := true;
+      end if;
+      if rx_drop = false then
+        stat_rx_frames := stat_rx_frames + 1;
+        stat_rx_octets := stat_rx_octets + rx_frame_len;
+        classify_size(rx_frame_len);
+        classify_cast(rx_fifo(1));
+        rxd_enqueue(rx_frame_len);
+        if rx_fifo(1) = 1 and flow_ctrl_en = true then
+          handle_pause_frame;
+        end if;
+        rx_ready := true;
+        moderate_irq(2);
+      end if;
+      rx_state := 0;
+    end if;
+    wait for 1 us;
+  end process;
+
+  -- Host interface: latch commands into the CSR block.
+  hostif: process
+  begin
+    csr_cmd_arg := host_data_in;
+    if host_cmd > 0 then
+      exec_host_command;
+    end if;
+    if rx_overflow = true or tx_underrun = true then
+      raise_irq(4);
+    end if;
+    wait for 500 ns;
+  end process;
+
+  -- Link supervision: a crude carrier-activity watchdog plus the jabber
+  -- cutoff check, sampled together.
+  linkmon: process
+    variable quiet : integer;
+  begin
+    quiet := 0;
+    for i in 1 to 100 loop
+      if carrier_sense = false and tx_busy = false then
+        quiet := quiet + 1;
+      end if;
+      jabber_watch;
+      wait for 10 us;
+    end loop;
+    link_state := quiet < 100 or duplex_full;
+    if jabber_tripped = true then
+      link_state := false;
+    end if;
+    link_ok <= link_state;
+  end process;
+
+  -- MII management engine: periodic PHY polling and host-requested
+  -- register writes.
+  miimgmt: process
+  begin
+    if mii_busy = false then
+      poll_phy;
+      if phy_autoneg = false and mii_op_write = false then
+        mii_data_wr := 4096 + mii_clk_div;
+        mii_write_reg;
+      end if;
+    end if;
+    link_state := phy_status mod 4 >= 2;
+    wait for 100 us;
+  end process;
+
+  -- Host DMA engine: drain completed receive descriptors to the host in
+  -- bounded bursts, one byte of the receive FIFO per cycle.
+  dmaeng: process
+    variable burst_left : integer;
+  begin
+    if dma_active = false and rxd_pending > 0 then
+      dma_remaining := rxd_dequeue;
+      dma_active := true;
+    end if;
+    if dma_active = true then
+      burst_left := dma_burst;
+      while dma_remaining > 0 and burst_left > 0 loop
+        host_data_out <= rx_fifo_pop;
+        dma_addr := dma_addr + 1;
+        dma_remaining := dma_remaining - 1;
+        burst_left := burst_left - 1;
+        wait for 200 ns;
+      end loop;
+      if dma_remaining = 0 then
+        dma_active := false;
+        moderate_irq(2);
+      end if;
+    end if;
+    irq_timer := irq_timer - dma_burst;
+    wait for 2 us;
+  end process;
+
+  -- Statistics aggregation: fold the counter file into a summary word the
+  -- host can read in one access.
+  statagg: process
+  begin
+    stat_summary :=
+      stat_tx_frames + stat_rx_frames + stat_crc_errs * 256
+      + stat_collisions * 16 + stat_drops * 64;
+    if stat_late_coll > 0 or stat_tx_errors > 128 then
+      raise_irq(8);
+    end if;
+    if jam_counter > 32 then
+      stat_late_coll := stat_late_coll + 1;
+      jam_counter := 0;
+    end if;
+    host_data_out <= stat_summary mod 256;
+    wait for 1 ms;
+  end process;
+end;
+|}

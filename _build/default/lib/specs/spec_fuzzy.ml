@@ -1,0 +1,330 @@
+(** The fuzzy-logic controller benchmark ([fuzzy] in Figure 4).
+
+    Expanded from the paper's Figure 1 fragment: two sampled inputs are
+    fuzzified against 384-entry membership-rule tables, the truncated
+    memberships are convolved, a centroid defuzzifies the result, and the
+    output is smoothed and clipped before driving [out1].  A self-test
+    process exercises the rule tables in the background. *)
+
+let name = "fuzzy"
+
+let text =
+  {|-- Fuzzy-logic controller (paper Figure 1, completed).
+entity fuzzycontroller is
+  port (
+    in1  : in integer range 0 to 255;
+    in2  : in integer range 0 to 255;
+    out1 : out integer range 0 to 255;
+    mode_pin : in integer range 0 to 3;
+    alarm    : out boolean );
+end;
+
+architecture behavior of fuzzycontroller is
+  type mr_array  is array (1 to 384) of integer range 0 to 255;
+  type tmr_array is array (1 to 128) of integer range 0 to 255;
+  type conv_array is array (1 to 128) of integer range 0 to 511;
+  type gain_array is array (0 to 3) of integer range 0 to 15;
+
+  -- Sampled inputs and their history.
+  shared variable in1val   : integer range 0 to 255;
+  shared variable in2val   : integer range 0 to 255;
+  shared variable in1prev  : integer range 0 to 255;
+  shared variable in2prev  : integer range 0 to 255;
+  shared variable delta1   : integer range -255 to 255;
+  shared variable delta2   : integer range -255 to 255;
+
+  -- Membership rules and their truncated forms.
+  shared variable mr1  : mr_array;
+  shared variable mr2  : mr_array;
+  shared variable tmr1 : tmr_array;
+  shared variable tmr2 : tmr_array;
+  shared variable conv : conv_array;
+
+  -- Defuzzification accumulators.
+  shared variable weight_sum : integer;
+  shared variable area_sum   : integer;
+  shared variable centroid   : integer range 0 to 255;
+
+  -- Output conditioning.
+  shared variable out1val    : integer range 0 to 255;
+  shared variable prev_out   : integer range 0 to 255;
+  shared variable smooth_acc : integer;
+  shared variable deadband   : integer range 0 to 31;
+
+  -- Configuration and status.
+  shared variable gain_table : gain_array;
+  shared variable rule_gain  : integer range 0 to 15;
+  shared variable mode       : integer range 0 to 3;
+  shared variable init_done  : boolean;
+  shared variable err_code   : integer range 0 to 7;
+  shared variable test_phase : integer range 0 to 2;
+  shared variable test_sum   : integer;
+
+  -- Input linearization.
+  type lin_array is array (1 to 32) of integer range 0 to 255;
+  shared variable lin_table   : lin_array;
+  shared variable lin_ready   : boolean;
+
+  -- Closed-loop gain adaptation.
+  shared variable setpoint    : integer range 0 to 255;
+  shared variable loop_error  : integer range -255 to 255;
+  shared variable error_acc   : integer;
+  shared variable adapt_count : integer range 0 to 255;
+
+  -- Output hysteresis state.
+  shared variable hyst_band   : integer range 0 to 31;
+  shared variable hyst_state  : integer range 0 to 2;
+
+  -- Diagnostics.
+  shared variable diag_cycles : integer;
+  shared variable diag_worst  : integer range 0 to 255;
+
+  function min2(a : in integer; b : in integer) return integer is
+  begin
+    if a < b then
+      return a;
+    else
+      return b;
+    end if;
+  end min2;
+
+  function max2(a : in integer; b : in integer) return integer is
+  begin
+    if a > b then
+      return a;
+    else
+      return b;
+    end if;
+  end max2;
+
+  -- Triangular membership functions: three overlapping ramps per input.
+  procedure init_rules is
+    variable peak : integer;
+  begin
+    for i in 1 to 128 loop
+      peak := min2(2 * i, 255);
+      mr1(i) := peak;
+      mr2(i) := 255 - peak;
+    end loop;
+    for i in 129 to 256 loop
+      peak := max2(511 - 2 * i, 0);
+      mr1(i) := peak;
+      mr2(i) := min2(2 * i - 256, 255);
+    end loop;
+    for i in 257 to 384 loop
+      mr1(i) := max2(767 - 2 * i, 0);
+      mr2(i) := max2(2 * i - 512, 0);
+    end loop;
+    rule_gain := gain_table(mode);
+  end init_rules;
+
+  -- Figure 1's EvaluateRule: truncate one input's membership rules.
+  procedure evaluate_rule(num : in integer) is
+    variable trunc : integer;
+  begin
+    if num = 1 then
+      trunc := min2(mr1(in1val), mr1(128 + in1val));
+    elsif num = 2 then
+      trunc := min2(mr2(in2val), mr2(128 + in2val));
+    end if;
+    for i in 1 to 128 loop
+      if num = 1 then
+        tmr1(i) := min2(trunc, mr1(256 + i));
+      elsif num = 2 then
+        tmr2(i) := min2(trunc, mr2(256 + i));
+      end if;
+    end loop;
+  end evaluate_rule;
+
+  -- Combine both truncated rules, weighted by the configured gain.
+  procedure convolve is
+    variable mixed : integer;
+  begin
+    for i in 1 to 128 loop
+      mixed := max2(tmr1(i), tmr2(i)) + min2(tmr1(i), tmr2(i)) / 2;
+      conv(i) := min2(mixed * rule_gain / 8, 511);
+    end loop;
+  end convolve;
+
+  function compute_centroid return integer is
+  begin
+    weight_sum := 0;
+    area_sum := 0;
+    for i in 1 to 128 loop
+      weight_sum := weight_sum + conv(i) * i;
+      area_sum := area_sum + conv(i);
+    end loop;
+    if area_sum = 0 then
+      err_code := 3;
+      return prev_out;
+    end if;
+    return min2(2 * (weight_sum / area_sum), 255);
+  end compute_centroid;
+
+  -- First-order smoothing of the defuzzified output.
+  procedure smooth_output is
+  begin
+    smooth_acc := 3 * prev_out + centroid;
+    out1val := smooth_acc / 4;
+    prev_out := out1val;
+  end smooth_output;
+
+  -- Suppress changes within the configured deadband.
+  procedure clip_output is
+    variable change : integer;
+  begin
+    change := out1val - prev_out;
+    if change < 0 then
+      change := 0 - change;
+    end if;
+    if change < deadband then
+      out1val := prev_out;
+    end if;
+    if out1val > 250 then
+      err_code := 1;
+    end if;
+  end clip_output;
+
+  -- Track input slew rates; a large step raises the alarm.
+  procedure track_inputs is
+  begin
+    delta1 := in1val - in1prev;
+    delta2 := in2val - in2prev;
+    in1prev := in1val;
+    in2prev := in2val;
+    if delta1 > 200 or delta2 > 200 then
+      err_code := 2;
+    end if;
+  end track_inputs;
+
+  -- Piecewise-linear sensor correction: build the table once, then map
+  -- each raw sample through it.
+  procedure init_linearization is
+    variable slope : integer;
+  begin
+    for i in 1 to 32 loop
+      slope := 8 - abs (i - 16) / 4;
+      lin_table(i) := min2(i * slope, 255);
+    end loop;
+    lin_ready := true;
+  end init_linearization;
+
+  function linearize(raw : in integer) return integer is
+    variable seg : integer;
+    variable base : integer;
+  begin
+    seg := raw / 8 + 1;
+    if seg > 32 then
+      seg := 32;
+    end if;
+    base := lin_table(seg);
+    return min2(base + raw mod 8, 255);
+  end linearize;
+
+  -- Slow integral adaptation of the rule gain toward the setpoint.
+  procedure adapt_gain is
+  begin
+    loop_error := setpoint - out1val;
+    error_acc := error_acc + loop_error;
+    adapt_count := (adapt_count + 1) mod 256;
+    if adapt_count = 0 then
+      if error_acc > 512 and rule_gain < 15 then
+        rule_gain := rule_gain + 1;
+      elsif error_acc < -512 and rule_gain > 1 then
+        rule_gain := rule_gain - 1;
+      end if;
+      error_acc := 0;
+    end if;
+  end adapt_gain;
+
+  -- Three-state hysteresis on the conditioned output.
+  procedure apply_hysteresis is
+  begin
+    if hyst_state = 0 then
+      if out1val > prev_out + hyst_band then
+        hyst_state := 1;
+      elsif out1val + hyst_band < prev_out then
+        hyst_state := 2;
+      end if;
+    elsif hyst_state = 1 then
+      if out1val + hyst_band < prev_out then
+        hyst_state := 0;
+        out1val := prev_out;
+      end if;
+    else
+      if out1val > prev_out + hyst_band then
+        hyst_state := 0;
+        out1val := prev_out;
+      end if;
+    end if;
+  end apply_hysteresis;
+
+begin
+  fuzzymain: process
+  begin
+    if init_done = false then
+      init_rules;
+      init_linearization;
+      init_done := true;
+    end if;
+    mode := mode_pin;
+    in1val := linearize(in1);
+    in2val := linearize(in2);
+    track_inputs;
+    evaluate_rule(1);
+    evaluate_rule(2);
+    convolve;
+    centroid := compute_centroid;
+    smooth_output;
+    clip_output;
+    apply_hysteresis;
+    adapt_gain;
+    out1 <= out1val;
+    alarm <= err_code > 0;
+    wait for 100 us;
+  end process;
+
+  -- Long-horizon diagnostics: track the worst smoothing error seen and
+  -- periodically cross-check the linearization table.
+  diagnostics: process
+    variable observed : integer;
+  begin
+    diag_cycles := diag_cycles + 1;
+    observed := abs (centroid - out1val);
+    if observed > diag_worst then
+      diag_worst := observed;
+    end if;
+    if diag_cycles mod 64 = 0 then
+      if lin_ready = true and lin_table(16) = 0 then
+        err_code := 5;
+      end if;
+      if diag_worst > 128 then
+        err_code := 6;
+      end if;
+      diag_worst := 0;
+    end if;
+    wait for 10 ms;
+  end process;
+
+  selftest: process
+  begin
+    test_sum := 0;
+    if test_phase = 0 then
+      for i in 1 to 64 loop
+        test_sum := test_sum + mr1(i);
+      end loop;
+    elsif test_phase = 1 then
+      for i in 1 to 64 loop
+        test_sum := test_sum + mr2(i);
+      end loop;
+    else
+      test_sum := tmr1(1) + tmr2(1);
+    end if;
+    if test_sum = 0 and init_done = true then
+      err_code := 4;
+    end if;
+    test_phase := (test_phase + 1) mod 3;
+    wait for 1 ms;
+  end process;
+end;
+|}

@@ -1,0 +1,221 @@
+(** The volume-measuring medical instrument benchmark ([vol] in Figure 4).
+
+    A spirometer-style instrument: a flow sensor is sampled continuously,
+    a median-of-three filter rejects spikes, flow is integrated into a
+    volume, breath start/end detection segments the signal, and results
+    are scaled for a 7-segment display with limit alarms and a
+    pushbutton-triggered calibration cycle. *)
+
+let name = "vol"
+
+let text =
+  {|-- Volume-measuring medical instrument.
+entity volmeter is
+  port (
+    flow_in    : in integer range 0 to 1023;
+    patient_on : in boolean;
+    cal_btn    : in boolean;
+    display_out : out integer range 0 to 9999;
+    alarm_out   : out boolean;
+    ready_out   : out boolean );
+end;
+
+architecture behavior of volmeter is
+  type sample_buf is array (1 to 16) of integer range 0 to 1023;
+
+  -- Acquisition state.
+  shared variable raw_sample  : integer range 0 to 1023;
+  shared variable filt_sample : integer range 0 to 1023;
+  shared variable window      : sample_buf;
+  shared variable wr_index    : integer range 1 to 16;
+
+  -- Calibration.
+  shared variable cal_offset  : integer range 0 to 255;
+  shared variable cal_gain    : integer range 1 to 255;
+  shared variable cal_pending : boolean;
+
+  -- Integration and breath segmentation.
+  shared variable volume_acc   : integer;
+  shared variable breath_vol   : integer;
+  shared variable in_breath    : boolean;
+  shared variable breath_count : integer range 0 to 255;
+  shared variable flow_thresh  : integer range 0 to 1023;
+
+  -- Results and display.
+  shared variable display_val : integer range 0 to 9999;
+  shared variable peak_flow   : integer range 0 to 1023;
+  shared variable alarm_flag  : boolean;
+  shared variable limit_high  : integer;
+  shared variable limit_low   : integer;
+  shared variable status      : integer range 0 to 7;
+
+  -- Temperature compensation (BTPS correction).
+  shared variable temp_raw    : integer range 0 to 255;
+  shared variable temp_factor : integer range 64 to 192;
+
+  -- Battery supervision.
+  shared variable batt_level  : integer range 0 to 255;
+  shared variable batt_low    : boolean;
+
+  function median3(a : in integer; b : in integer; c : in integer) return integer is
+  begin
+    if a > b then
+      if b > c then
+        return b;
+      elsif a > c then
+        return c;
+      else
+        return a;
+      end if;
+    else
+      if a > c then
+        return a;
+      elsif b > c then
+        return c;
+      else
+        return b;
+      end if;
+    end if;
+  end median3;
+
+  -- Read the sensor, correct by calibration, and spike-filter.
+  procedure sample_flow is
+    variable corrected : integer;
+    variable prev1 : integer;
+    variable prev2 : integer;
+  begin
+    raw_sample := flow_in;
+    corrected := (raw_sample - cal_offset) * cal_gain / 128;
+    if corrected < 0 then
+      corrected := 0;
+    end if;
+    prev1 := window(wr_index);
+    if wr_index > 1 then
+      prev2 := window(wr_index - 1);
+    else
+      prev2 := window(16);
+    end if;
+    filt_sample := median3(corrected, prev1, prev2);
+    wr_index := wr_index mod 16 + 1;
+    window(wr_index) := filt_sample;
+  end sample_flow;
+
+  -- Trapezoidal integration of filtered flow into the running volume.
+  procedure integrate_step is
+  begin
+    volume_acc := volume_acc + filt_sample;
+    if filt_sample > peak_flow then
+      peak_flow := filt_sample;
+    end if;
+  end integrate_step;
+
+  -- Breath segmentation with hysteresis around the threshold.
+  procedure detect_breath is
+  begin
+    if in_breath = false and filt_sample > flow_thresh + 16 then
+      in_breath := true;
+      volume_acc := 0;
+      peak_flow := 0;
+    elsif in_breath = true and filt_sample < flow_thresh - 16 then
+      in_breath := false;
+      breath_vol := volume_acc;
+      breath_count := (breath_count + 1) mod 256;
+    end if;
+  end detect_breath;
+
+  -- Scale the final volume to display units (centiliters).
+  procedure update_display is
+    variable scaled : integer;
+  begin
+    scaled := breath_vol / 50;
+    if scaled > 9999 then
+      scaled := 9999;
+      status := 5;
+    end if;
+    display_val := scaled;
+  end update_display;
+
+  procedure check_limits is
+  begin
+    alarm_flag := false;
+    if breath_vol > limit_high then
+      alarm_flag := true;
+      status := 2;
+    end if;
+    if breath_vol < limit_low and breath_count > 0 then
+      alarm_flag := true;
+      status := 3;
+    end if;
+  end check_limits;
+
+  -- Zero-flow calibration cycle: average 16 idle samples.
+  procedure calibrate is
+    variable acc : integer;
+  begin
+    acc := 0;
+    for i in 1 to 16 loop
+      acc := acc + window(i);
+    end loop;
+    cal_offset := acc / 16;
+    if cal_offset > 200 then
+      status := 4;
+      cal_offset := 200;
+    end if;
+    cal_pending := false;
+  end calibrate;
+
+  -- Body-temperature (BTPS) correction of the integrated volume: gas
+  -- expands between the sensor and body conditions.
+  procedure compensate_temperature is
+  begin
+    temp_factor := 128 + (37 - temp_raw / 8) * 2;
+    if temp_factor < 64 then
+      temp_factor := 64;
+    elsif temp_factor > 192 then
+      temp_factor := 192;
+    end if;
+    breath_vol := breath_vol * temp_factor / 128;
+  end compensate_temperature;
+
+  -- Low-battery detection with a latching flag below 20%.
+  procedure check_battery is
+  begin
+    batt_level := batt_level - batt_level / 64;
+    if batt_level < 51 then
+      batt_low := true;
+      status := 6;
+    end if;
+  end check_battery;
+
+begin
+  volmain: process
+  begin
+    if cal_btn = true then
+      cal_pending := true;
+    end if;
+    if patient_on = true then
+      sample_flow;
+      integrate_step;
+      detect_breath;
+      if in_breath = false then
+        compensate_temperature;
+        update_display;
+        check_limits;
+      end if;
+      check_battery;
+    elsif cal_pending = true then
+      sample_flow;
+      calibrate;
+    end if;
+    wait for 10 ms;
+  end process;
+
+  display_drv: process
+  begin
+    display_out <= display_val;
+    alarm_out <= alarm_flag;
+    ready_out <= patient_on and in_breath = false;
+    wait for 50 ms;
+  end process;
+end;
+|}

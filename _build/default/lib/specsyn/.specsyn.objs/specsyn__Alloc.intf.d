@@ -1,0 +1,1 @@
+lib/specsyn/alloc.mli: Slif Tech

@@ -1,0 +1,1 @@
+lib/specsyn/annealing.ml: Array List Search Slif Slif_util

@@ -1,0 +1,1 @@
+lib/specsyn/annealing.mli: Search Slif

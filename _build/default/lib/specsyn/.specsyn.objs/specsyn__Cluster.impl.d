@@ -1,0 +1,1 @@
+lib/specsyn/cluster.ml: Array Hashtbl List Option Search Slif

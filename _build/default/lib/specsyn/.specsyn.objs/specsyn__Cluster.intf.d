@@ -1,0 +1,1 @@
+lib/specsyn/cluster.mli: Search Slif

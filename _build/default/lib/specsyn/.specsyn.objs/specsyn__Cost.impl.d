@@ -1,0 +1,1 @@
+lib/specsyn/cost.ml: Array List Slif

@@ -1,0 +1,1 @@
+lib/specsyn/cost.mli: Slif

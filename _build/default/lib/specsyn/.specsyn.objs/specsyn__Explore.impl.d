@@ -1,0 +1,1 @@
+lib/specsyn/explore.ml: Alloc Annealing Cluster Greedy Group_migration List Printf Random_part Search Slif Slif_util

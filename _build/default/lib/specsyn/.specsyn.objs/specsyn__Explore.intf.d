@@ -1,0 +1,1 @@
+lib/specsyn/explore.mli: Alloc Annealing Cost Search Slif

@@ -1,0 +1,1 @@
+lib/specsyn/greedy.ml: Array List Search Slif

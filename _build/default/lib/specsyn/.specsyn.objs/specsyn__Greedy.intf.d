@@ -1,0 +1,1 @@
+lib/specsyn/greedy.mli: Search

@@ -1,0 +1,1 @@
+lib/specsyn/group_migration.ml: Array List Search Slif

@@ -1,0 +1,1 @@
+lib/specsyn/group_migration.mli: Search Slif

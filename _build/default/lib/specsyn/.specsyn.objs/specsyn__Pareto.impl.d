@@ -1,0 +1,1 @@
+lib/specsyn/pareto.ml: Array Cost Float List Search Slif Slif_util

@@ -1,0 +1,1 @@
+lib/specsyn/pareto.mli: Cost Slif

@@ -1,0 +1,1 @@
+lib/specsyn/random_part.ml: Array List Search Slif Slif_util

@@ -1,0 +1,1 @@
+lib/specsyn/random_part.mli: Search

@@ -1,0 +1,1 @@
+lib/specsyn/report.ml: Alloc Array Buffer Cost Explore List Printf Search Slif Slif_util String

@@ -1,0 +1,1 @@
+lib/specsyn/report.mli: Cost Explore Slif

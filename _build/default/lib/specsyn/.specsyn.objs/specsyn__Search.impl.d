@@ -1,0 +1,1 @@
+lib/specsyn/search.ml: Array Cost Slif

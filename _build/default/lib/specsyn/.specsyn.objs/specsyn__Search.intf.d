@@ -1,0 +1,1 @@
+lib/specsyn/search.mli: Cost Slif

@@ -1,0 +1,1 @@
+lib/specsyn/transform.ml: Array Hashtbl List Option Printf Slif

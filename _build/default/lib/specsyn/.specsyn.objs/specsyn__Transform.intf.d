@@ -1,0 +1,1 @@
+lib/specsyn/transform.mli: Slif

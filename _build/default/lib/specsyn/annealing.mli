@@ -1,0 +1,19 @@
+(** Simulated-annealing partitioner.
+
+    Random single-object moves (a node to a feasible component, or a
+    channel to another bus when the allocation has several) accepted by
+    the Metropolis criterion under a geometric cooling schedule.  This is
+    the "algorithms that explore thousands of possible designs" workload
+    the paper's estimation speed enables; the run reports how many
+    partitions were scored. *)
+
+type params = {
+  initial_temp : float;
+  cooling : float;        (* geometric factor per step, e.g. 0.995 *)
+  steps : int;
+  seed : int;
+}
+
+val default_params : params
+
+val run : ?params:params -> ?initial:Slif.Partition.t -> Search.problem -> Search.solution

@@ -1,0 +1,76 @@
+type constraints = { deadlines_us : (string * float) list }
+
+let no_constraints = { deadlines_us = [] }
+
+type weights = { w_size : float; w_io : float; w_time : float; w_bitrate : float }
+
+let default_weights = { w_size = 1.0; w_io = 1.0; w_time = 1.0; w_bitrate = 0.5 }
+
+type breakdown = {
+  size_violation : float;
+  io_violation : float;
+  time_violation : float;
+  bitrate_violation : float;
+  total : float;
+}
+
+(* Relative excess over a cap: 0 when within budget. *)
+let excess value = function
+  | None -> 0.0
+  | Some cap -> if cap <= 0.0 then 0.0 else max 0.0 ((value -. cap) /. cap)
+
+let evaluate ?(weights = default_weights) ~constraints est =
+  let s = Slif.Graph.slif (Slif.Estimate.graph est) in
+  let size_violation = ref 0.0 and io_violation = ref 0.0 in
+  Array.iteri
+    (fun i (p : Slif.Types.processor) ->
+      let comp = Slif.Partition.Cproc i in
+      size_violation :=
+        !size_violation +. excess (Slif.Estimate.size est comp) p.p_size_constraint;
+      match p.p_io_constraint with
+      | None -> ()
+      | Some cap ->
+          io_violation :=
+            !io_violation
+            +. excess (float_of_int (Slif.Estimate.io_pins est comp)) (Some (float_of_int cap)))
+    s.Slif.Types.procs;
+  Array.iteri
+    (fun i (m : Slif.Types.memory) ->
+      let comp = Slif.Partition.Cmem i in
+      size_violation :=
+        !size_violation +. excess (Slif.Estimate.size est comp) m.m_size_constraint)
+    s.Slif.Types.mems;
+  let time_violation =
+    List.fold_left
+      (fun acc (pname, deadline) ->
+        match Slif.Types.node_by_name s pname with
+        | None -> acc
+        | Some node ->
+            acc +. excess (Slif.Estimate.exectime_us est node.n_id) (Some deadline))
+      0.0 constraints.deadlines_us
+  in
+  let bitrate_violation =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i (b : Slif.Types.bus) ->
+        match b.b_capacity_mbps with
+        | None -> ()
+        | Some cap -> acc := !acc +. excess (Slif.Estimate.bus_bitrate_mbps est i) (Some cap))
+      s.Slif.Types.buses;
+    !acc
+  in
+  let total =
+    (weights.w_size *. !size_violation)
+    +. (weights.w_io *. !io_violation)
+    +. (weights.w_time *. time_violation)
+    +. (weights.w_bitrate *. bitrate_violation)
+  in
+  {
+    size_violation = !size_violation;
+    io_violation = !io_violation;
+    time_violation;
+    bitrate_violation;
+    total;
+  }
+
+let total ?weights ~constraints est = (evaluate ?weights ~constraints est).total

@@ -1,0 +1,41 @@
+(** Cost function scoring a candidate partition.
+
+    System design searches for a partition satisfying constraints on size,
+    I/O, performance and bus bitrate (paper, Section 1).  The cost is a
+    weighted sum of normalized constraint violations, zero when all
+    constraints hold; algorithms minimize it.  All terms are computed from
+    SLIF annotations through {!Slif.Estimate} — this is what makes
+    thousands-of-partitions searches affordable. *)
+
+type constraints = {
+  deadlines_us : (string * float) list;
+      (* per-process execution-time bounds; missing processes are unconstrained *)
+}
+
+val no_constraints : constraints
+
+type weights = {
+  w_size : float;
+  w_io : float;
+  w_time : float;
+  w_bitrate : float;
+}
+
+val default_weights : weights
+
+type breakdown = {
+  size_violation : float;     (* sum over components of relative excess *)
+  io_violation : float;
+  time_violation : float;
+  bitrate_violation : float;
+  total : float;
+}
+
+val evaluate :
+  ?weights:weights -> constraints:constraints -> Slif.Estimate.t -> breakdown
+(** Scores the estimator's current partition.  The partition must be
+    proper (see {!Slif.Validate}); behaviors mapped to memories or missing
+    weights raise [Invalid_argument]. *)
+
+val total :
+  ?weights:weights -> constraints:constraints -> Slif.Estimate.t -> float

@@ -1,0 +1,52 @@
+type algo =
+  | Random of int
+  | Greedy
+  | Group_migration
+  | Annealing of Annealing.params
+  | Clustering of int
+
+let algo_name = function
+  | Random n -> Printf.sprintf "random-%d" n
+  | Greedy -> "greedy"
+  | Group_migration -> "group-migration"
+  | Annealing p -> Printf.sprintf "annealing-%d" p.Annealing.steps
+  | Clustering k -> Printf.sprintf "clustering-%d" k
+
+type entry = {
+  alloc : Alloc.t;
+  algo : algo;
+  solution : Search.solution;
+  elapsed_s : float;
+  partitions_per_s : float;
+}
+
+let default_algos =
+  [ Random 50; Greedy; Group_migration; Annealing Annealing.default_params; Clustering 4 ]
+
+let run ?constraints ?weights ?(algos = default_algos) ?(allocs = Alloc.catalog) slif =
+  let entries =
+    List.concat_map
+      (fun alloc ->
+        let s = Alloc.apply slif alloc in
+        let graph = Slif.Graph.make s in
+        let problem = Search.problem ?constraints ?weights graph in
+        List.map
+          (fun algo ->
+            let solve () =
+              match algo with
+              | Random restarts -> Random_part.run ~restarts problem
+              | Greedy -> Greedy.run problem
+              | Group_migration -> Group_migration.run problem
+              | Annealing params -> Annealing.run ~params problem
+              | Clustering k -> Cluster.run ~k problem
+            in
+            let solution, elapsed_s = Slif_util.Timer.time solve in
+            let partitions_per_s =
+              if elapsed_s > 0.0 then float_of_int solution.Search.evaluated /. elapsed_s
+              else 0.0
+            in
+            { alloc; algo; solution; elapsed_s; partitions_per_s })
+          algos)
+      allocs
+  in
+  List.sort (fun a b -> compare a.solution.Search.cost b.solution.Search.cost) entries

@@ -1,0 +1,34 @@
+(** Design-space exploration: allocations x partitioning algorithms.
+
+    For each candidate allocation, runs the selected partitioning
+    algorithms and records cost, partitions scored and wall-clock time —
+    the interactive exploration workload SpecSyn supports and that
+    experiment R4 measures (partitions per second). *)
+
+type algo =
+  | Random of int                  (* restarts *)
+  | Greedy
+  | Group_migration
+  | Annealing of Annealing.params
+  | Clustering of int              (* number of clusters *)
+
+val algo_name : algo -> string
+
+type entry = {
+  alloc : Alloc.t;
+  algo : algo;
+  solution : Search.solution;
+  elapsed_s : float;
+  partitions_per_s : float;
+}
+
+val run :
+  ?constraints:Cost.constraints ->
+  ?weights:Cost.weights ->
+  ?algos:algo list ->
+  ?allocs:Alloc.t list ->
+  Slif.Types.t ->
+  entry list
+(** [run slif] explores the full stock catalog with all algorithms by
+    default; the SLIF must already be annotated.  Results are sorted by
+    cost (cheapest first). *)

@@ -1,0 +1,35 @@
+(* Size proxy used for the visiting order: the node's weight on the first
+   technology that carries one. *)
+let size_proxy (node : Slif.Types.node) =
+  match node.n_size with [] -> 0.0 | (_, v) :: _ -> v
+
+let run (problem : Search.problem) =
+  let s = Slif.Graph.slif problem.graph in
+  let part = Search.seed_partition s in
+  let est = Search.estimator problem.graph part in
+  let evaluated = ref 0 in
+  let score () =
+    incr evaluated;
+    Search.evaluate problem est
+  in
+  let order =
+    Array.to_list s.nodes
+    |> List.sort (fun a b -> compare (size_proxy b) (size_proxy a))
+  in
+  List.iter
+    (fun (node : Slif.Types.node) ->
+      let id = node.n_id in
+      let best = ref (Slif.Partition.comp_of_exn part id, score ()) in
+      List.iter
+        (fun comp ->
+          if comp <> fst !best then begin
+            Slif.Partition.assign_node part ~node:id comp;
+            Slif.Estimate.note_node_moved est id;
+            let c = score () in
+            if c < snd !best then best := (comp, c)
+          end)
+        (Search.comps_for_node s node);
+      Slif.Partition.assign_node part ~node:id (fst !best);
+      Slif.Estimate.note_node_moved est id)
+    order;
+  { Search.part; cost = Search.evaluate problem est; evaluated = !evaluated }

@@ -1,0 +1,8 @@
+(** Greedy constructive partitioning.
+
+    Starting from the all-software seed, nodes are visited in decreasing
+    size order (largest objects are placed while the most freedom
+    remains) and each is moved to the feasible component that minimizes
+    total cost given the placements made so far.  One pass; deterministic. *)
+
+val run : Search.problem -> Search.solution

@@ -1,0 +1,71 @@
+let run ?(max_passes = 8) ?initial (problem : Search.problem) =
+  let s = Slif.Graph.slif problem.graph in
+  let part =
+    match initial with Some p -> Slif.Partition.copy p | None -> Search.seed_partition s
+  in
+  let est = Search.estimator problem.graph part in
+  let evaluated = ref 0 in
+  let score () =
+    incr evaluated;
+    Search.evaluate problem est
+  in
+  let n = Array.length s.nodes in
+  let current_cost = ref (score ()) in
+  let improved = ref true in
+  let passes = ref 0 in
+  while !improved && !passes < max_passes do
+    improved := false;
+    incr passes;
+    let locked = Array.make n false in
+    (* A pass: commit the best single move among unlocked nodes, lock the
+       moved node, repeat; keep the best state seen during the pass. *)
+    let best_pass_cost = ref !current_cost in
+    let best_pass_part = ref (Slif.Partition.copy part) in
+    let continue_pass = ref true in
+    while !continue_pass do
+      let best_move = ref None in
+      for id = 0 to n - 1 do
+        if not locked.(id) then begin
+          let original = Slif.Partition.comp_of_exn part id in
+          List.iter
+            (fun comp ->
+              if comp <> original then begin
+                Slif.Partition.assign_node part ~node:id comp;
+                Slif.Estimate.note_node_moved est id;
+                let c = score () in
+                match !best_move with
+                | Some (_, _, bc) when bc <= c -> ()
+                | _ -> best_move := Some (id, comp, c)
+              end)
+            (Search.comps_for_node s s.nodes.(id));
+          Slif.Partition.assign_node part ~node:id original;
+          Slif.Estimate.note_node_moved est id
+        end
+      done;
+      match !best_move with
+      | None -> continue_pass := false
+      | Some (id, comp, c) ->
+          Slif.Partition.assign_node part ~node:id comp;
+          Slif.Estimate.note_node_moved est id;
+          locked.(id) <- true;
+          current_cost := c;
+          if c < !best_pass_cost then begin
+            best_pass_cost := c;
+            best_pass_part := Slif.Partition.copy part;
+            improved := true
+          end;
+          (* Stop early when every node is locked. *)
+          if Array.for_all (fun l -> l) locked then continue_pass := false
+    done;
+    (* Revert to the best prefix of the pass. *)
+    Array.iteri
+      (fun id _ ->
+        let c = Slif.Partition.comp_of_exn !best_pass_part id in
+        if Slif.Partition.comp_of part id <> Some c then begin
+          Slif.Partition.assign_node part ~node:id c;
+          Slif.Estimate.note_node_moved est id
+        end)
+      s.nodes;
+    current_cost := !best_pass_cost
+  done;
+  { Search.part; cost = !current_cost; evaluated = !evaluated }

@@ -1,0 +1,10 @@
+(** Group-migration (Kernighan-Lin-style) improvement.
+
+    Repeated passes over the nodes: in each pass every unlocked node is
+    tentatively moved to its best alternative component; the best single
+    move is committed and the node locked; the pass's best prefix of moves
+    is kept.  Passes repeat until one yields no improvement.  This is the
+    classic hill-climbing-with-escape partitioner the paper's complexity
+    argument (the n-squared algorithm of Section 5) refers to. *)
+
+val run : ?max_passes:int -> ?initial:Slif.Partition.t -> Search.problem -> Search.solution

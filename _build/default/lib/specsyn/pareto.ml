@@ -1,0 +1,84 @@
+type point = {
+  part : Slif.Partition.t;
+  worst_exectime_us : float;
+  hw_gates : float;
+  sw_bytes : float;
+  weight_time : float;
+}
+
+let measure graph part =
+  let s = Slif.Graph.slif graph in
+  let est = Search.estimator graph part in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun (n : Slif.Types.node) ->
+      if Slif.Types.is_process n then
+        worst := Float.max !worst (Slif.Estimate.exectime_us est n.n_id))
+    s.Slif.Types.nodes;
+  let hw = ref 0.0 and sw = ref 0.0 in
+  Array.iteri
+    (fun i (p : Slif.Types.processor) ->
+      let size = Slif.Estimate.size est (Slif.Partition.Cproc i) in
+      match p.p_kind with
+      | Slif.Types.Custom -> hw := !hw +. size
+      | Slif.Types.Standard -> sw := !sw +. size)
+    s.Slif.Types.procs;
+  (!worst, !hw, !sw)
+
+let score graph part ~weight_time =
+  let worst_exectime_us, hw_gates, sw_bytes = measure graph part in
+  { part = Slif.Partition.copy part; worst_exectime_us; hw_gates; sw_bytes; weight_time }
+
+let dominated a b =
+  b.worst_exectime_us <= a.worst_exectime_us
+  && b.hw_gates <= a.hw_gates
+  && (b.worst_exectime_us < a.worst_exectime_us || b.hw_gates < a.hw_gates)
+
+let front points =
+  points
+  |> List.filter (fun p -> not (List.exists (fun q -> q != p && dominated p q) points))
+  |> List.sort (fun a b -> compare a.worst_exectime_us b.worst_exectime_us)
+
+(* Scalarized objective: normalized worst-case time against normalized
+   custom-hardware area, with a penalty for violated constraints. *)
+let objective graph constraints ~weight_time part est =
+  let worst, hw, _ = measure graph part in
+  ignore est;
+  let violation =
+    Cost.total ~constraints (Search.estimator graph part)
+  in
+  (weight_time *. worst /. 1000.0) +. (hw /. 100_000.0) +. (10.0 *. violation)
+
+let default_weights_time = [ 0.1; 0.3; 1.0; 2.0; 4.0; 8.0; 16.0 ]
+
+let sweep ?(constraints = Cost.no_constraints) ?(steps_per_point = 400)
+    ?(weights_time = default_weights_time) graph =
+  let s = Slif.Graph.slif graph in
+  let n_nodes = Array.length s.Slif.Types.nodes in
+  let candidates = ref [] in
+  List.iteri
+    (fun i weight_time ->
+      let rng = Slif_util.Prng.create (1000 + i) in
+      let part = Search.seed_partition s in
+      let est = Search.estimator graph part in
+      let cost = ref (objective graph constraints ~weight_time part est) in
+      let temp = ref 0.5 in
+      for _ = 1 to steps_per_point do
+        let node = Slif_util.Prng.int rng n_nodes in
+        let from = Slif.Partition.comp_of_exn part node in
+        let choices = Search.comps_for_node s s.Slif.Types.nodes.(node) in
+        let to_ = List.nth choices (Slif_util.Prng.int rng (List.length choices)) in
+        if to_ <> from then begin
+          Slif.Partition.assign_node part ~node to_;
+          let c = objective graph constraints ~weight_time part est in
+          let accept =
+            c <= !cost
+            || (!temp > 1e-9 && Slif_util.Prng.float rng 1.0 < exp ((!cost -. c) /. !temp))
+          in
+          if accept then cost := c else Slif.Partition.assign_node part ~node from
+        end;
+        temp := !temp *. 0.99
+      done;
+      candidates := score graph part ~weight_time :: !candidates)
+    weights_time;
+  front !candidates

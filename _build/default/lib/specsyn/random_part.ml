@@ -1,0 +1,31 @@
+let random_partition rng (s : Slif.Types.t) =
+  let part = Slif.Partition.create s in
+  Array.iteri
+    (fun i node ->
+      let choices = Search.comps_for_node s node in
+      let comp = List.nth choices (Slif_util.Prng.int rng (List.length choices)) in
+      Slif.Partition.assign_node part ~node:i comp)
+    s.nodes;
+  Array.iteri
+    (fun i _ ->
+      Slif.Partition.assign_chan part ~chan:i
+        ~bus:(Slif_util.Prng.int rng (Array.length s.buses)))
+    s.chans;
+  part
+
+let run ?(seed = 1) ~restarts (problem : Search.problem) =
+  if restarts <= 0 then invalid_arg "Random_part.run: restarts must be positive";
+  let s = Slif.Graph.slif problem.graph in
+  let rng = Slif_util.Prng.create seed in
+  let best = ref None in
+  for _ = 1 to restarts do
+    let part = random_partition rng s in
+    let est = Search.estimator problem.graph part in
+    let cost = Search.evaluate problem est in
+    match !best with
+    | Some (_, c) when c <= cost -> ()
+    | _ -> best := Some (part, cost)
+  done;
+  match !best with
+  | Some (part, cost) -> { Search.part; cost; evaluated = restarts }
+  | None -> assert false

@@ -1,0 +1,8 @@
+(** Random-restart partitioning: the baseline search.
+
+    Draws uniformly random proper partitions (nodes onto feasible
+    components, channels onto buses) and keeps the cheapest — the simplest
+    consumer of SLIF's fast estimation, and the baseline the heuristics
+    are compared against. *)
+
+val run : ?seed:int -> restarts:int -> Search.problem -> Search.solution

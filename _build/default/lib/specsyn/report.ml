@@ -1,0 +1,81 @@
+let partition_report ?(constraints = Cost.no_constraints) est =
+  let s = Slif.Graph.slif (Slif.Estimate.graph est) in
+  let part = Slif.Estimate.partition est in
+  let buf = Buffer.create 1024 in
+  let comp_table = Slif_util.Table.create ~header:[ "component"; "tech"; "size"; "pins"; "members" ] in
+  let describe comp =
+    let members = Slif.Partition.nodes_of_comp part comp in
+    let names =
+      List.map (fun id -> s.Slif.Types.nodes.(id).Slif.Types.n_name) members
+    in
+    let shown =
+      match names with
+      | a :: b :: c :: _ :: _ -> Printf.sprintf "%s,%s,%s,... (%d)" a b c (List.length names)
+      | _ -> String.concat "," names
+    in
+    Slif_util.Table.add_row comp_table
+      [
+        Slif.Partition.comp_name s comp;
+        Slif.Partition.comp_tech s comp;
+        Printf.sprintf "%.0f" (Slif.Estimate.size est comp);
+        string_of_int (Slif.Estimate.io_pins est comp);
+        shown;
+      ]
+  in
+  Array.iteri (fun i _ -> describe (Slif.Partition.Cproc i)) s.Slif.Types.procs;
+  Array.iteri (fun i _ -> describe (Slif.Partition.Cmem i)) s.Slif.Types.mems;
+  Buffer.add_string buf (Slif_util.Table.render comp_table);
+  Buffer.add_string buf "\n\n";
+  let bus_table = Slif_util.Table.create ~header:[ "bus"; "width"; "bitrate(Mb/s)"; "capacity" ] in
+  Array.iteri
+    (fun i (b : Slif.Types.bus) ->
+      Slif_util.Table.add_row bus_table
+        [
+          b.b_name;
+          string_of_int b.b_bitwidth;
+          Printf.sprintf "%.2f" (Slif.Estimate.bus_bitrate_mbps est i);
+          (match b.b_capacity_mbps with None -> "-" | Some c -> Printf.sprintf "%.0f" c);
+        ])
+    s.Slif.Types.buses;
+  Buffer.add_string buf (Slif_util.Table.render bus_table);
+  Buffer.add_string buf "\n\n";
+  let time_table = Slif_util.Table.create ~header:[ "process"; "exectime(us)"; "deadline(us)" ] in
+  Array.iter
+    (fun (n : Slif.Types.node) ->
+      if Slif.Types.is_process n then
+        Slif_util.Table.add_row time_table
+          [
+            n.n_name;
+            Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est n.n_id);
+            (match List.assoc_opt n.n_name constraints.Cost.deadlines_us with
+            | None -> "-"
+            | Some d -> Printf.sprintf "%.0f" d);
+          ])
+    s.Slif.Types.nodes;
+  Buffer.add_string buf (Slif_util.Table.render time_table);
+  let b = Cost.evaluate ~constraints est in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n\ncost: total=%.4f (size=%.4f io=%.4f time=%.4f bitrate=%.4f)\n"
+       b.Cost.total b.Cost.size_violation b.Cost.io_violation b.Cost.time_violation
+       b.Cost.bitrate_violation);
+  Buffer.contents buf
+
+let explore_report entries =
+  let table =
+    Slif_util.Table.create
+      ~header:[ "allocation"; "algorithm"; "cost"; "partitions"; "seconds"; "parts/s" ]
+  in
+  List.iter
+    (fun (e : Explore.entry) ->
+      Slif_util.Table.add_row table
+        [
+          e.alloc.Alloc.alloc_name;
+          Explore.algo_name e.algo;
+          Printf.sprintf "%.4f" e.solution.Search.cost;
+          string_of_int e.solution.Search.evaluated;
+          Printf.sprintf "%.3f" e.elapsed_s;
+          Printf.sprintf "%.0f" e.partitions_per_s;
+        ])
+    entries;
+  Slif_util.Table.render table

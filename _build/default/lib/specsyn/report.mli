@@ -1,0 +1,8 @@
+(** Formatted design reports: per-component size / I/O / members, bus
+    bitrates, process execution times — the rapid feedback a designer sees
+    during interactive exploration. *)
+
+val partition_report :
+  ?constraints:Cost.constraints -> Slif.Estimate.t -> string
+
+val explore_report : Explore.entry list -> string

@@ -1,0 +1,35 @@
+type problem = {
+  graph : Slif.Graph.t;
+  constraints : Cost.constraints;
+  weights : Cost.weights;
+}
+
+let problem ?(constraints = Cost.no_constraints) ?(weights = Cost.default_weights) graph =
+  { graph; constraints; weights }
+
+type solution = { part : Slif.Partition.t; cost : float; evaluated : int }
+
+let all_comps (s : Slif.Types.t) =
+  Array.to_list (Array.mapi (fun i _ -> Slif.Partition.Cproc i) s.procs)
+  @ Array.to_list (Array.mapi (fun i _ -> Slif.Partition.Cmem i) s.mems)
+
+let comps_for_node (s : Slif.Types.t) (node : Slif.Types.node) =
+  match node.n_kind with
+  | Slif.Types.Behavior _ ->
+      Array.to_list (Array.mapi (fun i _ -> Slif.Partition.Cproc i) s.procs)
+  | Slif.Types.Variable _ -> all_comps s
+
+let seed_partition (s : Slif.Types.t) =
+  if Array.length s.procs = 0 then invalid_arg "Search.seed_partition: no processor";
+  if Array.length s.buses = 0 then invalid_arg "Search.seed_partition: no bus";
+  let part = Slif.Partition.create s in
+  Array.iteri
+    (fun i _ -> Slif.Partition.assign_node part ~node:i (Slif.Partition.Cproc 0))
+    s.nodes;
+  Slif.Partition.assign_all_chans part ~bus:0;
+  part
+
+let evaluate problem est =
+  Cost.total ~weights:problem.weights ~constraints:problem.constraints est
+
+let estimator graph part = Slif.Estimate.create ~recursion_depth:4 graph part

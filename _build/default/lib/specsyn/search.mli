@@ -1,0 +1,34 @@
+(** Shared infrastructure for the partitioning algorithms. *)
+
+type problem = {
+  graph : Slif.Graph.t;
+  constraints : Cost.constraints;
+  weights : Cost.weights;
+}
+
+val problem :
+  ?constraints:Cost.constraints -> ?weights:Cost.weights -> Slif.Graph.t -> problem
+
+type solution = {
+  part : Slif.Partition.t;
+  cost : float;
+  evaluated : int;   (* number of partitions scored *)
+}
+
+val all_comps : Slif.Types.t -> Slif.Partition.comp list
+
+val comps_for_node : Slif.Types.t -> Slif.Types.node -> Slif.Partition.comp list
+(** Feasible components: behaviors go to processors only; variables to
+    processors or memories (paper, Section 2.2). *)
+
+val seed_partition : Slif.Types.t -> Slif.Partition.t
+(** Everything on processor 0, every channel on bus 0 — the initial
+    all-software partition.  Raises [Invalid_argument] when the SLIF has
+    no processor or no bus. *)
+
+val evaluate : problem -> Slif.Estimate.t -> float
+(** Cost of the estimator's partition under the problem's constraints. *)
+
+val estimator : Slif.Graph.t -> Slif.Partition.t -> Slif.Estimate.t
+(** Estimator configured for search (average mode, recursion unrolled a
+    few levels so a recursive spec does not abort the search). *)

@@ -1,0 +1,160 @@
+exception Not_a_call of string
+
+(* Sum two weight lists over the union of their technologies, scaling the
+   second list by [scale]. *)
+let merge_weights ?(scale = 1.0) a b =
+  let techs = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.map
+    (fun tech ->
+      let va = Option.value (List.assoc_opt tech a) ~default:0.0 in
+      let vb = Option.value (List.assoc_opt tech b) ~default:0.0 in
+      (tech, va +. (scale *. vb)))
+    techs
+
+(* Rebuild a SLIF from node and channel lists: renumber nodes densely,
+   remap channel endpoints, drop channels whose endpoints vanished, and
+   aggregate same-(src,dst,kind) channels by summing frequencies. *)
+let rebuild (s : Slif.Types.t) nodes chans =
+  let remap = Hashtbl.create 64 in
+  List.iteri (fun i (n : Slif.Types.node) -> Hashtbl.replace remap n.n_id i) nodes;
+  let nodes =
+    Array.of_list (List.mapi (fun i (n : Slif.Types.node) -> { n with Slif.Types.n_id = i }) nodes)
+  in
+  let live (c : Slif.Types.channel) =
+    Hashtbl.mem remap c.c_src
+    && match c.c_dst with Slif.Types.Dnode d -> Hashtbl.mem remap d | Slif.Types.Dport _ -> true
+  in
+  let aggregated = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (c : Slif.Types.channel) ->
+      if live c then begin
+        let src = Hashtbl.find remap c.c_src in
+        let dst =
+          match c.c_dst with
+          | Slif.Types.Dnode d -> Slif.Types.Dnode (Hashtbl.find remap d)
+          | Slif.Types.Dport p -> Slif.Types.Dport p
+        in
+        let key = (src, dst, c.c_kind) in
+        match Hashtbl.find_opt aggregated key with
+        | Some (prev : Slif.Types.channel) ->
+            Hashtbl.replace aggregated key
+              {
+                prev with
+                Slif.Types.c_accfreq = prev.c_accfreq +. c.c_accfreq;
+                c_accfreq_min = prev.c_accfreq_min +. c.c_accfreq_min;
+                c_accfreq_max = prev.c_accfreq_max +. c.c_accfreq_max;
+                c_bits = max prev.c_bits c.c_bits;
+                c_tag = (if prev.c_tag = c.c_tag then prev.c_tag else None);
+              }
+        | None ->
+            Hashtbl.replace aggregated key { c with Slif.Types.c_src = src; c_dst = dst };
+            order := key :: !order
+      end)
+    chans;
+  let chans =
+    List.rev !order
+    |> List.mapi (fun i key -> { (Hashtbl.find aggregated key) with Slif.Types.c_id = i })
+    |> Array.of_list
+  in
+  { s with Slif.Types.nodes; chans }
+
+let find_node_exn (s : Slif.Types.t) name =
+  match Slif.Types.node_by_name s name with Some n -> n | None -> raise Not_found
+
+let inline ~caller ~callee (s : Slif.Types.t) =
+  let caller_node = find_node_exn s caller in
+  let callee_node = find_node_exn s callee in
+  let chans = Array.to_list s.chans in
+  let call_chan =
+    match
+      List.find_opt
+        (fun (c : Slif.Types.channel) ->
+          c.c_kind = Slif.Types.Call
+          && c.c_src = caller_node.n_id
+          && c.c_dst = Slif.Types.Dnode callee_node.n_id)
+        chans
+    with
+    | Some c -> c
+    | None -> raise (Not_a_call (Printf.sprintf "%s does not call %s" caller callee))
+  in
+  let call_freq = call_chan.c_accfreq in
+  let other_callers =
+    List.exists
+      (fun (c : Slif.Types.channel) ->
+        c.c_kind = Slif.Types.Call
+        && c.c_dst = Slif.Types.Dnode callee_node.n_id
+        && c.c_src <> caller_node.n_id)
+      chans
+  in
+  (* The caller absorbs the callee's computation and code. *)
+  let caller_node' =
+    {
+      caller_node with
+      Slif.Types.n_ict = merge_weights ~scale:call_freq caller_node.n_ict callee_node.n_ict;
+      n_size = merge_weights caller_node.n_size callee_node.n_size;
+    }
+  in
+  let nodes =
+    Array.to_list s.nodes
+    |> List.filter_map (fun (n : Slif.Types.node) ->
+           if n.n_id = caller_node.n_id then Some caller_node'
+           else if n.n_id = callee_node.n_id && not other_callers then None
+           else Some n)
+  in
+  (* Re-source the callee's accesses at the caller, scaled by how often the
+     caller invoked it; drop the call channel itself. *)
+  let chans' =
+    List.concat_map
+      (fun (c : Slif.Types.channel) ->
+        if c.c_id = call_chan.c_id then []
+        else if c.c_src = callee_node.n_id then
+          let hoisted =
+            {
+              c with
+              Slif.Types.c_src = caller_node.n_id;
+              c_accfreq = c.c_accfreq *. call_freq;
+              c_accfreq_min = c.c_accfreq_min *. call_chan.c_accfreq_min;
+              c_accfreq_max = c.c_accfreq_max *. call_chan.c_accfreq_max;
+              c_tag = None;
+            }
+          in
+          if other_callers then [ c; hoisted ] else [ hoisted ]
+        else [ c ])
+      chans
+  in
+  rebuild s nodes chans'
+
+let merge_processes (s : Slif.Types.t) p1 p2 =
+  let n1 = find_node_exn s p1 and n2 = find_node_exn s p2 in
+  if not (Slif.Types.is_process n1) then invalid_arg (p1 ^ " is not a process");
+  if not (Slif.Types.is_process n2) then invalid_arg (p2 ^ " is not a process");
+  let merged =
+    {
+      n1 with
+      Slif.Types.n_name = p1 ^ "_" ^ p2;
+      n_ict = merge_weights n1.n_ict n2.n_ict;
+      n_size = merge_weights n1.n_size n2.n_size;
+    }
+  in
+  let nodes =
+    Array.to_list s.nodes
+    |> List.filter_map (fun (n : Slif.Types.node) ->
+           if n.n_id = n1.n_id then Some merged
+           else if n.n_id = n2.n_id then None
+           else Some n)
+  in
+  (* Redirect p2's endpoints to the merged node; channels between the two
+     processes become internal and vanish. *)
+  let redirect (c : Slif.Types.channel) =
+    let src = if c.c_src = n2.n_id then n1.n_id else c.c_src in
+    let dst =
+      match c.c_dst with
+      | Slif.Types.Dnode d when d = n2.n_id -> Slif.Types.Dnode n1.n_id
+      | other -> other
+    in
+    if src = n1.n_id && dst = Slif.Types.Dnode n1.n_id then None
+    else Some { c with Slif.Types.c_src = src; c_dst = dst }
+  in
+  let chans = Array.to_list s.chans |> List.filter_map redirect in
+  rebuild s nodes chans

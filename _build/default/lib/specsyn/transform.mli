@@ -1,0 +1,32 @@
+(** Specification transformations over SLIF (the third system-design task).
+
+    The paper defers transformations to future work but states exactly
+    what they require: "modification of certain nodes and edges, along
+    with recomputation of certain annotations" (Section 3).  Both
+    transformations below work purely on the annotated access graph.
+
+    {b Procedure inlining} merges a callee into one caller: the call
+    channel disappears, the callee's channels are re-sourced at the caller
+    with frequencies multiplied by the call frequency, and the caller's
+    ict/size weights absorb the callee's (ict scaled by call frequency; a
+    full size copy, since the code is duplicated into the caller).  When
+    the callee has no other callers its node is removed.
+
+    {b Process merging} fuses two processes into one sequential process:
+    channel sets are united (same-destination channels aggregate their
+    frequencies) and weights are summed — the "merging processes into a
+    single process for implementation with a single controller" use case
+    of Section 1. *)
+
+exception Not_a_call of string
+(** Raised by [inline] when no call channel links caller to callee. *)
+
+val inline : caller:string -> callee:string -> Slif.Types.t -> Slif.Types.t
+(** Raises [Not_found] when either behavior does not exist, {!Not_a_call}
+    when the caller does not call the callee. *)
+
+val merge_processes : Slif.Types.t -> string -> string -> Slif.Types.t
+(** [merge_processes slif p1 p2] produces a SLIF where processes [p1] and
+    [p2] are replaced by a process named ["p1_p2"].  Channels between the
+    two become internal and disappear.  Raises [Not_found] when either
+    process is missing, [Invalid_argument] when a name is not a process. *)

@@ -1,0 +1,1 @@
+lib/tech/asic_model.ml: Census List Optype

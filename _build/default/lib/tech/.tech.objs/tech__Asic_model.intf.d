@@ -1,0 +1,1 @@
+lib/tech/asic_model.mli: Census Optype

@@ -1,0 +1,1 @@
+lib/tech/census.ml: Array Flow List Optype Vhdl

@@ -1,0 +1,1 @@
+lib/tech/census.mli: Flow Optype Vhdl

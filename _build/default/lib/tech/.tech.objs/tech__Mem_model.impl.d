@@ -1,0 +1,1 @@
+lib/tech/mem_model.ml: Slif_util

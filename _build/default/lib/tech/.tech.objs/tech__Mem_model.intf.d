@@ -1,0 +1,1 @@
+lib/tech/mem_model.mli:

@@ -1,0 +1,1 @@
+lib/tech/optype.ml: Vhdl

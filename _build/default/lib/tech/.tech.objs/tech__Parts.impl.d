@@ -1,0 +1,1 @@
+lib/tech/parts.ml: Asic_model List Mem_model Optype Proc_model

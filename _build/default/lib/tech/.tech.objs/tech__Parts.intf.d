@@ -1,0 +1,1 @@
+lib/tech/parts.mli: Asic_model Mem_model Proc_model

@@ -1,0 +1,1 @@
+lib/tech/proc_model.ml: Census List Optype Slif_util

@@ -1,0 +1,1 @@
+lib/tech/proc_model.mli: Census Optype

@@ -1,0 +1,47 @@
+type fu = { area_gates : float; cycles_per_op : int; available : int }
+
+type t = {
+  name : string;
+  clock_ns : float;
+  fu_of : Optype.t -> fu;
+  reg_gates_per_bit : float;
+  mux_gates_per_op : float;
+  ctrl_gates_per_op : float;
+  var_access_us : float;
+}
+
+let allocate t census op =
+  let stat = Census.stat census op in
+  if stat = 0 then 0
+  else
+    let wanted = max 1 ((stat + 9) / 10) in
+    min wanted (t.fu_of op).available
+
+let behavior_ict_us t census =
+  let cycles =
+    List.fold_left
+      (fun acc op ->
+        let d = Census.dyn census op in
+        if d = 0.0 then acc
+        else
+          let units = max 1 (allocate t census op) in
+          let fu = t.fu_of op in
+          acc +. (d /. float_of_int units *. float_of_int fu.cycles_per_op))
+      0.0 Optype.all
+  in
+  cycles *. t.clock_ns /. 1000.0
+
+let behavior_size_gates t census ~local_bits =
+  let fu_area =
+    List.fold_left
+      (fun acc op ->
+        acc +. (float_of_int (allocate t census op) *. (t.fu_of op).area_gates))
+      0.0 Optype.all
+  in
+  let sites = float_of_int (Census.total_static census) in
+  fu_area
+  +. (float_of_int local_bits *. t.reg_gates_per_bit)
+  +. (sites *. t.mux_gates_per_op)
+  +. (sites *. t.ctrl_gates_per_op)
+
+let variable_size_gates t ~storage_bits = float_of_int storage_bits *. t.reg_gates_per_bit

@@ -1,0 +1,41 @@
+(** Pseudo-synthesizer: custom-processor (ASIC / FPGA) cost model.
+
+    Stands in for the paper's "synthesize the behavior to a structure using
+    that component's technology" step: functional units are allocated from
+    a finite library, dynamic operations are serialized over the allocated
+    units to yield control steps (→ ict), and area sums allocated units,
+    local registers, steering logic and control (→ gates).  The same
+    schedule determines which accesses of a behavior can occur in the same
+    control step, which is where SLIF's concurrency tags come from
+    (Section 2.4.1). *)
+
+type fu = {
+  area_gates : float;     (* one functional unit of this class *)
+  cycles_per_op : int;    (* control steps one operation occupies *)
+  available : int;        (* library bound on parallel units *)
+}
+
+type t = {
+  name : string;              (* technology identifier, e.g. "asic_gal" *)
+  clock_ns : float;
+  fu_of : Optype.t -> fu;
+  reg_gates_per_bit : float;
+  mux_gates_per_op : float;   (* steering overhead per static op site *)
+  ctrl_gates_per_op : float;  (* FSM overhead per static op site *)
+  var_access_us : float;      (* ict of a variable registered on this ASIC *)
+}
+
+val allocate : t -> Census.t -> Optype.t -> int
+(** Units allocated for an op class: zero when the class is unused, else
+    one unit per ten static sites, clamped to the library's [available]. *)
+
+val behavior_ict_us : t -> Census.t -> float
+(** Scheduled cycles: each op class's dynamic count serialized over its
+    allocated units, times [cycles_per_op], times the clock period. *)
+
+val behavior_size_gates : t -> Census.t -> local_bits:int -> float
+(** Area: allocated FUs + [local_bits] of registers + mux and control
+    overhead proportional to static op sites. *)
+
+val variable_size_gates : t -> storage_bits:int -> float
+(** A variable kept on the ASIC occupies register area. *)

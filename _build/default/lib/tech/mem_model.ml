@@ -1,0 +1,6 @@
+type t = { name : string; word_bits : int; access_us : float }
+
+let variable_size_words t ~storage_bits =
+  float_of_int (Slif_util.Bitmath.ceil_div storage_bits t.word_bits)
+
+let variable_access_us t = t.access_us

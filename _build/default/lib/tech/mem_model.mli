@@ -1,0 +1,12 @@
+(** Standard-memory cost model: variables mapped to a memory component are
+    sized in words (paper, Section 2.4.3), and their ict is the storage
+    access time. *)
+
+type t = {
+  name : string;       (* technology identifier, e.g. "sram16" *)
+  word_bits : int;
+  access_us : float;   (* average of read and write time *)
+}
+
+val variable_size_words : t -> storage_bits:int -> float
+val variable_access_us : t -> float

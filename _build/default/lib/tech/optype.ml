@@ -1,0 +1,42 @@
+(** Abstract operation classes used by the technology cost models.
+
+    The pseudo-compiler and pseudo-synthesizer both reduce a behavior to a
+    census over these classes; each concrete technology then assigns
+    cycles / bytes / gates / delays per class. *)
+
+type t =
+  | Add       (* additive: +, -, negate, abs, address computations *)
+  | Mul
+  | Div       (* division, mod, rem *)
+  | Cmp       (* relational operators *)
+  | Logic     (* and/or/xor/not/concat *)
+  | Move      (* register-to-register / assignment overhead *)
+  | Load      (* read of a stored variable *)
+  | Store     (* write of a stored variable *)
+  | Branch    (* control transfer: if/case/loop back-edge *)
+  | Call_op   (* subprogram call/return linkage *)
+  | Io_op     (* port or message-channel access *)
+
+let all = [ Add; Mul; Div; Cmp; Logic; Move; Load; Store; Branch; Call_op; Io_op ]
+
+let to_string = function
+  | Add -> "add" | Mul -> "mul" | Div -> "div" | Cmp -> "cmp" | Logic -> "logic"
+  | Move -> "move" | Load -> "load" | Store -> "store" | Branch -> "branch"
+  | Call_op -> "call" | Io_op -> "io"
+
+let index = function
+  | Add -> 0 | Mul -> 1 | Div -> 2 | Cmp -> 3 | Logic -> 4 | Move -> 5
+  | Load -> 6 | Store -> 7 | Branch -> 8 | Call_op -> 9 | Io_op -> 10
+
+let count = 11
+
+let of_binop : Vhdl.Ast.binop -> t = function
+  | Vhdl.Ast.Add | Vhdl.Ast.Sub -> Add
+  | Vhdl.Ast.Mul -> Mul
+  | Vhdl.Ast.Div | Vhdl.Ast.Mod | Vhdl.Ast.Rem -> Div
+  | Vhdl.Ast.Eq | Vhdl.Ast.Neq | Vhdl.Ast.Lt | Vhdl.Ast.Le | Vhdl.Ast.Gt | Vhdl.Ast.Ge -> Cmp
+  | Vhdl.Ast.And | Vhdl.Ast.Or | Vhdl.Ast.Xor | Vhdl.Ast.Concat -> Logic
+
+let of_unop : Vhdl.Ast.unop -> t = function
+  | Vhdl.Ast.Neg | Vhdl.Ast.Abs -> Add
+  | Vhdl.Ast.Not -> Logic

@@ -1,0 +1,46 @@
+(** Stock catalog of component technologies and buses.
+
+    Every SLIF component instance references one of these technologies by
+    name; the annotator computes one ict / size weight per technology for
+    every functional object, which is exactly the paper's "list of
+    weights, one weight for each type of system component on which that
+    node could possibly be implemented". *)
+
+type technology =
+  | Proc of Proc_model.t
+  | Asic of Asic_model.t
+  | Mem of Mem_model.t
+
+val technology_name : technology -> string
+
+type bus_kind = {
+  bk_name : string;
+  bk_bitwidth : int;
+  bk_ts_us : float;          (* transfer time within one component *)
+  bk_td_us : float;          (* transfer time between components *)
+  bk_capacity_mbps : float;  (* peak bitrate, for capacity-limited estimates *)
+}
+
+(* Processors *)
+val mcu8 : Proc_model.t    (* small 8-bit microcontroller *)
+val cpu32 : Proc_model.t   (* 32-bit embedded RISC *)
+val dsp16 : Proc_model.t   (* 16-bit DSP: single-cycle MAC, weak control *)
+
+(* Custom processors *)
+val asic_gal : Asic_model.t   (* gate-array ASIC *)
+val fpga : Asic_model.t       (* field-programmable *)
+
+(* Memories *)
+val sram16 : Mem_model.t
+val dram32 : Mem_model.t
+val eeprom8 : Mem_model.t  (* slow serial configuration store *)
+
+(* Buses *)
+val bus8 : bus_kind
+val bus16 : bus_kind
+val bus32 : bus_kind
+
+val all : technology list
+val find : string -> technology option
+val find_bus : string -> bus_kind option
+val all_buses : bus_kind list

@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  clock_mhz : float;
+  cycles : Optype.t -> float;
+  bytes : Optype.t -> int;
+  code_overhead_bytes : int;
+  word_bits : int;
+  var_access_us : float;
+}
+
+let behavior_ict_us t census =
+  let cycles =
+    List.fold_left
+      (fun acc op -> acc +. (Census.dyn census op *. t.cycles op))
+      0.0 Optype.all
+  in
+  cycles /. t.clock_mhz
+
+let behavior_size_bytes t census =
+  let bytes =
+    List.fold_left
+      (fun acc op -> acc + (Census.stat census op * t.bytes op))
+      0 Optype.all
+  in
+  float_of_int (bytes + t.code_overhead_bytes)
+
+let variable_size_bytes t ~storage_bits =
+  let word_bytes = (t.word_bits + 7) / 8 in
+  float_of_int (Slif_util.Bitmath.ceil_div storage_bits t.word_bits * word_bytes)

@@ -1,0 +1,28 @@
+(** Pseudo-compiler: standard-processor cost model.
+
+    Stands in for the paper's "compile each procedure into the processor's
+    instruction set" preprocessing step (Section 2.1): a one-pass,
+    deterministic mapping from a behavior's operation census to instruction
+    bytes (size weight) and cycles (ict weight).  See DESIGN.md §5. *)
+
+type t = {
+  name : string;               (* technology identifier, e.g. "cpu32" *)
+  clock_mhz : float;
+  cycles : Optype.t -> float;  (* average cycles per executed op *)
+  bytes : Optype.t -> int;     (* instruction bytes per static op site *)
+  code_overhead_bytes : int;   (* per-behavior prologue/epilogue *)
+  word_bits : int;             (* natural data width, for variable sizing *)
+  var_access_us : float;       (* ict of a variable stored on this processor *)
+}
+
+val behavior_ict_us : t -> Census.t -> float
+(** Internal computation time: dynamic census weighted by per-op cycles,
+    divided by the clock. *)
+
+val behavior_size_bytes : t -> Census.t -> float
+(** Code size: static census weighted by per-op instruction bytes, plus
+    the per-behavior overhead. *)
+
+val variable_size_bytes : t -> storage_bits:int -> float
+(** Data bytes when the variable lives in the processor's memory: storage
+    rounded up to whole words. *)

@@ -1,0 +1,25 @@
+let clog2 n =
+  if n <= 0 then invalid_arg "Bitmath.clog2: non-positive argument";
+  let rec loop acc pow = if pow >= n then acc else loop (acc + 1) (pow * 2) in
+  loop 0 1
+
+let bits_for_cardinality n =
+  if n <= 0 then invalid_arg "Bitmath.bits_for_cardinality";
+  max 1 (clog2 n)
+
+let bits_for_range ~lo ~hi =
+  if hi < lo then invalid_arg "Bitmath.bits_for_range: empty range";
+  if lo >= 0 then bits_for_cardinality (hi + 1)
+  else
+    (* Two's complement: need enough magnitude bits for both extremes. *)
+    let magnitude = max (abs lo) (abs (hi + 1)) in
+    1 + bits_for_cardinality magnitude
+
+let address_bits ~length =
+  if length <= 0 then invalid_arg "Bitmath.address_bits";
+  if length = 1 then 0 else clog2 length
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Bitmath.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Bitmath.ceil_div: negative dividend";
+  (a + b - 1) / b

@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    The partitioning heuristics (simulated annealing, random restarts) must
+    be reproducible across runs and platforms, so they use this explicit
+    generator instead of the ambient [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a uniform integer in [0, bound).
+    Raises [Invalid_argument] when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws a uniform float in [0, bound). *)
+
+val bool : t -> bool
+(** [bool t] draws a uniform boolean. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator, advancing [t]. *)

@@ -1,0 +1,45 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- cells :: t.rows
+
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e')
+       s
+
+let render t =
+  let rows = List.rev t.rows in
+  let cols = List.length t.header in
+  let widths = Array.make cols 0 in
+  let numeric = Array.make cols true in
+  let scan row =
+    List.iteri
+      (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  scan t.header;
+  List.iter scan rows;
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if not (is_numeric cell) then numeric.(i) <- false) row)
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if numeric.(i) then String.make n ' ' ^ cell else cell ^ String.make n ' '
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((line t.header :: sep :: List.map line rows) @ [])
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment reports and the CLI.
+
+    Columns are right-aligned when every body cell parses as a number,
+    left-aligned otherwise, mirroring the layout of the paper's Figure 4. *)
+
+type t
+
+val create : header:string list -> t
+(** [create ~header] starts a table with the given column titles. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  Raises [Invalid_argument] when the
+    row width differs from the header width. *)
+
+val render : t -> string
+(** [render t] lays the table out with aligned columns and a separator
+    under the header. *)
+
+val print : t -> unit
+(** [print t] renders to stdout followed by a newline. *)

@@ -1,0 +1,10 @@
+(** Wall-clock timing helpers for the experiment harness (Figure 4 reports
+    T-slif and T-est in seconds). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_n : int -> (unit -> 'a) -> float
+(** [time_n n f] runs [f] [n] times and returns the average elapsed seconds
+    per run.  Raises [Invalid_argument] when [n <= 0]. *)

@@ -1,0 +1,1 @@
+lib/vhdl/lexer.ml: Buffer List Loc String Token

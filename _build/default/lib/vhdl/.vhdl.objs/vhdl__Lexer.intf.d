@@ -1,0 +1,1 @@
+lib/vhdl/lexer.mli: Loc Token

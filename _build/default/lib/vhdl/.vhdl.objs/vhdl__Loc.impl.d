@@ -1,0 +1,1 @@
+lib/vhdl/loc.ml: Printf

@@ -1,0 +1,1 @@
+lib/vhdl/parser.ml: Array Ast Lexer List Loc Printf Token

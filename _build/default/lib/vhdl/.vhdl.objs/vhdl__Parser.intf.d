@@ -1,0 +1,1 @@
+lib/vhdl/parser.mli: Ast

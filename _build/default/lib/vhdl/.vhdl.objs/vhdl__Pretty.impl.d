@@ -1,0 +1,1 @@
+lib/vhdl/pretty.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/vhdl/sem.ml: Ast List Map Slif_util String

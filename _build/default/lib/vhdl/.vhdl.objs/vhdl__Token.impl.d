@@ -1,0 +1,1 @@
+lib/vhdl/token.ml: Printf String

@@ -1,0 +1,106 @@
+(** Abstract syntax of the behavioral-VHDL subset.
+
+    The subset is the slice of VHDL (plus the SpecCharts-style [par] and
+    message-pass extensions) that SLIF construction needs: entities with
+    ports, one architecture containing shared declarations, subprograms and
+    processes, and sequential statements whose variable / signal / port /
+    subprogram accesses become SLIF channels. *)
+
+type mode = In | Out | Inout
+
+(* Type denotations.  [Named] refers to a user [type] declaration and is
+   resolved by {!Sem}. *)
+type type_def =
+  | Integer
+  | Natural
+  | Boolean
+  | Bit
+  | Bit_vector of int                               (* width in bits *)
+  | Int_range of int * int                          (* integer range lo to hi *)
+  | Array_of of { length : int; lo : int; elem : type_def }
+  | Named of string
+
+type binop =
+  | Add | Sub | Mul | Div | Mod | Rem
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or | Xor
+  | Concat
+
+type unop = Neg | Not | Abs
+
+type expr =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Name of string                                  (* variable/signal/port/constant *)
+  | Index of string * expr                          (* array element  a(i)       *)
+  | Attr of string * string                         (* a'length etc.             *)
+  | Call of string * expr list                      (* function call             *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type target =
+  | Tname of string
+  | Tindex of string * expr
+
+(* A [when] alternative of a [case]. *)
+type choice = Ch_expr of expr | Ch_others
+
+type delay_unit = Ns | Us | Ms
+
+type stmt =
+  | Assign of target * expr                         (* v := e                    *)
+  | Signal_assign of target * expr                  (* s <= e                    *)
+  | If of (expr * stmt list) list * stmt list       (* arms (cond, body), else   *)
+  | Case of expr * (choice list * stmt list) list
+  | For of string * int * int * stmt list           (* for i in lo to hi loop    *)
+  | While of expr * stmt list
+  | Loop_forever of stmt list                       (* loop ... end loop         *)
+  | Pcall of string * expr list                     (* procedure call            *)
+  | Par of (string * expr list) list                (* fork/join of calls        *)
+  | Send of string * expr                           (* message pass: send(ch,e)  *)
+  | Receive of string * target                      (* receive(ch,v)             *)
+  | Wait_for of int * delay_unit
+  | Wait_until of expr
+  | Wait_on of string list
+  | Return of expr option
+  | Null_stmt
+  | Exit_loop                                       (* exit;                     *)
+
+type param = { par_name : string; par_mode : mode; par_type : type_def }
+
+type decl =
+  | Var_decl of { v_name : string; v_type : type_def; v_init : expr option; v_shared : bool }
+  | Sig_decl of { s_name : string; s_type : type_def }
+  | Const_decl of { c_name : string; c_type : type_def; c_value : expr }
+  | Type_decl of string * type_def
+
+type subprogram = {
+  sub_name : string;
+  sub_params : param list;
+  sub_ret : type_def option;                        (* Some _ for functions *)
+  sub_decls : decl list;
+  sub_body : stmt list;
+}
+
+type process = {
+  proc_name : string;
+  proc_decls : decl list;
+  proc_body : stmt list;
+}
+
+type port = { port_name : string; port_mode : mode; port_type : type_def }
+
+type design = {
+  entity_name : string;
+  ports : port list;
+  arch_name : string;
+  arch_decls : decl list;
+  subprograms : subprogram list;
+  processes : process list;
+}
+
+(** [behaviors d] lists every behavior of the design: processes first, then
+    subprograms, each paired with its declarations and body. *)
+let behaviors d =
+  List.map (fun p -> (p.proc_name, p.proc_decls, p.proc_body)) d.processes
+  @ List.map (fun s -> (s.sub_name, s.sub_decls, s.sub_body)) d.subprograms

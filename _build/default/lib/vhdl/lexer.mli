@@ -1,0 +1,9 @@
+(** Hand-written lexer for the behavioral-VHDL subset.
+
+    Comments ([-- ... \n]) and whitespace are skipped; identifiers and
+    keywords are case-insensitive (identifiers are lowered). *)
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** [tokenize source] scans the whole input and returns the token stream
+    terminated by [Token.Eof].  Raises [Loc.Error] on an illegal character
+    or an unterminated string literal. *)

@@ -1,0 +1,14 @@
+(** Source locations for error reporting. *)
+
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let make ~line ~col = { line; col }
+
+let to_string { line; col } = Printf.sprintf "%d:%d" line col
+
+(** Parse or lex error carrying a location and message. *)
+exception Error of t * string
+
+let error loc fmt = Printf.ksprintf (fun msg -> raise (Error (loc, msg))) fmt

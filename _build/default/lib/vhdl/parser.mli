@@ -1,0 +1,12 @@
+(** Recursive-descent parser for the behavioral-VHDL subset.
+
+    Accepts one entity followed by one architecture; see {!Ast} for the
+    supported constructs.  Raises [Loc.Error] with a located message on any
+    syntax error. *)
+
+val parse : string -> Ast.design
+(** [parse source] lexes and parses a complete design. *)
+
+val parse_expr : string -> Ast.expr
+(** [parse_expr source] parses a standalone expression (used by tests and
+    the branch-probability tooling). *)

@@ -1,0 +1,175 @@
+open Ast
+
+let mode_to_string = function In -> "in" | Out -> "out" | Inout -> "inout"
+
+let rec type_to_string = function
+  | Integer -> "integer"
+  | Natural -> "natural"
+  | Boolean -> "boolean"
+  | Bit -> "bit"
+  | Bit_vector w -> Printf.sprintf "bit_vector(%d)" w
+  | Int_range (lo, hi) -> Printf.sprintf "integer range %d to %d" lo hi
+  | Array_of { length; lo; elem } ->
+      Printf.sprintf "array (%d to %d) of %s" lo (lo + length - 1) (type_to_string elem)
+  | Named n -> n
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Mod -> "mod" | Rem -> "rem"
+  | Eq -> "=" | Neq -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Concat -> "&"
+
+let unop_to_string = function Neg -> "-" | Not -> "not " | Abs -> "abs "
+
+let rec expr_to_string = function
+  | Int_lit n -> string_of_int n
+  | Bool_lit b -> if b then "true" else "false"
+  | Name n -> n
+  | Index (n, e) -> Printf.sprintf "%s(%s)" n (expr_to_string e)
+  | Attr (n, a) -> Printf.sprintf "%s'%s" n a
+  | Call (n, args) ->
+      Printf.sprintf "%s(%s)" n (String.concat ", " (List.map expr_to_string args))
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op) (expr_to_string b)
+  | Unop (op, a) -> Printf.sprintf "(%s%s)" (unop_to_string op) (expr_to_string a)
+
+let target_to_string = function
+  | Tname n -> n
+  | Tindex (n, e) -> Printf.sprintf "%s(%s)" n (expr_to_string e)
+
+let delay_unit_to_string = function Ns -> "ns" | Us -> "us" | Ms -> "ms"
+
+let rec stmt_lines ind stmt =
+  let pad = String.make ind ' ' in
+  let block body = List.concat_map (stmt_lines (ind + 2)) body in
+  match stmt with
+  | Assign (t, e) -> [ Printf.sprintf "%s%s := %s;" pad (target_to_string t) (expr_to_string e) ]
+  | Signal_assign (t, e) ->
+      [ Printf.sprintf "%s%s <= %s;" pad (target_to_string t) (expr_to_string e) ]
+  | If (arms, els) ->
+      let arm_lines =
+        List.concat
+          (List.mapi
+             (fun i (cond, body) ->
+               let kw = if i = 0 then "if" else "elsif" in
+               Printf.sprintf "%s%s %s then" pad kw (expr_to_string cond) :: block body)
+             arms)
+      in
+      let else_lines =
+        match els with [] -> [] | _ -> (pad ^ "else") :: block els
+      in
+      arm_lines @ else_lines @ [ pad ^ "end if;" ]
+  | Case (subject, alts) ->
+      let alt_lines =
+        List.concat_map
+          (fun (choices, body) ->
+            let cs =
+              String.concat " | "
+                (List.map
+                   (function Ch_others -> "others" | Ch_expr e -> expr_to_string e)
+                   choices)
+            in
+            (* Alternative bodies sit one level below their [when]. *)
+            Printf.sprintf "%s  when %s =>" pad cs
+            :: List.concat_map (stmt_lines (ind + 4)) body)
+          alts
+      in
+      (Printf.sprintf "%scase %s is" pad (expr_to_string subject) :: alt_lines)
+      @ [ pad ^ "end case;" ]
+  | For (v, lo, hi, body) ->
+      (Printf.sprintf "%sfor %s in %d to %d loop" pad v lo hi :: block body)
+      @ [ pad ^ "end loop;" ]
+  | While (cond, body) ->
+      (Printf.sprintf "%swhile %s loop" pad (expr_to_string cond) :: block body)
+      @ [ pad ^ "end loop;" ]
+  | Loop_forever body -> ((pad ^ "loop") :: block body) @ [ pad ^ "end loop;" ]
+  | Pcall (n, []) -> [ Printf.sprintf "%s%s;" pad n ]
+  | Pcall (n, args) ->
+      [ Printf.sprintf "%s%s(%s);" pad n (String.concat ", " (List.map expr_to_string args)) ]
+  | Par calls ->
+      let call_lines =
+        List.map
+          (fun (n, args) ->
+            match args with
+            | [] -> Printf.sprintf "%s  %s;" pad n
+            | _ ->
+                Printf.sprintf "%s  %s(%s);" pad n
+                  (String.concat ", " (List.map expr_to_string args)))
+          calls
+      in
+      ((pad ^ "par") :: call_lines) @ [ pad ^ "end par;" ]
+  | Send (ch, e) -> [ Printf.sprintf "%ssend(%s, %s);" pad ch (expr_to_string e) ]
+  | Receive (ch, t) -> [ Printf.sprintf "%sreceive(%s, %s);" pad ch (target_to_string t) ]
+  | Wait_for (n, u) -> [ Printf.sprintf "%swait for %d %s;" pad n (delay_unit_to_string u) ]
+  | Wait_until e -> [ Printf.sprintf "%swait until %s;" pad (expr_to_string e) ]
+  | Wait_on [] -> [ pad ^ "wait;" ]
+  | Wait_on names -> [ Printf.sprintf "%swait on %s;" pad (String.concat ", " names) ]
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Null_stmt -> [ pad ^ "null;" ]
+  | Exit_loop -> [ pad ^ "exit;" ]
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s)
+
+let decl_lines ind d =
+  let pad = String.make ind ' ' in
+  match d with
+  | Var_decl { v_name; v_type; v_init; v_shared } ->
+      let shared = if v_shared then "shared " else "" in
+      let init =
+        match v_init with None -> "" | Some e -> " := " ^ expr_to_string e
+      in
+      [ Printf.sprintf "%s%svariable %s : %s%s;" pad shared v_name (type_to_string v_type) init ]
+  | Sig_decl { s_name; s_type } ->
+      [ Printf.sprintf "%ssignal %s : %s;" pad s_name (type_to_string s_type) ]
+  | Const_decl { c_name; c_type; c_value } ->
+      [ Printf.sprintf "%sconstant %s : %s := %s;" pad c_name (type_to_string c_type)
+          (expr_to_string c_value) ]
+  | Type_decl (n, td) -> [ Printf.sprintf "%stype %s is %s;" pad n (type_to_string td) ]
+
+let subprogram_lines s =
+  let params =
+    match s.sub_params with
+    | [] -> ""
+    | ps ->
+        let p_str p =
+          Printf.sprintf "%s : %s %s" p.par_name (mode_to_string p.par_mode)
+            (type_to_string p.par_type)
+        in
+        Printf.sprintf "(%s)" (String.concat "; " (List.map p_str ps))
+  in
+  let header =
+    match s.sub_ret with
+    | None -> Printf.sprintf "  procedure %s%s is" s.sub_name params
+    | Some ty ->
+        Printf.sprintf "  function %s%s return %s is" s.sub_name params (type_to_string ty)
+  in
+  (header :: List.concat_map (decl_lines 4) s.sub_decls)
+  @ ("  begin" :: List.concat_map (stmt_lines 4) s.sub_body)
+  @ [ Printf.sprintf "  end %s;" s.sub_name ]
+
+let process_lines p =
+  (Printf.sprintf "  %s: process" p.proc_name :: List.concat_map (decl_lines 4) p.proc_decls)
+  @ ("  begin" :: List.concat_map (stmt_lines 4) p.proc_body)
+  @ [ "  end process;" ]
+
+let design_to_string d =
+  let port_lines =
+    match d.ports with
+    | [] -> []
+    | ps ->
+        let p_str p =
+          Printf.sprintf "    %s : %s %s" p.port_name (mode_to_string p.port_mode)
+            (type_to_string p.port_type)
+        in
+        [ "  port (\n" ^ String.concat ";\n" (List.map p_str ps) ^ " );" ]
+  in
+  let entity =
+    (Printf.sprintf "entity %s is" d.entity_name :: port_lines) @ [ "end;"; "" ]
+  in
+  let arch_header = Printf.sprintf "architecture %s of %s is" d.arch_name d.entity_name in
+  let decls = List.concat_map (decl_lines 2) d.arch_decls in
+  let subs = List.concat_map (fun s -> subprogram_lines s @ [ "" ]) d.subprograms in
+  let procs = List.concat_map (fun p -> process_lines p @ [ "" ]) d.processes in
+  String.concat "\n"
+    (entity @ (arch_header :: decls) @ ("" :: subs) @ ("begin" :: procs) @ [ "end;" ])

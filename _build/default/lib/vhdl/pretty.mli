@@ -1,0 +1,9 @@
+(** Printing the AST back to VHDL-subset concrete syntax.
+
+    The output re-parses to an equal design (round-trip property tested),
+    which also makes it the reference serialization of specifications. *)
+
+val type_to_string : Ast.type_def -> string
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val design_to_string : Ast.design -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Lazy Slif Specs Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_bitmath.ml: Alcotest Bitmath Slif_util

@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Array Helpers Lazy List Printf Slif Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_cdfg.ml: Addfmt Alcotest Array Cdfg Helpers Lazy List Printf Slif Specs Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Array Helpers Lazy List Slif Specs Specsyn String Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Cdfg Float Flow Gen List Printf QCheck QCheck_alcotest Random Slif Slif_util Specsyn Tech Test Vhdl

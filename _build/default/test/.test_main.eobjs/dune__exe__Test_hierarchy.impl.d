@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Helpers Lazy List Slif Specsyn

@@ -1,0 +1,1 @@
+test/test_hwshare.ml: Alcotest List Printf Slif Specs Specsyn Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Flow Lazy List Option Printf Slif Slif_util Specs Specsyn String Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Format Lexer List Loc String Token Vhdl

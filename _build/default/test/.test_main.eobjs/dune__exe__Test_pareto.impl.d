@@ -1,0 +1,1 @@
+test/test_pareto.ml: Alcotest Helpers Lazy List Slif Specsyn

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Format List Loc Parser Pretty Printf Specs String Vhdl

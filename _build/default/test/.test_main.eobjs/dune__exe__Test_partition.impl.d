@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Helpers Lazy List Slif String

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Float Gen List Option Printf QCheck QCheck_alcotest Random Slif Slif_util Specsyn Test

@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Ast Lazy Parser Sem Vhdl

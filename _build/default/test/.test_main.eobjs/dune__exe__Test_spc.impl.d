@@ -1,0 +1,1 @@
+test/test_spc.ml: Alcotest Array Flow Lazy List Printf Slif Spc Tech Vhdl

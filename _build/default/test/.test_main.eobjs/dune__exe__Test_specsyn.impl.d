@@ -1,0 +1,1 @@
+test/test_specsyn.ml: Alcotest Array Float Helpers Lazy List Slif Specsyn String

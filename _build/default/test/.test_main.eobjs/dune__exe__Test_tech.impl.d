@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Flow List Printf String Tech Vhdl

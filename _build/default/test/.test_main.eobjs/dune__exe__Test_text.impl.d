@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Format Helpers Lazy List Slif Specs String Tech Vhdl

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List Prng Slif_util String Sys Table Timer

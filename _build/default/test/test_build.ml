@@ -1,0 +1,245 @@
+(* Builder tests: the AST -> access-graph mapping rules of Section 2.2. *)
+
+let build src =
+  let sem = Vhdl.Sem.build (Vhdl.Parser.parse src) in
+  Slif.Build.build sem
+
+let fixture =
+  {|entity fix is
+  port ( din : in integer range 0 to 255; dout : out integer range 0 to 255 );
+end;
+architecture a of fix is
+  type tab is array (1 to 128) of integer range 0 to 255;
+  shared variable gv : integer range 0 to 255;
+  shared variable arr : tab;
+  constant limit : integer := 100;
+  procedure helper(n : in integer range 0 to 255) is
+    variable tmp : integer;
+  begin
+    tmp := arr(n) + limit;
+    gv := tmp mod 256;
+  end helper;
+begin
+  main: process
+  begin
+    gv := din;
+    helper(1);
+    helper(2);
+    dout <= gv;
+    wait for 1 us;
+  end process;
+end;|}
+
+let slif = lazy (build fixture)
+
+let find_node name =
+  match Slif.Types.node_by_name (Lazy.force slif) name with
+  | Some n -> n
+  | None -> Alcotest.fail ("missing node " ^ name)
+
+let find_chan ~src ~dst =
+  let s = Lazy.force slif in
+  let src_id = (find_node src).n_id in
+  let dst_id = (find_node dst).n_id in
+  match
+    Array.to_list s.Slif.Types.chans
+    |> List.find_opt (fun (c : Slif.Types.channel) ->
+           c.c_src = src_id && c.c_dst = Slif.Types.Dnode dst_id)
+  with
+  | Some c -> c
+  | None -> Alcotest.fail (Printf.sprintf "missing channel %s -> %s" src dst)
+
+let test_nodes_created () =
+  let s = Lazy.force slif in
+  Alcotest.(check bool) "main is a process" true (Slif.Types.is_process (find_node "main"));
+  let helper = find_node "helper" in
+  Alcotest.(check bool) "helper is a behavior" true (Slif.Types.is_behavior helper);
+  Alcotest.(check bool) "helper is not a process" false (Slif.Types.is_process helper);
+  Alcotest.(check bool) "gv is a variable" true (Slif.Types.is_variable (find_node "gv"));
+  Alcotest.(check bool) "arr is a variable" true (Slif.Types.is_variable (find_node "arr"));
+  (* 2 behaviors + 2 variables; constants and locals get no node. *)
+  Alcotest.(check int) "node count" 4 (Array.length s.Slif.Types.nodes);
+  Alcotest.(check bool) "no node for the constant" true
+    (Slif.Types.node_by_name s "limit" = None);
+  Alcotest.(check bool) "no node for the local" true (Slif.Types.node_by_name s "tmp" = None)
+
+let test_ports_created () =
+  let s = Lazy.force slif in
+  Alcotest.(check int) "two ports" 2 (Array.length s.Slif.Types.ports);
+  match Slif.Types.port_by_name s "din" with
+  | Some p ->
+      Alcotest.(check int) "din is 8 bits" 8 p.pt_bits;
+      Alcotest.(check bool) "din is an input" true (p.pt_dir = Slif.Types.Pin)
+  | None -> Alcotest.fail "din port missing"
+
+let test_call_aggregation () =
+  (* Two calls of helper by main collapse to one channel with accfreq 2 —
+     the paper's EvaluateRule example. *)
+  let c = find_chan ~src:"main" ~dst:"helper" in
+  Alcotest.(check (float 1e-9)) "accfreq 2" 2.0 c.c_accfreq;
+  Alcotest.(check bool) "kind call" true (c.c_kind = Slif.Types.Call);
+  (* helper's one in-parameter is a byte. *)
+  Alcotest.(check int) "bits = parameter bits" 8 c.c_bits
+
+let test_array_access_bits () =
+  (* Figure 3: a 128-entry byte array moves 8 data + 7 address bits. *)
+  let c = find_chan ~src:"helper" ~dst:"arr" in
+  Alcotest.(check int) "15 bits" 15 c.c_bits;
+  Alcotest.(check bool) "kind var" true (c.c_kind = Slif.Types.Var_access)
+
+let test_variable_node_bits () =
+  match (find_node "arr").n_kind with
+  | Slif.Types.Variable { storage_bits; transfer_bits } ->
+      Alcotest.(check int) "storage 128*8" 1024 storage_bits;
+      Alcotest.(check int) "transfer 15" 15 transfer_bits
+  | _ -> Alcotest.fail "arr is not a variable"
+
+let test_port_channels () =
+  let s = Lazy.force slif in
+  let main = (find_node "main").n_id in
+  let port_chans =
+    Array.to_list s.Slif.Types.chans
+    |> List.filter (fun (c : Slif.Types.channel) ->
+           c.c_src = main && match c.c_dst with Slif.Types.Dport _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "main touches both ports" 2 (List.length port_chans)
+
+let test_gv_accessed_by_both () =
+  let c_main = find_chan ~src:"main" ~dst:"gv" in
+  let c_helper = find_chan ~src:"helper" ~dst:"gv" in
+  (* main writes then reads gv: 2 accesses; helper writes it once. *)
+  Alcotest.(check (float 1e-9)) "main accesses gv twice" 2.0 c_main.c_accfreq;
+  Alcotest.(check (float 1e-9)) "helper accesses gv once" 1.0 c_helper.c_accfreq
+
+let test_no_annotation_before_annotate () =
+  let n = find_node "main" in
+  Alcotest.(check bool) "no ict yet" true (n.n_ict = []);
+  let annotated =
+    let sem = Vhdl.Sem.build (Vhdl.Parser.parse fixture) in
+    Slif.Annotate.run ~techs:Tech.Parts.all sem (Lazy.force slif)
+  in
+  match Slif.Types.node_by_name annotated "main" with
+  | Some n' ->
+      Alcotest.(check bool) "behavior annotated on processors only" true
+        (List.mem_assoc "cpu32" n'.n_ict
+        && List.mem_assoc "asic_gal" n'.n_ict
+        && not (List.mem_assoc "sram16" n'.n_ict))
+  | None -> Alcotest.fail "main lost by annotate"
+
+let test_variable_annotations () =
+  let sem = Vhdl.Sem.build (Vhdl.Parser.parse fixture) in
+  let annotated = Slif.Annotate.run ~techs:Tech.Parts.all sem (Lazy.force slif) in
+  match Slif.Types.node_by_name annotated "arr" with
+  | Some n ->
+      Alcotest.(check (option (float 1e-9))) "arr on sram16 = 64 words" (Some 64.0)
+        (Slif.Types.size_on n "sram16");
+      Alcotest.(check bool) "variables get weights on all techs" true
+        (List.length n.n_size = List.length Tech.Parts.all)
+  | None -> Alcotest.fail "arr lost by annotate"
+
+let test_message_channels () =
+  let s =
+    build
+      {|entity m is end;
+architecture a of m is
+begin
+  producer: process
+  begin
+    send(box, 5);
+    wait for 1 us;
+  end process;
+  consumer: process
+    variable v : integer;
+  begin
+    receive(box, v);
+  end process;
+end;|}
+  in
+  let producer =
+    match Slif.Types.node_by_name s "producer" with Some n -> n | None -> Alcotest.fail "producer"
+  in
+  let consumer =
+    match Slif.Types.node_by_name s "consumer" with Some n -> n | None -> Alcotest.fail "consumer"
+  in
+  let msg =
+    Array.to_list s.Slif.Types.chans
+    |> List.find_opt (fun (c : Slif.Types.channel) -> c.c_kind = Slif.Types.Message)
+  in
+  match msg with
+  | Some c ->
+      Alcotest.(check int) "from producer" producer.n_id c.c_src;
+      Alcotest.(check bool) "to consumer" true (c.c_dst = Slif.Types.Dnode consumer.n_id)
+  | None -> Alcotest.fail "no message channel"
+
+let test_send_without_receiver_becomes_port () =
+  let s =
+    build
+      {|entity m is end;
+architecture a of m is
+begin
+  p: process
+  begin
+    send(orphan, 1);
+    wait for 1 us;
+  end process;
+end;|}
+  in
+  Alcotest.(check bool) "implicit port created" true
+    (Slif.Types.port_by_name s "orphan" <> None)
+
+let test_par_tags () =
+  let s =
+    build
+      {|entity m is end;
+architecture a of m is
+  procedure a1 is begin null; end a1;
+  procedure a2 is begin null; end a2;
+  procedure b1 is begin null; end b1;
+begin
+  p: process
+  begin
+    par a1; a2; end par;
+    b1;
+    wait for 1 us;
+  end process;
+end;|}
+  in
+  let tag_of name =
+    let node =
+      match Slif.Types.node_by_name s name with Some n -> n | None -> Alcotest.fail name
+    in
+    Array.to_list s.Slif.Types.chans
+    |> List.find_map (fun (c : Slif.Types.channel) ->
+           if c.c_dst = Slif.Types.Dnode node.n_id then Some c.c_tag else None)
+  in
+  match (tag_of "a1", tag_of "a2", tag_of "b1") with
+  | Some (Some t1), Some (Some t2), Some t3 ->
+      Alcotest.(check bool) "par channels share a tag" true (t1 = t2);
+      Alcotest.(check bool) "sequential call has a different tag" true (t3 <> Some t1)
+  | _ -> Alcotest.fail "tags missing"
+
+let test_fuzzy_counts_near_paper () =
+  (* Same order of magnitude as the paper's 35 BV / 56 C — tens of
+     objects, not the hundreds/thousands of the fine-grained formats. *)
+  let stats = Slif.Stats.of_slif (Lazy.force Helpers.fuzzy_slif) in
+  Alcotest.(check bool) "BV within 2x of 35" true
+    (stats.Slif.Stats.bv >= 18 && stats.Slif.Stats.bv <= 70);
+  Alcotest.(check bool) "C within 2x of 56" true
+    (stats.Slif.Stats.channels >= 28 && stats.Slif.Stats.channels <= 112)
+
+let suite =
+  [
+    Alcotest.test_case "nodes created per rules" `Quick test_nodes_created;
+    Alcotest.test_case "ports created" `Quick test_ports_created;
+    Alcotest.test_case "repeated calls aggregate" `Quick test_call_aggregation;
+    Alcotest.test_case "array access bits (Figure 3)" `Quick test_array_access_bits;
+    Alcotest.test_case "variable node bit annotations" `Quick test_variable_node_bits;
+    Alcotest.test_case "port channels" `Quick test_port_channels;
+    Alcotest.test_case "shared variable fan-in" `Quick test_gv_accessed_by_both;
+    Alcotest.test_case "annotate fills weights" `Quick test_no_annotation_before_annotate;
+    Alcotest.test_case "variable weights per technology" `Quick test_variable_annotations;
+    Alcotest.test_case "message channels pair sender/receiver" `Quick test_message_channels;
+    Alcotest.test_case "orphan send becomes a port" `Quick test_send_without_receiver_becomes_port;
+    Alcotest.test_case "par concurrency tags" `Quick test_par_tags;
+    Alcotest.test_case "fuzzy counts near the paper" `Quick test_fuzzy_counts_near_paper;
+  ]

@@ -1,0 +1,88 @@
+(* End-user smoke tests: drive the built slif binary. *)
+
+let cli = "../bin/slif_cli.exe"
+
+let available = lazy (Sys.file_exists cli)
+
+let run_cli args =
+  let out = Filename.temp_file "slif_cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s %s > %s 2>&1" cli args out) in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let check_cli name args expect =
+  if not (Lazy.force available) then ()
+  else begin
+    let code, text = run_cli args in
+    Alcotest.(check int) (name ^ " exit code") 0 code;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s output mentions %S" name expect)
+      true (contains expect text)
+  end
+
+let test_figure4 () = check_cli "figure4" "figure4" "T-slif"
+
+let test_build_stats () = check_cli "build" "build fuzzy" "fuzzymain"
+
+let test_build_dot () = check_cli "dot" "build fuzzy --dot" "digraph"
+
+let test_build_text () = check_cli "text" "build vol --text" "slif volmeter"
+
+let test_compare () = check_cli "compare" "compare vol" "SLIF-AG"
+
+let test_estimate_bounds () = check_cli "bounds" "estimate vol --bounds" "max(us)"
+
+let test_partition_greedy () = check_cli "partition" "partition vol -a greedy" "cost"
+
+let test_dump_and_reload () =
+  if not (Lazy.force available) then ()
+  else begin
+    let tmp = Filename.temp_file "slif" ".vhd" in
+    let code = Sys.command (Printf.sprintf "%s dump-spec vol > %s" cli tmp) in
+    Alcotest.(check int) "dump exit" 0 code;
+    let code, text = run_cli (Printf.sprintf "build --file %s" tmp) in
+    Sys.remove tmp;
+    Alcotest.(check int) "reload exit" 0 code;
+    Alcotest.(check bool) "reload finds volmain" true (contains "volmain" text)
+  end
+
+let test_save_load_decision () =
+  if not (Lazy.force available) then ()
+  else begin
+    let tmp = Filename.temp_file "slif" ".decision" in
+    let code, _ = run_cli (Printf.sprintf "partition vol -a greedy --save %s" tmp) in
+    Alcotest.(check int) "save exit" 0 code;
+    let code, text = run_cli (Printf.sprintf "partition vol --load %s" tmp) in
+    Sys.remove tmp;
+    Alcotest.(check int) "load exit" 0 code;
+    Alcotest.(check bool) "replay acknowledged" true (contains "recorded decision" text)
+  end
+
+let test_unknown_spec_fails () =
+  if not (Lazy.force available) then ()
+  else begin
+    let code, _ = run_cli "build nonsense" in
+    Alcotest.(check bool) "nonzero exit" true (code <> 0)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "figure4 runs" `Slow test_figure4;
+    Alcotest.test_case "build prints stats" `Slow test_build_stats;
+    Alcotest.test_case "build --dot" `Slow test_build_dot;
+    Alcotest.test_case "build --text" `Slow test_build_text;
+    Alcotest.test_case "compare runs" `Slow test_compare;
+    Alcotest.test_case "estimate --bounds" `Slow test_estimate_bounds;
+    Alcotest.test_case "partition greedy" `Slow test_partition_greedy;
+    Alcotest.test_case "dump-spec round-trips" `Slow test_dump_and_reload;
+    Alcotest.test_case "decision save/load" `Slow test_save_load_decision;
+    Alcotest.test_case "unknown spec rejected" `Slow test_unknown_spec_fails;
+  ]

@@ -1,0 +1,235 @@
+(* Grammar-directed fuzzing: random designs through printer, parser,
+   builder, annotator and estimators. *)
+
+open QCheck
+
+(* --- Random design generator ----------------------------------------------
+
+   Generates a well-formed design over a fixed vocabulary: a few ports,
+   architecture variables (scalar and array), nested statements of bounded
+   depth, and a procedure layer with an acyclic call structure (procedure
+   [k] may only call procedures with larger indexes). *)
+
+type gdesign = { seed : int; design : Vhdl.Ast.design }
+
+let gen_design_of_seed seed =
+  let rng = Slif_util.Prng.create seed in
+  let pick xs = List.nth xs (Slif_util.Prng.int rng (List.length xs)) in
+  let int_between lo hi = lo + Slif_util.Prng.int rng (hi - lo + 1) in
+  let n_vars = int_between 1 5 in
+  let n_arrays = int_between 0 2 in
+  let n_subs = int_between 0 4 in
+  let var_names = List.init n_vars (fun i -> Printf.sprintf "gv%d" i) in
+  let arr_names = List.init n_arrays (fun i -> Printf.sprintf "ga%d" i) in
+  let sub_names = List.init n_subs (fun i -> Printf.sprintf "sub%d" i) in
+  let port_names = [ "pin0"; "pin1" ] in
+  let rec gen_expr depth =
+    if depth = 0 then
+      match Slif_util.Prng.int rng 4 with
+      | 0 -> Vhdl.Ast.Int_lit (int_between 0 99)
+      | 1 -> Vhdl.Ast.Name (pick (var_names @ port_names))
+      | 2 when arr_names <> [] ->
+          Vhdl.Ast.Index (pick arr_names, Vhdl.Ast.Int_lit (int_between 1 8))
+      | _ -> Vhdl.Ast.Name (pick var_names)
+    else
+      match Slif_util.Prng.int rng 5 with
+      | 0 ->
+          let op = pick Vhdl.Ast.[ Add; Sub; Mul ] in
+          Vhdl.Ast.Binop (op, gen_expr (depth - 1), gen_expr (depth - 1))
+      | 1 ->
+          let op = pick Vhdl.Ast.[ Eq; Lt; Gt; Le; Ge; Neq ] in
+          Vhdl.Ast.Binop (op, gen_expr 0, gen_expr 0)
+      | 2 -> Vhdl.Ast.Unop (Vhdl.Ast.Neg, gen_expr (depth - 1))
+      | 3 -> Vhdl.Ast.Binop (Vhdl.Ast.Div, gen_expr (depth - 1), Vhdl.Ast.Int_lit (int_between 1 9))
+      | _ -> gen_expr 0
+  in
+  let gen_cond () =
+    Vhdl.Ast.Binop (pick Vhdl.Ast.[ Eq; Lt; Gt ], gen_expr 0, gen_expr 0)
+  in
+  (* Procedures callable from level [lvl] are those with larger index. *)
+  let callable lvl = List.filteri (fun i _ -> i > lvl) sub_names in
+  let rec gen_stmt depth lvl =
+    let choice = Slif_util.Prng.int rng (if depth = 0 then 3 else 8) in
+    match choice with
+    | 0 -> Vhdl.Ast.Assign (Vhdl.Ast.Tname (pick var_names), gen_expr 1)
+    | 1 when arr_names <> [] ->
+        Vhdl.Ast.Assign
+          (Vhdl.Ast.Tindex (pick arr_names, Vhdl.Ast.Int_lit (int_between 1 8)), gen_expr 1)
+    | 1 | 2 -> Vhdl.Ast.Assign (Vhdl.Ast.Tname (pick var_names), gen_expr 0)
+    | 3 ->
+        Vhdl.Ast.If
+          ( [ (gen_cond (), gen_stmts (depth - 1) lvl (int_between 1 2)) ],
+            if Slif_util.Prng.bool rng then gen_stmts (depth - 1) lvl 1 else [] )
+    | 4 ->
+        Vhdl.Ast.For
+          (Printf.sprintf "i%d" depth, 1, int_between 2 6, gen_stmts (depth - 1) lvl (int_between 1 2))
+    | 5 when callable lvl <> [] -> Vhdl.Ast.Pcall (pick (callable lvl), [])
+    | 5 | 6 ->
+        Vhdl.Ast.Case
+          ( gen_expr 0,
+            [
+              ([ Vhdl.Ast.Ch_expr (Vhdl.Ast.Int_lit 1) ], gen_stmts (depth - 1) lvl 1);
+              ([ Vhdl.Ast.Ch_others ], gen_stmts (depth - 1) lvl 1);
+            ] )
+    | _ -> Vhdl.Ast.While (gen_cond (), gen_stmts (depth - 1) lvl 1)
+  and gen_stmts depth lvl n = List.init n (fun _ -> gen_stmt (max 0 depth) lvl)
+  in
+  let arch_decls =
+    List.map
+      (fun v ->
+        Vhdl.Ast.Var_decl
+          { v_name = v; v_type = Vhdl.Ast.Int_range (0, 255); v_init = None; v_shared = true })
+      var_names
+    @ (if arr_names = [] then []
+       else [ Vhdl.Ast.Type_decl ("tarr", Vhdl.Ast.Array_of { length = 8; lo = 1; elem = Vhdl.Ast.Int_range (0, 255) }) ])
+    @ List.map
+        (fun a ->
+          Vhdl.Ast.Var_decl
+            { v_name = a; v_type = Vhdl.Ast.Named "tarr"; v_init = None; v_shared = true })
+        arr_names
+  in
+  let subprograms =
+    List.mapi
+      (fun i name ->
+        {
+          Vhdl.Ast.sub_name = name;
+          sub_params = [];
+          sub_ret = None;
+          sub_decls = [];
+          sub_body = gen_stmts (int_between 1 2) i (int_between 1 3);
+        })
+      sub_names
+  in
+  let processes =
+    [
+      {
+        Vhdl.Ast.proc_name = "mainp";
+        proc_decls = [];
+        proc_body =
+          gen_stmts (int_between 1 3) (-1) (int_between 2 5)
+          @ [ Vhdl.Ast.Wait_for (10, Vhdl.Ast.Us) ];
+      };
+    ]
+  in
+  let design =
+    {
+      Vhdl.Ast.entity_name = "fuzzed";
+      ports =
+        [
+          { Vhdl.Ast.port_name = "pin0"; port_mode = Vhdl.Ast.In; port_type = Vhdl.Ast.Int_range (0, 255) };
+          { Vhdl.Ast.port_name = "pin1"; port_mode = Vhdl.Ast.In; port_type = Vhdl.Ast.Int_range (0, 255) };
+          { Vhdl.Ast.port_name = "pout"; port_mode = Vhdl.Ast.Out; port_type = Vhdl.Ast.Int_range (0, 255) };
+        ];
+      arch_name = "a";
+      arch_decls;
+      subprograms;
+      processes;
+    }
+  in
+  { seed; design }
+
+let arb_design =
+  make
+    ~print:(fun g -> Printf.sprintf "seed=%d\n%s" g.seed (Vhdl.Pretty.design_to_string g.design))
+    (Gen.map gen_design_of_seed Gen.nat)
+
+(* --- Properties -------------------------------------------------------------- *)
+
+let prop_print_parse_roundtrip =
+  Test.make ~name:"print -> parse is identity on random designs" ~count:150 arb_design
+    (fun g -> Vhdl.Parser.parse (Vhdl.Pretty.design_to_string g.design) = g.design)
+
+let prop_pipeline_total =
+  Test.make ~name:"build+annotate never fails on random designs" ~count:100 arb_design
+    (fun g ->
+      let sem = Vhdl.Sem.build g.design in
+      let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+      Array.for_all
+        (fun (n : Slif.Types.node) -> n.n_size <> [])
+        slif.Slif.Types.nodes)
+
+let prop_estimators_total =
+  Test.make ~name:"estimators finite on random designs" ~count:100 arb_design (fun g ->
+      let sem = Vhdl.Sem.build g.design in
+      let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+      let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+      let graph = Slif.Graph.make s in
+      let part = Specsyn.Search.seed_partition s in
+      let est = Specsyn.Search.estimator graph part in
+      Array.for_all
+        (fun (n : Slif.Types.node) ->
+          let t = Slif.Estimate.exectime_us est n.n_id in
+          Float.is_finite t && t >= 0.0)
+        s.Slif.Types.nodes
+      && Float.is_finite (Slif.Estimate.size est (Slif.Partition.Cproc 0))
+      && Slif.Estimate.io_pins est (Slif.Partition.Cproc 0) >= 0)
+
+let prop_text_roundtrip_on_random_designs =
+  Test.make ~name:"Text round-trips SLIFs of random designs" ~count:100 arb_design
+    (fun g ->
+      let sem = Vhdl.Sem.build g.design in
+      let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+      Slif.Text.of_string (Slif.Text.to_string slif) = slif)
+
+let prop_cdfg_covers_statements =
+  (* Every statement of every behavior materializes at least one CDFG
+     node, plus one entry node per behavior. *)
+  Test.make ~name:"CDFG covers every statement" ~count:100 arb_design (fun g ->
+      let stmt_count =
+        List.fold_left
+          (fun acc (_, _, body) -> acc + List.length body)
+          0
+          (Vhdl.Ast.behaviors g.design)
+      in
+      let behaviors = List.length (Vhdl.Ast.behaviors g.design) in
+      Cdfg.Graph.node_count (Cdfg.Graph.of_design g.design) >= stmt_count + behaviors)
+
+let prop_interp_terminates =
+  Test.make ~name:"interpreter terminates or reports limits on random designs" ~count:100
+    arb_design (fun g ->
+      let sem = Vhdl.Sem.build g.design in
+      let m =
+        Flow.Interp.create
+          ~limits:{ Flow.Interp.max_steps = 20_000; max_while_iters = 100 }
+          ~inputs:(fun _ -> 1)
+          sem
+      in
+      match Flow.Interp.run_process m "mainp" with
+      | () -> true
+      | exception Flow.Interp.Limit_exceeded _ -> true
+      | exception Flow.Interp.Runtime_error _ -> true)
+
+let prop_workload_matches_interp_on_random_designs =
+  Test.make ~name:"workload prediction exact on random deterministic designs" ~count:80
+    arb_design (fun g ->
+      let sem = Vhdl.Sem.build g.design in
+      let m =
+        Flow.Interp.create
+          ~limits:{ Flow.Interp.max_steps = 50_000; max_while_iters = 50 }
+          ~inputs:(fun _ -> 1)
+          sem
+      in
+      match Flow.Interp.run_process m "mainp" with
+      | exception (Flow.Interp.Limit_exceeded _ | Flow.Interp.Runtime_error _) ->
+          true (* property only applies to clean runs *)
+      | () ->
+          let measured = float_of_int (Flow.Interp.steps m) in
+          let profile = Flow.Interp.profile m in
+          let predicted =
+            Flow.Workload.expected_statements ~profile sem ~behavior:"mainp"
+          in
+          abs_float (predicted -. measured) <= 1e-6 *. (1.0 +. measured))
+
+let suite =
+  (* A fixed random state keeps the generated corpus identical run to run. *)
+  List.map
+    (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260705 |]))
+    [
+      prop_print_parse_roundtrip;
+      prop_pipeline_total;
+      prop_estimators_total;
+      prop_text_roundtrip_on_random_designs;
+      prop_cdfg_covers_statements;
+      prop_interp_terminates;
+      prop_workload_matches_interp_on_random_designs;
+    ]

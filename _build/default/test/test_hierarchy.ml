@@ -1,0 +1,123 @@
+(* Hierarchical component groups (the paper's future-work extension). *)
+
+let setup () =
+  let slif = Lazy.force Helpers.fuzzy_slif in
+  let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic_mem ()) in
+  let graph = Slif.Graph.make s in
+  let part = Specsyn.Search.seed_partition s in
+  (* Split: datapath + tables on the ASIC, everything else on the cpu. *)
+  List.iter
+    (fun name ->
+      match Slif.Types.node_by_name s name with
+      | Some n -> Slif.Partition.assign_node part ~node:n.n_id (Slif.Partition.Cproc 1)
+      | None -> ())
+    [ "evaluate_rule"; "convolve"; "mr1"; "mr2"; "tmr1"; "tmr2" ];
+  (s, Specsyn.Search.estimator graph part)
+
+let test_make_validation () =
+  (match Slif.Hierarchy.make ~name:"empty" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty group accepted");
+  match Slif.Hierarchy.make ~name:"dup" [ Slif.Partition.Cproc 0; Slif.Partition.Cproc 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate members accepted"
+
+let test_whole_board_io_is_port_traffic_only () =
+  (* A group containing every component: only port channels cross. *)
+  let s, est = setup () in
+  let board =
+    Slif.Hierarchy.make ~name:"board"
+      [ Slif.Partition.Cproc 0; Slif.Partition.Cproc 1; Slif.Partition.Cmem 0 ]
+  in
+  let cut = Slif.Hierarchy.cut_chans est board in
+  Alcotest.(check bool) "only port destinations cross" true
+    (List.for_all
+       (fun (c : Slif.Types.channel) ->
+         match c.c_dst with Slif.Types.Dport _ -> true | _ -> false)
+       cut);
+  ignore s
+
+let test_group_io_less_than_member_io () =
+  (* Inter-chip channels disappear at the board boundary: the cut-channel
+     set of the group is a subset of the union of member cuts. *)
+  let _, est = setup () in
+  let board =
+    Slif.Hierarchy.make ~name:"board" [ Slif.Partition.Cproc 0; Slif.Partition.Cproc 1 ]
+  in
+  let group_cut = List.length (Slif.Hierarchy.cut_chans est board) in
+  let member_cut =
+    List.length (Slif.Estimate.cut_chans est (Slif.Partition.Cproc 0))
+    + List.length (Slif.Estimate.cut_chans est (Slif.Partition.Cproc 1))
+  in
+  Alcotest.(check bool) "group cut smaller" true (group_cut < member_cut)
+
+let test_singleton_group_equals_component () =
+  let _, est = setup () in
+  let solo = Slif.Hierarchy.make ~name:"chip" [ Slif.Partition.Cproc 1 ] in
+  Alcotest.(check int) "singleton group = component io"
+    (Slif.Estimate.io_pins est (Slif.Partition.Cproc 1))
+    (Slif.Hierarchy.io_pins est solo);
+  Alcotest.(check int) "same cut set"
+    (List.length (Slif.Estimate.cut_chans est (Slif.Partition.Cproc 1)))
+    (List.length (Slif.Hierarchy.cut_chans est solo))
+
+let test_internal_traffic () =
+  let _, est = setup () in
+  let pair =
+    Slif.Hierarchy.make ~name:"pair" [ Slif.Partition.Cproc 0; Slif.Partition.Cproc 1 ]
+  in
+  let solo = Slif.Hierarchy.make ~name:"solo" [ Slif.Partition.Cproc 1 ] in
+  Alcotest.(check bool) "pair contains more internal traffic" true
+    (Slif.Hierarchy.internal_traffic_mbps est pair
+    >= Slif.Hierarchy.internal_traffic_mbps est solo);
+  Alcotest.(check bool) "traffic non-negative" true
+    (Slif.Hierarchy.internal_traffic_mbps est solo >= 0.0)
+
+let test_sizes_per_member () =
+  let s, est = setup () in
+  let board =
+    Slif.Hierarchy.make ~name:"board" [ Slif.Partition.Cproc 0; Slif.Partition.Cproc 1 ]
+  in
+  match Slif.Hierarchy.sizes est board with
+  | [ ("cpu", cpu_size); ("asic", asic_size) ] ->
+      Alcotest.(check (float 1e-9)) "cpu size matches component query"
+        (Slif.Estimate.size est (Slif.Partition.Cproc 0))
+        cpu_size;
+      Alcotest.(check bool) "asic has area" true (asic_size > 0.0);
+      ignore s
+  | _ -> Alcotest.fail "expected two member sizes"
+
+let test_multi_bus_group_io () =
+  (* proc_asic_mem has two buses: spreading the cut channels over both
+     counts both widths at the group boundary. *)
+  let s, est = setup () in
+  let part = Slif.Estimate.partition est in
+  (* Route every channel whose destination is a port over bus 1. *)
+  Array.iter
+    (fun (c : Slif.Types.channel) ->
+      match c.c_dst with
+      | Slif.Types.Dport _ -> Slif.Partition.assign_chan part ~chan:c.c_id ~bus:1
+      | Slif.Types.Dnode _ -> ())
+    s.Slif.Types.chans;
+  let board =
+    Slif.Hierarchy.make ~name:"board"
+      [ Slif.Partition.Cproc 0; Slif.Partition.Cproc 1; Slif.Partition.Cmem 0 ]
+  in
+  (* Only port channels cross the whole board, all on bus 1 (8 bits). *)
+  Alcotest.(check int) "board pins = bus1 width"
+    s.Slif.Types.buses.(1).b_bitwidth
+    (Slif.Hierarchy.io_pins est board)
+
+let suite =
+  [
+    Alcotest.test_case "group validation" `Quick test_make_validation;
+    Alcotest.test_case "multi-bus group io" `Quick test_multi_bus_group_io;
+    Alcotest.test_case "whole-board io is port traffic" `Quick
+      test_whole_board_io_is_port_traffic_only;
+    Alcotest.test_case "grouping hides inter-chip channels" `Quick
+      test_group_io_less_than_member_io;
+    Alcotest.test_case "singleton group equals component" `Quick
+      test_singleton_group_equals_component;
+    Alcotest.test_case "internal traffic" `Quick test_internal_traffic;
+    Alcotest.test_case "per-member sizes" `Quick test_sizes_per_member;
+  ]

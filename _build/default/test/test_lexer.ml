@@ -1,0 +1,88 @@
+open Vhdl
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let token_list = Alcotest.testable (fun fmt ts ->
+    Format.pp_print_string fmt (String.concat " " (List.map Token.to_string ts)))
+    ( = )
+
+let check = Alcotest.check token_list
+
+let test_simple_tokens () =
+  check "punctuation"
+    [ Token.Lparen; Token.Rparen; Token.Semicolon; Token.Colon; Token.Comma; Token.Eof ]
+    (toks "();:,");
+  check "operators"
+    [ Token.Plus; Token.Minus; Token.Star; Token.Slash; Token.Amp; Token.Bar; Token.Eof ]
+    (toks "+ - * / & |")
+
+let test_compound_operators () =
+  check ":=" [ Token.Assign; Token.Eof ] (toks ":=");
+  check "=>" [ Token.Arrow; Token.Eof ] (toks "=>");
+  check "<=" [ Token.Le_or_sigassign; Token.Eof ] (toks "<=");
+  check ">=" [ Token.Ge; Token.Eof ] (toks ">=");
+  check "/=" [ Token.Neq; Token.Eof ] (toks "/=");
+  check "< = distinct" [ Token.Lt; Token.Eq; Token.Eof ] (toks "< =")
+
+let test_keywords_case_insensitive () =
+  check "lower" [ Token.Keyword Token.K_entity; Token.Eof ] (toks "entity");
+  check "upper" [ Token.Keyword Token.K_entity; Token.Eof ] (toks "ENTITY");
+  check "mixed" [ Token.Keyword Token.K_process; Token.Eof ] (toks "PrOcEsS")
+
+let test_identifiers_lowered () =
+  check "FooBar -> foobar" [ Token.Ident "foobar"; Token.Eof ] (toks "FooBar");
+  check "underscores" [ Token.Ident "a_b_c1"; Token.Eof ] (toks "a_b_c1")
+
+let test_integers () =
+  check "42" [ Token.Int_lit 42; Token.Eof ] (toks "42");
+  check "0" [ Token.Int_lit 0; Token.Eof ] (toks "0")
+
+let test_comments_skipped () =
+  check "comment to eol"
+    [ Token.Int_lit 1; Token.Int_lit 2; Token.Eof ]
+    (toks "1 -- a comment ; with stuff\n2");
+  check "comment at eof" [ Token.Int_lit 1; Token.Eof ] (toks "1 -- trailing")
+
+let test_minus_vs_comment () =
+  check "single minus is an operator" [ Token.Int_lit 1; Token.Minus; Token.Int_lit 2; Token.Eof ]
+    (toks "1 - 2")
+
+let test_string_literal () =
+  check "string" [ Token.Str_lit "hello"; Token.Eof ] (toks "\"hello\"")
+
+let test_locations () =
+  let all = Lexer.tokenize "ab\n  cd" in
+  match all with
+  | [ (_, l1); (_, l2); _ ] ->
+      Alcotest.(check string) "first at 1:1" "1:1" (Loc.to_string l1);
+      Alcotest.(check string) "second at 2:3" "2:3" (Loc.to_string l2)
+  | _ -> Alcotest.fail "expected two tokens"
+
+let test_illegal_character () =
+  match Lexer.tokenize "a $ b" with
+  | exception Loc.Error (loc, msg) ->
+      Alcotest.(check string) "at 1:3" "1:3" (Loc.to_string loc);
+      Alcotest.(check bool) "mentions char" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected a lex error"
+
+let test_unterminated_string () =
+  match Lexer.tokenize "\"abc" with
+  | exception Loc.Error (_, msg) ->
+      Alcotest.(check string) "message" "unterminated string literal" msg
+  | _ -> Alcotest.fail "expected a lex error"
+
+let suite =
+  [
+    Alcotest.test_case "simple tokens" `Quick test_simple_tokens;
+    Alcotest.test_case "compound operators" `Quick test_compound_operators;
+    Alcotest.test_case "keywords are case-insensitive" `Quick test_keywords_case_insensitive;
+    Alcotest.test_case "identifiers lowered" `Quick test_identifiers_lowered;
+    Alcotest.test_case "integers" `Quick test_integers;
+    Alcotest.test_case "comments skipped" `Quick test_comments_skipped;
+    Alcotest.test_case "minus vs comment" `Quick test_minus_vs_comment;
+    Alcotest.test_case "string literal" `Quick test_string_literal;
+    Alcotest.test_case "locations tracked" `Quick test_locations;
+    Alcotest.test_case "illegal character reported" `Quick test_illegal_character;
+    Alcotest.test_case "unterminated string reported" `Quick test_unterminated_string;
+  ]

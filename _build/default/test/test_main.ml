@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "slif"
+    [
+      ("bitmath", Test_bitmath.suite);
+      ("util", Test_util.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("sem", Test_sem.suite);
+      ("pretty", Test_pretty.suite);
+      ("flow", Test_flow.suite);
+      ("tech", Test_tech.suite);
+      ("build", Test_build.suite);
+      ("graph", Test_graph.suite);
+      ("partition", Test_partition.suite);
+      ("estimate", Test_estimate.suite);
+      ("text", Test_text.suite);
+      ("cdfg", Test_cdfg.suite);
+      ("specsyn", Test_specsyn.suite);
+      ("properties", Test_props.suite);
+      ("interp", Test_interp.suite);
+      ("decision", Test_decision.suite);
+      ("hierarchy", Test_hierarchy.suite);
+      ("hwshare", Test_hwshare.suite);
+      ("pareto", Test_pareto.suite);
+      ("speccharts", Test_spc.suite);
+      ("cli", Test_cli.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("integration", Test_integration.suite);
+    ]

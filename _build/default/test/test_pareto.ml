@@ -1,0 +1,85 @@
+(* Pareto-front extraction over the time/area trade-off. *)
+
+let graph_of_fuzzy =
+  lazy
+    (let s =
+       Specsyn.Alloc.apply (Lazy.force Helpers.fuzzy_slif) (Specsyn.Alloc.proc_asic ())
+     in
+     Slif.Graph.make s)
+
+let mk_point t hw =
+  {
+    Specsyn.Pareto.part = Specsyn.Search.seed_partition (Slif.Graph.slif (Lazy.force graph_of_fuzzy));
+    worst_exectime_us = t;
+    hw_gates = hw;
+    sw_bytes = 0.0;
+    weight_time = 1.0;
+  }
+
+let test_dominated () =
+  let a = mk_point 100.0 5000.0 in
+  let faster_smaller = mk_point 50.0 4000.0 in
+  let faster_bigger = mk_point 50.0 9000.0 in
+  Alcotest.(check bool) "strictly better dominates" true
+    (Specsyn.Pareto.dominated a faster_smaller);
+  Alcotest.(check bool) "trade-off does not dominate" false
+    (Specsyn.Pareto.dominated a faster_bigger);
+  Alcotest.(check bool) "equal does not dominate" false (Specsyn.Pareto.dominated a a)
+
+let test_front_filters () =
+  let pts =
+    [ mk_point 100.0 1000.0; mk_point 50.0 5000.0; mk_point 120.0 1500.0; mk_point 75.0 2000.0 ]
+  in
+  let front = Specsyn.Pareto.front pts in
+  (* (120,1500) is dominated by (100,1000); the rest trade off. *)
+  Alcotest.(check int) "three survivors" 3 (List.length front);
+  let times = List.map (fun p -> p.Specsyn.Pareto.worst_exectime_us) front in
+  Alcotest.(check (list (float 1e-9))) "sorted by time" [ 50.0; 75.0; 100.0 ] times
+
+let test_score_measures () =
+  let graph = Lazy.force graph_of_fuzzy in
+  let part = Specsyn.Search.seed_partition (Slif.Graph.slif graph) in
+  let p = Specsyn.Pareto.score graph part ~weight_time:1.0 in
+  Alcotest.(check bool) "time positive" true (p.Specsyn.Pareto.worst_exectime_us > 0.0);
+  (* All-software seed: no custom hardware occupied. *)
+  Alcotest.(check (float 1e-9)) "no hw gates on seed" 0.0 p.Specsyn.Pareto.hw_gates;
+  Alcotest.(check bool) "software has bytes" true (p.Specsyn.Pareto.sw_bytes > 0.0)
+
+let test_sweep_produces_trade_off () =
+  let graph = Lazy.force graph_of_fuzzy in
+  let front = Specsyn.Pareto.sweep ~steps_per_point:150 graph in
+  Alcotest.(check bool) "non-empty front" true (front <> []);
+  (* Non-dominated and sorted: times strictly increase while gates
+     strictly decrease along the front. *)
+  let rec check_monotone = function
+    | a :: b :: rest ->
+        Alcotest.(check bool) "time increases" true
+          (b.Specsyn.Pareto.worst_exectime_us > a.Specsyn.Pareto.worst_exectime_us);
+        Alcotest.(check bool) "gates decrease" true
+          (b.Specsyn.Pareto.hw_gates < a.Specsyn.Pareto.hw_gates);
+        check_monotone (b :: rest)
+    | _ -> ()
+  in
+  check_monotone front;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "every front point is a proper partition" true
+        (Slif.Validate.is_proper p.Specsyn.Pareto.part))
+    front
+
+let test_sweep_deterministic () =
+  let graph = Lazy.force graph_of_fuzzy in
+  let f1 = Specsyn.Pareto.sweep ~steps_per_point:100 graph in
+  let f2 = Specsyn.Pareto.sweep ~steps_per_point:100 graph in
+  Alcotest.(check (list (float 1e-9))) "same front each run"
+    (List.map (fun p -> p.Specsyn.Pareto.worst_exectime_us) f1)
+    (List.map (fun p -> p.Specsyn.Pareto.worst_exectime_us) f2)
+
+let suite =
+  [
+    Alcotest.test_case "domination" `Quick test_dominated;
+    Alcotest.test_case "front filtering" `Quick test_front_filters;
+    Alcotest.test_case "scoring" `Quick test_score_measures;
+    Alcotest.test_case "sweep yields a trade-off curve" `Quick test_sweep_produces_trade_off;
+    Alcotest.test_case "sweep deterministic" `Quick test_sweep_deterministic;
+  ]

@@ -1,0 +1,130 @@
+(* Partition representation and proper-partition validation. *)
+
+let fixture () = Helpers.all_on_cpu (Lazy.force Helpers.tiny_slif)
+
+let test_totality () =
+  let s, part = fixture () in
+  Alcotest.(check bool) "total" true (Slif.Partition.is_total part);
+  let fresh = Slif.Partition.create s in
+  Alcotest.(check bool) "fresh is not total" false (Slif.Partition.is_total fresh)
+
+let test_version_bumps () =
+  let _, part = fixture () in
+  let v0 = Slif.Partition.version part in
+  Slif.Partition.assign_node part ~node:0 (Slif.Partition.Cproc 1);
+  Alcotest.(check bool) "bumped" true (Slif.Partition.version part > v0)
+
+let test_copy_independent () =
+  let _, part = fixture () in
+  let copy = Slif.Partition.copy part in
+  Slif.Partition.assign_node part ~node:0 (Slif.Partition.Cproc 1);
+  Alcotest.(check bool) "copy unchanged" true
+    (Slif.Partition.comp_of copy 0 = Some (Slif.Partition.Cproc 0))
+
+let test_comp_of_exn () =
+  let s, _ = fixture () in
+  let fresh = Slif.Partition.create s in
+  match Slif.Partition.comp_of_exn fresh 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on unassigned node"
+
+let test_bad_assignments_rejected () =
+  let s, _ = fixture () in
+  let part = Slif.Partition.create s in
+  (match Slif.Partition.assign_node part ~node:0 (Slif.Partition.Cproc 99) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nonexistent processor accepted");
+  (match Slif.Partition.assign_node part ~node:9999 (Slif.Partition.Cproc 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nonexistent node accepted");
+  match Slif.Partition.assign_chan part ~chan:0 ~bus:42 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nonexistent bus accepted"
+
+let test_nodes_of_comp () =
+  let s, part = fixture () in
+  let on_cpu = Slif.Partition.nodes_of_comp part (Slif.Partition.Cproc 0) in
+  Alcotest.(check int) "everything on cpu" (Array.length s.Slif.Types.nodes)
+    (List.length on_cpu);
+  Alcotest.(check (list int)) "nothing on asic" []
+    (Slif.Partition.nodes_of_comp part (Slif.Partition.Cproc 1))
+
+let test_same_component () =
+  let s, part = fixture () in
+  let chan =
+    Array.to_list s.Slif.Types.chans
+    |> List.find (fun (c : Slif.Types.channel) ->
+           match c.c_dst with Slif.Types.Dnode _ -> true | Slif.Types.Dport _ -> false)
+  in
+  Alcotest.(check bool) "co-located" true
+    (Slif.Partition.same_component part chan.c_src chan.c_dst);
+  (match chan.c_dst with
+  | Slif.Types.Dnode d ->
+      Slif.Partition.assign_node part ~node:d (Slif.Partition.Cproc 1);
+      Alcotest.(check bool) "split" false
+        (Slif.Partition.same_component part chan.c_src chan.c_dst)
+  | Slif.Types.Dport _ -> Alcotest.fail "expected a node destination");
+  (* Ports are never on a component. *)
+  let port_chan =
+    Array.to_list s.Slif.Types.chans
+    |> List.find (fun (c : Slif.Types.channel) ->
+           match c.c_dst with Slif.Types.Dport _ -> true | _ -> false)
+  in
+  Alcotest.(check bool) "port never co-located" false
+    (Slif.Partition.same_component part port_chan.c_src port_chan.c_dst)
+
+let test_validate_proper () =
+  let _, part = fixture () in
+  Alcotest.(check bool) "proper" true (Slif.Validate.is_proper part)
+
+let test_validate_unassigned () =
+  let s, _ = fixture () in
+  let part = Slif.Partition.create s in
+  let violations = Slif.Validate.check part in
+  Alcotest.(check bool) "unassigned nodes reported" true
+    (List.exists
+       (function Slif.Validate.Unassigned_node _ -> true | _ -> false)
+       violations);
+  Alcotest.(check bool) "unassigned channels reported" true
+    (List.exists
+       (function Slif.Validate.Unassigned_chan _ -> true | _ -> false)
+       violations)
+
+let test_validate_behavior_on_memory () =
+  let s, part = fixture () in
+  let behavior =
+    Array.to_list s.Slif.Types.nodes |> List.find (fun n -> Slif.Types.is_behavior n)
+  in
+  Slif.Partition.assign_node part ~node:behavior.Slif.Types.n_id (Slif.Partition.Cmem 0);
+  let violations = Slif.Validate.check part in
+  Alcotest.(check bool) "behavior-on-memory reported" true
+    (List.exists
+       (function Slif.Validate.Behavior_on_memory _ -> true | _ -> false)
+       violations);
+  Alcotest.(check bool) "message is readable" true
+    (List.for_all
+       (fun v -> String.length (Slif.Validate.violation_to_string s v) > 0)
+       violations)
+
+let test_validate_variable_on_memory_ok () =
+  let s, part = fixture () in
+  let variable =
+    Array.to_list s.Slif.Types.nodes |> List.find (fun n -> Slif.Types.is_variable n)
+  in
+  Slif.Partition.assign_node part ~node:variable.Slif.Types.n_id (Slif.Partition.Cmem 0);
+  Alcotest.(check bool) "still proper" true (Slif.Validate.is_proper part)
+
+let suite =
+  [
+    Alcotest.test_case "totality" `Quick test_totality;
+    Alcotest.test_case "version bumps on assignment" `Quick test_version_bumps;
+    Alcotest.test_case "copies are independent" `Quick test_copy_independent;
+    Alcotest.test_case "comp_of_exn on unassigned" `Quick test_comp_of_exn;
+    Alcotest.test_case "bad assignments rejected" `Quick test_bad_assignments_rejected;
+    Alcotest.test_case "nodes_of_comp" `Quick test_nodes_of_comp;
+    Alcotest.test_case "same_component" `Quick test_same_component;
+    Alcotest.test_case "validate accepts proper partitions" `Quick test_validate_proper;
+    Alcotest.test_case "validate reports unassigned objects" `Quick test_validate_unassigned;
+    Alcotest.test_case "validate rejects behavior on memory" `Quick test_validate_behavior_on_memory;
+    Alcotest.test_case "variables may map to memories" `Quick test_validate_variable_on_memory_ok;
+  ]

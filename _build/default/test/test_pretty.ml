@@ -1,0 +1,70 @@
+(* Pretty-printer goldens: exact concrete syntax for each construct. *)
+
+let check = Alcotest.(check string)
+
+let test_types () =
+  check "integer" "integer" (Vhdl.Pretty.type_to_string Vhdl.Ast.Integer);
+  check "range" "integer range 0 to 255"
+    (Vhdl.Pretty.type_to_string (Vhdl.Ast.Int_range (0, 255)));
+  check "vector" "bit_vector(12)" (Vhdl.Pretty.type_to_string (Vhdl.Ast.Bit_vector 12));
+  check "array" "array (1 to 8) of integer range 0 to 15"
+    (Vhdl.Pretty.type_to_string
+       (Vhdl.Ast.Array_of { length = 8; lo = 1; elem = Vhdl.Ast.Int_range (0, 15) }));
+  check "named" "mr_array" (Vhdl.Pretty.type_to_string (Vhdl.Ast.Named "mr_array"))
+
+let test_exprs () =
+  let e = Vhdl.Parser.parse_expr in
+  check "binop parens" "(a + (b * 2))" (Vhdl.Pretty.expr_to_string (e "a + b * 2"));
+  check "index" "tbl(i)" (Vhdl.Pretty.expr_to_string (e "tbl(i)"));
+  check "call" "min2(x, y)" (Vhdl.Pretty.expr_to_string (e "min2(x, y)"));
+  check "unary" "(not p)" (Vhdl.Pretty.expr_to_string (e "not p"));
+  check "attr" "v'length" (Vhdl.Pretty.expr_to_string (e "v'length"))
+
+let stmt_of src =
+  match
+    (Vhdl.Parser.parse
+       (Printf.sprintf
+          "entity e is end; architecture a of e is begin p: process begin %s end process; end;"
+          src))
+      .Vhdl.Ast.processes
+  with
+  | [ { proc_body = [ s ]; _ } ] -> s
+  | _ -> Alcotest.fail "expected one statement"
+
+let test_stmt_layout () =
+  check "assignment" "x := (y + 1);" (Vhdl.Pretty.stmt_to_string (stmt_of "x := y + 1;"));
+  check "signal assignment" "out1 <= v;" (Vhdl.Pretty.stmt_to_string (stmt_of "out1 <= v;"));
+  check "if/else"
+    "if (a = 1) then\n  x := 1;\nelse\n  x := 2;\nend if;"
+    (Vhdl.Pretty.stmt_to_string (stmt_of "if a = 1 then x := 1; else x := 2; end if;"));
+  check "for loop" "for i in 1 to 4 loop\n  x := i;\nend loop;"
+    (Vhdl.Pretty.stmt_to_string (stmt_of "for i in 1 to 4 loop x := i; end loop;"));
+  check "par block" "par\n  a;\n  b(1);\nend par;"
+    (Vhdl.Pretty.stmt_to_string (stmt_of "par a; b(1); end par;"));
+  check "send" "send(ch, (v + 1));" (Vhdl.Pretty.stmt_to_string (stmt_of "send(ch, v + 1);"));
+  check "wait" "wait for 10 us;" (Vhdl.Pretty.stmt_to_string (stmt_of "wait for 10 us;"))
+
+let test_indent_parameter () =
+  check "indented" "    null;" (Vhdl.Pretty.stmt_to_string ~indent:4 (stmt_of "null;"))
+
+let test_case_layout () =
+  check "case"
+    "case v is\n  when 1 | 2 =>\n    x := 1;\n  when others =>\n    x := 0;\nend case;"
+    (Vhdl.Pretty.stmt_to_string
+       (stmt_of "case v is when 1 | 2 => x := 1; when others => x := 0; end case;"))
+
+let test_design_header () =
+  let d = Vhdl.Parser.parse Helpers.tiny_source in
+  let text = Vhdl.Pretty.design_to_string d in
+  Alcotest.(check bool) "starts with entity" true
+    (String.length text > 12 && String.sub text 0 12 = "entity tiny ")
+
+let suite =
+  [
+    Alcotest.test_case "type syntax" `Quick test_types;
+    Alcotest.test_case "expression syntax" `Quick test_exprs;
+    Alcotest.test_case "statement layout" `Quick test_stmt_layout;
+    Alcotest.test_case "indent parameter" `Quick test_indent_parameter;
+    Alcotest.test_case "case layout" `Quick test_case_layout;
+    Alcotest.test_case "design header" `Quick test_design_header;
+  ]

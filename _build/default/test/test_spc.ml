@@ -1,0 +1,197 @@
+(* SpecCharts-lite: parsing, lowering, and end-to-end behavior. *)
+
+let sample =
+  {|spec traffic is
+  port ( sensor : in integer range 0 to 255;
+         lamp   : out integer range 0 to 3 );
+  behavior top type seq is
+    variable phase : integer range 0 to 3;
+    variable waiting : integer;
+    behavior idle type code is
+    begin
+      phase := 0;
+      lamp <= phase;
+      waiting := sensor;
+    end idle;
+    behavior serve type par is
+      behavior green type code is
+        variable hold : integer;
+      begin
+        phase := 1;
+        hold := waiting * 2;
+        lamp <= phase;
+      end green;
+      behavior monitor type code is
+      begin
+        if sensor > 200 then
+          waiting := 255;
+        end if;
+      end monitor;
+    end serve;
+    behavior flush type code is
+    begin
+      phase := 3;
+      lamp <= phase;
+      waiting := 0;
+    end flush;
+    transitions
+      idle -> serve on sensor > 10;
+      idle -> flush;
+      serve -> flush;
+  end top;
+end;
+|}
+
+let spec = lazy (Spc.Parser.parse sample)
+
+let design = lazy (Spc.Lower.design_of_spec (Lazy.force spec))
+
+let test_parse_structure () =
+  let s = Lazy.force spec in
+  Alcotest.(check string) "name" "traffic" s.Spc.Ast.spec_name;
+  Alcotest.(check int) "two ports" 2 (List.length s.Spc.Ast.spec_ports);
+  let top = s.Spc.Ast.spec_top in
+  Alcotest.(check bool) "top sequential" true (top.b_kind = Spc.Ast.Sequential);
+  Alcotest.(check int) "three children" 3 (List.length top.b_children);
+  Alcotest.(check int) "three transitions" 3 (List.length top.b_transitions);
+  Alcotest.(check int) "two composite decls" 2 (List.length top.b_decls);
+  match top.b_children with
+  | [ idle; serve; flush ] ->
+      Alcotest.(check bool) "idle leaf" true (idle.b_kind = Spc.Ast.Leaf);
+      Alcotest.(check bool) "serve concurrent" true (serve.b_kind = Spc.Ast.Concurrent);
+      Alcotest.(check int) "serve has two children" 2 (List.length serve.b_children);
+      Alcotest.(check int) "idle body statements" 3 (List.length idle.b_body);
+      Alcotest.(check string) "flush name" "flush" flush.b_name
+  | _ -> Alcotest.fail "child shapes"
+
+let test_guard_parsed () =
+  let top = (Lazy.force spec).Spc.Ast.spec_top in
+  match top.b_transitions with
+  | { tr_from = "idle"; tr_to = "serve"; tr_cond = Some (Vhdl.Ast.Binop (Vhdl.Ast.Gt, _, _)) }
+    :: _ ->
+      ()
+  | _ -> Alcotest.fail "guard shape"
+
+let test_lowering_shape () =
+  let d = Lazy.force design in
+  Alcotest.(check string) "entity" "traffic" d.Vhdl.Ast.entity_name;
+  Alcotest.(check int) "one driver process" 1 (List.length d.Vhdl.Ast.processes);
+  (* One subprogram per behavior: top, idle, serve, green, monitor, flush. *)
+  Alcotest.(check int) "six subprograms" 6 (List.length d.Vhdl.Ast.subprograms);
+  (* Composite decls hoisted to shared architecture state. *)
+  Alcotest.(check bool) "phase hoisted" true
+    (List.exists
+       (function
+         | Vhdl.Ast.Var_decl { v_name = "phase"; v_shared = true; _ } -> true
+         | _ -> false)
+       d.Vhdl.Ast.arch_decls);
+  (* Leaf locals stay local. *)
+  Alcotest.(check bool) "hold not hoisted" true
+    (not
+       (List.exists
+          (function Vhdl.Ast.Var_decl { v_name = "hold"; _ } -> true | _ -> false)
+          d.Vhdl.Ast.arch_decls))
+
+let test_lowered_design_parses_back () =
+  (* The lowered design survives printing and reparsing. *)
+  let d = Lazy.force design in
+  Alcotest.(check bool) "pretty/parse identity" true
+    (Vhdl.Parser.parse (Vhdl.Pretty.design_to_string d) = d)
+
+let test_slif_pipeline () =
+  let sem = Vhdl.Sem.build (Lazy.force design) in
+  let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+  let stats = Slif.Stats.of_slif slif in
+  (* 7 behaviors (driver + 6), 2 shared variables. *)
+  Alcotest.(check int) "BV" 9 stats.Slif.Stats.bv;
+  Alcotest.(check bool) "par children share a tag" true
+    (let serve =
+       match Slif.Types.node_by_name slif "serve" with Some n -> n | None -> assert false
+     in
+     let tags =
+       Array.to_list slif.Slif.Types.chans
+       |> List.filter_map (fun (c : Slif.Types.channel) ->
+              if c.c_src = serve.n_id && c.c_kind = Slif.Types.Call then Some c.c_tag
+              else None)
+     in
+     match tags with [ Some a; Some b ] -> a = b | _ -> false)
+
+let run_lowered ~sensor =
+  let sem = Vhdl.Sem.build (Lazy.force design) in
+  let m =
+    Flow.Interp.create
+      ~inputs:(fun name -> if name = "sensor" then sensor else 0)
+      sem
+  in
+  Flow.Interp.run_process m "traffic_main";
+  m
+
+let test_execution_follows_transitions () =
+  (* sensor = 50: idle -> serve (guard true) -> flush. *)
+  let m = run_lowered ~sensor:50 in
+  (match Flow.Interp.read_global m "waiting" with
+  | Some (Flow.Interp.Vint 0) -> ()  (* flush reset it *)
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected waiting=0, got %s"
+           (match other with
+           | Some (Flow.Interp.Vint v) -> string_of_int v
+           | _ -> "none")));
+  Alcotest.(check (option int)) "flush drove the lamp" (Some 3)
+    (Flow.Interp.port_output m "lamp")
+
+let test_execution_guard_false () =
+  (* sensor = 5: the guarded arc fails, the unconditional idle -> flush
+     arc fires, serve is skipped entirely (phase never reaches 1). *)
+  let m = run_lowered ~sensor:5 in
+  Alcotest.(check (option int)) "lamp ends at flush" (Some 3)
+    (Flow.Interp.port_output m "lamp");
+  match Flow.Interp.read_global m "phase" with
+  | Some (Flow.Interp.Vint 3) -> ()
+  | _ -> Alcotest.fail "phase should be flush's value"
+
+let test_errors () =
+  (match Spc.Parser.parse "spec x is behavior a type bogus is begin end a; end;" with
+  | exception Vhdl.Loc.Error _ -> ()
+  | _ -> Alcotest.fail "bad kind accepted");
+  let dup =
+    {|spec x is
+  behavior top type seq is
+    behavior a type code is begin null; end a;
+    behavior a type code is begin null; end a;
+  end top;
+end;|}
+  in
+  (match Spc.Lower.design_of_spec (Spc.Parser.parse dup) with
+  | exception Spc.Lower.Lowering_error _ -> ()
+  | _ -> Alcotest.fail "duplicate names accepted");
+  let bad_arc =
+    {|spec x is
+  behavior top type seq is
+    behavior a type code is begin null; end a;
+    transitions
+      a -> nowhere;
+  end top;
+end;|}
+  in
+  match Spc.Lower.design_of_spec (Spc.Parser.parse bad_arc) with
+  | exception Spc.Lower.Lowering_error _ -> ()
+  | _ -> Alcotest.fail "dangling transition accepted"
+
+let test_empty_composite_rejected () =
+  match Spc.Parser.parse "spec x is behavior top type seq is end top; end;" with
+  | exception Vhdl.Loc.Error _ -> ()
+  | _ -> Alcotest.fail "childless composite accepted"
+
+let suite =
+  [
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "transition guards" `Quick test_guard_parsed;
+    Alcotest.test_case "lowering shape" `Quick test_lowering_shape;
+    Alcotest.test_case "lowered design reparses" `Quick test_lowered_design_parses_back;
+    Alcotest.test_case "SLIF pipeline on lowered spec" `Quick test_slif_pipeline;
+    Alcotest.test_case "execution follows guarded arcs" `Quick test_execution_follows_transitions;
+    Alcotest.test_case "execution with failing guard" `Quick test_execution_guard_false;
+    Alcotest.test_case "parse/lower errors" `Quick test_errors;
+    Alcotest.test_case "childless composite rejected" `Quick test_empty_composite_rejected;
+  ]

@@ -1,0 +1,85 @@
+(* Serialization round-trips and error reporting. *)
+
+let slif_testable =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Slif.Text.to_string s))
+    ( = )
+
+let test_roundtrip_fuzzy () =
+  let s, _ = Helpers.all_on_cpu (Lazy.force Helpers.fuzzy_slif) in
+  let s' = Slif.Text.of_string (Slif.Text.to_string s) in
+  Alcotest.check slif_testable "fuzzy round-trips with components" s s'
+
+let test_roundtrip_all_specs () =
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let sem = Vhdl.Sem.build (Vhdl.Parser.parse spec.Specs.Registry.source) in
+      let s = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+      let s' = Slif.Text.of_string (Slif.Text.to_string s) in
+      Alcotest.check slif_testable (spec.spec_name ^ " round-trips") s s')
+    Specs.Registry.all
+
+let test_empty_slif () =
+  let s =
+    {
+      Slif.Types.design_name = "empty";
+      nodes = [||];
+      ports = [||];
+      chans = [||];
+      procs = [||];
+      mems = [||];
+      buses = [||];
+    }
+  in
+  Alcotest.check slif_testable "empty round-trips" s (Slif.Text.of_string (Slif.Text.to_string s))
+
+let expect_failure name text =
+  match Slif.Text.of_string text with
+  | exception Failure msg ->
+      Alcotest.(check bool) (name ^ " mentions a line") true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail ("accepted malformed input: " ^ name)
+
+let test_malformed_inputs () =
+  expect_failure "unknown record" "frobnicate 1 2 3";
+  expect_failure "bad float" "node 0 process a\nict 0 tp notafloat";
+  expect_failure "bad node kind" "node 0 gizmo a";
+  expect_failure "ict before node" "ict 3 tp 1.0";
+  expect_failure "bad direction" "port 0 p 8 sideways";
+  expect_failure "bad channel kind" "chan 0 0 node 1 1.0 1.0 1.0 8 - teleport"
+
+let test_hex_floats_exact () =
+  let v = 0.1 +. 0.2 in
+  let nodes =
+    [|
+      {
+        Slif.Types.n_id = 0;
+        n_name = "x";
+        n_kind = Slif.Types.Behavior { is_process = false };
+        n_ict = [ ("t", v) ];
+        n_size = [ ("t", v *. 3.0) ];
+      };
+    |]
+  in
+  let s =
+    {
+      Slif.Types.design_name = "h";
+      nodes;
+      ports = [||];
+      chans = [||];
+      procs = [||];
+      mems = [||];
+      buses = [||];
+    }
+  in
+  let s' = Slif.Text.of_string (Slif.Text.to_string s) in
+  Alcotest.(check bool) "bit-exact floats" true (s = s')
+
+let suite =
+  [
+    Alcotest.test_case "fuzzy + components round-trip" `Quick test_roundtrip_fuzzy;
+    Alcotest.test_case "all specs round-trip" `Quick test_roundtrip_all_specs;
+    Alcotest.test_case "empty SLIF round-trips" `Quick test_empty_slif;
+    Alcotest.test_case "malformed inputs rejected" `Quick test_malformed_inputs;
+    Alcotest.test_case "floats survive bit-exactly" `Quick test_hex_floats_exact;
+  ]

@@ -1,0 +1,86 @@
+open Slif_util
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 13 in
+    Alcotest.(check bool) "0 <= v < 13" true (v >= 0 && v < 13)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_varies () =
+  let rng = Prng.create 3 in
+  let values = List.init 50 (fun _ -> Prng.int rng 1000000) in
+  let distinct = List.sort_uniq compare values in
+  Alcotest.(check bool) "not constant" true (List.length distinct > 40)
+
+let test_prng_invalid_bound () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: non-positive bound")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_split_independent () =
+  let a = Prng.create 11 in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_copy () =
+  let a = Prng.create 5 in
+  ignore (Prng.int a 10);
+  let b = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.int a 1000) (Prng.int b 1000)
+
+let test_table_render () =
+  let t = Table.create ~header:[ "name"; "count" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "header + separator + 2 rows" 4 (List.length lines);
+  (* Numeric column is right-aligned. *)
+  Alcotest.(check bool) "right-aligned count" true
+    (match lines with
+    | _ :: _ :: r1 :: r2 :: _ ->
+        String.length r1 = String.length r2
+        && String.get r1 (String.length r1 - 1) = '1'
+    | _ -> false)
+
+let test_table_width_mismatch () =
+  let t = Table.create ~header:[ "a"; "b" ] in
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_timer_measures () =
+  let (), elapsed = Timer.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  Alcotest.(check bool) "non-negative" true (elapsed >= 0.0);
+  let avg = Timer.time_n 5 (fun () -> ()) in
+  Alcotest.(check bool) "avg non-negative" true (avg >= 0.0)
+
+let test_timer_invalid () =
+  Alcotest.check_raises "time_n 0" (Invalid_argument "Timer.time_n") (fun () ->
+      ignore (Timer.time_n 0 (fun () -> ())))
+
+let suite =
+  [
+    Alcotest.test_case "prng is deterministic per seed" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng respects bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng varies" `Quick test_prng_varies;
+    Alcotest.test_case "prng rejects bad bound" `Quick test_prng_invalid_bound;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng copy" `Quick test_prng_copy;
+    Alcotest.test_case "table renders aligned" `Quick test_table_render;
+    Alcotest.test_case "table rejects ragged rows" `Quick test_table_width_mismatch;
+    Alcotest.test_case "timer measures" `Quick test_timer_measures;
+    Alcotest.test_case "timer rejects n=0" `Quick test_timer_invalid;
+  ]
