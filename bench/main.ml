@@ -450,6 +450,68 @@ let a4 () =
     "(with measured branch probabilities the prediction is near-exact; with\n\
     \ uniform static defaults it deviates — why the paper profiles)"
 
+(* --- A6: observability overhead --------------------------------------------- *)
+
+let a6 () =
+  section "A6 (ablation): observability probe overhead (disabled vs enabled)";
+  print_endline
+    "(every probe behind a disabled registry is one bool check; the estimator\n\
+    \ hot loop is the worst case — the target for the disabled column is <5%)";
+  let spec = Specs.Registry.find_exn "ether" in
+  let _, _, slif = pipeline spec in
+  let s, graph, part = proc_asic_setup slif in
+  let reps = 300 in
+  (* The harness itself runs with the registry enabled; sample both states,
+     then leave it enabled for the remaining phases. *)
+  Slif_obs.Registry.disable ();
+  let t_off = Slif_util.Timer.time_n reps (fun () -> full_estimate graph part s) in
+  Slif_obs.Registry.enable ();
+  let t_on = Slif_util.Timer.time_n reps (fun () -> full_estimate graph part s) in
+  Printf.printf
+    "full_estimate(ether): disabled %.3f us/run, enabled (counters live) %.3f us/run\n\
+     enabled-mode overhead: %.1f%%\n"
+    (t_off *. 1e6) (t_on *. 1e6)
+    (100.0 *. ((t_on /. t_off) -. 1.0))
+
+(* --- BENCH_obs.json: machine-readable phase timings + counters -------------- *)
+
+let bench_obs_path =
+  match Sys.getenv_opt "SLIF_BENCH_OBS" with Some p -> p | None -> "BENCH_obs.json"
+
+let write_bench_obs () =
+  let prefix = "span.bench." in
+  let phases =
+    Slif_obs.Histogram.snapshot ()
+    |> List.filter_map (fun (name, (s : Slif_obs.Histogram.summary)) ->
+           if String.length name > String.length prefix
+              && String.sub name 0 (String.length prefix) = prefix
+           then
+             let phase =
+               String.sub name (String.length prefix)
+                 (String.length name - String.length prefix)
+             in
+             (* Span durations are recorded in microseconds. *)
+             Some (phase, Slif_obs.Json.Float (s.sum /. 1e6))
+           else None)
+  in
+  let counters =
+    List.map
+      (fun (name, v) -> (name, Slif_obs.Json.Int v))
+      (Slif_obs.Counter.snapshot ())
+  in
+  Slif_obs.Json.write_file bench_obs_path
+    (Slif_obs.Json.Obj
+       [
+         ("schema", Slif_obs.Json.String "slif-bench-obs/1");
+         ("phase_seconds", Slif_obs.Json.Obj phases);
+         ("counters", Slif_obs.Json.Obj counters);
+       ]);
+  (match Sys.getenv_opt "SLIF_BENCH_TRACE" with
+  | Some path -> Slif_obs.Trace.write_file path
+  | None -> ());
+  Printf.printf "\nwrote %s (%d phases, %d counters)\n" bench_obs_path
+    (List.length phases) (List.length counters)
+
 (* --- A5: shared-hardware area (the paper's reference [1]) ------------------ *)
 
 let a5 () =
@@ -505,13 +567,17 @@ let a5 () =
 let () =
   print_endline "SLIF reproduction benchmark harness";
   print_endline "(see DESIGN.md section 3 for the experiment index)";
-  figure4 ();
-  r1_r2 ();
-  r3 ();
-  r4 ();
-  a1 ();
-  a2 ();
-  a3 ();
-  a4 ();
-  a5 ();
+  Slif_obs.Registry.enable ();
+  let phase name f = Slif_obs.Span.with_ ("bench." ^ name) f in
+  phase "figure4" figure4;
+  phase "r1_r2" r1_r2;
+  phase "r3" r3;
+  phase "r4" r4;
+  phase "a1" a1;
+  phase "a2" a2;
+  phase "a3" a3;
+  phase "a4" a4;
+  phase "a5" a5;
+  phase "a6" a6;
+  write_bench_obs ();
   print_endline "\ndone."

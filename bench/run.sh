@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate the full benchmark report and BENCH_obs.json (machine-readable
+# per-phase timings + counters) in the repository root, so perf numbers are
+# reproducible in one command:
+#
+#   bench/run.sh                          # writes ./BENCH_obs.json
+#   SLIF_BENCH_OBS=out.json bench/run.sh  # choose the output path
+#   SLIF_BENCH_TRACE=t.json bench/run.sh  # also dump a Chrome/Perfetto trace
+set -e
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+exec ./_build/default/bench/main.exe "$@"

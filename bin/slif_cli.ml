@@ -71,6 +71,68 @@ let resolve_profile ~auto ~profile source =
       let sem = Vhdl.Sem.build (parse_any source) in
       Some (Flow.Profiler.auto ~runs:5 ~seed:1 sem)
 
+(* --- Observability flags (accepted by every subcommand) ------------------- *)
+
+type obs_opts = { trace : string option; metrics : string option; verbose : bool }
+
+let obs_term =
+  let trace =
+    let doc =
+      "Record spans of the run and write them to $(docv) as Chrome trace_event \
+       JSON (load in chrome://tracing or https://ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc =
+      "Write counters and timing histograms of the run to $(docv) as JSON \
+       (use a .jsonl extension for one metric per line)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let verbose =
+    let doc = "Print a counter/histogram summary to stderr after the command." in
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+  in
+  let combine trace metrics verbose = { trace; metrics; verbose } in
+  Term.(const combine $ trace $ metrics $ verbose)
+
+let is_jsonl path = Filename.check_suffix path ".jsonl"
+
+(* Run a subcommand body under the observability registry: recording is
+   enabled only when one of the flags asks for output, so the default
+   path keeps the probes down to a single bool check each. *)
+let with_obs opts f =
+  let active = opts.trace <> None || opts.metrics <> None || opts.verbose in
+  if active then Slif_obs.Registry.enable ();
+  let export () =
+    if active then begin
+      Slif_obs.Registry.disable ();
+      Option.iter Slif_obs.Trace.write_file opts.trace;
+      Option.iter
+        (fun path ->
+          if is_jsonl path then Slif_obs.Metrics.write_jsonl path
+          else Slif_obs.Metrics.write_file path)
+        opts.metrics;
+      if opts.verbose then prerr_string (Slif_obs.Metrics.summary_string ())
+    end
+  in
+  (* A bad --trace/--metrics path should not mask the subcommand's work. *)
+  let export () =
+    match export () with
+    | () -> 0
+    | exception Sys_error msg ->
+        Printf.eprintf "slif: cannot write observability output: %s\n" msg;
+        1
+  in
+  match f () with
+  | code ->
+      let ecode = export () in
+      if code = 0 then ecode else code
+  | exception e ->
+      ignore (export ());
+      raise e
+
 (* --- Common arguments ---------------------------------------------------- *)
 
 let spec_arg =
@@ -93,7 +155,8 @@ let auto_profile_arg =
 (* --- dump-spec ------------------------------------------------------------ *)
 
 let dump_spec_cmd =
-  let run spec =
+  let run obs spec =
+    with_obs obs @@ fun () ->
     print_string (load_spec spec).Specs.Registry.source;
     0
   in
@@ -102,12 +165,13 @@ let dump_spec_cmd =
   in
   Cmd.v
     (Cmd.info "dump-spec" ~doc:"Print a bundled benchmark specification.")
-    Term.(const run $ spec)
+    Term.(const run $ obs_term $ spec)
 
 (* --- build ----------------------------------------------------------------- *)
 
 let build_cmd =
-  let run spec file profile auto dot text annotations =
+  let run obs spec file profile auto dot text annotations =
+    with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
     let profile = resolve_profile ~auto ~profile source in
     let _, _, slif = annotated_slif ?profile source in
@@ -136,7 +200,9 @@ let build_cmd =
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build (and annotate) the SLIF of a specification.")
-    Term.(const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ dot $ text $ ann)
+    Term.(
+      const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ dot
+      $ text $ ann)
 
 (* --- estimate / partition --------------------------------------------------- *)
 
@@ -179,7 +245,8 @@ let parse_deadlines deadlines =
     deadlines
 
 let partition_cmd =
-  let run spec file profile auto algo explore pareto deadlines save load_ =
+  let run obs spec file profile auto algo explore pareto deadlines save load_ =
+    with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
     let profile = resolve_profile ~auto ~profile source in
     let _, _, slif = annotated_slif ?profile source in
@@ -273,11 +340,12 @@ let partition_cmd =
     (Cmd.info "partition"
        ~doc:"Partition a specification onto a processor-ASIC architecture.")
     Term.(
-      const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ algo_arg $ explore
-      $ pareto $ deadlines $ save $ load_)
+      const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg
+      $ algo_arg $ explore $ pareto $ deadlines $ save $ load_)
 
 let estimate_cmd =
-  let run spec file profile auto bounds =
+  let run obs spec file profile auto bounds =
+    with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
     let profile = resolve_profile ~auto ~profile source in
     let _, _, slif = annotated_slif ?profile source in
@@ -319,12 +387,13 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Report metrics for the all-software seed partition.")
-    Term.(const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ bounds)
+    Term.(const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ bounds)
 
 (* --- compare ----------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run spec file =
+  let run obs spec file =
+    with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
     let design = parse_any source in
     let sem = Vhdl.Sem.build design in
@@ -345,17 +414,21 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare SLIF size against the ADD and CDFG formats.")
-    Term.(const run $ spec_arg $ file_arg)
+    Term.(const run $ obs_term $ spec_arg $ file_arg)
 
 (* --- figure4 ------------------------------------------------------------------- *)
 
 let figure4_cmd =
-  let run () =
+  let run obs =
+    with_obs obs @@ fun () ->
     let table =
-      Slif_util.Table.create ~header:[ ""; "Lines"; "BV"; "C"; "T-slif(s)"; "T-est(s)" ]
+      Slif_util.Table.create
+        ~header:[ ""; "Lines"; "BV"; "C"; "T-slif(s)"; "T-est(s)"; "parts/s" ]
     in
     List.iter
       (fun (spec : Specs.Registry.spec) ->
+        Slif_obs.Span.with_ "figure4.spec" ~args:[ ("spec", spec.spec_name) ]
+        @@ fun () ->
         let build () =
           let design = Vhdl.Parser.parse spec.source in
           let sem = Vhdl.Sem.build design in
@@ -377,6 +450,16 @@ let figure4_cmd =
           ignore (Slif.Estimate.bus_bitrate_mbps est 0)
         in
         let (), t_est = Slif_util.Timer.time estimate in
+        (* The paper's point is that T-est makes interactive exploration
+           feasible (experiment R4): report the partitions-per-second a
+           greedy search actually achieves on this spec. *)
+        let problem = Specsyn.Search.problem graph in
+        let solution, t_part = Slif_util.Timer.time (fun () -> Specsyn.Greedy.run problem) in
+        let parts_per_s =
+          if t_part > 0.0 then
+            float_of_int solution.Specsyn.Search.evaluated /. t_part
+          else 0.0
+        in
         let stats = Slif.Stats.of_slif slif in
         Slif_util.Table.add_row table
           [
@@ -386,6 +469,7 @@ let figure4_cmd =
             string_of_int stats.Slif.Stats.channels;
             Printf.sprintf "%.4f" t_slif;
             Printf.sprintf "%.6f" t_est;
+            Printf.sprintf "%.0f" parts_per_s;
           ])
       Specs.Registry.all;
     Slif_util.Table.print table;
@@ -393,7 +477,7 @@ let figure4_cmd =
   in
   Cmd.v
     (Cmd.info "figure4" ~doc:"Regenerate the paper's Figure 4 results table.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let main_cmd =
   let doc = "SLIF: a specification-level intermediate format for system design" in

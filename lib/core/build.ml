@@ -22,6 +22,7 @@ let port_dir_of = function
   | Ast.Inout -> Types.Pinout
 
 let build ?(profile = Flow.Profile.empty) ?name sem =
+  Slif_obs.Span.with_ "slif.build" @@ fun () ->
   let design = Sem.design sem in
   let design_name = Option.value name ~default:design.Ast.entity_name in
   (* --- Nodes: behaviors first (processes then subprograms), then
@@ -202,6 +203,8 @@ let build ?(profile = Flow.Profile.empty) ?name sem =
          !nodes)
   in
   Array.iteri (fun i n -> node_array.(i) <- { n with Types.n_id = i }) node_array;
+  Slif_obs.Counter.add "build.nodes" (Array.length node_array);
+  Slif_obs.Counter.add "build.channels" (List.length channels);
   {
     Types.design_name;
     nodes = node_array;

@@ -34,10 +34,12 @@ let graph t = t.graph
 let partition t = t.part
 
 let invalidate_all t =
+  Slif_obs.Counter.incr "estimate.invalidate_full";
   Array.fill t.cache 0 (Array.length t.cache) None;
   t.synced_version <- Partition.version t.part
 
 let note_node_moved t node =
+  Slif_obs.Counter.incr "estimate.invalidate_incremental";
   List.iter (fun id -> t.cache.(id) <- None) (Graph.transitive_callers t.graph node);
   t.synced_version <- Partition.version t.part
 
@@ -118,14 +120,17 @@ let comm_time t exec chans =
 
 let exectime_us t id =
   sync t;
+  Slif_obs.Counter.incr "estimate.exectime_calls";
   let visiting = Hashtbl.create 8 in
   let rec exec id =
     t.queries <- t.queries + 1;
     match t.cache.(id) with
     | Some v ->
         t.hits <- t.hits + 1;
+        Slif_obs.Counter.incr "estimate.memo_hit";
         v
     | None ->
+        Slif_obs.Counter.incr "estimate.memo_miss";
         let depth = Option.value (Hashtbl.find_opt visiting id) ~default:0 in
         if depth > 0 && t.recursion_depth = 0 then
           raise
@@ -207,6 +212,7 @@ let exectime_scaled t factors id =
   exec id
 
 let bus_slowdowns ?(iterations = 8) t =
+  Slif_obs.Span.with_ "estimate.bus_slowdowns" @@ fun () ->
   sync t;
   let s = Graph.slif t.graph in
   let n_buses = Array.length s.Types.buses in
@@ -239,6 +245,7 @@ let exectime_contended_us ?iterations t id =
   exectime_scaled t factors id
 
 let size t comp =
+  Slif_obs.Counter.incr "estimate.size_calls";
   let s = Graph.slif t.graph in
   let tech = Partition.comp_tech s comp in
   List.fold_left
@@ -268,6 +275,7 @@ let cut_chans t comp =
   Array.to_list s.Types.chans |> List.filter (crosses t comp)
 
 let io_pins t comp =
+  Slif_obs.Counter.incr "estimate.io_pins_calls";
   let s = Graph.slif t.graph in
   let cut_buses =
     List.sort_uniq compare

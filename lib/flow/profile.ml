@@ -28,6 +28,7 @@ let while_trips t ~behavior ~site =
   | None -> default_while_trips
 
 let of_string text =
+  Slif_obs.Span.with_ "flow.profile.parse" @@ fun () ->
   let lines = String.split_on_char '\n' text in
   let parse (lineno, acc) line =
     let line =

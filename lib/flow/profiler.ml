@@ -1,4 +1,6 @@
 let auto ?(runs = 10) ?(seed = 1) ?limits sem =
+  Slif_obs.Span.with_ "flow.auto_profile" ~args:[ ("runs", string_of_int runs) ]
+  @@ fun () ->
   let rng = Slif_util.Prng.create seed in
   let machine =
     Interp.create ?limits ~inputs:(fun _ -> Slif_util.Prng.int rng 256) sem
@@ -12,4 +14,5 @@ let auto ?(runs = 10) ?(seed = 1) ?limits sem =
         | Interp.Limit_exceeded _ | Interp.Runtime_error _ -> ())
       design.Vhdl.Ast.processes
   done;
+  Slif_obs.Counter.add "flow.interp_steps" (Interp.steps machine);
   Interp.profile machine

@@ -1,0 +1,18 @@
+let now_ns () = Monotonic_clock.now ()
+
+let now_us () = Int64.to_float (now_ns ()) /. 1e3
+
+let seconds_between t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e9
+
+let time f =
+  let t0 = now_ns () in
+  let result = f () in
+  (result, seconds_between t0 (now_ns ()))
+
+let time_n n f =
+  if n <= 0 then invalid_arg "Clock.time_n";
+  let t0 = now_ns () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  seconds_between t0 (now_ns ()) /. float_of_int n

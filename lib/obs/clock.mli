@@ -1,0 +1,21 @@
+(** Monotonic time source for every timestamp in the observability layer.
+
+    [Unix.gettimeofday] jumps under NTP adjustment, so durations measured
+    with it can come out negative; everything here reads
+    [CLOCK_MONOTONIC] instead (via the bechamel stub already in the
+    image). *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock.  Only differences are
+    meaningful. *)
+
+val now_us : unit -> float
+(** {!now_ns} scaled to microseconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed monotonic seconds. *)
+
+val time_n : int -> (unit -> 'a) -> float
+(** [time_n n f] runs [f] [n] times and returns the average elapsed
+    seconds per run.  Raises [Invalid_argument] when [n <= 0]. *)

@@ -1,0 +1,14 @@
+let add name n =
+  if Registry.on () then
+    match Hashtbl.find_opt Registry.counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add Registry.counters name (ref n)
+
+let incr ?(by = 1) name = add name by
+
+let get name =
+  match Hashtbl.find_opt Registry.counters name with Some r -> !r | None -> 0
+
+let snapshot () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) Registry.counters []
+  |> List.sort compare

@@ -1,0 +1,19 @@
+(** Named monotonically increasing event counters.
+
+    Names are dotted paths ([estimate.memo_hit],
+    [search.partitions_scored]); the registry aggregates across every
+    instance of the producing component, so two estimators both feed the
+    same [estimate.*] counters. *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter, creating it at zero
+    first.  No-op while the registry is disabled. *)
+
+val add : string -> int -> unit
+(** [add name n] = [incr ~by:n name]. *)
+
+val get : string -> int
+(** Current value; 0 for a counter that never fired. *)
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name. *)

@@ -1,0 +1,28 @@
+type summary = { count : int; sum : float; min : float; max : float; mean : float }
+
+let observe name v =
+  if Registry.on () then
+    match Hashtbl.find_opt Registry.hists name with
+    | Some h ->
+        h.Registry.h_count <- h.Registry.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v
+    | None ->
+        Hashtbl.add Registry.hists name
+          { Registry.h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+let summary_of (h : Registry.hist) =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
+  }
+
+let summary name = Option.map summary_of (Hashtbl.find_opt Registry.hists name)
+
+let snapshot () =
+  Hashtbl.fold (fun name h acc -> (name, summary_of h) :: acc) Registry.hists []
+  |> List.sort compare

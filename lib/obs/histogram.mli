@@ -1,0 +1,16 @@
+(** Named value distributions (count / sum / min / max / mean).
+
+    {!Span.with_} feeds a [span.<name>] histogram with every span's
+    duration in microseconds, so per-phase timing statistics come for
+    free in the metrics export. *)
+
+type summary = { count : int; sum : float; min : float; max : float; mean : float }
+
+val observe : string -> float -> unit
+(** Record one observation.  No-op while the registry is disabled. *)
+
+val summary : string -> summary option
+(** [None] for a histogram that never observed a value. *)
+
+val snapshot : unit -> (string * summary) list
+(** All histograms, sorted by name. *)

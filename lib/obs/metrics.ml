@@ -1,0 +1,83 @@
+let hist_json (s : Histogram.summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("mean", Json.Float s.mean);
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (Counter.snapshot ())) );
+      ( "histograms",
+        Json.Obj (List.map (fun (name, s) -> (name, hist_json s)) (Histogram.snapshot ())) );
+      ("dropped_span_events", Json.Int (Registry.dropped_events ()));
+    ]
+
+let write_file path = Json.write_file path (to_json ())
+
+let write_jsonl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun (name, v) ->
+          Json.to_channel oc
+            (Json.Obj
+               [
+                 ("type", Json.String "counter");
+                 ("name", Json.String name);
+                 ("value", Json.Int v);
+               ]);
+          output_char oc '\n')
+        (Counter.snapshot ());
+      List.iter
+        (fun (name, (s : Histogram.summary)) ->
+          Json.to_channel oc
+            (Json.Obj
+               [
+                 ("type", Json.String "histogram");
+                 ("name", Json.String name);
+                 ("count", Json.Int s.count);
+                 ("sum", Json.Float s.sum);
+                 ("min", Json.Float s.min);
+                 ("max", Json.Float s.max);
+                 ("mean", Json.Float s.mean);
+               ]);
+          output_char oc '\n')
+        (Histogram.snapshot ()))
+
+let summary_string () =
+  let counters = Counter.snapshot () in
+  let hists = Histogram.snapshot () in
+  if counters = [] && hists = [] then ""
+  else begin
+    let buf = Buffer.create 512 in
+    if counters <> [] then begin
+      Buffer.add_string buf "counters:\n";
+      let width =
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 counters
+      in
+      List.iter
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width name v))
+        counters
+    end;
+    if hists <> [] then begin
+      Buffer.add_string buf "histograms (count / mean / min / max):\n";
+      let width =
+        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 hists
+      in
+      List.iter
+        (fun (name, (s : Histogram.summary)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s %d / %.3f / %.3f / %.3f\n" width name s.count s.mean
+               s.min s.max))
+        hists
+    end;
+    Buffer.contents buf
+  end

@@ -1,0 +1,60 @@
+type span_event = {
+  ev_name : string;
+  ev_ts_ns : int64;
+  ev_dur_ns : int64;
+  ev_depth : int;
+  ev_args : (string * string) list;
+}
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let enabled = ref false
+let epoch = ref 0L
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 64
+let events : span_event list ref = ref []
+let n_events = ref 0
+let max_events = ref 200_000
+let dropped = ref 0
+let depth = ref 0
+
+let on () = !enabled
+
+let enable () =
+  if not !enabled then begin
+    enabled := true;
+    if !epoch = 0L then epoch := Clock.now_ns ()
+  end
+
+let disable () = enabled := false
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset hists;
+  events := [];
+  n_events := 0;
+  dropped := 0;
+  depth := 0;
+  epoch := Clock.now_ns ()
+
+let epoch_ns () = !epoch
+
+let push_event ev =
+  if !n_events >= !max_events then incr dropped
+  else begin
+    events := ev :: !events;
+    incr n_events
+  end
+
+let all_events () = List.rev !events
+
+let dropped_events () = !dropped
+
+let set_max_events n =
+  if n < 0 then invalid_arg "Registry.set_max_events";
+  max_events := n

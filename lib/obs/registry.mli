@@ -1,0 +1,62 @@
+(** Process-global observability state.
+
+    One registry per process: a master switch, the counter and histogram
+    tables, and the span-event buffer.  Everything the instrumented hot
+    paths do funnels through {!on}, so a disabled registry costs exactly
+    one [bool] load and branch per probe (target: <5% overhead on
+    [bench/main.ml]; measured in its A6 section). *)
+
+val on : unit -> bool
+(** True when recording is enabled.  Every probe in {!Counter},
+    {!Histogram} and {!Span} checks this first and is a no-op when it is
+    false. *)
+
+val enable : unit -> unit
+(** Turn recording on.  The first call pins the trace epoch (timestamp
+    zero for exported spans). *)
+
+val disable : unit -> unit
+(** Turn recording off; accumulated data is kept for export. *)
+
+val reset : unit -> unit
+(** Drop all counters, histograms and span events and re-pin the epoch.
+    Does not change the enabled flag. *)
+
+(** {2 Internal surface used by the sibling modules} *)
+
+type span_event = {
+  ev_name : string;
+  ev_ts_ns : int64;  (** start, relative to the epoch *)
+  ev_dur_ns : int64;
+  ev_depth : int;  (** nesting depth at entry; 0 = top level *)
+  ev_args : (string * string) list;
+}
+
+val epoch_ns : unit -> int64
+
+val counters : (string, int ref) Hashtbl.t
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+val hists : (string, hist) Hashtbl.t
+
+val depth : int ref
+(** Current span nesting depth (maintained by {!Span.with_}). *)
+
+val push_event : span_event -> unit
+(** Append a completed span, dropping it (and counting the drop) past
+    {!set_max_events}. *)
+
+val all_events : unit -> span_event list
+(** Completed spans in completion order. *)
+
+val dropped_events : unit -> int
+
+val set_max_events : int -> unit
+(** Cap the span buffer (default 200_000 events) so a runaway annealing
+    trace cannot exhaust memory. *)

@@ -1,0 +1,31 @@
+let record ?(args = []) name ~t0 ~depth =
+  let t1 = Clock.now_ns () in
+  let dur = Int64.sub t1 t0 in
+  Registry.push_event
+    {
+      Registry.ev_name = name;
+      ev_ts_ns = Int64.sub t0 (Registry.epoch_ns ());
+      ev_dur_ns = dur;
+      ev_depth = depth;
+      ev_args = args;
+    };
+  Histogram.observe ("span." ^ name) (Int64.to_float dur /. 1e3)
+
+let with_ ?args name f =
+  if not (Registry.on ()) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let d = !Registry.depth in
+    Registry.depth := d + 1;
+    let finish () =
+      Registry.depth := d;
+      record ?args name ~t0 ~depth:d
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end

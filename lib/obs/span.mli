@@ -1,0 +1,14 @@
+(** Nested monotonic-clock spans.
+
+    [with_ "estimate.exectime" f] times [f ()] on the monotonic clock
+    and records a completed span carrying the nesting depth at entry, so
+    the Chrome trace export reconstructs the call structure.  A span is
+    recorded even when [f] raises.  Each span also feeds the
+    [span.<name>] histogram with its duration in microseconds.
+
+    Disabled registry: the only cost is one [bool] check before calling
+    [f]. *)
+
+val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the function under a named span.  [args] become the trace
+    event's [args] object (rendered as strings). *)

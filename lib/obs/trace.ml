@@ -1,0 +1,55 @@
+type event = {
+  name : string;
+  ts_us : float;
+  dur_us : float;
+  depth : int;
+  args : (string * string) list;
+}
+
+let events () =
+  Registry.all_events ()
+  |> List.map (fun (ev : Registry.span_event) ->
+         {
+           name = ev.ev_name;
+           ts_us = Int64.to_float ev.ev_ts_ns /. 1e3;
+           dur_us = Int64.to_float ev.ev_dur_ns /. 1e3;
+           depth = ev.ev_depth;
+           args = ev.ev_args;
+         })
+  |> List.stable_sort (fun a b -> compare a.ts_us b.ts_us)
+
+let event_json ev =
+  let args =
+    ("depth", Json.Int ev.depth)
+    :: List.map (fun (k, v) -> (k, Json.String v)) ev.args
+  in
+  Json.Obj
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String "slif");
+      ("ph", Json.String "X");
+      ("ts", Json.Float ev.ts_us);
+      ("dur", Json.Float ev.dur_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj args);
+    ]
+
+let process_name_event =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.String "slif") ]);
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (process_name_event :: List.map event_json (events ())));
+      ("displayTimeUnit", Json.String "ms");
+      ("droppedSpanEvents", Json.Int (Registry.dropped_events ()));
+    ]
+
+let write_file path = Json.write_file path (to_json ())

@@ -1,0 +1,22 @@
+(** Chrome [trace_event] export of the recorded spans.
+
+    The output is the JSON-object flavor of the trace-event format
+    ({v {"traceEvents":[...]} v}) with one complete ("ph":"X") event per
+    span, timestamps in microseconds relative to the registry epoch.  It
+    loads directly in [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}. *)
+
+type event = {
+  name : string;
+  ts_us : float;  (** start, microseconds since the epoch *)
+  dur_us : float;
+  depth : int;
+  args : (string * string) list;
+}
+
+val events : unit -> event list
+(** Recorded spans sorted by start time (the export order). *)
+
+val to_json : unit -> Json.t
+
+val write_file : string -> unit

@@ -41,6 +41,9 @@ let undo_move est part = function
       Slif.Estimate.invalidate_all est
 
 let run ?(params = default_params) ?initial (problem : Search.problem) =
+  Slif_obs.Span.with_ "search.annealing"
+    ~args:[ ("steps", string_of_int params.steps) ]
+  @@ fun () ->
   let s = Slif.Graph.slif problem.graph in
   let part =
     match initial with Some p -> Slif.Partition.copy p | None -> Search.seed_partition s
@@ -58,6 +61,7 @@ let run ?(params = default_params) ?initial (problem : Search.problem) =
     | Some move ->
         apply_move est part move;
         incr evaluated;
+        Slif_obs.Counter.incr "search.moves_proposed";
         let c = Search.evaluate problem est in
         let accept =
           c <= !cost
@@ -65,13 +69,17 @@ let run ?(params = default_params) ?initial (problem : Search.problem) =
              && Slif_util.Prng.float rng 1.0 < exp ((!cost -. c) /. !temp))
         in
         if accept then begin
+          Slif_obs.Counter.incr "search.moves_accepted";
           cost := c;
           if c < !best_cost then begin
             best_cost := c;
             best_part := Slif.Partition.copy part
           end
         end
-        else undo_move est part move);
+        else begin
+          Slif_obs.Counter.incr "search.moves_rejected";
+          undo_move est part move
+        end);
     temp := !temp *. params.cooling
   done;
   { Search.part = !best_part; cost = !best_cost; evaluated = !evaluated }

@@ -75,6 +75,7 @@ let clusters ?(params = default_params) graph ~k =
     match !best with
     | None -> continue_ := false
     | Some (i, j, _) ->
+        Slif_obs.Counter.incr "search.cluster_merges";
         parent.(j) <- i;
         cluster_size.(i) <- cluster_size.(i) +. cluster_size.(j);
         for m = 0 to n - 1 do
@@ -94,6 +95,8 @@ let clusters ?(params = default_params) graph ~k =
   |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
 
 let run ?(params = default_params) ~k (problem : Search.problem) =
+  Slif_obs.Span.with_ "search.clustering" ~args:[ ("k", string_of_int k) ]
+  @@ fun () ->
   let graph = problem.Search.graph in
   let s = Slif.Graph.slif graph in
   let groups = clusters ~params graph ~k in

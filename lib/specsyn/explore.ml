@@ -24,6 +24,7 @@ let default_algos =
   [ Random 50; Greedy; Group_migration; Annealing Annealing.default_params; Clustering 4 ]
 
 let run ?constraints ?weights ?(algos = default_algos) ?(allocs = Alloc.catalog) slif =
+  Slif_obs.Span.with_ "explore.run" @@ fun () ->
   let entries =
     List.concat_map
       (fun alloc ->
@@ -40,11 +41,17 @@ let run ?constraints ?weights ?(algos = default_algos) ?(allocs = Alloc.catalog)
               | Annealing params -> Annealing.run ~params problem
               | Clustering k -> Cluster.run ~k problem
             in
+            let solve () =
+              Slif_obs.Span.with_ "explore.entry"
+                ~args:[ ("alloc", alloc.Alloc.alloc_name); ("algo", algo_name algo) ]
+                solve
+            in
             let solution, elapsed_s = Slif_util.Timer.time solve in
             let partitions_per_s =
               if elapsed_s > 0.0 then float_of_int solution.Search.evaluated /. elapsed_s
               else 0.0
             in
+            Slif_obs.Counter.add "explore.partitions_evaluated" solution.Search.evaluated;
             { alloc; algo; solution; elapsed_s; partitions_per_s })
           algos)
       allocs

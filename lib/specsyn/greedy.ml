@@ -4,6 +4,7 @@ let size_proxy (node : Slif.Types.node) =
   match node.n_size with [] -> 0.0 | (_, v) :: _ -> v
 
 let run (problem : Search.problem) =
+  Slif_obs.Span.with_ "search.greedy" @@ fun () ->
   let s = Slif.Graph.slif problem.graph in
   let part = Search.seed_partition s in
   let est = Search.estimator problem.graph part in
@@ -30,6 +31,7 @@ let run (problem : Search.problem) =
           end)
         (Search.comps_for_node s node);
       Slif.Partition.assign_node part ~node:id (fst !best);
-      Slif.Estimate.note_node_moved est id)
+      Slif.Estimate.note_node_moved est id;
+      Slif_obs.Counter.incr "search.moves_committed")
     order;
   { Search.part; cost = Search.evaluate problem est; evaluated = !evaluated }

@@ -1,4 +1,5 @@
 let run ?(max_passes = 8) ?initial (problem : Search.problem) =
+  Slif_obs.Span.with_ "search.group_migration" @@ fun () ->
   let s = Slif.Graph.slif problem.graph in
   let part =
     match initial with Some p -> Slif.Partition.copy p | None -> Search.seed_partition s
@@ -16,6 +17,7 @@ let run ?(max_passes = 8) ?initial (problem : Search.problem) =
   while !improved && !passes < max_passes do
     improved := false;
     incr passes;
+    Slif_obs.Counter.incr "search.gm_passes";
     let locked = Array.make n false in
     (* A pass: commit the best single move among unlocked nodes, lock the
        moved node, repeat; keep the best state seen during the pass. *)

@@ -15,6 +15,10 @@ let random_partition rng (s : Slif.Types.t) =
 
 let run ?(seed = 1) ~restarts (problem : Search.problem) =
   if restarts <= 0 then invalid_arg "Random_part.run: restarts must be positive";
+  Slif_obs.Span.with_ "search.random"
+    ~args:[ ("restarts", string_of_int restarts) ]
+  @@ fun () ->
+  Slif_obs.Counter.add "search.restarts" restarts;
   let s = Slif.Graph.slif problem.graph in
   let rng = Slif_util.Prng.create seed in
   let best = ref None in

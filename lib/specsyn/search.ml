@@ -30,6 +30,7 @@ let seed_partition (s : Slif.Types.t) =
   part
 
 let evaluate problem est =
+  Slif_obs.Counter.incr "search.partitions_scored";
   Cost.total ~weights:problem.weights ~constraints:problem.constraints est
 
 let estimator graph part = Slif.Estimate.create ~recursion_depth:4 graph part

@@ -1,14 +1,5 @@
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  let t1 = Unix.gettimeofday () in
-  (result, t1 -. t0)
+let time f = Slif_obs.Clock.time f
 
 let time_n n f =
   if n <= 0 then invalid_arg "Timer.time_n";
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to n do
-    ignore (Sys.opaque_identity (f ()))
-  done;
-  let t1 = Unix.gettimeofday () in
-  (t1 -. t0) /. float_of_int n
+  Slif_obs.Clock.time_n n f

@@ -1,10 +1,17 @@
-(** Wall-clock timing helpers for the experiment harness (Figure 4 reports
-    T-slif and T-est in seconds). *)
+(** Timing helpers for the experiment harness (Figure 4 reports T-slif
+    and T-est in seconds).
+
+    Deprecated: thin wrappers over {!Slif_obs.Clock} kept for the
+    benches and existing callers.  New code should prefer
+    [Slif_obs.Span.with_] (records into the trace/metrics exports) or
+    [Slif_obs.Clock] directly.  Historically these used
+    [Unix.gettimeofday], so timings could go negative under clock
+    adjustment; they now read the monotonic clock. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result together with the elapsed
-    wall-clock seconds. *)
+(** [time f] runs [f ()] and returns its result together with the
+    elapsed monotonic-clock seconds. *)
 
 val time_n : int -> (unit -> 'a) -> float
-(** [time_n n f] runs [f] [n] times and returns the average elapsed seconds
-    per run.  Raises [Invalid_argument] when [n <= 0]. *)
+(** [time_n n f] runs [f] [n] times and returns the average elapsed
+    seconds per run.  Raises [Invalid_argument] when [n <= 0]. *)

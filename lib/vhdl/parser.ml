@@ -670,7 +670,9 @@ let parse_architecture st =
   (arch_name, decls, subs, processes)
 
 let parse source =
+  Slif_obs.Span.with_ "vhdl.parse" @@ fun () ->
   let st = { toks = Array.of_list (Lexer.tokenize source); pos = 0 } in
+  Slif_obs.Counter.add "parse.tokens" (Array.length st.toks);
   let entity_name, ports = parse_entity st in
   let arch_name, arch_decls, subprograms, processes = parse_architecture st in
   if current st <> Token.Eof then fail st "trailing input after design";

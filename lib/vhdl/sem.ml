@@ -35,6 +35,7 @@ let collect_types decls map =
     map decls
 
 let build design =
+  Slif_obs.Span.with_ "vhdl.sem" @@ fun () ->
   let types =
     let all_decls =
       design.Ast.arch_decls

@@ -66,6 +66,48 @@ let test_save_load_decision () =
     Alcotest.(check bool) "replay acknowledged" true (contains "recorded decision" text)
   end
 
+(* The observability flags: both files must come back as valid JSON, the
+   metrics must show the estimator and search counters firing, and the
+   trace must carry span events (the acceptance bar for Perfetto). *)
+let test_obs_flags () =
+  if not (Lazy.force available) then ()
+  else begin
+    let m = Filename.temp_file "slif" ".metrics.json" in
+    let t = Filename.temp_file "slif" ".trace.json" in
+    let code, _ = run_cli (Printf.sprintf "figure4 --metrics %s --trace %s" m t) in
+    Alcotest.(check int) "figure4 exit" 0 code;
+    let read path =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    let parse what path =
+      match Slif_obs.Json.parse (read path) with
+      | Ok json -> json
+      | Error msg -> Alcotest.failf "%s is invalid JSON: %s" what msg
+    in
+    let metrics = parse "metrics" m in
+    let trace = parse "trace" t in
+    Sys.remove m;
+    Sys.remove t;
+    let counter name =
+      match Option.bind (Slif_obs.Json.member "counters" metrics)
+              (Slif_obs.Json.member name)
+      with
+      | Some (Slif_obs.Json.Int v) -> v
+      | _ -> 0
+    in
+    Alcotest.(check bool) "memo hits recorded" true (counter "estimate.memo_hit" > 0);
+    Alcotest.(check bool) "memo misses recorded" true (counter "estimate.memo_miss" > 0);
+    Alcotest.(check bool) "partitions scored" true
+      (counter "search.partitions_scored" > 0);
+    match Slif_obs.Json.member "traceEvents" trace with
+    | Some (Slif_obs.Json.List events) ->
+        Alcotest.(check bool) "trace has span events" true (List.length events > 4)
+    | _ -> Alcotest.fail "traceEvents missing from trace export"
+  end
+
 let test_unknown_spec_fails () =
   if not (Lazy.force available) then ()
   else begin
@@ -84,5 +126,6 @@ let suite =
     Alcotest.test_case "partition greedy" `Slow test_partition_greedy;
     Alcotest.test_case "dump-spec round-trips" `Slow test_dump_and_reload;
     Alcotest.test_case "decision save/load" `Slow test_save_load_decision;
+    Alcotest.test_case "--trace/--metrics export" `Slow test_obs_flags;
     Alcotest.test_case "unknown spec rejected" `Slow test_unknown_spec_fails;
   ]

@@ -3,6 +3,7 @@ let () =
     [
       ("bitmath", Test_bitmath.suite);
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("lexer", Test_lexer.suite);
       ("parser", Test_parser.suite);
       ("sem", Test_sem.suite);

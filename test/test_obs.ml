@@ -1,0 +1,299 @@
+(* Slif_obs: spans, counters, histograms, registry gating, exporters. *)
+
+module Obs = Slif_obs
+
+(* Every test runs on a fresh registry and leaves it disabled so the
+   other suites (which run with the registry off) are unaffected. *)
+let with_fresh f () =
+  Obs.Registry.reset ();
+  Obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Registry.disable ();
+      Obs.Registry.reset ())
+    f
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let parse_ok what text =
+  match Obs.Json.parse text with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "%s: invalid JSON: %s" what msg
+
+(* --- Spans --------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  (with_fresh @@ fun () ->
+   let result =
+     Obs.Span.with_ "outer" (fun () ->
+         Obs.Span.with_ "inner1" (fun () -> ());
+         Obs.Span.with_ "inner2" (fun () -> ());
+         42)
+   in
+   Alcotest.(check int) "with_ returns the body's value" 42 result;
+   let events = Obs.Trace.events () in
+   Alcotest.(check (list string))
+     "events sorted by start time" [ "outer"; "inner1"; "inner2" ]
+     (List.map (fun (e : Obs.Trace.event) -> e.name) events);
+   let find name = List.find (fun (e : Obs.Trace.event) -> e.name = name) events in
+   let outer = find "outer" and inner1 = find "inner1" and inner2 = find "inner2" in
+   Alcotest.(check int) "outer at depth 0" 0 outer.depth;
+   Alcotest.(check int) "inner1 nested" 1 inner1.depth;
+   Alcotest.(check int) "inner2 nested" 1 inner2.depth;
+   Alcotest.(check bool) "children start after the parent" true
+     (inner1.ts_us >= outer.ts_us && inner2.ts_us >= inner1.ts_us);
+   Alcotest.(check bool) "parent spans its children" true
+     (outer.dur_us >= inner1.dur_us +. inner2.dur_us))
+    ()
+
+let test_span_exception () =
+  (with_fresh @@ fun () ->
+   (try Obs.Span.with_ "failing" (fun () -> failwith "boom") with Failure _ -> ());
+   Alcotest.(check int) "span recorded despite the raise" 1
+     (List.length (Obs.Trace.events ()));
+   Alcotest.(check int) "depth restored" 0 !Obs.Registry.depth)
+    ()
+
+let test_span_histogram () =
+  (with_fresh @@ fun () ->
+   Obs.Span.with_ "phase" (fun () -> ());
+   Obs.Span.with_ "phase" (fun () -> ());
+   match Obs.Histogram.summary "span.phase" with
+   | None -> Alcotest.fail "span should feed its duration histogram"
+   | Some s ->
+       Alcotest.(check int) "two observations" 2 s.count;
+       Alcotest.(check bool) "durations are non-negative" true (s.min >= 0.0))
+    ()
+
+(* --- Counters ------------------------------------------------------------ *)
+
+let test_counter_aggregation () =
+  (with_fresh @@ fun () ->
+   (* Two phases feeding the same counters accumulate, as two estimator
+      instances do for estimate.*. *)
+   Obs.Span.with_ "phase1" (fun () ->
+       Obs.Counter.incr "work.items";
+       Obs.Counter.incr ~by:4 "work.items");
+   Obs.Span.with_ "phase2" (fun () -> Obs.Counter.add "work.items" 5);
+   Obs.Counter.incr "other";
+   Alcotest.(check int) "aggregated across phases" 10 (Obs.Counter.get "work.items");
+   Alcotest.(check int) "unknown counter reads zero" 0 (Obs.Counter.get "absent");
+   Alcotest.(check (list (pair string int)))
+     "snapshot sorted by name"
+     [ ("other", 1); ("work.items", 10) ]
+     (List.filter
+        (fun (name, _) -> name = "other" || name = "work.items")
+        (Obs.Counter.snapshot ())))
+    ()
+
+let test_histogram_stats () =
+  (with_fresh @@ fun () ->
+   List.iter (Obs.Histogram.observe "lat") [ 2.0; 4.0; 6.0 ];
+   match Obs.Histogram.summary "lat" with
+   | None -> Alcotest.fail "histogram missing"
+   | Some s ->
+       Alcotest.(check int) "count" 3 s.count;
+       Alcotest.(check (float 1e-9)) "sum" 12.0 s.sum;
+       Alcotest.(check (float 1e-9)) "min" 2.0 s.min;
+       Alcotest.(check (float 1e-9)) "max" 6.0 s.max;
+       Alcotest.(check (float 1e-9)) "mean" 4.0 s.mean)
+    ()
+
+(* --- Disabled mode ------------------------------------------------------- *)
+
+let test_disabled_noop () =
+  Obs.Registry.reset ();
+  Obs.Registry.disable ();
+  let result = Obs.Span.with_ "ghost" (fun () -> Obs.Counter.incr "ghost.count"; 7) in
+  Alcotest.(check int) "with_ still runs the body" 7 result;
+  Alcotest.(check int) "no counter recorded" 0 (Obs.Counter.get "ghost.count");
+  Alcotest.(check int) "no span recorded" 0 (List.length (Obs.Trace.events ()));
+  Alcotest.(check bool) "no histogram recorded" true
+    (Obs.Histogram.summary "span.ghost" = None);
+  (match try Obs.Span.with_ "ghost2" (fun () -> raise Exit) with Exit -> () with
+  | () -> ());
+  Alcotest.(check int) "exceptions pass through untouched" 0
+    (List.length (Obs.Trace.events ()))
+
+let test_instrumented_paths_silent_when_disabled () =
+  Obs.Registry.reset ();
+  Obs.Registry.disable ();
+  let slif = Lazy.force Helpers.tiny_slif in
+  ignore (Slif.Stats.of_slif slif);
+  Alcotest.(check int) "estimate counters silent" 0
+    (Obs.Counter.get "estimate.memo_miss");
+  Alcotest.(check int) "build counters silent" 0 (Obs.Counter.get "build.nodes")
+
+(* --- Exporters ----------------------------------------------------------- *)
+
+let test_trace_export_valid_json () =
+  (with_fresh @@ fun () ->
+   Obs.Span.with_ "outer" ~args:[ ("spec", "tiny \"quoted\"\n") ] (fun () ->
+       Obs.Span.with_ "inner" (fun () -> ()));
+   let path = Filename.temp_file "slif_obs" ".trace.json" in
+   Obs.Trace.write_file path;
+   let json = parse_ok "trace" (read_file path) in
+   Sys.remove path;
+   match Obs.Json.member "traceEvents" json with
+   | Some (Obs.Json.List events) ->
+       (* Metadata event plus the two spans. *)
+       Alcotest.(check int) "event count" 3 (List.length events);
+       List.iter
+         (fun ev ->
+           Alcotest.(check bool) "every event has a name and ph" true
+             (Obs.Json.member "name" ev <> None && Obs.Json.member "ph" ev <> None))
+         events
+   | _ -> Alcotest.fail "traceEvents missing or not a list")
+    ()
+
+let test_metrics_export_valid_json () =
+  (with_fresh @@ fun () ->
+   Obs.Counter.incr ~by:3 "estimate.memo_hit";
+   Obs.Histogram.observe "lat" 1.5;
+   let path = Filename.temp_file "slif_obs" ".metrics.json" in
+   Obs.Metrics.write_file path;
+   let json = parse_ok "metrics" (read_file path) in
+   Sys.remove path;
+   (match Obs.Json.member "counters" json with
+   | Some counters ->
+       Alcotest.(check bool) "counter exported" true
+         (Obs.Json.member "estimate.memo_hit" counters = Some (Obs.Json.Int 3))
+   | None -> Alcotest.fail "counters object missing");
+   match Obs.Json.member "histograms" json with
+   | Some hists -> (
+       match Obs.Json.member "lat" hists with
+       | Some h ->
+           Alcotest.(check bool) "histogram has a count field" true
+             (Obs.Json.member "count" h = Some (Obs.Json.Int 1))
+       | None -> Alcotest.fail "lat histogram missing")
+   | None -> Alcotest.fail "histograms object missing")
+    ()
+
+let test_metrics_jsonl () =
+  (with_fresh @@ fun () ->
+   Obs.Counter.incr "a";
+   Obs.Histogram.observe "b" 2.0;
+   let path = Filename.temp_file "slif_obs" ".metrics.jsonl" in
+   Obs.Metrics.write_jsonl path;
+   let lines =
+     read_file path |> String.split_on_char '\n'
+     |> List.filter (fun l -> String.trim l <> "")
+   in
+   Sys.remove path;
+   Alcotest.(check int) "one line per metric" 2 (List.length lines);
+   List.iter (fun line -> ignore (parse_ok "jsonl line" line)) lines)
+    ()
+
+(* --- JSON round-trip ----------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let value =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "a\"b\\c\nd\te\r\012 \001");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.25);
+        ("big", Obs.Json.Float 1.23456789e18);
+        ("t", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj []; Obs.Json.List [] ]);
+      ]
+  in
+  match Obs.Json.parse (Obs.Json.to_string value) with
+  | Ok round -> Alcotest.(check bool) "round-trips" true (round = value)
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Obs.Json.parse text with
+      | Ok _ -> Alcotest.failf "parser accepted %S" text
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_nonfinite_floats_print_null () =
+  let text = Obs.Json.to_string (Obs.Json.List [ Obs.Json.Float nan; Obs.Json.Float infinity ]) in
+  Alcotest.(check string) "nan/inf become null" "[null,null]" text
+
+(* --- Clock / Timer ------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let t0 = Obs.Clock.now_ns () in
+  let t1 = Obs.Clock.now_ns () in
+  Alcotest.(check bool) "clock never goes backwards" true (Int64.compare t1 t0 >= 0);
+  let (), s = Obs.Clock.time (fun () -> ignore (Sys.opaque_identity (List.init 100 Fun.id))) in
+  Alcotest.(check bool) "elapsed seconds non-negative" true (s >= 0.0)
+
+let test_timer_on_monotonic_clock () =
+  let x, s = Slif_util.Timer.time (fun () -> 3 + 4) in
+  Alcotest.(check int) "result threaded through" 7 x;
+  Alcotest.(check bool) "duration non-negative" true (s >= 0.0);
+  let avg = Slif_util.Timer.time_n 3 (fun () -> ()) in
+  Alcotest.(check bool) "average non-negative" true (avg >= 0.0);
+  Alcotest.check_raises "time_n rejects n <= 0" (Invalid_argument "Timer.time_n")
+    (fun () -> ignore (Slif_util.Timer.time_n 0 (fun () -> ())))
+
+(* --- Instrumented pipeline ----------------------------------------------- *)
+
+let test_pipeline_counters_fire () =
+  (with_fresh @@ fun () ->
+   let sem = Vhdl.Sem.build (Vhdl.Parser.parse Helpers.tiny_source) in
+   let slif = Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem) in
+   Alcotest.(check bool) "build.nodes counted" true (Obs.Counter.get "build.nodes" > 0);
+   Alcotest.(check bool) "parse span recorded" true
+     (List.exists
+        (fun (e : Obs.Trace.event) -> e.name = "vhdl.parse")
+        (Obs.Trace.events ()));
+   let s = Helpers.proc_asic_components slif in
+   let graph = Slif.Graph.make s in
+   let part = Specsyn.Search.seed_partition s in
+   let est = Specsyn.Search.estimator graph part in
+   Array.iter
+     (fun (n : Slif.Types.node) ->
+       if Slif.Types.is_process n then ignore (Slif.Estimate.exectime_us est n.n_id))
+     s.Slif.Types.nodes;
+   Alcotest.(check bool) "memo misses counted" true
+     (Obs.Counter.get "estimate.memo_miss" > 0))
+    ()
+
+let test_event_cap () =
+  (with_fresh @@ fun () ->
+   Obs.Registry.set_max_events 3;
+   Fun.protect
+     ~finally:(fun () -> Obs.Registry.set_max_events 200_000)
+     (fun () ->
+       for _ = 1 to 5 do
+         Obs.Span.with_ "spam" (fun () -> ())
+       done;
+       Alcotest.(check int) "buffer capped" 3 (List.length (Obs.Trace.events ()));
+       Alcotest.(check int) "drops counted" 2 (Obs.Registry.dropped_events ())))
+    ()
+
+let suite =
+  [
+    Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
+    Alcotest.test_case "span survives exceptions" `Quick test_span_exception;
+    Alcotest.test_case "span feeds duration histogram" `Quick test_span_histogram;
+    Alcotest.test_case "counter aggregation across phases" `Quick test_counter_aggregation;
+    Alcotest.test_case "histogram statistics" `Quick test_histogram_stats;
+    Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "instrumented paths silent when disabled" `Quick
+      test_instrumented_paths_silent_when_disabled;
+    Alcotest.test_case "trace export is valid JSON" `Quick test_trace_export_valid_json;
+    Alcotest.test_case "metrics export is valid JSON" `Quick test_metrics_export_valid_json;
+    Alcotest.test_case "metrics JSONL export" `Quick test_metrics_jsonl;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "non-finite floats print as null" `Quick
+      test_nonfinite_floats_print_null;
+    Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+    Alcotest.test_case "timer rebased on monotonic clock" `Quick
+      test_timer_on_monotonic_clock;
+    Alcotest.test_case "pipeline counters fire when enabled" `Quick
+      test_pipeline_counters_fire;
+    Alcotest.test_case "span buffer cap" `Quick test_event_cap;
+  ]
