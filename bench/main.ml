@@ -9,6 +9,7 @@
      A1        — ablation: estimator memoization and incremental
                  invalidation on/off
      A2        — ablation: bus width and ts/td sensitivity of exectime
+     A7        — full-sweep vs delta scoring through the move engine
 
    Bechamel measures the per-query micro-costs; wall-clock timing covers
    the one-shot build times.  Absolute numbers are host-dependent; the
@@ -92,10 +93,10 @@ let figure4 () =
   let paper_tslif = [ ("ans", 2.20); ("ether", 10.40); ("fuzzy", 0.46); ("vol", 0.34) ] in
   List.iter
     (fun (spec : Specs.Registry.spec) ->
-      let slif, t_slif = Slif_util.Timer.time (fun () -> pipeline spec) in
+      let slif, t_slif = Slif_obs.Clock.time (fun () -> pipeline spec) in
       let _, _, slif = slif in
       let s, graph, part = proc_asic_setup slif in
-      let t_est = Slif_util.Timer.time_n 20 (fun () -> full_estimate graph part s) in
+      let t_est = Slif_obs.Clock.time_n 20 (fun () -> full_estimate graph part s) in
       let stats = Slif.Stats.of_slif slif in
       Slif_util.Table.add_row table
         [
@@ -197,10 +198,10 @@ let r3 () =
     ];
   (* What the gap means for a 1000-partition exploration. *)
   let t_slif =
-    Slif_util.Timer.time_n 1000 (fun () -> Slif.Estimate.size est (Slif.Partition.Cproc 0))
+    Slif_obs.Clock.time_n 1000 (fun () -> Slif.Estimate.size est (Slif.Partition.Cproc 0))
   in
   let t_synth =
-    Slif_util.Timer.time_n 20 (fun () ->
+    Slif_obs.Clock.time_n 20 (fun () ->
         Cdfg.Synthest.rough_synthesis Tech.Parts.asic_gal cdfg)
   in
   Printf.printf
@@ -464,14 +465,106 @@ let a6 () =
   (* The harness itself runs with the registry enabled; sample both states,
      then leave it enabled for the remaining phases. *)
   Slif_obs.Registry.disable ();
-  let t_off = Slif_util.Timer.time_n reps (fun () -> full_estimate graph part s) in
+  let t_off = Slif_obs.Clock.time_n reps (fun () -> full_estimate graph part s) in
   Slif_obs.Registry.enable ();
-  let t_on = Slif_util.Timer.time_n reps (fun () -> full_estimate graph part s) in
+  let t_on = Slif_obs.Clock.time_n reps (fun () -> full_estimate graph part s) in
   Printf.printf
     "full_estimate(ether): disabled %.3f us/run, enabled (counters live) %.3f us/run\n\
      enabled-mode overhead: %.1f%%\n"
     (t_off *. 1e6) (t_on *. 1e6)
     (100.0 *. ((t_on /. t_off) -. 1.0))
+
+(* --- A7: full-sweep vs delta scoring ----------------------------------------- *)
+
+let a7 () =
+  section "A7: full-sweep vs delta scoring through the move engine";
+  print_endline
+    "(the same recorded move trajectory is scored twice: once applying each\n\
+    \ move and re-running the full Cost.evaluate sweep after invalidate_all,\n\
+    \ once through Engine.propose/commit's delta evaluation — same totals,\n\
+    \ different asymptotics)";
+  let table =
+    Slif_util.Table.create
+      ~header:
+        [ ""; "moves"; "full(s)"; "delta(s)"; "full parts/s"; "delta parts/s"; "speedup" ]
+  in
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let _, _, slif = pipeline spec in
+      let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic_mem ()) in
+      let graph = Slif.Graph.make s in
+      let constraints =
+        let processes =
+          Array.to_list s.Slif.Types.nodes
+          |> List.filter Slif.Types.is_process
+          |> List.map (fun (n : Slif.Types.node) -> (n.Slif.Types.n_name, 1000.0))
+        in
+        { Specsyn.Cost.deadlines_us = processes }
+      in
+      let problem = Specsyn.Search.problem ~constraints graph in
+      (* Record one fixed committed trajectory so both scorers walk the
+         exact same partition sequence. *)
+      let n_moves = 400 in
+      let moves =
+        let eng = Specsyn.Engine.of_problem problem (Specsyn.Search.seed_partition s) in
+        let rng = Slif_util.Prng.create 2024 in
+        let acc = ref [] in
+        while List.length !acc < n_moves do
+          match Specsyn.Engine.random_move eng rng with
+          | None -> ()
+          | Some move ->
+              ignore (Specsyn.Engine.propose eng move);
+              Specsyn.Engine.commit eng;
+              acc := move :: !acc
+        done;
+        List.rev !acc
+      in
+      let rec apply_raw part = function
+        | Specsyn.Engine.Move_node { node; to_ } ->
+            Slif.Partition.assign_node part ~node to_
+        | Specsyn.Engine.Move_chan { chan; to_bus } ->
+            Slif.Partition.assign_chan part ~chan ~bus:to_bus
+        | Specsyn.Engine.Move_group ms -> List.iter (apply_raw part) ms
+      in
+      let (), t_full =
+        Slif_obs.Clock.time (fun () ->
+            let part = Specsyn.Search.seed_partition s in
+            let est = Specsyn.Search.estimator graph part in
+            ignore (Specsyn.Cost.total ~constraints est);
+            List.iter
+              (fun move ->
+                apply_raw part move;
+                Slif.Estimate.invalidate_all est;
+                ignore (Specsyn.Cost.total ~constraints est))
+              moves)
+      in
+      let (), t_delta =
+        Slif_obs.Clock.time (fun () ->
+            let eng =
+              Specsyn.Engine.of_problem problem (Specsyn.Search.seed_partition s)
+            in
+            List.iter
+              (fun move ->
+                ignore (Specsyn.Engine.propose eng move);
+                Specsyn.Engine.commit eng)
+              moves)
+      in
+      let per_s t = if t > 0.0 then float_of_int n_moves /. t else 0.0 in
+      Slif_util.Table.add_row table
+        [
+          spec.spec_name;
+          string_of_int n_moves;
+          Printf.sprintf "%.4f" t_full;
+          Printf.sprintf "%.4f" t_delta;
+          Printf.sprintf "%.0f" (per_s t_full);
+          Printf.sprintf "%.0f" (per_s t_delta);
+          Printf.sprintf "%.1fx" (t_full /. t_delta);
+        ])
+    Specs.Registry.all;
+  Slif_util.Table.print table;
+  print_endline
+    "(delta scoring should sit an order of magnitude or more above the full\n\
+    \ sweep, and the gap should widen with spec size — the engine's point)"
 
 (* --- BENCH_obs.json: machine-readable phase timings + counters -------------- *)
 
@@ -579,5 +672,6 @@ let () =
   phase "a4" a4;
   phase "a5" a5;
   phase "a6" a6;
+  phase "a7" a7;
   write_bench_obs ();
   print_endline "\ndone."

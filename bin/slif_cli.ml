@@ -434,7 +434,7 @@ let figure4_cmd =
           let sem = Vhdl.Sem.build design in
           Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem)
         in
-        let slif, t_slif = Slif_util.Timer.time build in
+        let slif, t_slif = Slif_obs.Clock.time build in
         let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
         let graph = Slif.Graph.make s in
         let part = Specsyn.Search.seed_partition s in
@@ -449,12 +449,12 @@ let figure4_cmd =
           ignore (Slif.Estimate.io_pins est (Slif.Partition.Cproc 0));
           ignore (Slif.Estimate.bus_bitrate_mbps est 0)
         in
-        let (), t_est = Slif_util.Timer.time estimate in
+        let (), t_est = Slif_obs.Clock.time estimate in
         (* The paper's point is that T-est makes interactive exploration
            feasible (experiment R4): report the partitions-per-second a
            greedy search actually achieves on this spec. *)
         let problem = Specsyn.Search.problem graph in
-        let solution, t_part = Slif_util.Timer.time (fun () -> Specsyn.Greedy.run problem) in
+        let solution, t_part = Slif_obs.Clock.time (fun () -> Specsyn.Greedy.run problem) in
         let parts_per_s =
           if t_part > 0.0 then
             float_of_int solution.Specsyn.Search.evaluated /. t_part

@@ -41,13 +41,13 @@ let () =
   let est = Specsyn.Search.estimator graph part in
   let queries = 1000 in
   let t_slif =
-    Slif_util.Timer.time_n queries (fun () ->
+    Slif_obs.Clock.time_n queries (fun () ->
         Slif.Estimate.invalidate_all est;
         Slif.Estimate.size est (Slif.Partition.Cproc 0))
   in
   let cdfg = Cdfg.Graph.of_design design in
   let t_synth =
-    Slif_util.Timer.time_n 50 (fun () ->
+    Slif_obs.Clock.time_n 50 (fun () ->
         Cdfg.Synthest.rough_synthesis Tech.Parts.asic_gal cdfg)
   in
   Printf.printf "SLIF size query:      %.3f us\n" (t_slif *. 1e6);

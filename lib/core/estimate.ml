@@ -38,10 +38,18 @@ let invalidate_all t =
   Array.fill t.cache 0 (Array.length t.cache) None;
   t.synced_version <- Partition.version t.part
 
-let note_node_moved t node =
+let invalidate_nodes t ids =
   Slif_obs.Counter.incr "estimate.invalidate_incremental";
-  List.iter (fun id -> t.cache.(id) <- None) (Graph.transitive_callers t.graph node);
+  List.iter (fun id -> t.cache.(id) <- None) ids;
   t.synced_version <- Partition.version t.part
+
+let note_node_moved t node = invalidate_nodes t (Graph.transitive_callers t.graph node)
+
+let note_chan_moved t chan =
+  let s = Graph.slif t.graph in
+  if chan < 0 || chan >= Array.length s.Types.chans then
+    invalid_arg "Estimate.note_chan_moved: no such channel";
+  invalidate_nodes t (Graph.transitive_callers t.graph s.Types.chans.(chan).Types.c_src)
 
 let sync t = if Partition.version t.part <> t.synced_version then invalidate_all t
 

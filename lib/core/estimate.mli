@@ -92,5 +92,18 @@ val note_node_moved : t -> int -> unit
 (** Incremental invalidation: drop cached execution times of the moved
     node's transitive accessors only (ablation A1). *)
 
+val note_chan_moved : t -> int -> unit
+(** Incremental invalidation after a channel moved to another bus: only
+    the channel's source node and its transitive accessors see a changed
+    transfer time, so only their memo entries are dropped — the
+    fine-grained replacement for {!invalidate_all} on channel moves.
+    Raises [Invalid_argument] when the channel id is out of range. *)
+
+val invalidate_nodes : t -> int list -> unit
+(** Drop the memo entries of exactly the given nodes and mark the
+    estimator as synced with the partition's current version.  For
+    callers (the move engine) that already computed the invalidation set;
+    {!note_node_moved} and {!note_chan_moved} are the curated wrappers. *)
+
 val stats_queries : t -> int
 val stats_cache_hits : t -> int

@@ -29,6 +29,10 @@ let version t = t.version
 
 let bump t = t.version <- t.version + 1
 
+let restore_version t v =
+  if v < 0 || v > t.version then invalid_arg "Partition.restore_version: version from the future";
+  t.version <- v
+
 let check_comp t = function
   | Cproc p ->
       if p < 0 || p >= Array.length t.slif.Types.procs then

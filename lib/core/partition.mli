@@ -24,6 +24,14 @@ val slif : t -> Types.t
 val version : t -> int
 (** Monotone counter, incremented by every assignment. *)
 
+val restore_version : t -> int -> unit
+(** Transactional-rollback support: reset the counter to a value captured
+    with {!version} earlier.  The caller must have undone every assignment
+    made since the capture, so that the mapping associated with the
+    restored version is back in place — {!Estimate} caches keyed on the
+    version then remain coherent.  Raises [Invalid_argument] when the
+    value is negative or ahead of the current version. *)
+
 val assign_node : t -> node:int -> comp -> unit
 val unassign_node : t -> node:int -> unit
 val assign_chan : t -> chan:int -> bus:int -> unit

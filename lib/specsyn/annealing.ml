@@ -2,44 +2,6 @@ type params = { initial_temp : float; cooling : float; steps : int; seed : int }
 
 let default_params = { initial_temp = 1.0; cooling = 0.995; steps = 2000; seed = 7 }
 
-type move =
-  | Node_move of int * Slif.Partition.comp * Slif.Partition.comp  (* node, from, to *)
-  | Chan_move of int * int * int                                  (* chan, from, to *)
-
-let random_move rng (s : Slif.Types.t) part =
-  let n_nodes = Array.length s.nodes in
-  let n_buses = Array.length s.buses in
-  let try_chan = n_buses > 1 && Slif_util.Prng.int rng 4 = 0 in
-  if try_chan then begin
-    let c = Slif_util.Prng.int rng (Array.length s.chans) in
-    let from = Slif.Partition.bus_of_exn part c in
-    let to_ = Slif_util.Prng.int rng n_buses in
-    if to_ = from then None else Some (Chan_move (c, from, to_))
-  end
-  else begin
-    let id = Slif_util.Prng.int rng n_nodes in
-    let from = Slif.Partition.comp_of_exn part id in
-    let choices = Search.comps_for_node s s.nodes.(id) in
-    let to_ = List.nth choices (Slif_util.Prng.int rng (List.length choices)) in
-    if to_ = from then None else Some (Node_move (id, from, to_))
-  end
-
-let apply_move est part = function
-  | Node_move (id, _, to_) ->
-      Slif.Partition.assign_node part ~node:id to_;
-      Slif.Estimate.note_node_moved est id
-  | Chan_move (c, _, to_) ->
-      Slif.Partition.assign_chan part ~chan:c ~bus:to_;
-      Slif.Estimate.invalidate_all est
-
-let undo_move est part = function
-  | Node_move (id, from, _) ->
-      Slif.Partition.assign_node part ~node:id from;
-      Slif.Estimate.note_node_moved est id
-  | Chan_move (c, from, _) ->
-      Slif.Partition.assign_chan part ~chan:c ~bus:from;
-      Slif.Estimate.invalidate_all est
-
 let run ?(params = default_params) ?initial (problem : Search.problem) =
   Slif_obs.Span.with_ "search.annealing"
     ~args:[ ("steps", string_of_int params.steps) ]
@@ -48,38 +10,36 @@ let run ?(params = default_params) ?initial (problem : Search.problem) =
   let part =
     match initial with Some p -> Slif.Partition.copy p | None -> Search.seed_partition s
   in
-  let est = Search.estimator problem.graph part in
+  let eng = Engine.of_problem problem part in
   let rng = Slif_util.Prng.create params.seed in
-  let evaluated = ref 1 in
-  let cost = ref (Search.evaluate problem est) in
+  let cost = ref (Engine.cost eng) in
   let best_part = ref (Slif.Partition.copy part) in
   let best_cost = ref !cost in
   let temp = ref params.initial_temp in
   for _ = 1 to params.steps do
-    (match random_move rng s part with
+    (match Engine.random_move eng rng with
     | None -> ()
     | Some move ->
-        apply_move est part move;
-        incr evaluated;
+        let c = Engine.propose eng move in
         Slif_obs.Counter.incr "search.moves_proposed";
-        let c = Search.evaluate problem est in
         let accept =
           c <= !cost
           || (!temp > 1e-9
              && Slif_util.Prng.float rng 1.0 < exp ((!cost -. c) /. !temp))
         in
         if accept then begin
+          Engine.commit eng;
           Slif_obs.Counter.incr "search.moves_accepted";
           cost := c;
           if c < !best_cost then begin
             best_cost := c;
-            best_part := Slif.Partition.copy part
+            best_part := Slif.Partition.copy (Engine.partition eng)
           end
         end
         else begin
           Slif_obs.Counter.incr "search.moves_rejected";
-          undo_move est part move
+          Engine.rollback eng
         end);
     temp := !temp *. params.cooling
   done;
-  { Search.part = !best_part; cost = !best_cost; evaluated = !evaluated }
+  { Search.part = !best_part; cost = !best_cost; evaluated = Engine.moves_scored eng + 1 }

@@ -129,6 +129,5 @@ let run ?(params = default_params) ~k (problem : Search.problem) =
               load_ref := !load_ref +. size_proxy s.Slif.Types.nodes.(id))
             members)
     ordered;
-  let est = Search.estimator graph part in
-  let cost = Search.evaluate problem est in
+  let cost = Engine.cost (Engine.of_problem problem part) in
   { Search.part; cost; evaluated = 1 }

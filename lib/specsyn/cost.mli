@@ -23,6 +23,12 @@ type weights = {
 
 val default_weights : weights
 
+val excess : float -> float option -> float
+(** [excess value cap] is the relative excess of [value] over [cap]:
+    [(value - cap) / cap] clamped at zero, and zero when there is no cap
+    (or a non-positive one).  Exported so {!Engine}'s delta evaluation
+    reproduces {!evaluate} bit-for-bit per term. *)
+
 type breakdown = {
   size_violation : float;     (* sum over components of relative excess *)
   io_violation : float;

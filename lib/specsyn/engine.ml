@@ -1,0 +1,506 @@
+type move =
+  | Move_node of { node : int; to_ : Slif.Partition.comp }
+  | Move_chan of { chan : int; to_bus : int }
+  | Move_group of move list
+
+(* Undo journal: every mutation made while a transaction is open records
+   the previous value of the cell it overwrites.  Rollback replays the
+   journal newest-first, so each cell ends on its exact pre-transaction
+   bit pattern no matter how often a group move touched it. *)
+type undo =
+  | U_node of int * Slif.Partition.comp  (* node, previous component *)
+  | U_chan of int * int                  (* chan, previous bus *)
+  | U_float of float array * int * float
+  | U_int of int array * int * int
+
+type txn = {
+  saved_version : int;
+  mutable undos : undo list;   (* newest first *)
+  mutable inval : int list;    (* nodes whose exectime memo entries were dropped *)
+}
+
+type t = {
+  graph : Slif.Graph.t;
+  part : Slif.Partition.t;
+  est : Slif.Estimate.t;
+  weights : Cost.weights;
+  deadlines : (int * float) array;  (* resolved (node id, deadline us) *)
+  n_procs : int;
+  n_comps : int;
+  (* Aggregates.  Components are indexed processors-first, then memories
+     (matching Cost.evaluate's sweep order). *)
+  comp_size : float array;          (* eqs. 4-5: summed size weights *)
+  cut_count : int array array;      (* [comp][bus] boundary-crossing channels *)
+  chan_rate : float array;          (* eq. 2 per channel *)
+  (* Violation terms, one cell per constrained object; totals are summed
+     on demand so untouched cells never drift. *)
+  size_viol : float array;          (* per component *)
+  io_viol : float array;            (* per component (memories stay 0) *)
+  time_viol : float array;          (* per deadline *)
+  bitrate_viol : float array;       (* per bus *)
+  (* Move generation. *)
+  proc_comps : Slif.Partition.comp array;
+  all_comps : Slif.Partition.comp array;
+  incident : Slif.Types.channel list array;  (* per node, deduplicated *)
+  mark : bool array;                (* scratch: node membership tests *)
+  mutable txn : txn option;
+  mutable scored : int;
+}
+
+let slif t = Slif.Graph.slif t.graph
+let graph t = t.graph
+let partition t = t.part
+let estimate t = t.est
+let pending t = t.txn <> None
+let moves_scored t = t.scored
+
+(* --- Component indexing --------------------------------------------------- *)
+
+let ci t = function
+  | Slif.Partition.Cproc p -> p
+  | Slif.Partition.Cmem m -> t.n_procs + m
+
+let comp_of_index t k =
+  if k < t.n_procs then Slif.Partition.Cproc k else Slif.Partition.Cmem (k - t.n_procs)
+
+(* --- Per-term recomputation (each mirrors one Cost.evaluate term) --------- *)
+
+let size_weight t node tech =
+  let s = slif t in
+  match Slif.Types.size_on s.Slif.Types.nodes.(node) tech with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Engine: node %s has no size weight for technology %s"
+           s.Slif.Types.nodes.(node).Slif.Types.n_name tech)
+
+let size_viol_of t k =
+  let s = slif t in
+  let cap =
+    if k < t.n_procs then s.Slif.Types.procs.(k).Slif.Types.p_size_constraint
+    else s.Slif.Types.mems.(k - t.n_procs).Slif.Types.m_size_constraint
+  in
+  Cost.excess t.comp_size.(k) cap
+
+let io_pins_of t k =
+  let s = slif t in
+  let row = t.cut_count.(k) in
+  let pins = ref 0 in
+  Array.iteri
+    (fun b (bus : Slif.Types.bus) -> if row.(b) > 0 then pins := !pins + bus.b_bitwidth)
+    s.Slif.Types.buses;
+  !pins
+
+let io_viol_of t k =
+  let s = slif t in
+  if k >= t.n_procs then 0.0
+  else
+    match s.Slif.Types.procs.(k).Slif.Types.p_io_constraint with
+    | None -> 0.0
+    | Some cap ->
+        Cost.excess (float_of_int (io_pins_of t k)) (Some (float_of_int cap))
+
+let time_viol_of t i =
+  let node, deadline = t.deadlines.(i) in
+  Cost.excess (Slif.Estimate.exectime_us t.est node) (Some deadline)
+
+(* Channels are summed in ascending id order, the same order
+   Partition.chans_of_bus feeds Cost.evaluate, so the totals agree to the
+   last bit when the per-channel rates do. *)
+let bitrate_viol_of t b =
+  let s = slif t in
+  match s.Slif.Types.buses.(b).Slif.Types.b_capacity_mbps with
+  | None -> 0.0
+  | Some cap ->
+      let rate = ref 0.0 in
+      Array.iteri
+        (fun c _ ->
+          if Slif.Partition.bus_of t.part c = Some b then rate := !rate +. t.chan_rate.(c))
+        s.Slif.Types.chans;
+      Cost.excess !rate (Some cap)
+
+(* --- Journaled writes ----------------------------------------------------- *)
+
+let journal t u = match t.txn with None -> () | Some txn -> txn.undos <- u :: txn.undos
+
+let setf t arr i v =
+  journal t (U_float (arr, i, arr.(i)));
+  arr.(i) <- v
+
+let seti t arr i v =
+  journal t (U_int (arr, i, arr.(i)));
+  arr.(i) <- v
+
+(* --- Crossing bookkeeping ------------------------------------------------- *)
+
+(* Whether the channel crosses the boundary of component index [k] under
+   the partition's current mapping (same rule as Estimate.crosses). *)
+let crosses t k (c : Slif.Types.channel) =
+  let comp = comp_of_index t k in
+  let src_in = Slif.Partition.comp_of t.part c.c_src = Some comp in
+  let dst_in =
+    match c.c_dst with
+    | Slif.Types.Dport _ -> false
+    | Slif.Types.Dnode d -> Slif.Partition.comp_of t.part d = Some comp
+  in
+  src_in <> dst_in
+
+(* Add [delta] to the crossing count of every incident channel of [node]
+   that currently crosses component [k]. *)
+let shift_cuts_at_node t k node delta =
+  List.iter
+    (fun (c : Slif.Types.channel) ->
+      if crosses t k c then begin
+        let b = Slif.Partition.bus_of_exn t.part c.c_id in
+        seti t t.cut_count.(k) b (t.cut_count.(k).(b) + delta)
+      end)
+    t.incident.(node)
+
+(* Component indices whose boundary the channel currently crosses (at most
+   two: the source's and the destination's). *)
+let crossed_comps t (c : Slif.Types.channel) =
+  let a = ci t (Slif.Partition.comp_of_exn t.part c.c_src) in
+  match c.c_dst with
+  | Slif.Types.Dport _ -> [ a ]
+  | Slif.Types.Dnode d ->
+      let b = ci t (Slif.Partition.comp_of_exn t.part d) in
+      if a = b then [] else [ a; b ]
+
+(* --- Delta refresh after an invalidation --------------------------------- *)
+
+(* Recompute the bitrates of all channels sourced at nodes of the
+   invalidation set [set] (their execution times may have changed) and
+   return the buses whose aggregate rate moved. *)
+let refresh_rates t set =
+  let touched = ref [] in
+  List.iter
+    (fun id ->
+      if not t.mark.(id) then begin
+        t.mark.(id) <- true;
+        List.iter
+          (fun (c : Slif.Types.channel) ->
+            let r = Slif.Estimate.chan_bitrate_mbps t.est c in
+            if r <> t.chan_rate.(c.c_id) then begin
+              setf t t.chan_rate c.c_id r;
+              touched := Slif.Partition.bus_of_exn t.part c.c_id :: !touched
+            end)
+          (Slif.Graph.out_chans t.graph id)
+      end)
+    set;
+  List.iter (fun id -> t.mark.(id) <- false) set;
+  !touched
+
+let refresh_time t set =
+  List.iter (fun id -> t.mark.(id) <- true) set;
+  Array.iteri
+    (fun i (node, _) -> if t.mark.(node) then setf t t.time_viol i (time_viol_of t i))
+    t.deadlines;
+  List.iter (fun id -> t.mark.(id) <- false) set
+
+let refresh_bitrate t buses =
+  let buses = List.sort_uniq compare buses in
+  List.iter (fun b -> setf t t.bitrate_viol b (bitrate_viol_of t b)) buses
+
+let refresh_comp_viol t comps =
+  List.iter
+    (fun k ->
+      setf t t.size_viol k (size_viol_of t k);
+      setf t t.io_viol k (io_viol_of t k))
+    comps
+
+(* --- Applying moves ------------------------------------------------------- *)
+
+let invalidate t txn set =
+  Slif.Estimate.invalidate_nodes t.est set;
+  txn.inval <- List.rev_append set txn.inval
+
+let apply_node t txn node to_ =
+  let s = slif t in
+  if node < 0 || node >= Array.length s.Slif.Types.nodes then
+    invalid_arg "Engine.propose: no such node";
+  (match (s.Slif.Types.nodes.(node).Slif.Types.n_kind, to_) with
+  | Slif.Types.Behavior _, Slif.Partition.Cmem _ ->
+      invalid_arg "Engine.propose: behaviors may only move to processors"
+  | _ -> ());
+  let from = Slif.Partition.comp_of_exn t.part node in
+  if from <> to_ then begin
+    let ki = ci t from and kj = ci t to_ in
+    (* Size weights first: a missing weight must fail before any state
+       changes. *)
+    let w_from = size_weight t node (Slif.Partition.comp_tech s from) in
+    let w_to = size_weight t node (Slif.Partition.comp_tech s to_) in
+    (* Crossing contributions of the node's channels, under the old
+       placement, leave the two perturbed components ... *)
+    shift_cuts_at_node t ki node (-1);
+    shift_cuts_at_node t kj node (-1);
+    setf t t.comp_size ki (t.comp_size.(ki) -. w_from);
+    setf t t.comp_size kj (t.comp_size.(kj) +. w_to);
+    Slif.Partition.assign_node t.part ~node to_;
+    txn.undos <- U_node (node, from) :: txn.undos;
+    (* ... and re-enter under the new placement. *)
+    shift_cuts_at_node t ki node 1;
+    shift_cuts_at_node t kj node 1;
+    (* Execution times of the node and its transitive accessors changed
+       (new ict/transfer technologies), so their memo entries, dependent
+       channel bitrates and dependent deadlines are refreshed. *)
+    let set = Slif.Graph.transitive_callers t.graph node in
+    invalidate t txn set;
+    let touched_buses = refresh_rates t set in
+    refresh_comp_viol t (if ki = kj then [ ki ] else [ ki; kj ]);
+    refresh_time t set;
+    refresh_bitrate t touched_buses
+  end
+
+let apply_chan t txn chan to_bus =
+  let s = slif t in
+  if chan < 0 || chan >= Array.length s.Slif.Types.chans then
+    invalid_arg "Engine.propose: no such channel";
+  if to_bus < 0 || to_bus >= Array.length s.Slif.Types.buses then
+    invalid_arg "Engine.propose: no such bus";
+  let from_bus = Slif.Partition.bus_of_exn t.part chan in
+  if from_bus <> to_bus then begin
+    let c = s.Slif.Types.chans.(chan) in
+    (* The crossing status is a property of the endpoints' components and
+       does not change; only the bus it is attributed to does. *)
+    let ks = crossed_comps t c in
+    List.iter
+      (fun k ->
+        seti t t.cut_count.(k) from_bus (t.cut_count.(k).(from_bus) - 1);
+        seti t t.cut_count.(k) to_bus (t.cut_count.(k).(to_bus) + 1))
+      ks;
+    Slif.Partition.assign_chan t.part ~chan ~bus:to_bus;
+    txn.undos <- U_chan (chan, from_bus) :: txn.undos;
+    (* The new bus changes the channel's transfer time, hence the source
+       node's execution time and everything upstream of it — the
+       fine-grained invalidation that replaces invalidate_all. *)
+    let set = Slif.Graph.transitive_callers t.graph c.c_src in
+    invalidate t txn set;
+    let touched_buses = refresh_rates t set in
+    refresh_comp_viol t ks;
+    refresh_time t set;
+    refresh_bitrate t (from_bus :: to_bus :: touched_buses)
+  end
+
+let rec apply t txn = function
+  | Move_node { node; to_ } -> apply_node t txn node to_
+  | Move_chan { chan; to_bus } -> apply_chan t txn chan to_bus
+  | Move_group moves -> List.iter (apply t txn) moves
+
+(* --- Totals --------------------------------------------------------------- *)
+
+let sum arr = Array.fold_left ( +. ) 0.0 arr
+
+let breakdown t =
+  let size_violation = sum t.size_viol in
+  let io_violation = sum t.io_viol in
+  let time_violation = sum t.time_viol in
+  let bitrate_violation = sum t.bitrate_viol in
+  {
+    Cost.size_violation;
+    io_violation;
+    time_violation;
+    bitrate_violation;
+    total =
+      (t.weights.Cost.w_size *. size_violation)
+      +. (t.weights.Cost.w_io *. io_violation)
+      +. (t.weights.Cost.w_time *. time_violation)
+      +. (t.weights.Cost.w_bitrate *. bitrate_violation);
+  }
+
+let cost t = (breakdown t).Cost.total
+let comp_size t comp = t.comp_size.(ci t comp)
+
+(* --- Transactions --------------------------------------------------------- *)
+
+let rollback_txn t txn =
+  List.iter
+    (function
+      | U_node (node, comp) -> Slif.Partition.assign_node t.part ~node comp
+      | U_chan (chan, bus) -> Slif.Partition.assign_chan t.part ~chan ~bus
+      | U_float (arr, i, v) -> arr.(i) <- v
+      | U_int (arr, i, v) -> arr.(i) <- v)
+    txn.undos;
+  Slif.Partition.restore_version t.part txn.saved_version;
+  (* The memo entries recomputed under the proposed placement are stale
+     again; the invalidation set only depends on the static graph, so
+     re-dropping the same nodes restores coherence. *)
+  Slif.Estimate.invalidate_nodes t.est txn.inval;
+  t.txn <- None
+
+let propose t move =
+  if t.txn <> None then invalid_arg "Engine.propose: a transaction is already pending";
+  let txn =
+    { saved_version = Slif.Partition.version t.part; undos = []; inval = [] }
+  in
+  t.txn <- Some txn;
+  (match apply t txn move with
+  | () -> ()
+  | exception e ->
+      (* An infeasible submove must not leave a half-applied group. *)
+      rollback_txn t txn;
+      raise e);
+  t.scored <- t.scored + 1;
+  Slif_obs.Counter.incr "search.partitions_scored";
+  Slif_obs.Counter.incr "engine.moves_proposed";
+  cost t
+
+let commit t =
+  match t.txn with
+  | None -> invalid_arg "Engine.commit: no pending transaction"
+  | Some _ ->
+      t.txn <- None;
+      Slif_obs.Counter.incr "engine.moves_committed"
+
+let rollback t =
+  match t.txn with
+  | None -> invalid_arg "Engine.rollback: no pending transaction"
+  | Some txn ->
+      rollback_txn t txn;
+      Slif_obs.Counter.incr "engine.moves_rolled_back"
+
+(* --- Construction --------------------------------------------------------- *)
+
+let create ?(weights = Cost.default_weights) ?(constraints = Cost.no_constraints) graph part
+    =
+  Slif_obs.Span.with_ "engine.create" @@ fun () ->
+  let s = Slif.Graph.slif graph in
+  let n_nodes = Array.length s.Slif.Types.nodes in
+  let n_chans = Array.length s.Slif.Types.chans in
+  let n_procs = Array.length s.Slif.Types.procs in
+  let n_mems = Array.length s.Slif.Types.mems in
+  let n_buses = Array.length s.Slif.Types.buses in
+  let n_comps = n_procs + n_mems in
+  let est = Search.estimator graph part in
+  let proc_comps = Array.init n_procs (fun i -> Slif.Partition.Cproc i) in
+  let all_comps =
+    Array.append proc_comps (Array.init n_mems (fun m -> Slif.Partition.Cmem m))
+  in
+  let incident =
+    Array.init n_nodes (fun i ->
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun (c : Slif.Types.channel) ->
+            if Hashtbl.mem seen c.c_id then false
+            else begin
+              Hashtbl.add seen c.c_id ();
+              true
+            end)
+          (Slif.Graph.out_chans graph i @ Slif.Graph.in_chans graph i))
+  in
+  let deadlines =
+    Array.of_list
+      (List.filter_map
+         (fun (name, deadline) ->
+           match Slif.Types.node_by_name s name with
+           | Some node -> Some (node.Slif.Types.n_id, deadline)
+           | None -> None)
+         constraints.Cost.deadlines_us)
+  in
+  let t =
+    {
+      graph;
+      part;
+      est;
+      weights;
+      deadlines;
+      n_procs;
+      n_comps;
+      comp_size = Array.make n_comps 0.0;
+      cut_count = Array.init n_comps (fun _ -> Array.make n_buses 0);
+      chan_rate = Array.make n_chans 0.0;
+      size_viol = Array.make n_comps 0.0;
+      io_viol = Array.make n_comps 0.0;
+      time_viol = Array.make (Array.length deadlines) 0.0;
+      bitrate_viol = Array.make n_buses 0.0;
+      proc_comps;
+      all_comps;
+      incident;
+      mark = Array.make n_nodes false;
+      txn = None;
+      scored = 0;
+    }
+  in
+  (* Initial aggregates from the partition's current state (requires a
+     total mapping, like Cost.evaluate). *)
+  Array.iteri
+    (fun i _ ->
+      let comp = Slif.Partition.comp_of_exn part i in
+      let k = ci t comp in
+      t.comp_size.(k) <-
+        t.comp_size.(k) +. size_weight t i (Slif.Partition.comp_tech s comp))
+    s.Slif.Types.nodes;
+  Array.iter
+    (fun (c : Slif.Types.channel) ->
+      let bus = Slif.Partition.bus_of_exn part c.c_id in
+      List.iter
+        (fun k -> t.cut_count.(k).(bus) <- t.cut_count.(k).(bus) + 1)
+        (crossed_comps t c);
+      t.chan_rate.(c.c_id) <- Slif.Estimate.chan_bitrate_mbps est c)
+    s.Slif.Types.chans;
+  for k = 0 to n_comps - 1 do
+    t.size_viol.(k) <- size_viol_of t k;
+    t.io_viol.(k) <- io_viol_of t k
+  done;
+  Array.iteri (fun i _ -> t.time_viol.(i) <- time_viol_of t i) t.deadlines;
+  for b = 0 to n_buses - 1 do
+    t.bitrate_viol.(b) <- bitrate_viol_of t b
+  done;
+  (* Building the aggregates scores the initial partition in full. *)
+  Slif_obs.Counter.incr "search.partitions_scored";
+  t
+
+let of_problem (problem : Search.problem) part =
+  create ~weights:problem.Search.weights ~constraints:problem.Search.constraints
+    problem.Search.graph part
+
+(* --- Move generation ------------------------------------------------------ *)
+
+let candidates t node =
+  let s = slif t in
+  match s.Slif.Types.nodes.(node).Slif.Types.n_kind with
+  | Slif.Types.Behavior _ -> t.proc_comps
+  | Slif.Types.Variable _ -> t.all_comps
+
+let random_move t rng =
+  let s = slif t in
+  let n_nodes = Array.length s.Slif.Types.nodes in
+  let n_chans = Array.length s.Slif.Types.chans in
+  let n_buses = Array.length s.Slif.Types.buses in
+  let try_chan = n_buses > 1 && n_chans > 0 && Slif_util.Prng.int rng 4 = 0 in
+  if try_chan then begin
+    let chan = Slif_util.Prng.int rng n_chans in
+    let to_bus = Slif_util.Prng.int rng n_buses in
+    if to_bus = Slif.Partition.bus_of_exn t.part chan then None
+    else Some (Move_chan { chan; to_bus })
+  end
+  else begin
+    let node = Slif_util.Prng.int rng n_nodes in
+    let cands = candidates t node in
+    let to_ = cands.(Slif_util.Prng.int rng (Array.length cands)) in
+    if to_ = Slif.Partition.comp_of_exn t.part node then None
+    else Some (Move_node { node; to_ })
+  end
+
+let moves_to t target =
+  let s = slif t in
+  let nodes =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           let want = Slif.Partition.comp_of_exn target i in
+           if Slif.Partition.comp_of t.part i <> Some want then
+             Some (Move_node { node = i; to_ = want })
+           else None)
+         s.Slif.Types.nodes)
+  in
+  let chans =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           let want = Slif.Partition.bus_of_exn target i in
+           if Slif.Partition.bus_of t.part i <> Some want then
+             Some (Move_chan { chan = i; to_bus = want })
+           else None)
+         s.Slif.Types.chans)
+  in
+  List.filter_map Fun.id (nodes @ chans)

@@ -46,7 +46,7 @@ let run ?constraints ?weights ?(algos = default_algos) ?(allocs = Alloc.catalog)
                 ~args:[ ("alloc", alloc.Alloc.alloc_name); ("algo", algo_name algo) ]
                 solve
             in
-            let solution, elapsed_s = Slif_util.Timer.time solve in
+            let solution, elapsed_s = Slif_obs.Clock.time solve in
             let partitions_per_s =
               if elapsed_s > 0.0 then float_of_int solution.Search.evaluated /. elapsed_s
               else 0.0

@@ -7,12 +7,7 @@ let run (problem : Search.problem) =
   Slif_obs.Span.with_ "search.greedy" @@ fun () ->
   let s = Slif.Graph.slif problem.graph in
   let part = Search.seed_partition s in
-  let est = Search.estimator problem.graph part in
-  let evaluated = ref 0 in
-  let score () =
-    incr evaluated;
-    Search.evaluate problem est
-  in
+  let eng = Engine.of_problem problem part in
   let order =
     Array.to_list s.nodes
     |> List.sort (fun a b -> compare (size_proxy b) (size_proxy a))
@@ -20,18 +15,20 @@ let run (problem : Search.problem) =
   List.iter
     (fun (node : Slif.Types.node) ->
       let id = node.n_id in
-      let best = ref (Slif.Partition.comp_of_exn part id, score ()) in
-      List.iter
+      let current = Slif.Partition.comp_of_exn (Engine.partition eng) id in
+      let best = ref (current, Engine.cost eng) in
+      Array.iter
         (fun comp ->
           if comp <> fst !best then begin
-            Slif.Partition.assign_node part ~node:id comp;
-            Slif.Estimate.note_node_moved est id;
-            let c = score () in
+            let c = Engine.propose eng (Engine.Move_node { node = id; to_ = comp }) in
+            Engine.rollback eng;
             if c < snd !best then best := (comp, c)
           end)
-        (Search.comps_for_node s node);
-      Slif.Partition.assign_node part ~node:id (fst !best);
-      Slif.Estimate.note_node_moved est id;
+        (Engine.candidates eng id);
+      if fst !best <> current then begin
+        ignore (Engine.propose eng (Engine.Move_node { node = id; to_ = fst !best }));
+        Engine.commit eng
+      end;
       Slif_obs.Counter.incr "search.moves_committed")
     order;
-  { Search.part; cost = Search.evaluate problem est; evaluated = !evaluated }
+  { Search.part; cost = Engine.cost eng; evaluated = Engine.moves_scored eng + 1 }

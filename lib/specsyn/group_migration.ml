@@ -4,14 +4,9 @@ let run ?(max_passes = 8) ?initial (problem : Search.problem) =
   let part =
     match initial with Some p -> Slif.Partition.copy p | None -> Search.seed_partition s
   in
-  let est = Search.estimator problem.graph part in
-  let evaluated = ref 0 in
-  let score () =
-    incr evaluated;
-    Search.evaluate problem est
-  in
+  let eng = Engine.of_problem problem part in
   let n = Array.length s.nodes in
-  let current_cost = ref (score ()) in
+  let current_cost = ref (Engine.cost eng) in
   let improved = ref true in
   let passes = ref 0 in
   while !improved && !passes < max_passes do
@@ -29,26 +24,23 @@ let run ?(max_passes = 8) ?initial (problem : Search.problem) =
       for id = 0 to n - 1 do
         if not locked.(id) then begin
           let original = Slif.Partition.comp_of_exn part id in
-          List.iter
+          Array.iter
             (fun comp ->
               if comp <> original then begin
-                Slif.Partition.assign_node part ~node:id comp;
-                Slif.Estimate.note_node_moved est id;
-                let c = score () in
+                let c = Engine.propose eng (Engine.Move_node { node = id; to_ = comp }) in
+                Engine.rollback eng;
                 match !best_move with
                 | Some (_, _, bc) when bc <= c -> ()
                 | _ -> best_move := Some (id, comp, c)
               end)
-            (Search.comps_for_node s s.nodes.(id));
-          Slif.Partition.assign_node part ~node:id original;
-          Slif.Estimate.note_node_moved est id
+            (Engine.candidates eng id)
         end
       done;
       match !best_move with
       | None -> continue_pass := false
       | Some (id, comp, c) ->
-          Slif.Partition.assign_node part ~node:id comp;
-          Slif.Estimate.note_node_moved est id;
+          ignore (Engine.propose eng (Engine.Move_node { node = id; to_ = comp }));
+          Engine.commit eng;
           locked.(id) <- true;
           current_cost := c;
           if c < !best_pass_cost then begin
@@ -59,15 +51,12 @@ let run ?(max_passes = 8) ?initial (problem : Search.problem) =
           (* Stop early when every node is locked. *)
           if Array.for_all (fun l -> l) locked then continue_pass := false
     done;
-    (* Revert to the best prefix of the pass. *)
-    Array.iteri
-      (fun id _ ->
-        let c = Slif.Partition.comp_of_exn !best_pass_part id in
-        if Slif.Partition.comp_of part id <> Some c then begin
-          Slif.Partition.assign_node part ~node:id c;
-          Slif.Estimate.note_node_moved est id
-        end)
-      s.nodes;
+    (* Revert to the best prefix of the pass, as one atomic group move. *)
+    (match Engine.moves_to eng !best_pass_part with
+    | [] -> ()
+    | moves ->
+        ignore (Engine.propose eng (Engine.Move_group moves));
+        Engine.commit eng);
     current_cost := !best_pass_cost
   done;
-  { Search.part; cost = !current_cost; evaluated = !evaluated }
+  { Search.part; cost = !current_cost; evaluated = Engine.moves_scored eng + 1 }

@@ -40,14 +40,24 @@ let front points =
   |> List.sort (fun a b -> compare a.worst_exectime_us b.worst_exectime_us)
 
 (* Scalarized objective: normalized worst-case time against normalized
-   custom-hardware area, with a penalty for violated constraints. *)
-let objective graph constraints ~weight_time part est =
-  let worst, hw, _ = measure graph part in
-  ignore est;
-  let violation =
-    Cost.total ~constraints (Search.estimator graph part)
-  in
-  (weight_time *. worst /. 1000.0) +. (hw /. 100_000.0) +. (10.0 *. violation)
+   custom-hardware area, with a penalty for violated constraints.  All
+   three terms come from the engine's incrementally maintained state —
+   the old code built two fresh estimators per step. *)
+let objective (s : Slif.Types.t) ~weight_time eng =
+  let est = Engine.estimate eng in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun (n : Slif.Types.node) ->
+      if Slif.Types.is_process n then
+        worst := Float.max !worst (Slif.Estimate.exectime_us est n.n_id))
+    s.Slif.Types.nodes;
+  let hw = ref 0.0 in
+  Array.iteri
+    (fun i (p : Slif.Types.processor) ->
+      if p.p_kind = Slif.Types.Custom then
+        hw := !hw +. Engine.comp_size eng (Slif.Partition.Cproc i))
+    s.Slif.Types.procs;
+  (weight_time *. !worst /. 1000.0) +. (!hw /. 100_000.0) +. (10.0 *. Engine.cost eng)
 
 let default_weights_time = [ 0.1; 0.3; 1.0; 2.0; 4.0; 8.0; 16.0 ]
 
@@ -60,22 +70,26 @@ let sweep ?(constraints = Cost.no_constraints) ?(steps_per_point = 400)
     (fun i weight_time ->
       let rng = Slif_util.Prng.create (1000 + i) in
       let part = Search.seed_partition s in
-      let est = Search.estimator graph part in
-      let cost = ref (objective graph constraints ~weight_time part est) in
+      let eng = Engine.create ~constraints graph part in
+      let cost = ref (objective s ~weight_time eng) in
       let temp = ref 0.5 in
       for _ = 1 to steps_per_point do
         let node = Slif_util.Prng.int rng n_nodes in
         let from = Slif.Partition.comp_of_exn part node in
-        let choices = Search.comps_for_node s s.Slif.Types.nodes.(node) in
-        let to_ = List.nth choices (Slif_util.Prng.int rng (List.length choices)) in
+        let choices = Engine.candidates eng node in
+        let to_ = choices.(Slif_util.Prng.int rng (Array.length choices)) in
         if to_ <> from then begin
-          Slif.Partition.assign_node part ~node to_;
-          let c = objective graph constraints ~weight_time part est in
+          ignore (Engine.propose eng (Engine.Move_node { node; to_ }));
+          let c = objective s ~weight_time eng in
           let accept =
             c <= !cost
             || (!temp > 1e-9 && Slif_util.Prng.float rng 1.0 < exp ((!cost -. c) /. !temp))
           in
-          if accept then cost := c else Slif.Partition.assign_node part ~node from
+          if accept then begin
+            Engine.commit eng;
+            cost := c
+          end
+          else Engine.rollback eng
         end;
         temp := !temp *. 0.99
       done;

@@ -1,9 +1,17 @@
 let random_partition rng (s : Slif.Types.t) =
   let part = Slif.Partition.create s in
+  (* Candidate arrays are built once per partition, so each draw is O(1)
+     instead of the List.nth walk this used to do. *)
+  let procs = Array.init (Array.length s.procs) (fun i -> Slif.Partition.Cproc i) in
+  let all =
+    Array.append procs (Array.init (Array.length s.mems) (fun m -> Slif.Partition.Cmem m))
+  in
   Array.iteri
-    (fun i node ->
-      let choices = Search.comps_for_node s node in
-      let comp = List.nth choices (Slif_util.Prng.int rng (List.length choices)) in
+    (fun i (node : Slif.Types.node) ->
+      let choices =
+        match node.n_kind with Slif.Types.Behavior _ -> procs | Slif.Types.Variable _ -> all
+      in
+      let comp = choices.(Slif_util.Prng.int rng (Array.length choices)) in
       Slif.Partition.assign_node part ~node:i comp)
     s.nodes;
   Array.iteri
@@ -24,8 +32,7 @@ let run ?(seed = 1) ~restarts (problem : Search.problem) =
   let best = ref None in
   for _ = 1 to restarts do
     let part = random_partition rng s in
-    let est = Search.estimator problem.graph part in
-    let cost = Search.evaluate problem est in
+    let cost = Engine.cost (Engine.of_problem problem part) in
     match !best with
     | Some (_, c) when c <= cost -> ()
     | _ -> best := Some (part, cost)

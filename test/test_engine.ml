@@ -1,0 +1,281 @@
+(* The transactional move engine, property-tested against the Cost.evaluate
+   oracle on every bundled specification. *)
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let annotated_of_spec (spec : Specs.Registry.spec) =
+  let sem = Vhdl.Sem.build (Vhdl.Parser.parse spec.Specs.Registry.source) in
+  Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem)
+
+(* Deadlines on the first two processes — one tight enough to violate, one
+   loose — plus a name that resolves to nothing (the oracle skips it, so
+   the engine must too). *)
+let constraints_for (s : Slif.Types.t) =
+  let processes =
+    Array.to_list s.Slif.Types.nodes
+    |> List.filter Slif.Types.is_process
+    |> List.map (fun (n : Slif.Types.node) -> n.n_name)
+  in
+  let deadlines =
+    match processes with
+    | [] -> []
+    | [ p ] -> [ (p, 100.0) ]
+    | p :: q :: _ -> [ (p, 100.0); (q, 1e7) ]
+  in
+  { Specsyn.Cost.deadlines_us = ("no_such_process", 1.0) :: deadlines }
+
+let problem_for spec alloc =
+  let s = Specsyn.Alloc.apply (annotated_of_spec spec) alloc in
+  let graph = Slif.Graph.make s in
+  Specsyn.Search.problem ~constraints:(constraints_for s) graph
+
+(* The oracle: a full sweep on a fresh estimator over the live partition. *)
+let oracle (problem : Specsyn.Search.problem) part =
+  Specsyn.Cost.evaluate ~weights:problem.Specsyn.Search.weights
+    ~constraints:problem.Specsyn.Search.constraints
+    (Specsyn.Search.estimator problem.Specsyn.Search.graph part)
+
+let check_against_oracle label problem eng =
+  let b = Specsyn.Engine.breakdown eng in
+  let o = oracle problem (Specsyn.Engine.partition eng) in
+  checkf (label ^ ": size") o.Specsyn.Cost.size_violation b.Specsyn.Cost.size_violation;
+  checkf (label ^ ": io") o.Specsyn.Cost.io_violation b.Specsyn.Cost.io_violation;
+  checkf (label ^ ": time") o.Specsyn.Cost.time_violation b.Specsyn.Cost.time_violation;
+  checkf (label ^ ": bitrate") o.Specsyn.Cost.bitrate_violation
+    b.Specsyn.Cost.bitrate_violation;
+  checkf (label ^ ": total") o.Specsyn.Cost.total b.Specsyn.Cost.total
+
+let engine_for spec alloc =
+  let problem = problem_for spec alloc in
+  let part =
+    Specsyn.Search.seed_partition (Slif.Graph.slif problem.Specsyn.Search.graph)
+  in
+  (problem, Specsyn.Engine.of_problem problem part)
+
+(* Allocations with capacity pressure (size and pin caps on the paper's
+   processor+ASIC architecture) and with several buses and a memory, so
+   every cost term and move kind gets exercised. *)
+let allocs () =
+  [
+    Specsyn.Alloc.proc_asic ~cpu_cap:2000.0 ~asic_cap:10_000.0 ~asic_pins:40 ();
+    Specsyn.Alloc.proc_asic_mem ();
+  ]
+
+let test_create_matches_oracle () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun alloc ->
+          let problem, eng = engine_for spec alloc in
+          check_against_oracle
+            (spec.Specs.Registry.spec_name ^ "/" ^ alloc.Specsyn.Alloc.alloc_name)
+            problem eng)
+        (allocs ()))
+    Specs.Registry.all
+
+(* The tentpole property: over random move sequences on every spec, the
+   incrementally maintained total equals the oracle after every propose,
+   commit and rollback, and rollback restores the exact prior partition. *)
+let test_random_moves_match_oracle () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun alloc ->
+          let label = spec.Specs.Registry.spec_name ^ "/" ^ alloc.Specsyn.Alloc.alloc_name in
+          let problem, eng = engine_for spec alloc in
+          let rng = Slif_util.Prng.create 42 in
+          for step = 1 to 40 do
+            match Specsyn.Engine.random_move eng rng with
+            | None -> ()
+            | Some move ->
+                let part_before = Slif.Partition.copy (Specsyn.Engine.partition eng) in
+                let version_before =
+                  Slif.Partition.version (Specsyn.Engine.partition eng)
+                in
+                let cost_before = Specsyn.Engine.cost eng in
+                let proposed = Specsyn.Engine.propose eng move in
+                let tag = Printf.sprintf "%s step %d" label step in
+                checkf (tag ^ " propose") proposed (Specsyn.Engine.cost eng);
+                check_against_oracle (tag ^ " pending") problem eng;
+                if Slif_util.Prng.bool rng then begin
+                  Specsyn.Engine.commit eng;
+                  check_against_oracle (tag ^ " committed") problem eng
+                end
+                else begin
+                  Specsyn.Engine.rollback eng;
+                  let part = Specsyn.Engine.partition eng in
+                  Alcotest.(check int)
+                    (tag ^ " version restored") version_before
+                    (Slif.Partition.version part);
+                  Array.iteri
+                    (fun i _ ->
+                      Alcotest.(check bool)
+                        (tag ^ " node mapping restored") true
+                        (Slif.Partition.comp_of part i
+                        = Slif.Partition.comp_of part_before i))
+                    (Slif.Partition.slif part).Slif.Types.nodes;
+                  Array.iteri
+                    (fun i _ ->
+                      Alcotest.(check bool)
+                        (tag ^ " chan mapping restored") true
+                        (Slif.Partition.bus_of part i = Slif.Partition.bus_of part_before i))
+                    (Slif.Partition.slif part).Slif.Types.chans;
+                  (* Bit-exact, not just within tolerance: the journal wrote
+                     every touched cell back. *)
+                  Alcotest.(check bool)
+                    (tag ^ " cost restored exactly") true
+                    (Specsyn.Engine.cost eng = cost_before)
+                end
+          done)
+        (allocs ()))
+    Specs.Registry.all
+
+let test_group_moves_atomic () =
+  let problem, eng = engine_for (Specs.Registry.find_exn "fuzzy") (Specsyn.Alloc.proc_asic_mem ()) in
+  let rng = Slif_util.Prng.create 9 in
+  let rec draw n acc =
+    if n = 0 then acc
+    else
+      match Specsyn.Engine.random_move eng rng with
+      | Some m -> draw (n - 1) (m :: acc)
+      | None -> draw n acc
+  in
+  let moves = draw 6 [] in
+  let cost_before = Specsyn.Engine.cost eng in
+  ignore (Specsyn.Engine.propose eng (Specsyn.Engine.Move_group moves));
+  check_against_oracle "group pending" problem eng;
+  Specsyn.Engine.rollback eng;
+  Alcotest.(check bool) "group rollback exact" true (Specsyn.Engine.cost eng = cost_before);
+  ignore (Specsyn.Engine.propose eng (Specsyn.Engine.Move_group moves));
+  Specsyn.Engine.commit eng;
+  check_against_oracle "group committed" problem eng
+
+let test_infeasible_move_leaves_state () =
+  let _, eng = engine_for (Specs.Registry.find_exn "fuzzy") (Specsyn.Alloc.proc_asic_mem ()) in
+  let s = Slif.Graph.slif (Specsyn.Engine.graph eng) in
+  let behavior =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (n : Slif.Types.node) ->
+        if !found < 0 then
+          match n.n_kind with Slif.Types.Behavior _ -> found := i | _ -> ())
+      s.Slif.Types.nodes;
+    !found
+  in
+  let cost_before = Specsyn.Engine.cost eng in
+  let attempt move =
+    (match Specsyn.Engine.propose eng move with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "infeasible move accepted");
+    Alcotest.(check bool) "no pending transaction" false (Specsyn.Engine.pending eng);
+    Alcotest.(check bool) "state unchanged" true (Specsyn.Engine.cost eng = cost_before)
+  in
+  attempt (Specsyn.Engine.Move_node { node = behavior; to_ = Slif.Partition.Cmem 0 });
+  attempt (Specsyn.Engine.Move_node { node = -1; to_ = Slif.Partition.Cproc 0 });
+  attempt (Specsyn.Engine.Move_chan { chan = 0; to_bus = 99 });
+  (* A group failing on its second submove must undo its first. *)
+  attempt
+    (Specsyn.Engine.Move_group
+       [
+         Specsyn.Engine.Move_node { node = behavior; to_ = Slif.Partition.Cproc 1 };
+         Specsyn.Engine.Move_chan { chan = 0; to_bus = 99 };
+       ])
+
+let test_transaction_discipline () =
+  let _, eng = engine_for (Specs.Registry.find_exn "fuzzy") (Specsyn.Alloc.proc_asic ()) in
+  (match Specsyn.Engine.commit eng with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "commit without transaction accepted");
+  (match Specsyn.Engine.rollback eng with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rollback without transaction accepted");
+  ignore
+    (Specsyn.Engine.propose eng
+       (Specsyn.Engine.Move_node { node = 0; to_ = Slif.Partition.Cproc 1 }));
+  (match
+     Specsyn.Engine.propose eng
+       (Specsyn.Engine.Move_node { node = 0; to_ = Slif.Partition.Cproc 0 })
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nested propose accepted");
+  Specsyn.Engine.rollback eng
+
+let test_candidates_match_search () =
+  let _, eng = engine_for (Specs.Registry.find_exn "fuzzy") (Specsyn.Alloc.proc_asic_mem ()) in
+  let s = Slif.Graph.slif (Specsyn.Engine.graph eng) in
+  Array.iteri
+    (fun i (node : Slif.Types.node) ->
+      Alcotest.(check bool)
+        "candidate array matches comps_for_node" true
+        (Array.to_list (Specsyn.Engine.candidates eng i)
+        = Specsyn.Search.comps_for_node s node))
+    s.Slif.Types.nodes
+
+let test_moves_to_reaches_target () =
+  let problem, eng = engine_for (Specs.Registry.find_exn "fuzzy") (Specsyn.Alloc.proc_asic_mem ()) in
+  (* Wander away from the seed... *)
+  let rng = Slif_util.Prng.create 123 in
+  let target = Slif.Partition.copy (Specsyn.Engine.partition eng) in
+  for _ = 1 to 10 do
+    match Specsyn.Engine.random_move eng rng with
+    | None -> ()
+    | Some move ->
+        ignore (Specsyn.Engine.propose eng move);
+        Specsyn.Engine.commit eng
+  done;
+  (* ...then return to the snapshot in one atomic group. *)
+  (match Specsyn.Engine.moves_to eng target with
+  | [] -> ()
+  | moves ->
+      ignore (Specsyn.Engine.propose eng (Specsyn.Engine.Move_group moves));
+      Specsyn.Engine.commit eng);
+  let part = Specsyn.Engine.partition eng in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        "node back at target" true
+        (Slif.Partition.comp_of part i = Slif.Partition.comp_of target i))
+    (Slif.Partition.slif part).Slif.Types.nodes;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        "chan back at target" true
+        (Slif.Partition.bus_of part i = Slif.Partition.bus_of target i))
+    (Slif.Partition.slif part).Slif.Types.chans;
+  check_against_oracle "after moves_to" problem eng
+
+let test_engine_algorithms_agree_with_oracle () =
+  (* End-to-end: every algorithm's reported cost is the oracle's cost of
+     the partition it returns. *)
+  let spec = Specs.Registry.find_exn "fuzzy" in
+  let problem = problem_for spec (Specsyn.Alloc.proc_asic_mem ()) in
+  let check_sol name (sol : Specsyn.Search.solution) =
+    checkf name (oracle problem sol.Specsyn.Search.part).Specsyn.Cost.total
+      sol.Specsyn.Search.cost
+  in
+  check_sol "greedy" (Specsyn.Greedy.run problem);
+  check_sol "group migration" (Specsyn.Group_migration.run problem);
+  check_sol "random" (Specsyn.Random_part.run ~seed:3 ~restarts:5 problem);
+  check_sol "annealing"
+    (Specsyn.Annealing.run
+       ~params:{ Specsyn.Annealing.default_params with steps = 200 }
+       problem);
+  check_sol "cluster" (Specsyn.Cluster.run ~k:3 problem)
+
+let suite =
+  [
+    Alcotest.test_case "aggregates match oracle at creation" `Quick
+      test_create_matches_oracle;
+    Alcotest.test_case "random move sequences match oracle" `Quick
+      test_random_moves_match_oracle;
+    Alcotest.test_case "group moves are atomic" `Quick test_group_moves_atomic;
+    Alcotest.test_case "infeasible moves leave state unchanged" `Quick
+      test_infeasible_move_leaves_state;
+    Alcotest.test_case "transaction discipline enforced" `Quick
+      test_transaction_discipline;
+    Alcotest.test_case "candidates match comps_for_node" `Quick
+      test_candidates_match_search;
+    Alcotest.test_case "moves_to reaches its target" `Quick test_moves_to_reaches_target;
+    Alcotest.test_case "algorithm costs equal oracle costs" `Quick
+      test_engine_algorithms_agree_with_oracle;
+  ]

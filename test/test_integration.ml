@@ -131,12 +131,12 @@ let test_estimation_much_faster_than_build () =
     let sem = Vhdl.Sem.build (Vhdl.Parser.parse spec.source) in
     Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem)
   in
-  let slif, t_build = Slif_util.Timer.time build in
+  let slif, t_build = Slif_obs.Clock.time build in
   let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
   let graph = Slif.Graph.make s in
   let part = Specsyn.Search.seed_partition s in
   let t_est =
-    Slif_util.Timer.time_n 50 (fun () ->
+    Slif_obs.Clock.time_n 50 (fun () ->
         let est = Specsyn.Search.estimator graph part in
         Array.iter
           (fun (n : Slif.Types.node) ->

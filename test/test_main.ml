@@ -17,6 +17,7 @@ let () =
       ("text", Test_text.suite);
       ("cdfg", Test_cdfg.suite);
       ("specsyn", Test_specsyn.suite);
+      ("engine", Test_engine.suite);
       ("properties", Test_props.suite);
       ("interp", Test_interp.suite);
       ("decision", Test_decision.suite);

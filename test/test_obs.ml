@@ -219,7 +219,7 @@ let test_nonfinite_floats_print_null () =
   let text = Obs.Json.to_string (Obs.Json.List [ Obs.Json.Float nan; Obs.Json.Float infinity ]) in
   Alcotest.(check string) "nan/inf become null" "[null,null]" text
 
-(* --- Clock / Timer ------------------------------------------------------- *)
+(* --- Clock --------------------------------------------------------------- *)
 
 let test_clock_monotonic () =
   let t0 = Obs.Clock.now_ns () in
@@ -228,14 +228,14 @@ let test_clock_monotonic () =
   let (), s = Obs.Clock.time (fun () -> ignore (Sys.opaque_identity (List.init 100 Fun.id))) in
   Alcotest.(check bool) "elapsed seconds non-negative" true (s >= 0.0)
 
-let test_timer_on_monotonic_clock () =
-  let x, s = Slif_util.Timer.time (fun () -> 3 + 4) in
+let test_clock_time_helpers () =
+  let x, s = Obs.Clock.time (fun () -> 3 + 4) in
   Alcotest.(check int) "result threaded through" 7 x;
   Alcotest.(check bool) "duration non-negative" true (s >= 0.0);
-  let avg = Slif_util.Timer.time_n 3 (fun () -> ()) in
+  let avg = Obs.Clock.time_n 3 (fun () -> ()) in
   Alcotest.(check bool) "average non-negative" true (avg >= 0.0);
-  Alcotest.check_raises "time_n rejects n <= 0" (Invalid_argument "Timer.time_n")
-    (fun () -> ignore (Slif_util.Timer.time_n 0 (fun () -> ())))
+  Alcotest.check_raises "time_n rejects n <= 0" (Invalid_argument "Clock.time_n")
+    (fun () -> ignore (Obs.Clock.time_n 0 (fun () -> ())))
 
 (* --- Instrumented pipeline ----------------------------------------------- *)
 
@@ -291,8 +291,7 @@ let suite =
     Alcotest.test_case "non-finite floats print as null" `Quick
       test_nonfinite_floats_print_null;
     Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
-    Alcotest.test_case "timer rebased on monotonic clock" `Quick
-      test_timer_on_monotonic_clock;
+    Alcotest.test_case "clock time helpers" `Quick test_clock_time_helpers;
     Alcotest.test_case "pipeline counters fire when enabled" `Quick
       test_pipeline_counters_fire;
     Alcotest.test_case "span buffer cap" `Quick test_event_cap;

@@ -61,16 +61,6 @@ let test_table_width_mismatch () =
   Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: row width mismatch")
     (fun () -> Table.add_row t [ "only-one" ])
 
-let test_timer_measures () =
-  let (), elapsed = Timer.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
-  Alcotest.(check bool) "non-negative" true (elapsed >= 0.0);
-  let avg = Timer.time_n 5 (fun () -> ()) in
-  Alcotest.(check bool) "avg non-negative" true (avg >= 0.0)
-
-let test_timer_invalid () =
-  Alcotest.check_raises "time_n 0" (Invalid_argument "Timer.time_n") (fun () ->
-      ignore (Timer.time_n 0 (fun () -> ())))
-
 let suite =
   [
     Alcotest.test_case "prng is deterministic per seed" `Quick test_prng_deterministic;
@@ -81,6 +71,4 @@ let suite =
     Alcotest.test_case "prng copy" `Quick test_prng_copy;
     Alcotest.test_case "table renders aligned" `Quick test_table_render;
     Alcotest.test_case "table rejects ragged rows" `Quick test_table_width_mismatch;
-    Alcotest.test_case "timer measures" `Quick test_timer_measures;
-    Alcotest.test_case "timer rejects n=0" `Quick test_timer_invalid;
   ]
