@@ -566,6 +566,79 @@ let a7 () =
     "(delta scoring should sit an order of magnitude or more above the full\n\
     \ sweep, and the gap should widen with spec size — the engine's point)"
 
+(* --- A8: multicore exploration throughput ------------------------------------ *)
+
+(* SLIF_BENCH_FAST=1 shrinks the search budgets to smoke-test size (the CI
+   bench step); the full budgets match R4 so the -j 1 row is comparable. *)
+let bench_fast = Sys.getenv_opt "SLIF_BENCH_FAST" <> None
+
+let a8 () =
+  section "A8: exploration throughput across domain counts (-j)";
+  Printf.printf
+    "(the R4 sweep on the domain pool; recommended domain count here: %d.\n\
+    \ The merged entry list is identical at every -j — only wall-clock moves)\n"
+    (Slif_util.Pool.default_jobs ());
+  let spec = Specs.Registry.find_exn "ether" in
+  let _, _, slif = pipeline spec in
+  let constraints =
+    { Specsyn.Cost.deadlines_us = [ ("txctl", 2000.0); ("rxctl", 2000.0) ] }
+  in
+  let algos =
+    if bench_fast then
+      [
+        Specsyn.Explore.Random 20;
+        Specsyn.Explore.Greedy;
+        Specsyn.Explore.Annealing { Specsyn.Annealing.default_params with steps = 150 };
+      ]
+    else
+      [
+        Specsyn.Explore.Random 200;
+        Specsyn.Explore.Greedy;
+        Specsyn.Explore.Group_migration;
+        Specsyn.Explore.Annealing { Specsyn.Annealing.default_params with steps = 2000 };
+        Specsyn.Explore.Clustering 4;
+      ]
+  in
+  let allocs = [ Specsyn.Alloc.proc_asic (); Specsyn.Alloc.proc_asic_mem () ] in
+  let sweep jobs = Specsyn.Explore.run ~jobs ~constraints ~algos ~allocs slif in
+  let table =
+    Slif_util.Table.create
+      ~header:[ "jobs"; "partitions"; "seconds"; "designs/s"; "speedup vs -j 1" ]
+  in
+  let baseline = ref nan in
+  let reports = ref [] in
+  List.iter
+    (fun jobs ->
+      let entries, elapsed = Slif_obs.Clock.time (fun () -> sweep jobs) in
+      reports := (jobs, Specsyn.Report.explore_report ~timings:false entries) :: !reports;
+      let total =
+        List.fold_left
+          (fun acc (e : Specsyn.Explore.entry) ->
+            acc + e.solution.Specsyn.Search.evaluated)
+          0 entries
+      in
+      let per_s = if elapsed > 0.0 then float_of_int total /. elapsed else 0.0 in
+      if jobs = 1 then baseline := per_s;
+      Slif_obs.Counter.add (Printf.sprintf "bench.a8.designs_per_s.j%d" jobs)
+        (int_of_float per_s);
+      Slif_util.Table.add_row table
+        [
+          string_of_int jobs;
+          string_of_int total;
+          Printf.sprintf "%.3f" elapsed;
+          Printf.sprintf "%.0f" per_s;
+          Printf.sprintf "%.2fx" (per_s /. !baseline);
+        ])
+    [ 1; 2; 4; 8 ];
+  Slif_util.Table.print table;
+  let r1 = List.assoc 1 !reports in
+  let identical = List.for_all (fun (_, r) -> r = r1) !reports in
+  Printf.printf "entry lists identical across -j: %s\n" (if identical then "yes" else "NO");
+  if not identical then exit 1;
+  print_endline
+    "(speedup tracks physical cores; on a single-core host every row sits\n\
+    \ near 1.00x — determinism, not the ratio, is the invariant checked here)"
+
 (* --- BENCH_obs.json: machine-readable phase timings + counters -------------- *)
 
 let bench_obs_path =
@@ -661,7 +734,18 @@ let () =
   print_endline "SLIF reproduction benchmark harness";
   print_endline "(see DESIGN.md section 3 for the experiment index)";
   Slif_obs.Registry.enable ();
-  let phase name f = Slif_obs.Span.with_ ("bench." ^ name) f in
+  (* SLIF_BENCH_ONLY=a8,r4 restricts the run to the named phases (the CI
+     bench smoke step runs SLIF_BENCH_ONLY=a8 SLIF_BENCH_FAST=1). *)
+  let only =
+    Option.map
+      (fun s -> List.map String.trim (String.split_on_char ',' s))
+      (Sys.getenv_opt "SLIF_BENCH_ONLY")
+  in
+  let phase name f =
+    match only with
+    | Some names when not (List.mem name names) -> ()
+    | _ -> Slif_obs.Span.with_ ("bench." ^ name) f
+  in
   phase "figure4" figure4;
   phase "r1_r2" r1_r2;
   phase "r3" r3;
@@ -673,5 +757,6 @@ let () =
   phase "a5" a5;
   phase "a6" a6;
   phase "a7" a7;
+  phase "a8" a8;
   write_bench_obs ();
   print_endline "\ndone."

@@ -245,20 +245,25 @@ let parse_deadlines deadlines =
     deadlines
 
 let partition_cmd =
-  let run obs spec file profile auto algo explore pareto deadlines save load_ =
+  let run obs spec file profile auto algo explore pareto jobs no_timings deadlines save
+      load_ =
     with_obs obs @@ fun () ->
+    if jobs < 1 then begin
+      prerr_endline "slif: --jobs must be at least 1";
+      exit 1
+    end;
     let source = read_source (source_of ~file ~spec) in
     let profile = resolve_profile ~auto ~profile source in
     let _, _, slif = annotated_slif ?profile source in
     let constraints = { Specsyn.Cost.deadlines_us = parse_deadlines deadlines } in
     if explore then begin
-      let entries = Specsyn.Explore.run ~constraints slif in
-      print_endline (Specsyn.Report.explore_report entries)
+      let entries = Specsyn.Explore.run ~jobs ~constraints slif in
+      print_endline (Specsyn.Report.explore_report ~timings:(not no_timings) entries)
     end
     else if pareto then begin
       let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
       let graph = Slif.Graph.make s in
-      let points = Specsyn.Pareto.sweep ~constraints graph in
+      let points = Specsyn.Pareto.sweep ~jobs ~constraints graph in
       let table =
         Slif_util.Table.create
           ~header:[ "worst exectime (us)"; "hw gates"; "sw bytes"; "time weight" ]
@@ -322,6 +327,23 @@ let partition_cmd =
     Arg.(value & flag
          & info [ "pareto" ] ~doc:"Report the Pareto front of the performance/area trade-off.")
   in
+  let jobs =
+    let doc =
+      "Run the --explore/--pareto sweep on $(docv) domains.  The result is \
+       bit-identical for every value (each task derives its own PRNG stream); only \
+       the wall-clock changes.  Defaults to the recommended domain count of the \
+       machine."
+    in
+    Arg.(value
+         & opt int (Slif_util.Pool.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let no_timings =
+    Arg.(value & flag
+         & info [ "no-timings" ]
+             ~doc:"Omit the wall-clock columns from the --explore report, making the \
+                   output reproducible across runs and -j values.")
+  in
   let deadlines =
     Arg.(value & opt_all string []
          & info [ "deadline"; "d" ] ~docv:"PROC=US"
@@ -341,7 +363,7 @@ let partition_cmd =
        ~doc:"Partition a specification onto a processor-ASIC architecture.")
     Term.(
       const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg
-      $ algo_arg $ explore $ pareto $ deadlines $ save $ load_)
+      $ algo_arg $ explore $ pareto $ jobs $ no_timings $ deadlines $ save $ load_)
 
 let estimate_cmd =
   let run obs spec file profile auto bounds =

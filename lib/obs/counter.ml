@@ -1,14 +1,32 @@
 let add name n =
-  if Registry.on () then
-    match Hashtbl.find_opt Registry.counters name with
+  if Registry.on () then begin
+    let l = Registry.local () in
+    match Hashtbl.find_opt l.Registry.counters name with
     | Some r -> r := !r + n
-    | None -> Hashtbl.add Registry.counters name (ref n)
+    | None -> Hashtbl.add l.Registry.counters name (ref n)
+  end
 
 let incr ?(by = 1) name = add name by
 
+(* Reads merge every domain's cell: two pool workers bumping the same
+   name contribute to one exported total. *)
 let get name =
-  match Hashtbl.find_opt Registry.counters name with Some r -> !r | None -> 0
+  Registry.fold_locals
+    (fun acc l ->
+      match Hashtbl.find_opt l.Registry.counters name with
+      | Some r -> acc + !r
+      | None -> acc)
+    0
 
 let snapshot () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) Registry.counters []
-  |> List.sort compare
+  let merged = Hashtbl.create 64 in
+  Registry.fold_locals
+    (fun () l ->
+      Hashtbl.iter
+        (fun name r ->
+          match Hashtbl.find_opt merged name with
+          | Some total -> Hashtbl.replace merged name (total + !r)
+          | None -> Hashtbl.add merged name !r)
+        l.Registry.counters)
+    ();
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged [] |> List.sort compare

@@ -1,16 +1,18 @@
 type summary = { count : int; sum : float; min : float; max : float; mean : float }
 
 let observe name v =
-  if Registry.on () then
-    match Hashtbl.find_opt Registry.hists name with
+  if Registry.on () then begin
+    let l = Registry.local () in
+    match Hashtbl.find_opt l.Registry.hists name with
     | Some h ->
         h.Registry.h_count <- h.Registry.h_count + 1;
         h.h_sum <- h.h_sum +. v;
         if v < h.h_min then h.h_min <- v;
         if v > h.h_max then h.h_max <- v
     | None ->
-        Hashtbl.add Registry.hists name
+        Hashtbl.add l.Registry.hists name
           { Registry.h_count = 1; h_sum = v; h_min = v; h_max = v }
+  end
 
 let summary_of (h : Registry.hist) =
   {
@@ -21,8 +23,33 @@ let summary_of (h : Registry.hist) =
     mean = (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count);
   }
 
-let summary name = Option.map summary_of (Hashtbl.find_opt Registry.hists name)
+let merge a (b : Registry.hist) =
+  {
+    Registry.h_count = a.Registry.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = Float.min a.h_min b.h_min;
+    h_max = Float.max a.h_max b.h_max;
+  }
+
+(* Reads merge every domain's observations of the name. *)
+let merged_tbl () =
+  let merged = Hashtbl.create 64 in
+  Registry.fold_locals
+    (fun () l ->
+      Hashtbl.iter
+        (fun name h ->
+          match Hashtbl.find_opt merged name with
+          | Some acc -> Hashtbl.replace merged name (merge acc h)
+          | None ->
+              Hashtbl.add merged name
+                { Registry.h_count = h.Registry.h_count; h_sum = h.h_sum;
+                  h_min = h.h_min; h_max = h.h_max })
+        l.Registry.hists)
+    ();
+  merged
+
+let summary name = Option.map summary_of (Hashtbl.find_opt (merged_tbl ()) name)
 
 let snapshot () =
-  Hashtbl.fold (fun name h acc -> (name, summary_of h) :: acc) Registry.hists []
+  Hashtbl.fold (fun name h acc -> (name, summary_of h) :: acc) (merged_tbl ()) []
   |> List.sort compare

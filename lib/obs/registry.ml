@@ -3,6 +3,7 @@ type span_event = {
   ev_ts_ns : int64;
   ev_dur_ns : int64;
   ev_depth : int;
+  ev_dom : int;
   ev_args : (string * string) list;
 }
 
@@ -13,48 +14,97 @@ type hist = {
   mutable h_max : float;
 }
 
-let enabled = ref false
-let epoch = ref 0L
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let hists : (string, hist) Hashtbl.t = Hashtbl.create 64
-let events : span_event list ref = ref []
-let n_events = ref 0
-let max_events = ref 200_000
-let dropped = ref 0
-let depth = ref 0
+type local = {
+  dom : int;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  mutable events : span_event list;  (* newest first *)
+  mutable n_events : int;
+  mutable dropped : int;
+  mutable depth : int;
+}
 
-let on () = !enabled
+(* The master switch is the only cell every probe reads; an [Atomic] load
+   keeps the disabled-mode cost at one load and branch while staying
+   race-free under domains. *)
+let enabled = Atomic.make false
+let epoch = ref 0L
+let max_events = Atomic.make 200_000
+
+(* One [local] per domain that ever probed, handed out through
+   domain-local storage so the hot paths never lock.  The cells are also
+   kept on a global list (guarded by [locals_mu]) so exporters can merge
+   them; a cell outlives its domain, preserving the data of joined pool
+   workers.  [reset] zeroes the cells in place rather than dropping them —
+   a live domain keeps writing into its registered cell. *)
+let locals_mu = Mutex.create ()
+let locals : local list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let l =
+        {
+          dom = (Domain.self () :> int);
+          counters = Hashtbl.create 64;
+          hists = Hashtbl.create 64;
+          events = [];
+          n_events = 0;
+          dropped = 0;
+          depth = 0;
+        }
+      in
+      Mutex.lock locals_mu;
+      locals := l :: !locals;
+      Mutex.unlock locals_mu;
+      l)
+
+let local () = Domain.DLS.get key
+
+let fold_locals f acc =
+  Mutex.lock locals_mu;
+  let ls = !locals in
+  Mutex.unlock locals_mu;
+  (* Ascending domain id: a deterministic merge order for exporters. *)
+  List.fold_left f acc (List.sort (fun a b -> compare a.dom b.dom) ls)
+
+let on () = Atomic.get enabled
 
 let enable () =
-  if not !enabled then begin
-    enabled := true;
+  if not (Atomic.get enabled) then begin
+    Atomic.set enabled true;
     if !epoch = 0L then epoch := Clock.now_ns ()
   end
 
-let disable () = enabled := false
+let disable () = Atomic.set enabled false
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset hists;
-  events := [];
-  n_events := 0;
-  dropped := 0;
-  depth := 0;
+  fold_locals
+    (fun () l ->
+      Hashtbl.reset l.counters;
+      Hashtbl.reset l.hists;
+      l.events <- [];
+      l.n_events <- 0;
+      l.dropped <- 0;
+      l.depth <- 0)
+    ();
   epoch := Clock.now_ns ()
 
 let epoch_ns () = !epoch
 
-let push_event ev =
-  if !n_events >= !max_events then incr dropped
+let depth () = (local ()).depth
+
+let push_event l ev =
+  if l.n_events >= Atomic.get max_events then l.dropped <- l.dropped + 1
   else begin
-    events := ev :: !events;
-    incr n_events
+    l.events <- ev :: l.events;
+    l.n_events <- l.n_events + 1
   end
 
-let all_events () = List.rev !events
+let all_events () =
+  fold_locals (fun acc l -> acc @ List.rev l.events) []
 
-let dropped_events () = !dropped
+let dropped_events () = fold_locals (fun acc l -> acc + l.dropped) 0
 
 let set_max_events n =
   if n < 0 then invalid_arg "Registry.set_max_events";
-  max_events := n
+  Atomic.set max_events n

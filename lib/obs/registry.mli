@@ -1,10 +1,22 @@
-(** Process-global observability state.
+(** Process-global observability state, domain-safe.
 
-    One registry per process: a master switch, the counter and histogram
-    tables, and the span-event buffer.  Everything the instrumented hot
-    paths do funnels through {!on}, so a disabled registry costs exactly
-    one [bool] load and branch per probe (target: <5% overhead on
-    [bench/main.ml]; measured in its A6 section). *)
+    One registry per process: a master switch and, per domain that ever
+    probed, a private cell of counter/histogram tables, a span-event
+    buffer and the span nesting depth.  Probes touch only their own
+    domain's cell (reached through [Domain.DLS], never a lock), so the
+    instrumented hot paths stay race-free when they run inside a
+    {!Slif_util.Pool} worker; exporters merge the cells at read time.
+    Everything funnels through {!on} first, so a disabled registry costs
+    exactly one atomic [bool] load and branch per probe (target: <5%
+    overhead on [bench/main.ml]; measured in its A6 section).
+
+    Merge semantics: counters sum across domains; histograms combine
+    count/sum/min/max; span events interleave (the trace export orders
+    them by timestamp and tags each with its domain id).  A domain's cell
+    outlives the domain, so the data of joined pool workers survives
+    until export.  {!enable}, {!disable}, {!reset} and the exporters are
+    meant to be called from quiescent points (no concurrent probes), as
+    the CLI and bench drivers do. *)
 
 val on : unit -> bool
 (** True when recording is enabled.  Every probe in {!Counter},
@@ -19,8 +31,8 @@ val disable : unit -> unit
 (** Turn recording off; accumulated data is kept for export. *)
 
 val reset : unit -> unit
-(** Drop all counters, histograms and span events and re-pin the epoch.
-    Does not change the enabled flag. *)
+(** Zero every domain's counters, histograms and span events and re-pin
+    the epoch.  Does not change the enabled flag. *)
 
 (** {2 Internal surface used by the sibling modules} *)
 
@@ -28,13 +40,12 @@ type span_event = {
   ev_name : string;
   ev_ts_ns : int64;  (** start, relative to the epoch *)
   ev_dur_ns : int64;
-  ev_depth : int;  (** nesting depth at entry; 0 = top level *)
+  ev_depth : int;  (** nesting depth at entry in its domain; 0 = top level *)
+  ev_dom : int;  (** id of the domain that recorded the span *)
   ev_args : (string * string) list;
 }
 
 val epoch_ns : unit -> int64
-
-val counters : (string, int ref) Hashtbl.t
 
 type hist = {
   mutable h_count : int;
@@ -43,20 +54,39 @@ type hist = {
   mutable h_max : float;
 }
 
-val hists : (string, hist) Hashtbl.t
+type local = {
+  dom : int;  (** [Domain.self] of the owning domain *)
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  mutable events : span_event list;  (** newest first *)
+  mutable n_events : int;
+  mutable dropped : int;
+  mutable depth : int;  (** span nesting depth (maintained by {!Span.with_}) *)
+}
 
-val depth : int ref
-(** Current span nesting depth (maintained by {!Span.with_}). *)
+val local : unit -> local
+(** The calling domain's cell, created (and registered for export) on
+    first use. *)
 
-val push_event : span_event -> unit
-(** Append a completed span, dropping it (and counting the drop) past
-    {!set_max_events}. *)
+val fold_locals : ('a -> local -> 'a) -> 'a -> 'a
+(** Fold over every domain's cell in ascending domain-id order — how the
+    exporters merge.  Takes the registration lock only to snapshot the
+    cell list. *)
+
+val depth : unit -> int
+(** Current span nesting depth of the calling domain. *)
+
+val push_event : local -> span_event -> unit
+(** Append a completed span to the domain's buffer, dropping it (and
+    counting the drop) past {!set_max_events}. *)
 
 val all_events : unit -> span_event list
-(** Completed spans in completion order. *)
+(** Completed spans, per-domain completion order, domains in ascending
+    id order. *)
 
 val dropped_events : unit -> int
+(** Total drops across all domains. *)
 
 val set_max_events : int -> unit
-(** Cap the span buffer (default 200_000 events) so a runaway annealing
-    trace cannot exhaust memory. *)
+(** Cap each domain's span buffer (default 200_000 events) so a runaway
+    annealing trace cannot exhaust memory. *)

@@ -1,12 +1,13 @@
-let record ?(args = []) name ~t0 ~depth =
+let record ?(args = []) l name ~t0 ~depth =
   let t1 = Clock.now_ns () in
   let dur = Int64.sub t1 t0 in
-  Registry.push_event
+  Registry.push_event l
     {
       Registry.ev_name = name;
       ev_ts_ns = Int64.sub t0 (Registry.epoch_ns ());
       ev_dur_ns = dur;
       ev_depth = depth;
+      ev_dom = l.Registry.dom;
       ev_args = args;
     };
   Histogram.observe ("span." ^ name) (Int64.to_float dur /. 1e3)
@@ -14,12 +15,16 @@ let record ?(args = []) name ~t0 ~depth =
 let with_ ?args name f =
   if not (Registry.on ()) then f ()
   else begin
+    (* All mutation lands in the calling domain's cell: the nesting depth
+       and the event buffer are per-domain, so spans opened inside pool
+       workers never race. *)
+    let l = Registry.local () in
     let t0 = Clock.now_ns () in
-    let d = !Registry.depth in
-    Registry.depth := d + 1;
+    let d = l.Registry.depth in
+    l.Registry.depth <- d + 1;
     let finish () =
-      Registry.depth := d;
-      record ?args name ~t0 ~depth:d
+      l.Registry.depth <- d;
+      record ?args l name ~t0 ~depth:d
     in
     match f () with
     | v ->

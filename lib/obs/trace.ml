@@ -3,6 +3,7 @@ type event = {
   ts_us : float;
   dur_us : float;
   depth : int;
+  dom : int;
   args : (string * string) list;
 }
 
@@ -14,6 +15,7 @@ let events () =
            ts_us = Int64.to_float ev.ev_ts_ns /. 1e3;
            dur_us = Int64.to_float ev.ev_dur_ns /. 1e3;
            depth = ev.ev_depth;
+           dom = ev.ev_dom;
            args = ev.ev_args;
          })
   |> List.stable_sort (fun a b -> compare a.ts_us b.ts_us)
@@ -31,7 +33,9 @@ let event_json ev =
       ("ts", Json.Float ev.ts_us);
       ("dur", Json.Float ev.dur_us);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      (* One trace row per domain: spans from pool workers land on their
+         own timeline instead of overlapping the submitter's. *)
+      ("tid", Json.Int ev.dom);
       ("args", Json.Obj args);
     ]
 

@@ -11,6 +11,7 @@ type event = {
   ts_us : float;  (** start, microseconds since the epoch *)
   dur_us : float;
   depth : int;
+  dom : int;  (** recording domain — the exported [tid], one row per domain *)
   args : (string * string) list;
 }
 

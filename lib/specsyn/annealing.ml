@@ -2,16 +2,13 @@ type params = { initial_temp : float; cooling : float; steps : int; seed : int }
 
 let default_params = { initial_temp = 1.0; cooling = 0.995; steps = 2000; seed = 7 }
 
-let run ?(params = default_params) ?initial (problem : Search.problem) =
-  Slif_obs.Span.with_ "search.annealing"
-    ~args:[ ("steps", string_of_int params.steps) ]
-  @@ fun () ->
-  let s = Slif.Graph.slif problem.graph in
+(* One annealing chain over its own partition, engine and generator. *)
+let run_chain ~params ~initial ~rng (problem : Search.problem) =
+  let s = Slif.Graph.slif problem.Search.graph in
   let part =
     match initial with Some p -> Slif.Partition.copy p | None -> Search.seed_partition s
   in
   let eng = Engine.of_problem problem part in
-  let rng = Slif_util.Prng.create params.seed in
   let cost = ref (Engine.cost eng) in
   let best_part = ref (Slif.Partition.copy part) in
   let best_cost = ref !cost in
@@ -43,3 +40,44 @@ let run ?(params = default_params) ?initial (problem : Search.problem) =
     temp := !temp *. params.cooling
   done;
   { Search.part = !best_part; cost = !best_cost; evaluated = Engine.moves_scored eng + 1 }
+
+let run ?pool ?(restarts = 1) ?(params = default_params) ?initial
+    (problem : Search.problem) =
+  if restarts <= 0 then invalid_arg "Annealing.run: restarts must be positive";
+  Slif_obs.Span.with_ "search.annealing"
+    ~args:
+      [ ("steps", string_of_int params.steps); ("restarts", string_of_int restarts) ]
+  @@ fun () ->
+  if restarts = 1 then
+    (* The single-chain path keeps the historical stream: the chain draws
+       from [Prng.create params.seed] directly. *)
+    run_chain ~params ~initial ~rng:(Slif_util.Prng.create params.seed) problem
+  else begin
+    (* Chain [k] anneals from its own derived stream over its own cloned
+       partition and engine; the best chain (ties: lowest index) wins, so
+       the restart sweep is a pure function of (params.seed, restarts). *)
+    let chain rng () = run_chain ~params ~initial ~rng problem in
+    let tasks = List.init restarts (fun _ -> ()) in
+    let solutions =
+      match pool with
+      | Some pool -> Slif_util.Pool.map_seeded pool ~seed:params.seed chain tasks
+      | None ->
+          List.mapi
+            (fun k () -> chain (Slif_util.Prng.derive ~root:params.seed k) ())
+            tasks
+    in
+    match solutions with
+    | [] -> assert false
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun (best : Search.solution) (sol : Search.solution) ->
+              if sol.Search.cost < best.Search.cost then sol else best)
+            first rest
+        in
+        let evaluated =
+          List.fold_left (fun acc (s : Search.solution) -> acc + s.Search.evaluated) 0
+            solutions
+        in
+        { best with Search.evaluated }
+  end

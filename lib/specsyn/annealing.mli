@@ -5,7 +5,15 @@
     the Metropolis criterion under a geometric cooling schedule.  This is
     the "algorithms that explore thousands of possible designs" workload
     the paper's estimation speed enables; the run reports how many
-    partitions were scored. *)
+    partitions were scored.
+
+    With [restarts > 1] the run anneals that many independent chains and
+    keeps the best (ties: lowest chain index).  Chain [k] draws from the
+    private stream [Slif_util.Prng.derive ~root:params.seed k] over its
+    own cloned partition and engine, so the sweep result is a pure
+    function of [(params, restarts)] — identical with or without a pool,
+    at any [jobs].  A single-restart run keeps the historical stream
+    [Prng.create params.seed]. *)
 
 type params = {
   initial_temp : float;
@@ -16,4 +24,14 @@ type params = {
 
 val default_params : params
 
-val run : ?params:params -> ?initial:Slif.Partition.t -> Search.problem -> Search.solution
+val run :
+  ?pool:Slif_util.Pool.t ->
+  ?restarts:int ->
+  ?params:params ->
+  ?initial:Slif.Partition.t ->
+  Search.problem ->
+  Search.solution
+(** [run problem] anneals [restarts] chains (default 1) from [initial]
+    (default: the all-software seed partition).  [evaluated] sums over
+    chains.  With [?pool], chains run in parallel with identical
+    results.  Raises [Invalid_argument] when [restarts <= 0]. *)

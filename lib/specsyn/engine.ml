@@ -24,6 +24,7 @@ type t = {
   part : Slif.Partition.t;
   est : Slif.Estimate.t;
   weights : Cost.weights;
+  constraints : Cost.constraints;  (* kept so [copy] can rebuild deadlines *)
   deadlines : (int * float) array;  (* resolved (node id, deadline us) *)
   n_procs : int;
   n_comps : int;
@@ -402,6 +403,7 @@ let create ?(weights = Cost.default_weights) ?(constraints = Cost.no_constraints
       part;
       est;
       weights;
+      constraints;
       deadlines;
       n_procs;
       n_comps;
@@ -452,6 +454,16 @@ let create ?(weights = Cost.default_weights) ?(constraints = Cost.no_constraints
 let of_problem (problem : Search.problem) part =
   create ~weights:problem.Search.weights ~constraints:problem.Search.constraints
     problem.Search.graph part
+
+(* A copy clones the partition and rebuilds the aggregates from it.
+   Rebuilding (rather than cloning every array and the estimator's memo
+   tables) costs one full initial scoring, but yields an engine with no
+   cell shared with the original — the isolation a per-task clone in a
+   parallel sweep needs. *)
+let copy t =
+  if t.txn <> None then invalid_arg "Engine.copy: a transaction is pending";
+  create ~weights:t.weights ~constraints:t.constraints t.graph
+    (Slif.Partition.copy t.part)
 
 (* --- Move generation ------------------------------------------------------ *)
 

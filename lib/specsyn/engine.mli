@@ -53,6 +53,14 @@ val create :
 val of_problem : Search.problem -> Slif.Partition.t -> t
 (** {!create} with the problem's weights and constraints. *)
 
+val copy : t -> t
+(** An engine over a {!Slif.Partition.copy} of the current partition with
+    the same weights and constraints, sharing no mutable cell with the
+    original — the per-task clone a parallel sweep hands each domain.
+    Costs one full initial scoring (the aggregates are rebuilt, which
+    also bumps the partitions-scored counter like {!create}).  Raises
+    [Invalid_argument] while a transaction is pending. *)
+
 val graph : t -> Slif.Graph.t
 
 val partition : t -> Slif.Partition.t

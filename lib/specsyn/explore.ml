@@ -23,37 +23,45 @@ type entry = {
 let default_algos =
   [ Random 50; Greedy; Group_migration; Annealing Annealing.default_params; Clustering 4 ]
 
-let run ?constraints ?weights ?(algos = default_algos) ?(allocs = Alloc.catalog) slif =
-  Slif_obs.Span.with_ "explore.run" @@ fun () ->
+let run ?(jobs = 1) ?constraints ?weights ?(algos = default_algos)
+    ?(allocs = Alloc.catalog) slif =
+  Slif_obs.Span.with_ "explore.run" ~args:[ ("jobs", string_of_int jobs) ] @@ fun () ->
+  (* Every (alloc x algo) combination is an independent task: it applies
+     the allocation, builds its own graph, problem and engines, and the
+     algorithms seed their own generators — no mutable state crosses task
+     boundaries, so the pool can run the sweep on any number of domains.
+     Pool.map merges in submission order and the cost sort below is
+     stable, hence the report is bit-identical regardless of [jobs]. *)
+  let tasks =
+    List.concat_map (fun alloc -> List.map (fun algo -> (alloc, algo)) algos) allocs
+  in
+  let solve_one (alloc, algo) =
+    let s = Alloc.apply slif alloc in
+    let graph = Slif.Graph.make s in
+    let problem = Search.problem ?constraints ?weights graph in
+    let solve () =
+      match algo with
+      | Random restarts -> Random_part.run ~restarts problem
+      | Greedy -> Greedy.run problem
+      | Group_migration -> Group_migration.run problem
+      | Annealing params -> Annealing.run ~params problem
+      | Clustering k -> Cluster.run ~k problem
+    in
+    let solve () =
+      Slif_obs.Span.with_ "explore.entry"
+        ~args:[ ("alloc", alloc.Alloc.alloc_name); ("algo", algo_name algo) ]
+        solve
+    in
+    let solution, elapsed_s = Slif_obs.Clock.time solve in
+    let partitions_per_s =
+      if elapsed_s > 0.0 then float_of_int solution.Search.evaluated /. elapsed_s
+      else 0.0
+    in
+    Slif_obs.Counter.add "explore.partitions_evaluated" solution.Search.evaluated;
+    { alloc; algo; solution; elapsed_s; partitions_per_s }
+  in
   let entries =
-    List.concat_map
-      (fun alloc ->
-        let s = Alloc.apply slif alloc in
-        let graph = Slif.Graph.make s in
-        let problem = Search.problem ?constraints ?weights graph in
-        List.map
-          (fun algo ->
-            let solve () =
-              match algo with
-              | Random restarts -> Random_part.run ~restarts problem
-              | Greedy -> Greedy.run problem
-              | Group_migration -> Group_migration.run problem
-              | Annealing params -> Annealing.run ~params problem
-              | Clustering k -> Cluster.run ~k problem
-            in
-            let solve () =
-              Slif_obs.Span.with_ "explore.entry"
-                ~args:[ ("alloc", alloc.Alloc.alloc_name); ("algo", algo_name algo) ]
-                solve
-            in
-            let solution, elapsed_s = Slif_obs.Clock.time solve in
-            let partitions_per_s =
-              if elapsed_s > 0.0 then float_of_int solution.Search.evaluated /. elapsed_s
-              else 0.0
-            in
-            Slif_obs.Counter.add "explore.partitions_evaluated" solution.Search.evaluated;
-            { alloc; algo; solution; elapsed_s; partitions_per_s })
-          algos)
-      allocs
+    if jobs = 1 then List.map solve_one tasks
+    else Slif_util.Pool.with_pool ~jobs (fun pool -> Slif_util.Pool.map pool solve_one tasks)
   in
   List.sort (fun a b -> compare a.solution.Search.cost b.solution.Search.cost) entries

@@ -23,6 +23,7 @@ type entry = {
 }
 
 val run :
+  ?jobs:int ->
   ?constraints:Cost.constraints ->
   ?weights:Cost.weights ->
   ?algos:algo list ->
@@ -31,4 +32,11 @@ val run :
   entry list
 (** [run slif] explores the full stock catalog with all algorithms by
     default; the SLIF must already be annotated.  Results are sorted by
-    cost (cheapest first). *)
+    cost (cheapest first), stably over (alloc, algo) submission order.
+
+    [jobs] (default 1) runs the (alloc x algo) combinations on a
+    {!Slif_util.Pool} of that many domains.  Every combination builds its
+    own graph, problem and engines, and results merge in submission
+    order, so the entry list — order, costs, evaluation counts — is
+    identical for every [jobs]; only [elapsed_s]/[partitions_per_s]
+    reflect the actual schedule. *)

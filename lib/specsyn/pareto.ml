@@ -61,38 +61,48 @@ let objective (s : Slif.Types.t) ~weight_time eng =
 
 let default_weights_time = [ 0.1; 0.3; 1.0; 2.0; 4.0; 8.0; 16.0 ]
 
-let sweep ?(constraints = Cost.no_constraints) ?(steps_per_point = 400)
+let sweep ?(jobs = 1) ?(constraints = Cost.no_constraints) ?(steps_per_point = 400)
     ?(weights_time = default_weights_time) graph =
   let s = Slif.Graph.slif graph in
   let n_nodes = Array.length s.Slif.Types.nodes in
-  let candidates = ref [] in
-  List.iteri
-    (fun i weight_time ->
-      let rng = Slif_util.Prng.create (1000 + i) in
-      let part = Search.seed_partition s in
-      let eng = Engine.create ~constraints graph part in
-      let cost = ref (objective s ~weight_time eng) in
-      let temp = ref 0.5 in
-      for _ = 1 to steps_per_point do
-        let node = Slif_util.Prng.int rng n_nodes in
-        let from = Slif.Partition.comp_of_exn part node in
-        let choices = Engine.candidates eng node in
-        let to_ = choices.(Slif_util.Prng.int rng (Array.length choices)) in
-        if to_ <> from then begin
-          ignore (Engine.propose eng (Engine.Move_node { node; to_ }));
-          let c = objective s ~weight_time eng in
-          let accept =
-            c <= !cost
-            || (!temp > 1e-9 && Slif_util.Prng.float rng 1.0 < exp ((!cost -. c) /. !temp))
-          in
-          if accept then begin
-            Engine.commit eng;
-            cost := c
-          end
-          else Engine.rollback eng
-        end;
-        temp := !temp *. 0.99
-      done;
-      candidates := score graph part ~weight_time :: !candidates)
-    weights_time;
-  front !candidates
+  (* Each weight point is one independent task: its generator seed is a
+     function of the point's index alone, and the partition and engine
+     are task-private — the sweep produces the same candidates at any
+     [jobs]. *)
+  let anneal_point i weight_time =
+    let rng = Slif_util.Prng.create (1000 + i) in
+    let part = Search.seed_partition s in
+    let eng = Engine.create ~constraints graph part in
+    let cost = ref (objective s ~weight_time eng) in
+    let temp = ref 0.5 in
+    for _ = 1 to steps_per_point do
+      let node = Slif_util.Prng.int rng n_nodes in
+      let from = Slif.Partition.comp_of_exn part node in
+      let choices = Engine.candidates eng node in
+      let to_ = choices.(Slif_util.Prng.int rng (Array.length choices)) in
+      if to_ <> from then begin
+        ignore (Engine.propose eng (Engine.Move_node { node; to_ }));
+        let c = objective s ~weight_time eng in
+        let accept =
+          c <= !cost
+          || (!temp > 1e-9 && Slif_util.Prng.float rng 1.0 < exp ((!cost -. c) /. !temp))
+        in
+        if accept then begin
+          Engine.commit eng;
+          cost := c
+        end
+        else Engine.rollback eng
+      end;
+      temp := !temp *. 0.99
+    done;
+    score graph part ~weight_time
+  in
+  let candidates =
+    if jobs = 1 then List.mapi anneal_point weights_time
+    else
+      Slif_util.Pool.with_pool ~jobs (fun pool ->
+          Slif_util.Pool.mapi pool anneal_point weights_time)
+  in
+  (* The serial accumulator consed points in reverse; keep feeding [front]
+     the same order so tie-breaks in its stable sort never move. *)
+  front (List.rev candidates)

@@ -27,6 +27,7 @@ val front : point list -> point list
 (** Non-dominated subset, sorted by execution time (fastest first). *)
 
 val sweep :
+  ?jobs:int ->
   ?constraints:Cost.constraints ->
   ?steps_per_point:int ->
   ?weights_time:float list ->
@@ -34,4 +35,9 @@ val sweep :
   point list
 (** [sweep graph] runs simulated annealing once per time-weight in
     [weights_time] (default seven points between 0.1 and 16) and returns
-    the Pareto front of all solutions found. *)
+    the Pareto front of all solutions found.
+
+    [jobs] (default 1) anneals the weight points on a {!Slif_util.Pool}
+    of that many domains.  Each point's generator is seeded by its index
+    and anneals a private partition/engine, so the front is identical
+    for every [jobs]. *)

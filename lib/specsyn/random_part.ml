@@ -21,22 +21,38 @@ let random_partition rng (s : Slif.Types.t) =
     s.chans;
   part
 
-let run ?(seed = 1) ~restarts (problem : Search.problem) =
+(* Earlier restart wins ties, matching the serial first-strictly-better
+   fold — so the selected solution is independent of execution order. *)
+let best_of solutions =
+  match solutions with
+  | [] -> invalid_arg "Random_part: no solutions"
+  | first :: rest ->
+      List.fold_left
+        (fun (best : Search.solution) (sol : Search.solution) ->
+          if sol.Search.cost < best.Search.cost then sol else best)
+        first rest
+
+let run ?pool ?(seed = 1) ~restarts (problem : Search.problem) =
   if restarts <= 0 then invalid_arg "Random_part.run: restarts must be positive";
   Slif_obs.Span.with_ "search.random"
     ~args:[ ("restarts", string_of_int restarts) ]
   @@ fun () ->
   Slif_obs.Counter.add "search.restarts" restarts;
-  let s = Slif.Graph.slif problem.graph in
-  let rng = Slif_util.Prng.create seed in
-  let best = ref None in
-  for _ = 1 to restarts do
+  let s = Slif.Graph.slif problem.Search.graph in
+  (* Restart [k] draws from its own derived stream, never from a shared
+     generator, so every restart is a pure function of (seed, k) and the
+     sweep result is bit-identical whether the pool runs it on one domain
+     or eight. *)
+  let restart rng () =
     let part = random_partition rng s in
     let cost = Engine.cost (Engine.of_problem problem part) in
-    match !best with
-    | Some (_, c) when c <= cost -> ()
-    | _ -> best := Some (part, cost)
-  done;
-  match !best with
-  | Some (part, cost) -> { Search.part; cost; evaluated = restarts }
-  | None -> assert false
+    { Search.part; cost; evaluated = 1 }
+  in
+  let tasks = List.init restarts (fun _ -> ()) in
+  let solutions =
+    match pool with
+    | Some pool -> Slif_util.Pool.map_seeded pool ~seed restart tasks
+    | None -> List.mapi (fun k () -> restart (Slif_util.Prng.derive ~root:seed k) ()) tasks
+  in
+  let best = best_of solutions in
+  { best with Search.evaluated = restarts }

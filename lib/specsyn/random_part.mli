@@ -3,6 +3,17 @@
     Draws uniformly random proper partitions (nodes onto feasible
     components, channels onto buses) and keeps the cheapest — the simplest
     consumer of SLIF's fast estimation, and the baseline the heuristics
-    are compared against. *)
+    are compared against.
 
-val run : ?seed:int -> restarts:int -> Search.problem -> Search.solution
+    Restart [k] draws from the private stream
+    [Slif_util.Prng.derive ~root:seed k] (no state is shared between
+    restarts), and ties select the lowest restart index, so the result is
+    a pure function of [(seed, restarts)] — identical with or without a
+    pool, at any [jobs]. *)
+
+val run :
+  ?pool:Slif_util.Pool.t -> ?seed:int -> restarts:int -> Search.problem -> Search.solution
+(** [run ~restarts problem] evaluates [restarts] independent random
+    partitions ([seed] defaults to 1) and returns the cheapest.  With
+    [?pool], restarts are scored in parallel — each on a private
+    partition and engine — with identical results. *)

@@ -61,21 +61,29 @@ let partition_report ?(constraints = Cost.no_constraints) est =
        b.Cost.bitrate_violation);
   Buffer.contents buf
 
-let explore_report entries =
-  let table =
-    Slif_util.Table.create
-      ~header:[ "allocation"; "algorithm"; "cost"; "partitions"; "seconds"; "parts/s" ]
-  in
+(* [timings:false] drops the wall-clock columns — the only
+   schedule-dependent cells — so the report of a parallel sweep is
+   byte-identical to the serial one (how the -j differential is tested). *)
+let explore_report ?(timings = true) entries =
+  let header = [ "allocation"; "algorithm"; "cost"; "partitions" ] in
+  let header = if timings then header @ [ "seconds"; "parts/s" ] else header in
+  let table = Slif_util.Table.create ~header in
   List.iter
     (fun (e : Explore.entry) ->
-      Slif_util.Table.add_row table
+      let row =
         [
           e.alloc.Alloc.alloc_name;
           Explore.algo_name e.algo;
           Printf.sprintf "%.4f" e.solution.Search.cost;
           string_of_int e.solution.Search.evaluated;
-          Printf.sprintf "%.3f" e.elapsed_s;
-          Printf.sprintf "%.0f" e.partitions_per_s;
-        ])
+        ]
+      in
+      let row =
+        if timings then
+          row
+          @ [ Printf.sprintf "%.3f" e.elapsed_s; Printf.sprintf "%.0f" e.partitions_per_s ]
+        else row
+      in
+      Slif_util.Table.add_row table row)
     entries;
   Slif_util.Table.render table

@@ -5,4 +5,6 @@
 val partition_report :
   ?constraints:Cost.constraints -> Slif.Estimate.t -> string
 
-val explore_report : Explore.entry list -> string
+val explore_report : ?timings:bool -> Explore.entry list -> string
+(** [timings] (default true) includes the wall-clock columns; pass false
+    for schedule-independent output (byte-identical across [-j] values). *)

@@ -1,0 +1,114 @@
+(* Work queue shared by the submitter and the worker domains.  Tasks are
+   packaged as [unit -> unit] thunks that write into a per-call results
+   array, so one queue serves map calls of any element type.  Everything
+   below the public API is guarded by one mutex; the hot path (the task
+   bodies) runs without it. *)
+
+type t = {
+  n_jobs : int;
+  queue : (unit -> unit) Queue.t;
+  mu : Mutex.t;
+  work : Condition.t;            (* signalled when tasks arrive or at shutdown *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mu;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.work pool.mu
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mu (* stop requested *)
+  else begin
+    let thunk = Queue.pop pool.queue in
+    Mutex.unlock pool.mu;
+    thunk ();
+    worker_loop pool
+  end
+
+let create ?jobs () =
+  let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      n_jobs;
+      queue = Queue.create ();
+      mu = Mutex.create ();
+      work = Condition.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs t = t.n_jobs
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mu;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Tasks never let an exception escape into the worker loop: the thunk
+   stores the outcome and the failure is re-raised from [mapi], picking
+   the lowest submission index so the raised exception does not depend on
+   scheduling. *)
+let mapi pool f tasks =
+  match tasks with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list tasks in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let failures = Array.make n None in
+      let remaining = ref n in
+      let settled = Condition.create () in
+      let thunk i () =
+        (match f i arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> failures.(i) <- Some e);
+        Mutex.lock pool.mu;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast settled;
+        Mutex.unlock pool.mu
+      in
+      if pool.n_jobs = 1 || n = 1 then
+        for i = 0 to n - 1 do
+          thunk i ()
+        done
+      else begin
+        Mutex.lock pool.mu;
+        for i = 0 to n - 1 do
+          Queue.add (thunk i) pool.queue
+        done;
+        Condition.broadcast pool.work;
+        (* The submitter drains the queue alongside the workers, then
+           sleeps until the last in-flight task settles. *)
+        while not (Queue.is_empty pool.queue) do
+          let thunk = Queue.pop pool.queue in
+          Mutex.unlock pool.mu;
+          thunk ();
+          Mutex.lock pool.mu
+        done;
+        while !remaining > 0 do
+          Condition.wait settled pool.mu
+        done;
+        Mutex.unlock pool.mu
+      end;
+      Array.iter (function Some e -> raise e | None -> ()) failures;
+      Array.to_list (Array.map Option.get results)
+
+let map pool f tasks = mapi pool (fun _ x -> f x) tasks
+
+let map_seeded pool ~seed f tasks =
+  mapi pool (fun i task -> f (Prng.derive ~root:seed i) task) tasks

@@ -1,0 +1,54 @@
+(** Fixed-size domain pool for deterministic task-parallel sweeps.
+
+    Design-space exploration scores thousands of independent (allocation x
+    algorithm x seed) combinations; on OCaml 5 each combination can run on
+    its own domain with zero new dependencies.  The pool is built from
+    stdlib [Domain] + [Mutex]/[Condition] only and is engineered for
+    reproducibility first:
+
+    - {!map} returns results in submission order, so the output of a sweep
+      is bit-identical no matter how many domains execute it;
+    - {!map_seeded} hands every task a private {!Prng} derived from a root
+      seed and the task's submission index ({!Prng.derive}), never from
+      shared generator state, so random searches are a pure function of
+      (root seed, task index);
+    - a pool of [jobs = 1] executes everything in the submitting domain —
+      the serial and parallel code paths are the same code.
+
+    The submitting domain participates in the work (a pool of [jobs = n]
+    spawns [n - 1] worker domains), and tasks must therefore not block on
+    each other.  A pool is meant to be driven from one domain at a time;
+    concurrent {!map} calls from different domains are not supported. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what the CLI's [-j] defaults
+    to. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (default
+    {!default_jobs}).  Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with (including the submitter). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; the pool must be idle. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run the function, [shutdown] — even on exceptions. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f tasks] runs [f] on every task (in parallel when the pool
+    has more than one domain) and returns the results in submission
+    order.  When several tasks raise, the exception of the
+    lowest-indexed failing task is re-raised after all tasks have
+    settled, so failure behavior is deterministic too. *)
+
+val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} with the task's submission index. *)
+
+val map_seeded : t -> seed:int -> (Prng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_seeded pool ~seed f tasks] gives task [i] the private generator
+    [Prng.derive ~root:seed i].  Identical results for every [jobs]. *)

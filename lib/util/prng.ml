@@ -7,12 +7,14 @@ let create seed = { state = Int64.of_int seed }
 let copy t = { state = t.state }
 
 (* SplitMix64 finalizer (Steele, Lea, Flood 2014). *)
-let next t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
@@ -26,3 +28,14 @@ let float t bound =
 let bool t = Int64.logand (next t) 1L = 1L
 
 let split t = { state = next t }
+
+(* Double-mix derivation: hashing both the root and the index through the
+   finalizer puts stream [i] and stream [i+1] at unrelated points of the
+   SplitMix64 state space.  The naive [base + i * gamma] scheme would make
+   stream [i+1] equal to stream [i] shifted by one draw — exactly the
+   cross-task correlation per-task generators exist to rule out. *)
+let derive ~root index =
+  if index < 0 then invalid_arg "Prng.derive: negative index";
+  let base = mix64 (Int64.of_int root) in
+  let salt = Int64.mul golden_gamma (Int64.of_int (index + 1)) in
+  { state = mix64 (Int64.logxor base salt) }

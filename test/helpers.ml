@@ -88,3 +88,41 @@ let all_on_cpu slif =
     s.Slif.Types.nodes;
   Slif.Partition.assign_all_chans part ~bus:0;
   (s, part)
+
+(* --- Regression corpus ---------------------------------------------------
+
+   [corpus/<name>.seed] stores one generator seed per line ('#' comments
+   and blank lines allowed).  When a generative test fails, its seed is
+   appended to the corpus file so the exact failing input is replayed —
+   deterministically and first — on every later run.  [replay_corpus]
+   is a no-op when the corpus file does not exist. *)
+
+let corpus_seeds name =
+  let path = Filename.concat "corpus" (name ^ ".seed") in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let seeds = ref [] in
+        (try
+           while true do
+             let line = String.trim (input_line ic) in
+             if line <> "" && line.[0] <> '#' then
+               match int_of_string_opt line with
+               | Some seed -> seeds := seed :: !seeds
+               | None -> failwith (Printf.sprintf "corpus %s: bad line %S" name line)
+           done
+         with End_of_file -> ());
+        List.rev !seeds)
+  end
+
+let replay_corpus name check =
+  List.iter
+    (fun seed ->
+      try check seed
+      with e ->
+        Alcotest.failf "corpus %s: stored seed %d regressed (%s)" name seed
+          (Printexc.to_string e))
+    (corpus_seeds name)

@@ -108,6 +108,26 @@ let test_obs_flags () =
     | _ -> Alcotest.fail "traceEvents missing from trace export"
   end
 
+let test_explore_jobs_differential () =
+  if not (Lazy.force available) then ()
+  else begin
+    let run jobs =
+      let code, text =
+        run_cli (Printf.sprintf "partition fuzzy --explore -j %d --no-timings" jobs)
+      in
+      Alcotest.(check int) (Printf.sprintf "-j %d exit code" jobs) 0 code;
+      text
+    in
+    Alcotest.(check string) "explore -j 4 byte-identical to -j 1" (run 1) (run 4)
+  end
+
+let test_explore_rejects_bad_jobs () =
+  if not (Lazy.force available) then ()
+  else begin
+    let code, _ = run_cli "partition fuzzy --explore -j 0" in
+    Alcotest.(check bool) "nonzero exit" true (code <> 0)
+  end
+
 let test_unknown_spec_fails () =
   if not (Lazy.force available) then ()
   else begin
@@ -127,5 +147,7 @@ let suite =
     Alcotest.test_case "dump-spec round-trips" `Slow test_dump_and_reload;
     Alcotest.test_case "decision save/load" `Slow test_save_load_decision;
     Alcotest.test_case "--trace/--metrics export" `Slow test_obs_flags;
+    Alcotest.test_case "explore -j differential" `Slow test_explore_jobs_differential;
+    Alcotest.test_case "explore -j 0 rejected" `Slow test_explore_rejects_bad_jobs;
     Alcotest.test_case "unknown spec rejected" `Slow test_unknown_spec_fails;
   ]

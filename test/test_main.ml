@@ -26,6 +26,7 @@ let () =
       ("pareto", Test_pareto.suite);
       ("speccharts", Test_spc.suite);
       ("cli", Test_cli.suite);
+      ("parallel", Test_parallel.suite);
       ("fuzz", Test_fuzz.suite);
       ("integration", Test_integration.suite);
     ]

@@ -55,7 +55,7 @@ let test_span_exception () =
    (try Obs.Span.with_ "failing" (fun () -> failwith "boom") with Failure _ -> ());
    Alcotest.(check int) "span recorded despite the raise" 1
      (List.length (Obs.Trace.events ()));
-   Alcotest.(check int) "depth restored" 0 !Obs.Registry.depth)
+   Alcotest.(check int) "depth restored" 0 (Obs.Registry.depth ()))
     ()
 
 let test_span_histogram () =

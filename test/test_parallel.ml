@@ -1,0 +1,310 @@
+(* Parallel == serial differential layer.
+
+   Every pool-driven sweep (explore, pareto, annealing restarts, random
+   restarts) must be bit-identical to its serial run: same entry order,
+   same costs, same evaluation counts, same partitions.  The pool itself
+   is exercised for submission-order merging, deterministic failure and
+   per-task PRNG streams, and the observability registry is stress-tested
+   from eight concurrent domains. *)
+
+module Obs = Slif_obs
+module Pool = Slif_util.Pool
+module Prng = Slif_util.Prng
+
+let jobs_par = 4
+
+(* --- Pool primitives ---------------------------------------------------- *)
+
+let test_pool_map_order () =
+  let tasks = List.init 100 Fun.id in
+  let expect = List.map (fun x -> x * x) tasks in
+  Pool.with_pool ~jobs:jobs_par (fun pool ->
+      Alcotest.(check (list int))
+        "submission order" expect
+        (Pool.map pool (fun x -> x * x) tasks))
+
+let test_pool_single_job () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Pool.jobs pool);
+      Alcotest.(check (list int)) "serial pool" [ 2; 4; 6 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_rejects_bad_jobs () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0 ()))
+
+let test_pool_exception_deterministic () =
+  (* Several tasks fail; the lowest submission index must win no matter
+     which domain reaches its failure first. *)
+  Pool.with_pool ~jobs:jobs_par (fun pool ->
+      Alcotest.check_raises "lowest failing index" (Failure "task 1") (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i -> if i mod 3 = 1 then failwith (Printf.sprintf "task %d" i) else i)
+               (List.init 20 Fun.id))))
+
+let test_pool_map_seeded_jobs_invariant () =
+  let draws pool =
+    Pool.map_seeded pool ~seed:42
+      (fun rng _ -> List.init 5 (fun _ -> Prng.int rng 1_000_000))
+      (List.init 16 Fun.id)
+  in
+  let serial = Pool.with_pool ~jobs:1 draws in
+  let parallel = Pool.with_pool ~jobs:jobs_par draws in
+  Alcotest.(check (list (list int))) "per-task streams jobs-invariant" serial parallel
+
+let test_prng_derive_streams () =
+  let take n rng = List.init n (fun _ -> Prng.int rng 1_000_000) in
+  let s0 = take 20 (Prng.derive ~root:7 0) in
+  let s0' = take 20 (Prng.derive ~root:7 0) in
+  let s1 = take 20 (Prng.derive ~root:7 1) in
+  Alcotest.(check (list int)) "derive is deterministic" s0 s0';
+  Alcotest.(check bool) "streams differ" true (s0 <> s1);
+  (* Guards against the naive [base + i*gamma] derivation, where stream
+     i+1 is stream i advanced by one draw. *)
+  Alcotest.(check bool) "stream 1 is not stream 0 shifted" true
+    (List.tl s0 <> List.filteri (fun i _ -> i < 19) s1);
+  Alcotest.check_raises "negative index" (Invalid_argument "Prng.derive: negative index")
+    (fun () -> ignore (Prng.derive ~root:7 (-1)))
+
+(* --- Explore differential ----------------------------------------------- *)
+
+let light_algos =
+  [
+    Specsyn.Explore.Random 20;
+    Specsyn.Explore.Greedy;
+    Specsyn.Explore.Annealing { Specsyn.Annealing.default_params with steps = 200 };
+  ]
+
+let check_entries label (a : Specsyn.Explore.entry list) (b : Specsyn.Explore.entry list) =
+  Alcotest.(check int) (label ^ ": entry count") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Specsyn.Explore.entry) (y : Specsyn.Explore.entry) ->
+      Alcotest.(check string)
+        (label ^ ": alloc")
+        x.alloc.Specsyn.Alloc.alloc_name y.alloc.Specsyn.Alloc.alloc_name;
+      Alcotest.(check string)
+        (label ^ ": algo")
+        (Specsyn.Explore.algo_name x.algo)
+        (Specsyn.Explore.algo_name y.algo);
+      Alcotest.(check (float 1e-9))
+        (label ^ ": cost") x.solution.Specsyn.Search.cost y.solution.Specsyn.Search.cost;
+      Alcotest.(check int)
+        (label ^ ": evaluated") x.solution.Specsyn.Search.evaluated
+        y.solution.Specsyn.Search.evaluated)
+    a b
+
+let explore_differential label ?(algos = light_algos) ~allocs slif =
+  let serial = Specsyn.Explore.run ~jobs:1 ~algos ~allocs slif in
+  let parallel = Specsyn.Explore.run ~jobs:jobs_par ~algos ~allocs slif in
+  check_entries label serial parallel;
+  (* The timing-free report must be byte-identical — what the CLI's
+     [-j N --no-timings] differential relies on. *)
+  Alcotest.(check string)
+    (label ^ ": report bytes")
+    (Specsyn.Report.explore_report ~timings:false serial)
+    (Specsyn.Report.explore_report ~timings:false parallel)
+
+let test_explore_bundled () =
+  let allocs = [ Specsyn.Alloc.proc_asic (); Specsyn.Alloc.proc_asic_mem () ] in
+  List.iter
+    (fun (name, slif) -> explore_differential name ~allocs (Lazy.force slif))
+    [ ("fuzzy", Helpers.fuzzy_slif); ("tiny", Helpers.tiny_slif) ]
+
+(* Fuzzed designs only carry weights for the generator's own techs
+   (tp/ta/tm), so they are explored under an identity allocation built
+   from their own component arrays. *)
+let identity_alloc (s : Slif.Types.t) =
+  {
+    Specsyn.Alloc.alloc_name = "generated";
+    procs = Array.to_list s.Slif.Types.procs;
+    mems = Array.to_list s.Slif.Types.mems;
+    buses = Array.to_list s.Slif.Types.buses;
+  }
+
+let fuzz_algos =
+  [
+    Specsyn.Explore.Random 10;
+    Specsyn.Explore.Greedy;
+    Specsyn.Explore.Annealing { Specsyn.Annealing.default_params with steps = 120 };
+  ]
+
+let explore_differential_seed seed =
+  let g = Test_props.gen_slif_of_seed seed in
+  let s = g.Test_props.slif in
+  explore_differential
+    (Printf.sprintf "gen%d" seed)
+    ~algos:fuzz_algos
+    ~allocs:[ identity_alloc s ]
+    s
+
+let test_explore_fuzzed () =
+  Helpers.replay_corpus "parallel_explore" explore_differential_seed;
+  for seed = 0 to 19 do
+    explore_differential_seed seed
+  done
+
+(* --- Partition-level comparison ------------------------------------------ *)
+
+let check_same_partition label a b =
+  let s = Slif.Partition.slif a in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: node %d" label i)
+        true
+        (Slif.Partition.comp_of a i = Slif.Partition.comp_of b i))
+    s.Slif.Types.nodes;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: chan %d" label i)
+        true
+        (Slif.Partition.bus_of a i = Slif.Partition.bus_of b i))
+    s.Slif.Types.chans
+
+let fuzzy_problem =
+  lazy
+    (let s =
+       Specsyn.Alloc.apply (Lazy.force Helpers.fuzzy_slif) (Specsyn.Alloc.proc_asic ())
+     in
+     Specsyn.Search.problem (Slif.Graph.make s))
+
+(* --- Pareto differential ------------------------------------------------- *)
+
+let test_pareto_differential () =
+  let s =
+    Specsyn.Alloc.apply (Lazy.force Helpers.fuzzy_slif) (Specsyn.Alloc.proc_asic ())
+  in
+  let graph = Slif.Graph.make s in
+  let sweep jobs = Specsyn.Pareto.sweep ~jobs ~steps_per_point:150 graph in
+  let a = sweep 1 and b = sweep jobs_par in
+  Alcotest.(check int) "front size" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Specsyn.Pareto.point) (y : Specsyn.Pareto.point) ->
+      Alcotest.(check (float 1e-9)) "worst exectime" x.worst_exectime_us y.worst_exectime_us;
+      Alcotest.(check (float 1e-9)) "hw gates" x.hw_gates y.hw_gates;
+      Alcotest.(check (float 1e-9)) "sw bytes" x.sw_bytes y.sw_bytes;
+      Alcotest.(check (float 1e-9)) "weight" x.weight_time y.weight_time;
+      check_same_partition "pareto point" x.part y.part)
+    a b
+
+(* --- Multi-restart searches ---------------------------------------------- *)
+
+let test_annealing_restarts_differential () =
+  let problem = Lazy.force fuzzy_problem in
+  let params = { Specsyn.Annealing.default_params with steps = 150 } in
+  let serial = Specsyn.Annealing.run ~restarts:4 ~params problem in
+  let parallel =
+    Pool.with_pool ~jobs:jobs_par (fun pool ->
+        Specsyn.Annealing.run ~pool ~restarts:4 ~params problem)
+  in
+  Alcotest.(check (float 1e-9))
+    "cost" serial.Specsyn.Search.cost parallel.Specsyn.Search.cost;
+  Alcotest.(check int)
+    "evaluated" serial.Specsyn.Search.evaluated parallel.Specsyn.Search.evaluated;
+  check_same_partition "annealing best" serial.Specsyn.Search.part
+    parallel.Specsyn.Search.part
+
+let test_random_part_differential () =
+  let problem = Lazy.force fuzzy_problem in
+  let serial = Specsyn.Random_part.run ~seed:5 ~restarts:32 problem in
+  let parallel =
+    Pool.with_pool ~jobs:jobs_par (fun pool ->
+        Specsyn.Random_part.run ~pool ~seed:5 ~restarts:32 problem)
+  in
+  Alcotest.(check (float 1e-9))
+    "cost" serial.Specsyn.Search.cost parallel.Specsyn.Search.cost;
+  Alcotest.(check int)
+    "evaluated" serial.Specsyn.Search.evaluated parallel.Specsyn.Search.evaluated;
+  check_same_partition "random best" serial.Specsyn.Search.part
+    parallel.Specsyn.Search.part
+
+(* --- Engine.copy isolation ----------------------------------------------- *)
+
+let test_engine_copy_isolation () =
+  let problem = Lazy.force fuzzy_problem in
+  let part =
+    Specsyn.Search.seed_partition (Slif.Graph.slif problem.Specsyn.Search.graph)
+  in
+  let original = Specsyn.Engine.of_problem problem part in
+  let c0 = Specsyn.Engine.cost original in
+  let dup = Specsyn.Engine.copy original in
+  Alcotest.(check (float 1e-9)) "copy scores identically" c0 (Specsyn.Engine.cost dup);
+  let rng = Prng.create 99 in
+  for _ = 1 to 25 do
+    match Specsyn.Engine.random_move dup rng with
+    | None -> ()
+    | Some m ->
+        ignore (Specsyn.Engine.propose dup m);
+        Specsyn.Engine.commit dup
+  done;
+  Alcotest.(check (float 1e-9)) "original untouched" c0 (Specsyn.Engine.cost original);
+  match Specsyn.Engine.random_move dup rng with
+  | None -> ()
+  | Some m ->
+      ignore (Specsyn.Engine.propose dup m);
+      (match Specsyn.Engine.copy dup with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "copy during a pending transaction should raise");
+      Specsyn.Engine.rollback dup
+
+(* --- Observability under domain contention -------------------------------- *)
+
+let test_obs_stress () =
+  Obs.Registry.reset ();
+  Obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Registry.disable ();
+      Obs.Registry.reset ())
+  @@ fun () ->
+  let domains = 8 and ops = 100_000 in
+  let span_every = 100 in
+  let body () =
+    for i = 1 to ops do
+      Obs.Counter.incr "stress.ops";
+      if i mod span_every = 0 then
+        Obs.Span.with_ "stress.tick" (fun () -> Obs.Counter.add "stress.bytes" 3)
+    done
+  in
+  let spawned = List.init domains (fun _ -> Domain.spawn body) in
+  List.iter Domain.join spawned;
+  let spans_per_domain = ops / span_every in
+  Alcotest.(check int) "counter merges all domains" (domains * ops)
+    (Obs.Counter.get "stress.ops");
+  Alcotest.(check int) "add merges all domains"
+    (domains * spans_per_domain * 3)
+    (Obs.Counter.get "stress.bytes");
+  (match Obs.Histogram.summary "span.stress.tick" with
+  | None -> Alcotest.fail "span histogram missing"
+  | Some s ->
+      Alcotest.(check int) "span count" (domains * spans_per_domain) s.Obs.Histogram.count);
+  let events = Obs.Trace.events () in
+  Alcotest.(check int) "event count" (domains * spans_per_domain) (List.length events);
+  let doms =
+    List.sort_uniq compare (List.map (fun (e : Obs.Trace.event) -> e.dom) events)
+  in
+  Alcotest.(check int) "one lane per domain" domains (List.length doms)
+
+let suite =
+  [
+    Alcotest.test_case "pool map preserves submission order" `Quick test_pool_map_order;
+    Alcotest.test_case "pool of one job runs inline" `Quick test_pool_single_job;
+    Alcotest.test_case "pool rejects jobs < 1" `Quick test_pool_rejects_bad_jobs;
+    Alcotest.test_case "pool failure is deterministic" `Quick
+      test_pool_exception_deterministic;
+    Alcotest.test_case "map_seeded streams are jobs-invariant" `Quick
+      test_pool_map_seeded_jobs_invariant;
+    Alcotest.test_case "prng derive yields disjoint streams" `Quick
+      test_prng_derive_streams;
+    Alcotest.test_case "explore -j4 == -j1 on bundled specs" `Quick test_explore_bundled;
+    Alcotest.test_case "explore -j4 == -j1 on fuzzed designs" `Quick test_explore_fuzzed;
+    Alcotest.test_case "pareto front is jobs-invariant" `Quick test_pareto_differential;
+    Alcotest.test_case "annealing restarts pool == serial" `Quick
+      test_annealing_restarts_differential;
+    Alcotest.test_case "random restarts pool == serial" `Quick
+      test_random_part_differential;
+    Alcotest.test_case "engine copy shares no state" `Quick test_engine_copy_isolation;
+    Alcotest.test_case "obs registry under 8-domain load" `Slow test_obs_stress;
+  ]

@@ -126,30 +126,41 @@ let random_partition ?(mems_allowed = true) rng (s : Slif.Types.t) =
   Slif.Partition.assign_all_chans part ~bus:0;
   part
 
-(* --- Properties ------------------------------------------------------------ *)
+(* --- Properties ------------------------------------------------------------
+
+   The core invariants are named predicates so the regression corpus
+   (test/corpus/props.seed, replayed by [test_corpus_replay] before the
+   generative pass) can re-run them on stored seeds. *)
+
+let check_text_roundtrip g = Slif.Text.of_string (Slif.Text.to_string g.slif) = g.slif
+
+let check_random_partition_proper g =
+  let rng = Slif_util.Prng.create (g.seed + 1) in
+  Slif.Validate.is_proper (random_partition rng g.slif)
 
 let prop_text_roundtrip =
-  Test.make ~name:"Text.of_string (to_string s) = s" ~count:100 arb_slif (fun g ->
-      Slif.Text.of_string (Slif.Text.to_string g.slif) = g.slif)
+  Test.make ~name:"Text.of_string (to_string s) = s" ~count:100 arb_slif
+    check_text_roundtrip
 
 let prop_random_partition_proper =
-  Test.make ~name:"random partitions are proper" ~count:100 arb_slif (fun g ->
-      let rng = Slif_util.Prng.create (g.seed + 1) in
-      Slif.Validate.is_proper (random_partition rng g.slif))
+  Test.make ~name:"random partitions are proper" ~count:100 arb_slif
+    check_random_partition_proper
+
+let check_min_le_avg_le_max g =
+  let rng = Slif_util.Prng.create (g.seed + 2) in
+  let part = random_partition rng g.slif in
+  let graph = Slif.Graph.make g.slif in
+  let avg = Slif.Estimate.exectime_us (Slif.Estimate.create graph part) 0 in
+  let mn =
+    Slif.Estimate.exectime_us (Slif.Estimate.create ~mode:Slif.Estimate.Min graph part) 0
+  in
+  let mx =
+    Slif.Estimate.exectime_us (Slif.Estimate.create ~mode:Slif.Estimate.Max graph part) 0
+  in
+  mn <= avg +. 1e-9 && avg <= mx +. 1e-9
 
 let prop_min_le_avg_le_max =
-  Test.make ~name:"min <= avg <= max exectime" ~count:100 arb_slif (fun g ->
-      let rng = Slif_util.Prng.create (g.seed + 2) in
-      let part = random_partition rng g.slif in
-      let graph = Slif.Graph.make g.slif in
-      let avg = Slif.Estimate.exectime_us (Slif.Estimate.create graph part) 0 in
-      let mn =
-        Slif.Estimate.exectime_us (Slif.Estimate.create ~mode:Slif.Estimate.Min graph part) 0
-      in
-      let mx =
-        Slif.Estimate.exectime_us (Slif.Estimate.create ~mode:Slif.Estimate.Max graph part) 0
-      in
-      mn <= avg +. 1e-9 && avg <= mx +. 1e-9)
+  Test.make ~name:"min <= avg <= max exectime" ~count:100 arb_slif check_min_le_avg_le_max
 
 let prop_exectime_positive =
   Test.make ~name:"exectime exceeds own ict" ~count:100 arb_slif (fun g ->
@@ -328,9 +339,25 @@ let prop_transform_merge_conserves_weights =
       let after = sum_weights merged "tp" in
       abs_float (before -. after) < 1e-9 *. (1.0 +. abs_float before))
 
+(* Stored regression seeds run first: any seed that once broke a property
+   is pinned in test/corpus/props.seed and replayed deterministically
+   before the generative pass draws fresh ones. *)
+let test_corpus_replay () =
+  Helpers.replay_corpus "props" (fun seed ->
+      let g = gen_slif_of_seed seed in
+      List.iter
+        (fun (label, check) ->
+          if not (check g) then Alcotest.failf "%s violated by seed %d" label seed)
+        [
+          ("text roundtrip", check_text_roundtrip);
+          ("random partitions proper", check_random_partition_proper);
+          ("min <= avg <= max exectime", check_min_le_avg_le_max);
+        ])
+
 let suite =
   (* A fixed random state keeps the generated corpus identical run to run. *)
-  List.map
+  Alcotest.test_case "corpus seeds replay clean" `Quick test_corpus_replay
+  :: List.map
     (QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 19941995 |]))
     [
       prop_text_roundtrip;
