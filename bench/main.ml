@@ -639,6 +639,111 @@ let a8 () =
     "(speedup tracks physical cores; on a single-core host every row sits\n\
     \ near 1.00x — determinism, not the ratio, is the invariant checked here)"
 
+(* --- A9: persistent store payoff ---------------------------------------------- *)
+
+(* The store's claim, measured: the one-time preprocessing cost (cold
+   parse+build+annotate) against a warm [--cache-dir] load of the same
+   content key, against a [slif serve] answer whose graph is already
+   LRU-resident (one socket round-trip, zero rebuild work). *)
+let a9 () =
+  section "A9: store cache — cold build vs warm load vs server LRU hit";
+  let dir = Filename.temp_file "slif_bench_cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (* One in-process daemon for the LRU column. *)
+  let port = Atomic.make None in
+  let on_ready = function
+    | Unix.ADDR_INET (_, p) -> Atomic.set port (Some p)
+    | _ -> ()
+  in
+  let cfg = Slif_server.Server.default_config (Slif_server.Server.Tcp 0) in
+  let server = Domain.spawn (fun () -> Slif_server.Server.run ~on_ready cfg) in
+  let rec wait_port () =
+    match Atomic.get port with
+    | Some p -> p
+    | None ->
+        Unix.sleepf 0.01;
+        wait_port ()
+  in
+  let client = Slif_server.Client.connect_tcp (wait_port ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         ignore (Slif_server.Client.request_raw client {|{"op":"shutdown"}|})
+       with _ -> ());
+      Slif_server.Client.close client;
+      Domain.join server;
+      rm_rf dir)
+    (fun () ->
+      let reps = if bench_fast then 3 else 10 in
+      let table =
+        Slif_util.Table.create
+          ~header:
+            [ ""; "cold build (ms)"; "warm load (ms)"; "LRU hit (ms)"; "load speedup" ]
+      in
+      List.iter
+        (fun (spec : Specs.Registry.spec) ->
+          let source = spec.source in
+          let t_cold =
+            Slif_obs.Clock.time_n reps (fun () ->
+                ignore (Slif_server.Ops.annotated source))
+          in
+          (* Populate the entry once, then measure pure disk loads. *)
+          ignore
+            (Slif_store.Cache.load_or_build ~dir ~source
+               ~build:(fun () -> Slif_server.Ops.annotated source)
+               ());
+          let t_warm =
+            Slif_obs.Clock.time_n reps (fun () ->
+                match
+                  Slif_store.Cache.load_or_build ~dir ~source
+                    ~build:(fun () -> failwith "expected a cache hit")
+                    ()
+                with
+                | _, `Hit -> ()
+                | _, (`Miss | `Rebuilt) -> failwith "expected a cache hit")
+          in
+          (* Prime the daemon's LRU, then measure resident round-trips. *)
+          let load_line =
+            Printf.sprintf {|{"op":"load","spec":"%s"}|} spec.spec_name
+          in
+          ignore (Slif_server.Client.request_raw client load_line);
+          let t_lru =
+            Slif_obs.Clock.time_n reps (fun () ->
+                ignore (Slif_server.Client.request_raw client load_line))
+          in
+          let us t = int_of_float (t *. 1e6) in
+          Slif_obs.Counter.add
+            (Printf.sprintf "bench.a9.cold_us.%s" spec.spec_name)
+            (us t_cold);
+          Slif_obs.Counter.add
+            (Printf.sprintf "bench.a9.warm_us.%s" spec.spec_name)
+            (us t_warm);
+          Slif_obs.Counter.add
+            (Printf.sprintf "bench.a9.lru_us.%s" spec.spec_name)
+            (us t_lru);
+          Slif_util.Table.add_row table
+            [
+              spec.spec_name;
+              Printf.sprintf "%.3f" (t_cold *. 1e3);
+              Printf.sprintf "%.3f" (t_warm *. 1e3);
+              Printf.sprintf "%.3f" (t_lru *. 1e3);
+              Printf.sprintf "%.1fx" (t_cold /. t_warm);
+            ])
+        Specs.Registry.all;
+      Slif_util.Table.print table;
+      print_endline
+        "(the warm load skips parse+annotate entirely — it should beat the cold\n\
+        \ build by a growing margin as specs get larger; the LRU row adds only a\n\
+        \ socket round-trip on top of a hash lookup)")
+
 (* --- BENCH_obs.json: machine-readable phase timings + counters -------------- *)
 
 let bench_obs_path =
@@ -758,5 +863,6 @@ let () =
   phase "a6" a6;
   phase "a7" a7;
   phase "a8" a8;
+  phase "a9" a9;
   write_bench_obs ();
   print_endline "\ndone."

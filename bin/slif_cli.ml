@@ -6,70 +6,79 @@
      estimate    metrics for a named partition heuristic
      partition   run a partitioning algorithm and report the design
      compare     SLIF vs ADD vs CDFG format sizes
-     figure4     regenerate the paper's Figure 4 table *)
+     figure4     regenerate the paper's Figure 4 table
+     store       write / inspect persistent SLIF store files
+     serve       long-running query daemon (newline-delimited JSON)
+
+   The query subcommands (build, estimate, partition) and the daemon share
+   one implementation, [Slif_server.Ops], so their outputs cannot drift
+   apart. *)
 
 open Cmdliner
+module Ops = Slif_server.Ops
+module Store = Slif_store.Store
 
 let spec_names = List.map (fun s -> s.Specs.Registry.spec_name) Specs.Registry.all
+
+(* Every user-facing failure funnels through this: one line on stderr,
+   exit code 1.  No raw exception ever reaches the terminal. *)
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun msg -> raise (Fail msg)) fmt
+
+let guarded f =
+  match f () with
+  | code -> code
+  | exception Fail msg ->
+      Printf.eprintf "slif: %s\n" msg;
+      1
+  | exception Sys_error msg ->
+      Printf.eprintf "slif: %s\n" msg;
+      1
+  | exception Store.Store_error err ->
+      Printf.eprintf "slif: %s\n" (Store.error_message err);
+      1
+  | exception Failure msg ->
+      Printf.eprintf "slif: %s\n" msg;
+      1
 
 let load_spec name =
   match Specs.Registry.find name with
   | Some s -> s
   | None ->
-      Printf.eprintf "unknown spec %S (expected one of: %s)\n" name
-        (String.concat ", " spec_names);
-      exit 1
+      failf "unknown spec %S (expected one of: %s)" name (String.concat ", " spec_names)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let read_source = function
   | `Bundled spec -> (load_spec spec).Specs.Registry.source
-  | `File path ->
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
+  | `File path -> read_file path
 
 let source_of ~file ~spec =
   match (file, spec) with
   | Some path, _ -> `File path
   | None, Some s -> `Bundled s
-  | None, None ->
-      prerr_endline "specify a bundled spec name or --file";
-      exit 1
-
-(* A source whose first token is the word "spec" is SpecCharts-lite and is
-   lowered to the VHDL subset; anything else parses as VHDL directly. *)
-let parse_any source =
-  match Vhdl.Lexer.tokenize source with
-  | (Vhdl.Token.Ident "spec", _) :: _ ->
-      Spc.Lower.design_of_spec (Spc.Parser.parse source)
-  | _ -> Vhdl.Parser.parse source
-
-let annotated_slif ?profile source =
-  let design = parse_any source in
-  let sem = Vhdl.Sem.build design in
-  let slif = Slif.Build.build ?profile sem in
-  (design, sem, Slif.Annotate.run ?profile ~techs:Tech.Parts.all sem slif)
-
-let load_profile = function
-  | None -> None
-  | Some path ->
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      Some (Flow.Profile.of_string s)
+  | None, None -> failf "specify a bundled spec name or --file"
 
 (* [--auto-profile] runs the interpreter on the design under pseudo-random
    stimuli and uses the measured branch probabilities and loop trip
-   counts. *)
-let resolve_profile ~auto ~profile source =
-  match (load_profile profile, auto) with
-  | Some p, _ -> Some p
-  | None, false -> None
-  | None, true ->
-      let sem = Vhdl.Sem.build (parse_any source) in
-      Some (Flow.Profiler.auto ~runs:5 ~seed:1 sem)
+   counts.  The profile travels as text — the same form the cache key
+   hashes — so the cached and uncached paths see identical inputs. *)
+let resolve_profile_text ~auto ~profile source =
+  match profile with
+  | Some path -> Some (read_file path)
+  | None when auto ->
+      let sem = Vhdl.Sem.build (Ops.parse_any source) in
+      Some (Flow.Profile.to_string (Flow.Profiler.auto ~runs:5 ~seed:1 sem))
+  | None -> None
+
+let annotated ?cache_dir ~auto ~profile source =
+  let profile_text = resolve_profile_text ~auto ~profile source in
+  Ops.annotated ?cache_dir ?profile_text source
 
 (* --- Observability flags (accepted by every subcommand) ------------------- *)
 
@@ -103,6 +112,7 @@ let is_jsonl path = Filename.check_suffix path ".jsonl"
    enabled only when one of the flags asks for output, so the default
    path keeps the probes down to a single bool check each. *)
 let with_obs opts f =
+  let f () = guarded f in
   let active = opts.trace <> None || opts.metrics <> None || opts.verbose in
   if active then Slif_obs.Registry.enable ();
   let export () =
@@ -139,18 +149,28 @@ let spec_arg =
   let doc = "Bundled benchmark spec (ans, ether, fuzzy, vol)." in
   Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
 
+(* Deliberately [string], not [Arg.file]: a missing path must flow
+   through [guarded] and exit with our one-line diagnostic. *)
 let file_arg =
   let doc = "Read the specification from $(docv) instead of a bundled spec." in
-  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
 
 let profile_arg =
   let doc = "Branch-probability file (see lib/flow/profile.mli for syntax)." in
-  Arg.(value & opt (some file) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
 
 let auto_profile_arg =
   let doc = "Derive branch probabilities by interpreting the design under \
              pseudo-random stimuli instead of using static defaults." in
   Arg.(value & flag & info [ "auto-profile" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Cache annotated SLIFs in $(docv) as store files keyed by content \
+     hash of (source, profile, technology catalog): the second run of the \
+     same inputs loads instead of re-annotating."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 (* --- dump-spec ------------------------------------------------------------ *)
 
@@ -170,27 +190,13 @@ let dump_spec_cmd =
 (* --- build ----------------------------------------------------------------- *)
 
 let build_cmd =
-  let run obs spec file profile auto dot text annotations =
+  let run obs spec file profile auto cache_dir dot text annotations =
     with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
-    let profile = resolve_profile ~auto ~profile source in
-    let _, _, slif = annotated_slif ?profile source in
+    let slif = annotated ?cache_dir ~auto ~profile source in
     if dot then print_string (Slif.Dot.to_dot ~annotations slif)
     else if text then print_string (Slif.Text.to_string slif)
-    else begin
-      Printf.printf "%s: %s\n" slif.Slif.Types.design_name
-        (Slif.Stats.to_string (Slif.Stats.of_slif slif));
-      Array.iter
-        (fun (n : Slif.Types.node) ->
-          let kind =
-            match n.n_kind with
-            | Slif.Types.Behavior { is_process = true } -> "process "
-            | Slif.Types.Behavior _ -> "behavior"
-            | Slif.Types.Variable _ -> "variable"
-          in
-          Printf.printf "  %-8s %s\n" kind n.n_name)
-        slif.Slif.Types.nodes
-    end;
+    else print_string (Ops.build_stats_output slif);
     0
   in
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of stats.") in
@@ -201,67 +207,37 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build (and annotate) the SLIF of a specification.")
     Term.(
-      const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ dot
-      $ text $ ann)
+      const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg
+      $ cache_dir_arg $ dot $ text $ ann)
 
 (* --- estimate / partition --------------------------------------------------- *)
 
 let algo_conv =
-  let parse = function
-    | "random" -> Ok (Specsyn.Explore.Random 200)
-    | "greedy" -> Ok Specsyn.Explore.Greedy
-    | "gm" | "group-migration" -> Ok Specsyn.Explore.Group_migration
-    | "sa" | "annealing" -> Ok (Specsyn.Explore.Annealing Specsyn.Annealing.default_params)
-    | "cluster" | "clustering" -> Ok (Specsyn.Explore.Clustering 4)
-    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Ops.algo_of_string s) in
   Arg.conv (parse, fun fmt a -> Format.pp_print_string fmt (Specsyn.Explore.algo_name a))
 
 let algo_arg =
   let doc = "Partitioning algorithm: random, greedy, gm, sa, cluster." in
   Arg.(value & opt algo_conv Specsyn.Explore.Greedy & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
 
-let run_algo algo problem =
-  match algo with
-  | Specsyn.Explore.Random restarts -> Specsyn.Random_part.run ~restarts problem
-  | Specsyn.Explore.Greedy -> Specsyn.Greedy.run problem
-  | Specsyn.Explore.Group_migration -> Specsyn.Group_migration.run problem
-  | Specsyn.Explore.Annealing params -> Specsyn.Annealing.run ~params problem
-  | Specsyn.Explore.Clustering k -> Specsyn.Cluster.run ~k problem
-
 let parse_deadlines deadlines =
   List.map
     (fun spec ->
-      match String.split_on_char '=' spec with
-      | [ name; us ] -> (
-          match float_of_string_opt us with
-          | Some v -> (name, v)
-          | None ->
-              Printf.eprintf "bad deadline %S (expected name=microseconds)\n" spec;
-              exit 1)
-      | _ ->
-          Printf.eprintf "bad deadline %S (expected name=microseconds)\n" spec;
-          exit 1)
+      match Ops.parse_deadline spec with Ok d -> d | Error msg -> failf "%s" msg)
     deadlines
 
 let partition_cmd =
-  let run obs spec file profile auto algo explore pareto jobs no_timings deadlines save
-      load_ =
+  let run obs spec file profile auto cache_dir algo explore pareto jobs no_timings
+      deadlines save load_ =
     with_obs obs @@ fun () ->
-    if jobs < 1 then begin
-      prerr_endline "slif: --jobs must be at least 1";
-      exit 1
-    end;
+    if jobs < 1 then failf "--jobs must be at least 1";
     let source = read_source (source_of ~file ~spec) in
-    let profile = resolve_profile ~auto ~profile source in
-    let _, _, slif = annotated_slif ?profile source in
-    let constraints = { Specsyn.Cost.deadlines_us = parse_deadlines deadlines } in
-    if explore then begin
-      let entries = Specsyn.Explore.run ~jobs ~constraints slif in
-      print_endline (Specsyn.Report.explore_report ~timings:(not no_timings) entries)
-    end
+    let slif = annotated ?cache_dir ~auto ~profile source in
+    let constraints = Ops.constraints_of_deadlines (parse_deadlines deadlines) in
+    if explore then
+      print_string (Ops.explore_output ~jobs ~timings:(not no_timings) ~constraints slif)
     else if pareto then begin
-      let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
+      let s = Ops.apply_proc_asic slif in
       let graph = Slif.Graph.make s in
       let points = Specsyn.Pareto.sweep ~jobs ~constraints graph in
       let table =
@@ -282,41 +258,36 @@ let partition_cmd =
       Slif_util.Table.print table
     end
     else begin
-      let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
-      let graph = Slif.Graph.make s in
-      let part, header =
-        match load_ with
-        | Some path ->
-            let ic = open_in_bin path in
-            let text = really_input_string ic (in_channel_length ic) in
-            close_in ic;
-            let part = Slif.Decision.of_string s text in
-            let note =
-              match Slif.Decision.note text with
-              | Some n -> Printf.sprintf " (note: %s)" n
-              | None -> ""
-            in
-            (part, Printf.sprintf "recorded decision from %s%s\n" path note)
-        | None ->
-            let problem = Specsyn.Search.problem ~constraints graph in
-            let solution = run_algo algo problem in
-            ( solution.Specsyn.Search.part,
-              Printf.sprintf "algorithm=%s cost=%.4f partitions-evaluated=%d\n"
-                (Specsyn.Explore.algo_name algo) solution.Specsyn.Search.cost
-                solution.Specsyn.Search.evaluated )
-      in
-      let est = Specsyn.Search.estimator graph part in
-      print_string header;
-      print_newline ();
-      print_endline (Specsyn.Report.partition_report ~constraints est);
-      match save with
+      (match load_ with
       | Some path ->
-          let note = "produced by slif partition" in
-          let oc = open_out path in
-          output_string oc (Slif.Decision.to_string ~note part);
-          close_out oc;
-          Printf.printf "decision recorded to %s\n" path
-      | None -> ()
+          let s = Ops.apply_proc_asic slif in
+          let text =
+            match Store.read_file path with
+            | Ok text -> text
+            | Error err -> failf "%s" (Store.error_message err)
+          in
+          let part, note =
+            match Store.decision_of_string s text with
+            | Ok (part, note) -> (part, note)
+            | Error Store.Bad_magic ->
+                (* Pre-store decisions used a line-oriented text format;
+                   keep replaying those. *)
+                (Slif.Decision.of_string s text, Slif.Decision.note text)
+            | Error err -> failf "%s" (Store.error_message err)
+          in
+          let note = match note with Some n -> Printf.sprintf " (note: %s)" n | None -> "" in
+          Printf.printf "recorded decision from %s%s\n" path note;
+          print_newline ();
+          print_string (Ops.partition_report_for ~constraints s part)
+      | None ->
+          let output, part = Ops.partition_output ~algo ~constraints slif in
+          print_string output;
+          (match save with
+          | Some path ->
+              Store.save_decision ~path ~note:"produced by slif partition" part;
+              Printf.printf "decision recorded to %s\n" path
+          | None -> ()));
+      ()
     end;
     0
   in
@@ -352,53 +323,29 @@ let partition_cmd =
   in
   let save =
     Arg.(value & opt (some string) None
-         & info [ "save" ] ~docv:"FILE" ~doc:"Record the resulting decision to $(docv).")
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Record the resulting decision to $(docv) (store container format).")
   in
   let load_ =
-    Arg.(value & opt (some file) None
-         & info [ "load" ] ~docv:"FILE" ~doc:"Replay a recorded decision instead of searching.")
+    Arg.(value & opt (some string) None
+         & info [ "load" ] ~docv:"FILE"
+             ~doc:"Replay a recorded decision instead of searching (store container or \
+                   legacy text format).")
   in
   Cmd.v
     (Cmd.info "partition"
        ~doc:"Partition a specification onto a processor-ASIC architecture.")
     Term.(
       const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg
-      $ algo_arg $ explore $ pareto $ jobs $ no_timings $ deadlines $ save $ load_)
+      $ cache_dir_arg $ algo_arg $ explore $ pareto $ jobs $ no_timings $ deadlines
+      $ save $ load_)
 
 let estimate_cmd =
-  let run obs spec file profile auto bounds =
+  let run obs spec file profile auto cache_dir bounds =
     with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
-    let profile = resolve_profile ~auto ~profile source in
-    let _, _, slif = annotated_slif ?profile source in
-    let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
-    let graph = Slif.Graph.make s in
-    let part = Specsyn.Search.seed_partition s in
-    let est = Specsyn.Search.estimator graph part in
-    print_endline "all-software partition (everything on the cpu):";
-    print_endline (Specsyn.Report.partition_report est);
-    if bounds then begin
-      (* The paper's min/max access-frequency extension: best- and
-         worst-case execution times alongside the average. *)
-      let est_min = Slif.Estimate.create ~mode:Slif.Estimate.Min ~recursion_depth:4 graph part in
-      let est_max = Slif.Estimate.create ~mode:Slif.Estimate.Max ~recursion_depth:4 graph part in
-      let table =
-        Slif_util.Table.create ~header:[ "process"; "min(us)"; "avg(us)"; "max(us)" ]
-      in
-      Array.iter
-        (fun (n : Slif.Types.node) ->
-          if Slif.Types.is_process n then
-            Slif_util.Table.add_row table
-              [
-                n.n_name;
-                Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est_min n.n_id);
-                Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est n.n_id);
-                Printf.sprintf "%.2f" (Slif.Estimate.exectime_us est_max n.n_id);
-              ])
-        s.Slif.Types.nodes;
-      print_endline "\nexecution-time bounds (min / avg / max access frequencies):";
-      Slif_util.Table.print table
-    end;
+    let slif = annotated ?cache_dir ~auto ~profile source in
+    print_string (Ops.estimate_output ~bounds slif);
     0
   in
   let bounds =
@@ -409,7 +356,9 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Report metrics for the all-software seed partition.")
-    Term.(const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ bounds)
+    Term.(
+      const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg
+      $ cache_dir_arg $ bounds)
 
 (* --- compare ----------------------------------------------------------------- *)
 
@@ -417,7 +366,7 @@ let compare_cmd =
   let run obs spec file =
     with_obs obs @@ fun () ->
     let source = read_source (source_of ~file ~spec) in
-    let design = parse_any source in
+    let design = Ops.parse_any source in
     let sem = Vhdl.Sem.build design in
     let slif = Slif.Build.build sem in
     let stats = Slif.Stats.of_slif slif in
@@ -441,70 +390,210 @@ let compare_cmd =
 (* --- figure4 ------------------------------------------------------------------- *)
 
 let figure4_cmd =
-  let run obs =
+  let run obs jobs =
     with_obs obs @@ fun () ->
+    if jobs < 1 then failf "--jobs must be at least 1";
     let table =
       Slif_util.Table.create
         ~header:[ ""; "Lines"; "BV"; "C"; "T-slif(s)"; "T-est(s)"; "parts/s" ]
     in
-    List.iter
-      (fun (spec : Specs.Registry.spec) ->
-        Slif_obs.Span.with_ "figure4.spec" ~args:[ ("spec", spec.spec_name) ]
-        @@ fun () ->
-        let build () =
-          let design = Vhdl.Parser.parse spec.source in
-          let sem = Vhdl.Sem.build design in
-          Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem)
-        in
-        let slif, t_slif = Slif_obs.Clock.time build in
-        let s = Specsyn.Alloc.apply slif (Specsyn.Alloc.proc_asic ()) in
-        let graph = Slif.Graph.make s in
-        let part = Specsyn.Search.seed_partition s in
-        let estimate () =
-          let est = Specsyn.Search.estimator graph part in
-          Array.iter
-            (fun (n : Slif.Types.node) ->
-              if Slif.Types.is_process n then
-                ignore (Slif.Estimate.exectime_us est n.n_id))
-            s.Slif.Types.nodes;
-          ignore (Slif.Estimate.size est (Slif.Partition.Cproc 0));
-          ignore (Slif.Estimate.io_pins est (Slif.Partition.Cproc 0));
-          ignore (Slif.Estimate.bus_bitrate_mbps est 0)
-        in
-        let (), t_est = Slif_obs.Clock.time estimate in
-        (* The paper's point is that T-est makes interactive exploration
-           feasible (experiment R4): report the partitions-per-second a
-           greedy search actually achieves on this spec. *)
-        let problem = Specsyn.Search.problem graph in
-        let solution, t_part = Slif_obs.Clock.time (fun () -> Specsyn.Greedy.run problem) in
-        let parts_per_s =
-          if t_part > 0.0 then
-            float_of_int solution.Specsyn.Search.evaluated /. t_part
-          else 0.0
-        in
-        let stats = Slif.Stats.of_slif slif in
-        Slif_util.Table.add_row table
-          [
-            spec.spec_name;
-            string_of_int (Specs.Registry.line_count spec);
-            string_of_int stats.Slif.Stats.bv;
-            string_of_int stats.Slif.Stats.channels;
-            Printf.sprintf "%.4f" t_slif;
-            Printf.sprintf "%.6f" t_est;
-            Printf.sprintf "%.0f" parts_per_s;
-          ])
-      Specs.Registry.all;
+    let measure (spec : Specs.Registry.spec) =
+      Slif_obs.Span.with_ "figure4.spec" ~args:[ ("spec", spec.spec_name) ]
+      @@ fun () ->
+      let build () =
+        let design = Vhdl.Parser.parse spec.source in
+        let sem = Vhdl.Sem.build design in
+        Slif.Annotate.run ~techs:Tech.Parts.all sem (Slif.Build.build sem)
+      in
+      let slif, t_slif = Slif_obs.Clock.time build in
+      let s = Ops.apply_proc_asic slif in
+      let graph = Slif.Graph.make s in
+      let part = Specsyn.Search.seed_partition s in
+      let estimate () =
+        let est = Specsyn.Search.estimator graph part in
+        Array.iter
+          (fun (n : Slif.Types.node) ->
+            if Slif.Types.is_process n then
+              ignore (Slif.Estimate.exectime_us est n.n_id))
+          s.Slif.Types.nodes;
+        ignore (Slif.Estimate.size est (Slif.Partition.Cproc 0));
+        ignore (Slif.Estimate.io_pins est (Slif.Partition.Cproc 0));
+        ignore (Slif.Estimate.bus_bitrate_mbps est 0)
+      in
+      let (), t_est = Slif_obs.Clock.time estimate in
+      (* The paper's point is that T-est makes interactive exploration
+         feasible (experiment R4): report the partitions-per-second a
+         greedy search actually achieves on this spec. *)
+      let problem = Specsyn.Search.problem graph in
+      let solution, t_part = Slif_obs.Clock.time (fun () -> Specsyn.Greedy.run problem) in
+      let parts_per_s =
+        if t_part > 0.0 then float_of_int solution.Specsyn.Search.evaluated /. t_part
+        else 0.0
+      in
+      let stats = Slif.Stats.of_slif slif in
+      [
+        spec.spec_name;
+        string_of_int (Specs.Registry.line_count spec);
+        string_of_int stats.Slif.Stats.bv;
+        string_of_int stats.Slif.Stats.channels;
+        Printf.sprintf "%.4f" t_slif;
+        Printf.sprintf "%.6f" t_est;
+        Printf.sprintf "%.0f" parts_per_s;
+      ]
+    in
+    (* Pool.map keeps submission order, so the table rows land in registry
+       order whatever the parallelism. *)
+    let rows = Slif_util.Pool.with_pool ~jobs (fun pool -> Slif_util.Pool.map pool measure Specs.Registry.all) in
+    List.iter (Slif_util.Table.add_row table) rows;
     Slif_util.Table.print table;
     0
   in
+  let jobs =
+    let doc =
+      "Measure the benchmark specs on $(docv) domains.  Row order (and every \
+       column except the timings) is identical for all values."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "figure4" ~doc:"Regenerate the paper's Figure 4 results table.")
-    Term.(const run $ obs_term)
+    Term.(const run $ obs_term $ jobs)
+
+(* --- store ------------------------------------------------------------------ *)
+
+let store_file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Store file.")
+
+let store_write_cmd =
+  let run obs spec file profile auto out =
+    with_obs obs @@ fun () ->
+    let source = read_source (source_of ~file ~spec) in
+    let profile_text = resolve_profile_text ~auto ~profile source in
+    let slif = Ops.annotated ?profile_text source in
+    let provenance =
+      {
+        Store.pv_source_md5 = Digest.to_hex (Digest.string source);
+        pv_profile = profile_text;
+        pv_tech = Slif_store.Cache.tech_fingerprint ();
+      }
+    in
+    Store.save_slif ~path:out ~provenance slif;
+    Printf.printf "wrote %s (%s, format v%d)\n" out slif.Slif.Types.design_name
+      Store.format_version;
+    0
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output store file.")
+  in
+  Cmd.v
+    (Cmd.info "write" ~doc:"Annotate a specification and write the store container.")
+    Term.(const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ out)
+
+let store_info_cmd =
+  let run obs path =
+    with_obs obs @@ fun () ->
+    let text =
+      match Store.read_file path with
+      | Ok text -> text
+      | Error err -> failf "%s" (Store.error_message err)
+    in
+    match Store.inspect text with
+    | Error err -> failf "%s" (Store.error_message err)
+    | Ok info ->
+        Printf.printf "format:  v%d\n" info.Store.si_version;
+        Printf.printf "kind:    %s\n"
+          (match info.Store.si_kind with Store.Kslif -> "annotated slif" | Store.Kdecision -> "partition decision");
+        Printf.printf "design:  %s\n" info.Store.si_design;
+        (match info.Store.si_provenance with
+        | Some p ->
+            Printf.printf "source:  md5 %s\n"
+              (if p.Store.pv_source_md5 = "" then "(unknown)" else p.Store.pv_source_md5);
+            Printf.printf "profile: %s\n"
+              (match p.Store.pv_profile with Some _ -> "recorded" | None -> "static defaults");
+            Printf.printf "tech:    %s\n" p.Store.pv_tech
+        | None -> ());
+        List.iter
+          (fun (tag, bytes) -> Printf.printf "section: %s  %d bytes\n" tag bytes)
+          info.Store.si_sections;
+        0
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Inspect a store file: header, sections, provenance.")
+    Term.(const run $ obs_term $ store_file_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Write and inspect persistent SLIF store files.")
+    [ store_write_cmd; store_info_cmd ]
+
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run obs socket port cache_dir lru jobs max_requests =
+    with_obs obs @@ fun () ->
+    let addr =
+      match (socket, port) with
+      | Some path, None -> Slif_server.Server.Unix_sock path
+      | None, Some p -> Slif_server.Server.Tcp p
+      | None, None -> failf "specify --socket PATH or --port N"
+      | Some _, Some _ -> failf "give only one of --socket and --port"
+    in
+    if lru < 1 then failf "--lru must be at least 1";
+    if jobs < 1 then failf "--jobs must be at least 1";
+    let cfg =
+      { Slif_server.Server.addr; cache_dir; lru_capacity = lru; jobs; max_requests }
+    in
+    let on_ready sockaddr =
+      (match sockaddr with
+      | Unix.ADDR_UNIX path -> Printf.printf "listening on %s\n" path
+      | Unix.ADDR_INET (_, port) -> Printf.printf "listening on 127.0.0.1:%d\n" port);
+      flush stdout
+    in
+    (match Slif_server.Server.run ~on_ready cfg with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, arg) ->
+        failf "cannot serve on %s: %s"
+          (if arg = "" then "socket" else arg)
+          (Unix.error_message err));
+    0
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"N"
+             ~doc:"Listen on loopback TCP port $(docv) (0 picks a free port).")
+  in
+  let lru =
+    Arg.(value & opt int 8
+         & info [ "lru" ] ~docv:"N" ~doc:"Keep at most $(docv) annotated graphs resident.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Default domain count for explore requests that do not set their own.")
+  in
+  let max_requests =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after serving $(docv) requests (soak and smoke harnesses).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve load/estimate/partition/explore/stats queries over a socket \
+             (newline-delimited JSON).")
+    Term.(const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ jobs $ max_requests)
 
 let main_cmd =
   let doc = "SLIF: a specification-level intermediate format for system design" in
   Cmd.group
     (Cmd.info "slif" ~version:"1.0.0" ~doc)
-    [ dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd ]
+    [
+      dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd;
+      store_cmd; serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,91 @@
+(* The [slif serve] wire protocol, end to end: spawn the daemon on a
+   Unix socket, issue one request of every type, and shut it down.
+
+     dune exec examples/client.exe *)
+
+module Client = Slif_server.Client
+module Json = Slif_obs.Json
+
+let cli_candidates =
+  [ "_build/default/bin/slif_cli.exe"; "../_build/default/bin/slif_cli.exe" ]
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let show_response json =
+  List.iter
+    (fun field ->
+      match Json.member field json with
+      | Some (Json.String s) when String.contains s '\n' ->
+          Printf.printf "%s:\n%s" field s
+      | Some v -> Printf.printf "%s: %s\n" field (Json.to_string v)
+      | None -> ())
+    [ "key"; "design"; "nodes"; "channels"; "output"; "requests"; "errors"; "lru" ]
+
+let request client fields =
+  match Client.request client (Json.Obj fields) with
+  | Ok json -> show_response json
+  | Error msg -> Printf.printf "error: %s\n" msg
+
+let () =
+  let cli =
+    match List.find_opt Sys.file_exists cli_candidates with
+    | Some path -> path
+    | None -> (
+        prerr_endline "build the CLI first: dune build bin/slif_cli.exe";
+        exit 1)
+  in
+  let sock = Filename.temp_file "slif_client" ".sock" in
+  Sys.remove sock;
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--socket"; sock; "--lru"; "4" |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let rec wait_sock tries =
+    if Sys.file_exists sock then ()
+    else if tries = 0 then begin
+      prerr_endline "daemon never came up";
+      exit 1
+    end
+    else begin
+      Unix.sleepf 0.05;
+      wait_sock (tries - 1)
+    end
+  in
+  wait_sock 100;
+  let client = Client.connect_unix sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      ignore (Unix.waitpid [] pid);
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      section "load: annotate the fuzzy controller, get its content key";
+      request client [ ("op", Json.String "load"); ("spec", Json.String "fuzzy") ];
+
+      section "estimate with bounds (identical bytes to `slif estimate fuzzy --bounds`)";
+      request client
+        [ ("op", Json.String "estimate"); ("spec", Json.String "fuzzy");
+          ("bounds", Json.Bool true) ];
+
+      section "partition under a deadline";
+      request client
+        [
+          ("op", Json.String "partition");
+          ("spec", Json.String "ether");
+          ("algo", Json.String "gm");
+          ("deadlines", Json.List [ Json.String "txctl=2000" ]);
+        ];
+
+      section "a malformed line never kills the connection";
+      (match
+         Slif_server.Protocol.response_of_line (Client.request_raw client "definitely not json")
+       with
+      | Error msg -> Printf.printf "rejected as expected: %s\n" msg
+      | Ok _ -> print_endline "unexpectedly accepted!");
+
+      section "stats";
+      request client [ ("op", Json.String "stats") ];
+
+      section "shutdown";
+      request client [ ("op", Json.String "shutdown") ])

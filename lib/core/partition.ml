@@ -108,6 +108,20 @@ let comp_tech (s : Types.t) = function
   | Cproc p -> s.procs.(p).Types.p_tech
   | Cmem m -> s.mems.(m).Types.m_tech
 
+let assignments t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c -> match c with Some comp -> acc := (i, comp) :: !acc | None -> ())
+    t.node_comp;
+  List.rev !acc
+
+let chan_assignments t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i b -> match b with Some bus -> acc := (i, bus) :: !acc | None -> ())
+    t.chan_bus;
+  List.rev !acc
+
 let assign_all_chans t ~bus =
   Array.iteri (fun i _ -> t.chan_bus.(i) <- Some bus) t.chan_bus;
   bump t

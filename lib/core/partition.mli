@@ -61,3 +61,10 @@ val comp_tech : Types.t -> comp -> Types.tech_name
 
 val assign_all_chans : t -> bus:int -> unit
 (** Convenience: map every channel to the given bus. *)
+
+val assignments : t -> (int * comp) list
+(** Every assigned node as [(node id, component)], ascending by id — the
+    stable enumeration serializers ({!Decision}, [Slif_store]) walk. *)
+
+val chan_assignments : t -> (int * int) list
+(** Every assigned channel as [(channel id, bus id)], ascending by id. *)

@@ -121,6 +121,14 @@ let port_by_name t name =
 let ict_on n tech = List.assoc_opt tech n.n_ict
 let size_on n tech = List.assoc_opt tech n.n_size
 
+(** Structural equality of two SLIFs — the round-trip check for stable
+    serializers ([Slif_store]).  Float fields compare with [=] (IEEE
+    semantics), so a serializer that preserves bit patterns passes and
+    one that loses precision fails; the only difference from bit
+    equality is that it cannot distinguish [0.] from [-0.] and would
+    reject NaN weights, neither of which the annotators produce. *)
+let equal (a : t) (b : t) = a = b
+
 let with_components t ~procs ~mems ~buses =
   { t with
     procs = Array.of_list procs;

@@ -1,0 +1,50 @@
+type t = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let connect fd addr =
+  Unix.connect fd addr;
+  { fd; rbuf = Buffer.create 1024 }
+
+let connect_unix path = connect (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0) (Unix.ADDR_UNIX path)
+
+let connect_tcp port =
+  connect
+    (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0)
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let write_all fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+  done
+
+(* Pull the next newline-terminated line out of the buffer, reading more
+   from the socket as needed. *)
+let read_line t =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let text = Buffer.contents t.rbuf in
+    match String.index_opt text '\n' with
+    | Some nl ->
+        let line = String.sub text 0 nl in
+        Buffer.clear t.rbuf;
+        Buffer.add_substring t.rbuf text (nl + 1) (String.length text - nl - 1);
+        line
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise End_of_file
+        | n ->
+            Buffer.add_subbytes t.rbuf chunk 0 n;
+            go ())
+  in
+  go ()
+
+let request_raw t line =
+  let line = if String.length line > 0 && line.[String.length line - 1] = '\n' then line else line ^ "\n" in
+  write_all t.fd line;
+  read_line t
+
+let request t json =
+  Protocol.response_of_line (request_raw t (Slif_obs.Json.to_string json))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

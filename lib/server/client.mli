@@ -1,0 +1,24 @@
+(** A small synchronous client for the [slif serve] wire protocol.
+
+    One request line out, one response line back.  Used by the test
+    suite (differential CLI-vs-server checks), the bench A9 section and
+    the bundled example client; [slif serve --probe] also goes through
+    it. *)
+
+type t
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket path.  Raises [Unix.Unix_error]. *)
+
+val connect_tcp : int -> t
+(** Connect to loopback TCP.  Raises [Unix.Unix_error]. *)
+
+val request_raw : t -> string -> string
+(** Send one line (newline appended if missing) and block for one
+    response line.  Raises [End_of_file] if the server closes first. *)
+
+val request : t -> Slif_obs.Json.t -> (Slif_obs.Json.t, string) result
+(** Serialize a request object, send it, parse the response through
+    {!Protocol.response_of_line}. *)
+
+val close : t -> unit

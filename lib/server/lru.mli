@@ -1,0 +1,25 @@
+(** Small least-recently-used cache for resident annotated SLIFs.
+
+    The daemon keeps hot graphs in memory keyed by their content hash
+    ({!Slif_store.Cache.key}); capacity bounds the resident set so a
+    stream of distinct specs cannot grow the heap without limit.
+    Eviction scans for the oldest stamp — O(capacity), which is single
+    digits here, so no linked-list bookkeeping. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val size : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's recency on a hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or refreshes) the binding, evicting the least recently used
+    entry when full. *)
+
+val keys : 'a t -> string list
+(** Resident keys, most recently used first. *)

@@ -1,0 +1,135 @@
+module Json = Slif_obs.Json
+
+type target =
+  | Bundled of string
+  | Source of string
+  | Key of string
+
+type request =
+  | Load of { target : target; profile : string option }
+  | Estimate of { target : target; profile : string option; bounds : bool }
+  | Partition of {
+      target : target;
+      profile : string option;
+      algo : string;
+      deadlines : string list;
+    }
+  | Explore of {
+      target : target;
+      profile : string option;
+      jobs : int option;
+      deadlines : string list;
+    }
+  | Stats
+  | Shutdown
+
+let op_name = function
+  | Load _ -> "load"
+  | Estimate _ -> "estimate"
+  | Partition _ -> "partition"
+  | Explore _ -> "explore"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let ( let* ) = Result.bind
+
+let str_field name json =
+  match Json.member name json with
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Ok None
+
+let bool_field name json =
+  match Json.member name json with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+  | None -> Ok false
+
+let int_field name json =
+  match Json.member name json with
+  | Some (Json.Int n) -> Ok (Some n)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> Ok None
+
+let strings_field name json =
+  match Json.member name json with
+  | None -> Ok []
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+
+let target_of json =
+  let* spec = str_field "spec" json in
+  let* source = str_field "source" json in
+  let* key = str_field "key" json in
+  match (spec, source, key) with
+  | Some s, None, None -> Ok (Bundled s)
+  | None, Some s, None -> Ok (Source s)
+  | None, None, Some k -> Ok (Key k)
+  | None, None, None -> Error "request needs a target: one of \"spec\", \"source\", \"key\""
+  | _ -> Error "give exactly one of \"spec\", \"source\", \"key\""
+
+let request_of_line line =
+  let* json =
+    match Json.parse line with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
+  in
+  let* () = match json with Json.Obj _ -> Ok () | _ -> Error "request must be a JSON object" in
+  let* op =
+    match Json.member "op" json with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error "field \"op\" must be a string"
+    | None -> Error "missing field \"op\""
+  in
+  match op with
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "load" ->
+      let* target = target_of json in
+      let* profile = str_field "profile" json in
+      Ok (Load { target; profile })
+  | "estimate" ->
+      let* target = target_of json in
+      let* profile = str_field "profile" json in
+      let* bounds = bool_field "bounds" json in
+      Ok (Estimate { target; profile; bounds })
+  | "partition" ->
+      let* target = target_of json in
+      let* profile = str_field "profile" json in
+      let* algo =
+        let* a = str_field "algo" json in
+        Ok (Option.value a ~default:"greedy")
+      in
+      let* deadlines = strings_field "deadlines" json in
+      Ok (Partition { target; profile; algo; deadlines })
+  | "explore" ->
+      let* target = target_of json in
+      let* profile = str_field "profile" json in
+      let* jobs = int_field "jobs" json in
+      let* deadlines = strings_field "deadlines" json in
+      Ok (Explore { target; profile; jobs; deadlines })
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+let ok fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
+let error msg = Json.to_string (Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ])
+
+let response_of_line line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "invalid response JSON: %s" msg)
+  | Ok json -> (
+      match Json.member "ok" json with
+      | Some (Json.Bool true) -> Ok json
+      | Some (Json.Bool false) -> (
+          match Json.member "error" json with
+          | Some (Json.String msg) -> Error msg
+          | _ -> Error "request failed (no error message)")
+      | _ -> Error "response carries no \"ok\" field")
+
+let output_field json =
+  match Json.member "output" json with Some (Json.String s) -> Some s | _ -> None

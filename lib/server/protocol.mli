@@ -1,0 +1,60 @@
+(** The [slif serve] wire protocol: newline-delimited JSON.
+
+    Every request is one JSON object on one line; every response is one
+    JSON object on one line.  Responses carry ["ok": true] plus
+    op-specific fields, or ["ok": false, "error": <one-line message>].
+    A malformed line never kills the connection, let alone the daemon —
+    it just earns an error response.
+
+    Request shapes (fields beyond [op] are op-specific):
+    {v
+      {"op":"load",      "spec":"fuzzy" | "source":"<text>" [, "profile":"<text>"]}
+      {"op":"estimate",  <target> [, "bounds":true]}
+      {"op":"partition", <target> [, "algo":"greedy"] [, "deadlines":["p=2000",...]]}
+      {"op":"explore",   <target> [, "jobs":4] [, "deadlines":[...]]}
+      {"op":"stats"}
+      {"op":"shutdown"}
+    v}
+    where [<target>] is ["spec"] (a bundled benchmark name), ["source"]
+    (full specification text) or ["key"] (the content hash of a
+    previously loaded graph — only valid while it is resident). *)
+
+type target =
+  | Bundled of string
+  | Source of string
+  | Key of string
+
+type request =
+  | Load of { target : target; profile : string option }
+  | Estimate of { target : target; profile : string option; bounds : bool }
+  | Partition of {
+      target : target;
+      profile : string option;
+      algo : string;
+      deadlines : string list;
+    }
+  | Explore of {
+      target : target;
+      profile : string option;
+      jobs : int option;
+      deadlines : string list;
+    }
+  | Stats
+  | Shutdown
+
+val op_name : request -> string
+
+val request_of_line : string -> (request, string) result
+
+val ok : (string * Slif_obs.Json.t) list -> string
+(** Serialize a success response (adds ["ok": true] first). *)
+
+val error : string -> string
+(** Serialize an error response. *)
+
+val response_of_line : string -> (Slif_obs.Json.t, string) result
+(** Client side: parse a response line; [Error] carries either the JSON
+    parse failure or the server's ["error"] field. *)
+
+val output_field : Slif_obs.Json.t -> string option
+(** The ["output"] string of a parsed response, when present. *)

@@ -1,0 +1,304 @@
+type addr =
+  | Unix_sock of string
+  | Tcp of int
+
+type config = {
+  addr : addr;
+  cache_dir : string option;
+  lru_capacity : int;
+  jobs : int;
+  max_requests : int option;
+}
+
+let default_config addr =
+  { addr; cache_dir = None; lru_capacity = 8; jobs = 1; max_requests = None }
+
+(* A line that long is not a query; cut the connection instead of
+   buffering without bound. *)
+let max_line_bytes = 64 * 1024 * 1024
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  mutable outq : string;  (** bytes accepted but not yet written *)
+}
+
+type state = {
+  cfg : config;
+  lru : Slif.Types.t Lru.t;
+  started_us : float;
+  mutable served : int;
+  mutable errors : int;
+  per_op : (string, int ref) Hashtbl.t;
+  mutable stop : bool;
+}
+
+let count_op st op =
+  st.served <- st.served + 1;
+  Slif_obs.Counter.incr ("server.request." ^ op);
+  let cell =
+    match Hashtbl.find_opt st.per_op op with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add st.per_op op c;
+        c
+  in
+  incr cell
+
+(* --- Target resolution ----------------------------------------------------- *)
+
+let source_of_bundled name =
+  match Specs.Registry.find name with
+  | Some s -> Ok s.Specs.Registry.source
+  | None ->
+      Error
+        (Printf.sprintf "unknown spec %S (expected one of: %s)" name
+           (String.concat ", "
+              (List.map (fun s -> s.Specs.Registry.spec_name) Specs.Registry.all)))
+
+(* Resolve a request target to (content key, annotated SLIF), going
+   through the LRU and, below it, the on-disk cache. *)
+let resolve st target profile =
+  match target with
+  | Protocol.Key key -> (
+      match Lru.find st.lru key with
+      | Some slif ->
+          Slif_obs.Counter.incr "server.lru_hit";
+          Ok (key, slif)
+      | None ->
+          Slif_obs.Counter.incr "server.lru_miss";
+          Error (Printf.sprintf "key %S is not resident (load it first)" key))
+  | Protocol.Bundled _ | Protocol.Source _ -> (
+      let source =
+        match target with
+        | Protocol.Bundled name -> source_of_bundled name
+        | Protocol.Source text -> Ok text
+        | Protocol.Key _ -> assert false
+      in
+      match source with
+      | Error _ as e -> e
+      | Ok source -> (
+          let key = Slif_store.Cache.key ~source ?profile () in
+          match Lru.find st.lru key with
+          | Some slif ->
+              Slif_obs.Counter.incr "server.lru_hit";
+              Ok (key, slif)
+          | None ->
+              Slif_obs.Counter.incr "server.lru_miss";
+              let slif =
+                Ops.annotated ?cache_dir:st.cfg.cache_dir ?profile_text:profile source
+              in
+              Lru.add st.lru key slif;
+              Ok (key, slif)))
+
+(* --- Request handling ------------------------------------------------------ *)
+
+let deadlines_of specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match Ops.parse_deadline spec with
+        | Ok d -> go (d :: acc) rest
+        | Error msg -> Error msg)
+  in
+  go [] specs
+
+let handle_request st req =
+  let module J = Slif_obs.Json in
+  let with_target target profile f =
+    match resolve st target profile with
+    | Error msg -> Protocol.error msg
+    | Ok (key, slif) -> f key slif
+  in
+  match req with
+  | Protocol.Load { target; profile } ->
+      with_target target profile (fun key (slif : Slif.Types.t) ->
+          Protocol.ok
+            [
+              ("key", J.String key);
+              ("design", J.String slif.Slif.Types.design_name);
+              ("nodes", J.Int (Array.length slif.Slif.Types.nodes));
+              ("channels", J.Int (Array.length slif.Slif.Types.chans));
+            ])
+  | Protocol.Estimate { target; profile; bounds } ->
+      with_target target profile (fun key slif ->
+          let output = Ops.estimate_output ~bounds slif in
+          Protocol.ok [ ("key", J.String key); ("output", J.String output) ])
+  | Protocol.Partition { target; profile; algo; deadlines } ->
+      with_target target profile (fun key slif ->
+          match Ops.algo_of_string algo with
+          | Error msg -> Protocol.error msg
+          | Ok algo -> (
+              match deadlines_of deadlines with
+              | Error msg -> Protocol.error msg
+              | Ok ds ->
+                  let constraints = Ops.constraints_of_deadlines ds in
+                  let output, _part = Ops.partition_output ~algo ~constraints slif in
+                  Protocol.ok [ ("key", J.String key); ("output", J.String output) ]))
+  | Protocol.Explore { target; profile; jobs; deadlines } ->
+      with_target target profile (fun key slif ->
+          match deadlines_of deadlines with
+          | Error msg -> Protocol.error msg
+          | Ok ds ->
+              let jobs =
+                match jobs with Some j when j >= 1 -> j | Some _ | None -> st.cfg.jobs
+              in
+              let constraints = Ops.constraints_of_deadlines ds in
+              let output = Ops.explore_output ~jobs ~constraints slif in
+              Protocol.ok [ ("key", J.String key); ("output", J.String output) ])
+  | Protocol.Stats ->
+      let per_op =
+        Hashtbl.fold (fun op c acc -> (op, J.Int !c) :: acc) st.per_op []
+        |> List.sort compare
+      in
+      Protocol.ok
+        [
+          ("uptime_s", J.Float ((Slif_obs.Clock.now_us () -. st.started_us) /. 1e6));
+          ("requests", J.Int st.served);
+          ("errors", J.Int st.errors);
+          ("by_op", J.Obj per_op);
+          ( "lru",
+            J.Obj
+              [
+                ("size", J.Int (Lru.size st.lru));
+                ("capacity", J.Int (Lru.capacity st.lru));
+                ("keys", J.List (List.map (fun k -> J.String k) (Lru.keys st.lru)));
+              ] );
+        ]
+  | Protocol.Shutdown ->
+      st.stop <- true;
+      Protocol.ok [ ("bye", J.Bool true) ]
+
+let handle_line st line =
+  let response =
+    match Protocol.request_of_line line with
+    | Error msg ->
+        st.errors <- st.errors + 1;
+        count_op st "malformed";
+        Slif_obs.Counter.incr "server.error";
+        Protocol.error msg
+    | Ok req ->
+        let op = Protocol.op_name req in
+        count_op st op;
+        Slif_obs.Span.with_ ("server.request." ^ op) @@ fun () ->
+        (match handle_request st req with
+        | response -> response
+        | exception e ->
+            (* A failing operation is the client's problem, not the
+               daemon's: report and keep serving. *)
+            st.errors <- st.errors + 1;
+            Slif_obs.Counter.incr "server.error";
+            let msg =
+              match e with
+              | Slif_store.Store.Store_error err -> Slif_store.Store.error_message err
+              | Failure msg -> msg
+              | Invalid_argument msg -> msg
+              | e -> Printexc.to_string e
+            in
+            Protocol.error msg)
+  in
+  (match st.cfg.max_requests with
+  | Some limit when st.served >= limit -> st.stop <- true
+  | _ -> ());
+  response
+
+(* --- Event loop ------------------------------------------------------------ *)
+
+let listen_socket addr =
+  match addr with
+  | Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      if Sys.file_exists path then Unix.unlink path;
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+  | Tcp port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen fd 64;
+      fd
+
+let close_conn conns c =
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  conns := List.filter (fun c' -> c'.fd != c.fd) !conns
+
+(* Drain complete lines out of the connection's read buffer. *)
+let process_buffer st conns c =
+  let continue = ref true in
+  while !continue do
+    let text = Buffer.contents c.rbuf in
+    match String.index_opt text '\n' with
+    | None ->
+        if Buffer.length c.rbuf > max_line_bytes then close_conn conns c;
+        continue := false
+    | Some nl ->
+        let line = String.sub text 0 nl in
+        Buffer.clear c.rbuf;
+        Buffer.add_substring c.rbuf text (nl + 1) (String.length text - nl - 1);
+        let line =
+          (* Tolerate CRLF clients. *)
+          if String.length line > 0 && line.[String.length line - 1] = '\r' then
+            String.sub line 0 (String.length line - 1)
+          else line
+        in
+        if String.trim line <> "" then c.outq <- c.outq ^ handle_line st line ^ "\n";
+        if st.stop then continue := false
+  done
+
+let try_read st conns c =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> close_conn conns c
+  | n ->
+      Buffer.add_subbytes c.rbuf chunk 0 n;
+      process_buffer st conns c
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn conns c
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+let try_write conns c =
+  match Unix.write_substring c.fd c.outq 0 (String.length c.outq) with
+  | n -> c.outq <- String.sub c.outq n (String.length c.outq - n)
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn conns c
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+let run ?on_ready cfg =
+  (* A client closing mid-response must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = listen_socket cfg.addr in
+  (match on_ready with Some f -> f (Unix.getsockname listen_fd) | None -> ());
+  let st =
+    {
+      cfg;
+      lru = Lru.create ~capacity:cfg.lru_capacity;
+      started_us = Slif_obs.Clock.now_us ();
+      served = 0;
+      errors = 0;
+      per_op = Hashtbl.create 8;
+      stop = false;
+    }
+  in
+  let conns = ref [] in
+  let pending () = List.exists (fun c -> c.outq <> "") !conns in
+  while (not st.stop) || pending () do
+    let reads = if st.stop then [] else listen_fd :: List.map (fun c -> c.fd) !conns in
+    let writes = List.filter_map (fun c -> if c.outq <> "" then Some c.fd else None) !conns in
+    match Unix.select reads writes [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        if List.memq listen_fd readable then begin
+          match Unix.accept listen_fd with
+          | fd, _ -> conns := { fd; rbuf = Buffer.create 1024; outq = "" } :: !conns
+          | exception Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun c -> if List.memq c.fd readable then try_read st conns c)
+          (List.filter (fun c -> c.fd != listen_fd) !conns);
+        List.iter (fun c -> if List.memq c.fd writable then try_write conns c) !conns
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  match cfg.addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()

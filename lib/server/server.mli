@@ -1,0 +1,38 @@
+(** The [slif serve] daemon.
+
+    A single-process event loop (select-multiplexed, so one stalled
+    client never blocks another) accepting newline-delimited JSON
+    requests over a Unix-domain or loopback TCP socket.  Annotated
+    graphs are resident in an {!Lru} keyed by content hash; a
+    [--cache-dir] additionally persists them across restarts through
+    {!Slif_store.Cache}.  Request handling is hardened: any malformed
+    line or failing operation becomes an error response, and the loop
+    survives client disconnects mid-request.
+
+    Observability: each request runs under a [server.request.<op>] span
+    (so per-request-type latency histograms come for free) and bumps
+    [server.request.<op>] / [server.error] counters;
+    [server.lru_hit] / [server.lru_miss] count graph residency. *)
+
+type addr =
+  | Unix_sock of string  (** path of a Unix-domain socket (created; stale file replaced) *)
+  | Tcp of int  (** loopback TCP port; 0 picks a free port *)
+
+type config = {
+  addr : addr;
+  cache_dir : string option;  (** persist annotated graphs here too *)
+  lru_capacity : int;
+  jobs : int;  (** domain-pool width for [explore] requests without their own ["jobs"] *)
+  max_requests : int option;  (** stop after this many requests (soak/smoke harnesses) *)
+}
+
+val default_config : addr -> config
+(** lru_capacity 8, jobs 1, no cache dir, no request limit. *)
+
+val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> unit
+(** Bind, listen and serve until a [shutdown] request (or the request
+    limit) — then flush pending responses, close every connection and
+    remove the socket file.  [on_ready] fires once the socket is bound
+    and listening (tests use it to synchronize, and to learn the port
+    when [Tcp 0] picked one).  Raises [Unix.Unix_error] if the socket
+    cannot be bound. *)

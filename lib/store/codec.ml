@@ -1,0 +1,122 @@
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let contents = Buffer.contents
+  let byte b n = Buffer.add_char b (Char.chr (n land 0xFF))
+
+  let uint b n =
+    if n < 0 then invalid_arg "Codec.W.uint: negative";
+    let rec go n =
+      if n < 0x80 then byte b n
+      else begin
+        byte b (0x80 lor (n land 0x7F));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  (* Zigzag maps the sign bit into bit 0 so small negatives stay short. *)
+  let int b n = uint b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+  let f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+  let str b s =
+    uint b (String.length s);
+    Buffer.add_string b s
+
+  let bool b v = byte b (if v then 1 else 0)
+  let option b f = function None -> byte b 0 | Some v -> byte b 1; f b v
+
+  let list b f xs =
+    uint b (List.length xs);
+    List.iter (f b) xs
+
+  let array b f xs =
+    uint b (Array.length xs);
+    Array.iter (f b) xs
+
+  let pair b f g (x, y) = f b x; g b y
+end
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  exception Error of string
+
+  let fail msg = raise (Error msg)
+  let of_string s = { s; pos = 0 }
+  let eof r = r.pos >= String.length r.s
+
+  let byte r =
+    if r.pos >= String.length r.s then fail "unexpected end of input";
+    let c = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let uint r =
+    let rec go shift acc =
+      if shift > Sys.int_size then fail "varint too long";
+      let c = byte r in
+      let acc = acc lor ((c land 0x7F) lsl shift) in
+      if acc < 0 then fail "varint overflow";
+      if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int r =
+    let n = uint r in
+    (n lsr 1) lxor (-(n land 1))
+
+  let f64 r =
+    if r.pos + 8 > String.length r.s then fail "unexpected end of input in float";
+    let v = Int64.float_of_bits (String.get_int64_le r.s r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let str r =
+    let n = uint r in
+    if n > String.length r.s - r.pos then fail "string length past end of input";
+    let v = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    v
+
+  let bool r =
+    match byte r with 0 -> false | 1 -> true | n -> fail (Printf.sprintf "bad bool tag %d" n)
+
+  let option r f =
+    match byte r with
+    | 0 -> None
+    | 1 -> Some (f r)
+    | n -> fail (Printf.sprintf "bad option tag %d" n)
+
+  let seq_len r =
+    let n = uint r in
+    (* Every element takes at least one byte, so a count past the
+       remaining bytes is corrupt — reject it before allocating. *)
+    if n > String.length r.s - r.pos then fail "sequence length past end of input";
+    n
+
+  (* Not List.init/Array.init: their application order is unspecified,
+     and the reader is stateful. *)
+  let list r f =
+    let n = seq_len r in
+    let rec go i acc = if i = n then List.rev acc else go (i + 1) (f r :: acc) in
+    go 0 []
+
+  let array r f =
+    let n = seq_len r in
+    if n = 0 then [||]
+    else begin
+      let first = f r in
+      let a = Array.make n first in
+      for i = 1 to n - 1 do
+        a.(i) <- f r
+      done;
+      a
+    end
+
+  let pair r f g =
+    let x = f r in
+    let y = g r in
+    (x, y)
+end

@@ -1,0 +1,54 @@
+(** Binary primitives for the store format.
+
+    The encoding is designed for exact round-trips and total decoding:
+    floats travel as their IEEE-754 bit pattern (little-endian 64-bit),
+    so a loaded SLIF yields bit-identical estimates; non-negative
+    integers use LEB128 varints and signed ones zigzag on top; strings,
+    lists and arrays are length-prefixed.  The reader bounds-checks every
+    access and raises the local {!R.Error} — never an out-of-bounds
+    exception — so arbitrary bytes cannot crash a decoder, only fail
+    it. *)
+
+module W : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> string
+  val byte : t -> int -> unit
+  (** Low 8 bits only. *)
+
+  val uint : t -> int -> unit
+  (** LEB128; raises [Invalid_argument] on a negative value. *)
+
+  val int : t -> int -> unit
+  (** Zigzag + LEB128, any OCaml int. *)
+
+  val f64 : t -> float -> unit
+  val str : t -> string -> unit
+  val bool : t -> bool -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val array : t -> (t -> 'a -> unit) -> 'a array -> unit
+  val pair : t -> (t -> 'a -> unit) -> (t -> 'b -> unit) -> 'a * 'b -> unit
+end
+
+module R : sig
+  type t
+
+  exception Error of string
+  (** Malformed input: truncation, oversized length, varint overflow.
+      The only exception any reader function raises. *)
+
+  val of_string : string -> t
+  val eof : t -> bool
+  val byte : t -> int
+  val uint : t -> int
+  val int : t -> int
+  val f64 : t -> float
+  val str : t -> string
+  val bool : t -> bool
+  val option : t -> (t -> 'a) -> 'a option
+  val list : t -> (t -> 'a) -> 'a list
+  val array : t -> (t -> 'a) -> 'a array
+  val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b
+end

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+
+    Every section of a {!Store} container carries the checksum of its
+    payload so corruption — a flipped bit, a truncated write, a partial
+    download — is detected before decoding begins.  The stdlib has no
+    CRC, and Marshal checksums nothing, hence this 30-line
+    implementation. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val sub : string -> pos:int -> len:int -> int32
+(** Checksum of a substring; [pos]/[len] must be in bounds. *)

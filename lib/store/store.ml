@@ -1,0 +1,558 @@
+type error =
+  | Io of string
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of string
+  | Checksum_mismatch of string
+  | Decode of string
+
+let error_message = function
+  | Io msg -> msg
+  | Bad_magic -> "not a SLIF store file (bad magic)"
+  | Unsupported_version v ->
+      Printf.sprintf "store format version %d is newer than this tool (max %d)" v 1
+  | Truncated what -> Printf.sprintf "truncated store file (%s)" what
+  | Checksum_mismatch tag -> Printf.sprintf "checksum mismatch in section %S" tag
+  | Decode msg -> Printf.sprintf "malformed store file: %s" msg
+
+exception Store_error of error
+
+let magic = "SLIFSTOR"
+let format_version = 1
+let tool_name = "slif-store/1"
+
+type provenance = {
+  pv_source_md5 : string;
+  pv_profile : string option;
+  pv_tech : string;
+}
+
+let no_provenance = { pv_source_md5 = ""; pv_profile = None; pv_tech = "" }
+
+type kind = Kslif | Kdecision
+
+(* --- Container framing ---------------------------------------------------- *)
+
+let add_u32_le buf v = Buffer.add_int32_le buf (Int32.of_int v)
+
+let section buf tag payload =
+  assert (String.length tag = 4);
+  Buffer.add_string buf tag;
+  add_u32_le buf (String.length payload);
+  Buffer.add_int32_le buf (Crc32.string payload);
+  Buffer.add_string buf payload
+
+let container sections =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf magic;
+  add_u32_le buf format_version;
+  List.iter (fun (tag, payload) -> section buf tag payload) sections;
+  Buffer.contents buf
+
+let u32_le s pos = Int32.to_int (Int32.logand (String.get_int32_le s pos) 0xFFFFFFFFl)
+
+(* Split a container into (version, [tag, payload]) or a framing error. *)
+let split s =
+  let len = String.length s in
+  if len < String.length magic then Error Bad_magic
+  else if String.sub s 0 (String.length magic) <> magic then Error Bad_magic
+  else if len < String.length magic + 4 then Error (Truncated "version field")
+  else begin
+    let version = u32_le s (String.length magic) in
+    if version < 1 || version > format_version then Error (Unsupported_version version)
+    else begin
+      let rec sections pos acc =
+        if pos = len then Ok (List.rev acc)
+        else if len - pos < 12 then Error (Truncated "section header")
+        else begin
+          let tag = String.sub s pos 4 in
+          let plen = u32_le s (pos + 4) in
+          let crc = Int32.of_int (u32_le s (pos + 8)) in
+          if plen > len - pos - 12 then Error (Truncated (Printf.sprintf "section %S" tag))
+          else if Crc32.sub s ~pos:(pos + 12) ~len:plen <> crc then
+            Error (Checksum_mismatch tag)
+          else if List.mem_assoc tag acc then
+            Error (Decode (Printf.sprintf "duplicate section %S" tag))
+          else sections (pos + 12 + plen) ((tag, String.sub s (pos + 12) plen) :: acc)
+        end
+      in
+      match sections (String.length magic + 4) [] with
+      | Ok secs -> Ok (version, secs)
+      | Error _ as e -> e
+    end
+  end
+
+let find_section sections tag =
+  match List.assoc_opt tag sections with
+  | Some payload -> Ok payload
+  | None -> Error (Decode (Printf.sprintf "missing section %S" tag))
+
+(* Run a Codec-level decoder over a payload, mapping reader failures to
+   the typed error and insisting the payload is fully consumed. *)
+let decode_payload tag payload f =
+  let r = Codec.R.of_string payload in
+  match f r with
+  | v ->
+      if Codec.R.eof r then Ok v
+      else Error (Decode (Printf.sprintf "trailing bytes in section %S" tag))
+  | exception Codec.R.Error msg ->
+      Error (Decode (Printf.sprintf "section %S: %s" tag msg))
+
+let ( let* ) = Result.bind
+
+(* --- META / PROV sections -------------------------------------------------- *)
+
+let meta_payload ~kind ~design =
+  let b = Codec.W.create () in
+  Codec.W.byte b (match kind with Kslif -> 0 | Kdecision -> 1);
+  Codec.W.str b design;
+  Codec.W.str b tool_name;
+  Codec.W.contents b
+
+let decode_meta payload =
+  decode_payload "META" payload (fun r ->
+      let kind =
+        match Codec.R.byte r with
+        | 0 -> Kslif
+        | 1 -> Kdecision
+        | n -> raise (Codec.R.Error (Printf.sprintf "unknown container kind %d" n))
+      in
+      let design = Codec.R.str r in
+      let _tool = Codec.R.str r in
+      (kind, design))
+
+let prov_payload p =
+  let b = Codec.W.create () in
+  Codec.W.str b p.pv_source_md5;
+  Codec.W.option b Codec.W.str p.pv_profile;
+  Codec.W.str b p.pv_tech;
+  Codec.W.contents b
+
+let decode_prov payload =
+  decode_payload "PROV" payload (fun r ->
+      let pv_source_md5 = Codec.R.str r in
+      let pv_profile = Codec.R.option r Codec.R.str in
+      let pv_tech = Codec.R.str r in
+      { pv_source_md5; pv_profile; pv_tech })
+
+(* --- SLIF graph sections --------------------------------------------------- *)
+
+open Slif.Types
+
+let w_weights b = Codec.W.list b (fun b (t, v) -> Codec.W.str b t; Codec.W.f64 b v)
+let r_weights r = Codec.R.list r (fun r -> Codec.R.pair r Codec.R.str Codec.R.f64)
+
+let w_node b (n : node) =
+  Codec.W.int b n.n_id;
+  Codec.W.str b n.n_name;
+  (match n.n_kind with
+  | Behavior { is_process } ->
+      Codec.W.byte b 0;
+      Codec.W.bool b is_process
+  | Variable { storage_bits; transfer_bits } ->
+      Codec.W.byte b 1;
+      Codec.W.int b storage_bits;
+      Codec.W.int b transfer_bits);
+  w_weights b n.n_ict;
+  w_weights b n.n_size
+
+let r_node r =
+  let n_id = Codec.R.int r in
+  let n_name = Codec.R.str r in
+  let n_kind =
+    match Codec.R.byte r with
+    | 0 -> Behavior { is_process = Codec.R.bool r }
+    | 1 ->
+        let storage_bits = Codec.R.int r in
+        let transfer_bits = Codec.R.int r in
+        Variable { storage_bits; transfer_bits }
+    | n -> raise (Codec.R.Error (Printf.sprintf "unknown node kind %d" n))
+  in
+  let n_ict = r_weights r in
+  let n_size = r_weights r in
+  { n_id; n_name; n_kind; n_ict; n_size }
+
+let w_port b (p : port) =
+  Codec.W.int b p.pt_id;
+  Codec.W.str b p.pt_name;
+  Codec.W.int b p.pt_bits;
+  Codec.W.byte b (match p.pt_dir with Pin -> 0 | Pout -> 1 | Pinout -> 2)
+
+let r_port r =
+  let pt_id = Codec.R.int r in
+  let pt_name = Codec.R.str r in
+  let pt_bits = Codec.R.int r in
+  let pt_dir =
+    match Codec.R.byte r with
+    | 0 -> Pin
+    | 1 -> Pout
+    | 2 -> Pinout
+    | n -> raise (Codec.R.Error (Printf.sprintf "unknown port direction %d" n))
+  in
+  { pt_id; pt_name; pt_bits; pt_dir }
+
+let w_chan b (c : channel) =
+  Codec.W.int b c.c_id;
+  Codec.W.int b c.c_src;
+  (match c.c_dst with
+  | Dnode n -> Codec.W.byte b 0; Codec.W.int b n
+  | Dport p -> Codec.W.byte b 1; Codec.W.int b p);
+  Codec.W.f64 b c.c_accfreq;
+  Codec.W.f64 b c.c_accfreq_min;
+  Codec.W.f64 b c.c_accfreq_max;
+  Codec.W.int b c.c_bits;
+  Codec.W.option b Codec.W.int c.c_tag;
+  Codec.W.byte b
+    (match c.c_kind with Call -> 0 | Var_access -> 1 | Port_access -> 2 | Message -> 3)
+
+let r_chan r =
+  let c_id = Codec.R.int r in
+  let c_src = Codec.R.int r in
+  let c_dst =
+    match Codec.R.byte r with
+    | 0 -> Dnode (Codec.R.int r)
+    | 1 -> Dport (Codec.R.int r)
+    | n -> raise (Codec.R.Error (Printf.sprintf "unknown channel destination %d" n))
+  in
+  let c_accfreq = Codec.R.f64 r in
+  let c_accfreq_min = Codec.R.f64 r in
+  let c_accfreq_max = Codec.R.f64 r in
+  let c_bits = Codec.R.int r in
+  let c_tag = Codec.R.option r Codec.R.int in
+  let c_kind =
+    match Codec.R.byte r with
+    | 0 -> Call
+    | 1 -> Var_access
+    | 2 -> Port_access
+    | 3 -> Message
+    | n -> raise (Codec.R.Error (Printf.sprintf "unknown channel kind %d" n))
+  in
+  { c_id; c_src; c_dst; c_accfreq; c_accfreq_min; c_accfreq_max; c_bits; c_tag; c_kind }
+
+let w_proc b (p : processor) =
+  Codec.W.int b p.p_id;
+  Codec.W.str b p.p_name;
+  Codec.W.byte b (match p.p_kind with Standard -> 0 | Custom -> 1);
+  Codec.W.str b p.p_tech;
+  Codec.W.option b Codec.W.f64 p.p_size_constraint;
+  Codec.W.option b Codec.W.int p.p_io_constraint
+
+let r_proc r =
+  let p_id = Codec.R.int r in
+  let p_name = Codec.R.str r in
+  let p_kind =
+    match Codec.R.byte r with
+    | 0 -> Standard
+    | 1 -> Custom
+    | n -> raise (Codec.R.Error (Printf.sprintf "unknown processor kind %d" n))
+  in
+  let p_tech = Codec.R.str r in
+  let p_size_constraint = Codec.R.option r Codec.R.f64 in
+  let p_io_constraint = Codec.R.option r Codec.R.int in
+  { p_id; p_name; p_kind; p_tech; p_size_constraint; p_io_constraint }
+
+let w_mem b (m : memory) =
+  Codec.W.int b m.m_id;
+  Codec.W.str b m.m_name;
+  Codec.W.str b m.m_tech;
+  Codec.W.option b Codec.W.f64 m.m_size_constraint
+
+let r_mem r =
+  let m_id = Codec.R.int r in
+  let m_name = Codec.R.str r in
+  let m_tech = Codec.R.str r in
+  let m_size_constraint = Codec.R.option r Codec.R.f64 in
+  { m_id; m_name; m_tech; m_size_constraint }
+
+let w_bus b (bus : bus) =
+  Codec.W.int b bus.b_id;
+  Codec.W.str b bus.b_name;
+  Codec.W.int b bus.b_bitwidth;
+  Codec.W.f64 b bus.b_ts_us;
+  Codec.W.f64 b bus.b_td_us;
+  Codec.W.option b Codec.W.f64 bus.b_capacity_mbps;
+  Codec.W.list b (fun b (t, v) -> Codec.W.str b t; Codec.W.f64 b v) bus.b_ts_by_tech;
+  Codec.W.list b
+    (fun b ((ta, tb), v) ->
+      Codec.W.str b ta;
+      Codec.W.str b tb;
+      Codec.W.f64 b v)
+    bus.b_td_by_pair
+
+let r_bus r =
+  let b_id = Codec.R.int r in
+  let b_name = Codec.R.str r in
+  let b_bitwidth = Codec.R.int r in
+  let b_ts_us = Codec.R.f64 r in
+  let b_td_us = Codec.R.f64 r in
+  let b_capacity_mbps = Codec.R.option r Codec.R.f64 in
+  let b_ts_by_tech = Codec.R.list r (fun r -> Codec.R.pair r Codec.R.str Codec.R.f64) in
+  let b_td_by_pair =
+    Codec.R.list r (fun r ->
+        let ta = Codec.R.str r in
+        let tb = Codec.R.str r in
+        let v = Codec.R.f64 r in
+        ((ta, tb), v))
+  in
+  { b_id; b_name; b_bitwidth; b_ts_us; b_td_us; b_capacity_mbps; b_ts_by_tech; b_td_by_pair }
+
+let payload_of f x =
+  let b = Codec.W.create () in
+  f b x;
+  Codec.W.contents b
+
+let slif_to_string ?(provenance = no_provenance) (s : t) =
+  container
+    [
+      ("META", meta_payload ~kind:Kslif ~design:s.design_name);
+      ("PROV", prov_payload provenance);
+      ("NODE", payload_of (fun b -> Codec.W.array b w_node) s.nodes);
+      ("PORT", payload_of (fun b -> Codec.W.array b w_port) s.ports);
+      ("CHAN", payload_of (fun b -> Codec.W.array b w_chan) s.chans);
+      ( "COMP",
+        let b = Codec.W.create () in
+        Codec.W.array b w_proc s.procs;
+        Codec.W.array b w_mem s.mems;
+        Codec.W.array b w_bus s.buses;
+        Codec.W.contents b );
+    ]
+
+let slif_of_string text =
+  let* _version, sections = split text in
+  let* meta = find_section sections "META" in
+  let* kind, design_name = decode_meta meta in
+  match kind with
+  | Kdecision -> Error (Decode "container holds a decision, not a SLIF")
+  | Kslif ->
+      let* prov =
+        match List.assoc_opt "PROV" sections with
+        | None -> Ok no_provenance
+        | Some payload -> decode_prov payload
+      in
+      let* node_p = find_section sections "NODE" in
+      let* nodes = decode_payload "NODE" node_p (fun r -> Codec.R.array r r_node) in
+      let* port_p = find_section sections "PORT" in
+      let* ports = decode_payload "PORT" port_p (fun r -> Codec.R.array r r_port) in
+      let* chan_p = find_section sections "CHAN" in
+      let* chans = decode_payload "CHAN" chan_p (fun r -> Codec.R.array r r_chan) in
+      let* comp_p = find_section sections "COMP" in
+      let* procs, mems, buses =
+        decode_payload "COMP" comp_p (fun r ->
+            let procs = Codec.R.array r r_proc in
+            let mems = Codec.R.array r r_mem in
+            let buses = Codec.R.array r r_bus in
+            (procs, mems, buses))
+      in
+      Ok ({ design_name; nodes; ports; chans; procs; mems; buses }, prov)
+
+(* --- Decisions ------------------------------------------------------------- *)
+
+let dest_name (s : t) = function
+  | Dnode d -> (0, s.nodes.(d).n_name)
+  | Dport p -> (1, s.ports.(p).pt_name)
+
+let chan_kind_code = function Call -> 0 | Var_access -> 1 | Port_access -> 2 | Message -> 3
+
+let decision_to_string ?note part =
+  let s = Slif.Partition.slif part in
+  let maps =
+    Array.to_list s.nodes
+    |> List.filter_map (fun (n : node) ->
+           match Slif.Partition.comp_of part n.n_id with
+           | None -> None
+           | Some (Slif.Partition.Cproc i) -> Some (n.n_name, 0, s.procs.(i).p_name)
+           | Some (Slif.Partition.Cmem i) -> Some (n.n_name, 1, s.mems.(i).m_name))
+  in
+  let chans =
+    Array.to_list s.chans
+    |> List.filter_map (fun (c : channel) ->
+           match Slif.Partition.bus_of part c.c_id with
+           | None -> None
+           | Some bus ->
+               let dkind, dname = dest_name s c.c_dst in
+               Some
+                 ( s.nodes.(c.c_src).n_name,
+                   dkind,
+                   dname,
+                   chan_kind_code c.c_kind,
+                   s.buses.(bus).b_name ))
+  in
+  let decn =
+    let b = Codec.W.create () in
+    Codec.W.option b Codec.W.str note;
+    Codec.W.list b
+      (fun b (node, kind, comp) ->
+        Codec.W.str b node;
+        Codec.W.byte b kind;
+        Codec.W.str b comp)
+      maps;
+    Codec.W.list b
+      (fun b (src, dkind, dname, ckind, bus) ->
+        Codec.W.str b src;
+        Codec.W.byte b dkind;
+        Codec.W.str b dname;
+        Codec.W.byte b ckind;
+        Codec.W.str b bus)
+      chans;
+    Codec.W.contents b
+  in
+  container
+    [ ("META", meta_payload ~kind:Kdecision ~design:s.design_name); ("DECN", decn) ]
+
+let decision_of_string (s : t) text =
+  let* _version, sections = split text in
+  let* meta = find_section sections "META" in
+  let* kind, design_name = decode_meta meta in
+  match kind with
+  | Kslif -> Error (Decode "container holds a SLIF, not a decision")
+  | Kdecision ->
+      if design_name <> s.design_name then
+        Error
+          (Decode
+             (Printf.sprintf "decision recorded for design %S, not %S" design_name
+                s.design_name))
+      else
+        let* decn = find_section sections "DECN" in
+        let* note, maps, chans =
+          decode_payload "DECN" decn (fun r ->
+              let note = Codec.R.option r Codec.R.str in
+              let maps =
+                Codec.R.list r (fun r ->
+                    let node = Codec.R.str r in
+                    let kind = Codec.R.byte r in
+                    let comp = Codec.R.str r in
+                    (node, kind, comp))
+              in
+              let chans =
+                Codec.R.list r (fun r ->
+                    let src = Codec.R.str r in
+                    let dkind = Codec.R.byte r in
+                    let dname = Codec.R.str r in
+                    let ckind = Codec.R.byte r in
+                    let bus = Codec.R.str r in
+                    (src, dkind, dname, ckind, bus))
+              in
+              (note, maps, chans))
+        in
+        let part = Slif.Partition.create s in
+        let find_index what arr name_of name =
+          let found = ref None in
+          Array.iteri (fun i x -> if name_of x = name then found := Some i) arr;
+          match !found with
+          | Some i -> Ok i
+          | None -> Error (Decode (Printf.sprintf "no %s named %S in design" what name))
+        in
+        let rec apply_maps = function
+          | [] -> Ok ()
+          | (node_name, kind, comp_name) :: rest -> (
+              match Slif.Types.node_by_name s node_name with
+              | None -> Error (Decode (Printf.sprintf "no node named %S in design" node_name))
+              | Some node ->
+                  let* comp =
+                    match kind with
+                    | 0 ->
+                        let* i =
+                          find_index "processor" s.procs (fun p -> p.p_name) comp_name
+                        in
+                        Ok (Slif.Partition.Cproc i)
+                    | 1 ->
+                        let* i = find_index "memory" s.mems (fun m -> m.m_name) comp_name in
+                        Ok (Slif.Partition.Cmem i)
+                    | k -> Error (Decode (Printf.sprintf "bad component kind %d" k))
+                  in
+                  Slif.Partition.assign_node part ~node:node.n_id comp;
+                  apply_maps rest)
+        in
+        let find_chan src dkind dname ckind =
+          let matches (c : channel) =
+            s.nodes.(c.c_src).n_name = src
+            && chan_kind_code c.c_kind = ckind
+            && dest_name s c.c_dst = (dkind, dname)
+          in
+          let found = ref None in
+          Array.iter (fun c -> if matches c then found := Some c.c_id) s.chans;
+          match !found with
+          | Some id -> Ok id
+          | None ->
+              Error (Decode (Printf.sprintf "no channel %s -> %s in design" src dname))
+        in
+        let rec apply_chans = function
+          | [] -> Ok ()
+          | (src, dkind, dname, ckind, bus_name) :: rest ->
+              let* chan = find_chan src dkind dname ckind in
+              let* bus = find_index "bus" s.buses (fun b -> b.b_name) bus_name in
+              Slif.Partition.assign_chan part ~chan ~bus;
+              apply_chans rest
+        in
+        let* () = apply_maps maps in
+        let* () = apply_chans chans in
+        Ok (part, note)
+
+(* --- Files ----------------------------------------------------------------- *)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> Ok text
+  | exception Sys_error msg -> Error (Io msg)
+
+let write_file path text =
+  (* Write-then-rename so readers never observe a torn file. *)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc text);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise (Store_error (Io msg))
+
+let save_slif ~path ?provenance s = write_file path (slif_to_string ?provenance s)
+
+let load_slif ~path =
+  let* text = read_file path in
+  slif_of_string text
+
+let save_decision ~path ?note part = write_file path (decision_to_string ?note part)
+
+let load_decision s ~path =
+  let* text = read_file path in
+  decision_of_string s text
+
+(* --- Inspection ------------------------------------------------------------ *)
+
+type info = {
+  si_version : int;
+  si_kind : kind;
+  si_design : string;
+  si_sections : (string * int) list;
+  si_provenance : provenance option;
+}
+
+let inspect text =
+  let* si_version, sections = split text in
+  let* meta = find_section sections "META" in
+  let* si_kind, si_design = decode_meta meta in
+  let* si_provenance =
+    match List.assoc_opt "PROV" sections with
+    | None -> Ok None
+    | Some payload ->
+        let* p = decode_prov payload in
+        Ok (Some p)
+  in
+  Ok
+    {
+      si_version;
+      si_kind;
+      si_design;
+      si_sections = List.map (fun (tag, p) -> (tag, String.length p)) sections;
+      si_provenance;
+    }

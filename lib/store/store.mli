@@ -1,0 +1,98 @@
+(** The persistent SLIF container (DESIGN.md §11).
+
+    A store file is the durable form of the paper's one-time
+    preprocessing step: the fully annotated access graph — nodes with
+    their per-technology [ict]/[size] weight lists, channels with
+    [accfreq]/[bits]/concurrency tags, the component and bus tables —
+    serialized so a later process evaluates design metrics without
+    re-parsing or re-annotating anything.  The same container also
+    carries recorded partition decisions ([slif partition --save]).
+
+    Layout: an 8-byte magic, a 4-byte little-endian format version, then
+    a sequence of sections, each [4-byte tag | 4-byte LE payload length |
+    4-byte LE CRC-32 of the payload | payload].  Payloads use {!Codec}.
+    Decoding is total: any byte sequence either decodes or yields a typed
+    {!error} — never an exception escaping this module's [_of_string]
+    functions, never a crash. *)
+
+type error =
+  | Io of string  (** file could not be read/written (carries the OS message) *)
+  | Bad_magic  (** the file does not start with {!magic} *)
+  | Unsupported_version of int  (** written by a newer format revision *)
+  | Truncated of string  (** input ended inside the named structure *)
+  | Checksum_mismatch of string  (** the named section's CRC-32 does not match *)
+  | Decode of string  (** structurally invalid payload *)
+
+val error_message : error -> string
+(** One-line human-readable rendering (what the CLI prints). *)
+
+exception Store_error of error
+(** Raised only by the [save_*] functions (on I/O failure); the read
+    path returns [result]s. *)
+
+val magic : string
+(** ["SLIFSTOR"], 8 bytes. *)
+
+val format_version : int
+(** Bumped on any encoding change; readers reject newer versions with
+    {!Unsupported_version} rather than misdecode. *)
+
+(** Where an annotated SLIF came from — enough to decide whether a cached
+    store file still matches its inputs. *)
+type provenance = {
+  pv_source_md5 : string;  (** MD5 hex digest of the specification text; [""] unknown *)
+  pv_profile : string option;  (** the branch-probability file text, verbatim *)
+  pv_tech : string;  (** technology-catalog fingerprint ({!Cache.tech_fingerprint}) *)
+}
+
+val no_provenance : provenance
+
+(** {2 Annotated SLIF bundles} *)
+
+val slif_to_string : ?provenance:provenance -> Slif.Types.t -> string
+
+val slif_of_string : string -> (Slif.Types.t * provenance, error) result
+(** Exact inverse of {!slif_to_string}: every float comes back with the
+    identical bit pattern, so estimates computed from the loaded SLIF
+    equal the originals to the bit. *)
+
+val save_slif : path:string -> ?provenance:provenance -> Slif.Types.t -> unit
+(** Write-then-rename, so a concurrent reader never sees a half-written
+    file.  Raises [Error (Io _)]. *)
+
+val load_slif : path:string -> (Slif.Types.t * provenance, error) result
+
+(** {2 Recorded partition decisions} *)
+
+val decision_to_string : ?note:string -> Slif.Partition.t -> string
+(** Assignments are recorded by object {e name} (like the legacy text
+    format), so a decision survives node renumbering as long as names are
+    stable. *)
+
+val decision_of_string :
+  Slif.Types.t -> string -> (Slif.Partition.t * string option, error) result
+(** Replays the recorded assignments onto a partition of the given SLIF;
+    the note travels back too.  Unknown names, a design-name mismatch or
+    a SLIF-kind container yield [Decode]. *)
+
+val save_decision : path:string -> ?note:string -> Slif.Partition.t -> unit
+val load_decision : Slif.Types.t -> path:string -> (Slif.Partition.t * string option, error) result
+
+(** {2 Inspection (the [slif store info] subcommand)} *)
+
+type kind = Kslif | Kdecision
+
+type info = {
+  si_version : int;
+  si_kind : kind;
+  si_design : string;
+  si_sections : (string * int) list;  (** tag, payload bytes; file order *)
+  si_provenance : provenance option;
+}
+
+val inspect : string -> (info, error) result
+(** Checks magic, version and every section checksum, and decodes the
+    metadata — without rebuilding the graph. *)
+
+val read_file : string -> (string, error) result
+(** Slurp a file, mapping I/O failures to [Io]. *)

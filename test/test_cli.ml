@@ -135,6 +135,158 @@ let test_unknown_spec_fails () =
     Alcotest.(check bool) "nonzero exit" true (code <> 0)
   end
 
+(* --- The persistent store and cache ---------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let temp_dir () =
+  let path = Filename.temp_file "slif_cli" ".dir" in
+  Sys.remove path;
+  path
+
+let rec rm_rf path =
+  if not (Sys.file_exists path) then ()
+  else if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Cold build and warm load must print the same bytes for every
+   cache-aware subcommand. *)
+let test_cache_warm_cold_identical () =
+  if not (Lazy.force available) then ()
+  else begin
+    let dir = temp_dir () in
+    Fun.protect
+      ~finally:(fun () -> rm_rf dir)
+      (fun () ->
+        List.iter
+          (fun args ->
+            let code, plain = run_cli args in
+            Alcotest.(check int) (args ^ " plain exit") 0 code;
+            let code, cold = run_cli (Printf.sprintf "%s --cache-dir %s" args dir) in
+            Alcotest.(check int) (args ^ " cold exit") 0 code;
+            let code, warm = run_cli (Printf.sprintf "%s --cache-dir %s" args dir) in
+            Alcotest.(check int) (args ^ " warm exit") 0 code;
+            Alcotest.(check string) (args ^ " cold = plain") plain cold;
+            Alcotest.(check string) (args ^ " warm = cold") cold warm)
+          [ "build fuzzy"; "estimate fuzzy --bounds"; "partition fuzzy -a greedy" ])
+  end
+
+let check_one_line_failure name args needle =
+  if not (Lazy.force available) then ()
+  else begin
+    let code, text = run_cli args in
+    Alcotest.(check bool) (name ^ " nonzero exit") true (code <> 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s diagnostic mentions %S" name needle)
+      true (contains needle text);
+    Alcotest.(check bool) (name ^ " no raw exception") false (contains "Fatal error" text)
+  end
+
+let test_missing_source_file () =
+  check_one_line_failure "missing --file" "build --file /no/such/file.vhd" "slif:"
+
+let test_unreadable_cache_dir () =
+  if not (Lazy.force available) then ()
+  else begin
+    (* A path under a regular file can never become a directory. *)
+    let file = Filename.temp_file "slif_cli" ".notadir" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove file)
+      (fun () ->
+        check_one_line_failure "unreadable cache dir"
+          (Printf.sprintf "build fuzzy --cache-dir %s" (Filename.concat file "sub"))
+          "slif:")
+  end
+
+let test_malformed_store_file () =
+  if not (Lazy.force available) then ()
+  else begin
+    let junk = Filename.temp_file "slif_cli" ".slifstore" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove junk)
+      (fun () ->
+        let oc = open_out_bin junk in
+        output_string oc "this is not a store container";
+        close_out oc;
+        check_one_line_failure "store info on junk"
+          (Printf.sprintf "store info %s" junk)
+          "magic";
+        check_one_line_failure "partition --load on junk"
+          (Printf.sprintf "partition fuzzy --load %s" junk)
+          "slif:")
+  end
+
+let test_store_write_info () =
+  if not (Lazy.force available) then ()
+  else begin
+    let out = Filename.temp_file "slif_cli" ".slifstore" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove out)
+      (fun () ->
+        let code, _ = run_cli (Printf.sprintf "store write vol -o %s" out) in
+        Alcotest.(check int) "write exit" 0 code;
+        let code, text = run_cli (Printf.sprintf "store info %s" out) in
+        Alcotest.(check int) "info exit" 0 code;
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("info mentions " ^ needle) true (contains needle text))
+          [ "volmeter"; "NODE"; "CHAN"; "format:" ])
+  end
+
+(* Legacy text decisions (pre-store format) must still replay. *)
+let test_load_legacy_text_decision () =
+  if not (Lazy.force available) then ()
+  else begin
+    let tmp = Filename.temp_file "slif" ".decision" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove tmp)
+      (fun () ->
+        let source = (Option.get (Specs.Registry.find "vol")).Specs.Registry.source in
+        let slif = Slif_server.Ops.annotated source in
+        let s = Slif_server.Ops.apply_proc_asic slif in
+        let graph = Slif.Graph.make s in
+        let problem = Specsyn.Search.problem graph in
+        let solution = Specsyn.Greedy.run problem in
+        let oc = open_out_bin tmp in
+        output_string oc
+          (Slif.Decision.to_string ~note:"legacy" solution.Specsyn.Search.part);
+        close_out oc;
+        let code, text = run_cli (Printf.sprintf "partition vol --load %s" tmp) in
+        Alcotest.(check int) "legacy load exit" 0 code;
+        Alcotest.(check bool) "legacy note surfaced" true (contains "legacy" text))
+  end
+
+(* Golden regression: a committed store-format decision file must keep
+   replaying to the committed report, byte for byte.  Any encoding or
+   estimator change that breaks old files shows up here. *)
+let test_golden_decision_replay () =
+  if not (Lazy.force available) then ()
+  else if not (Sys.file_exists "golden/vol_greedy.decn") then ()
+  else begin
+    let code, text = run_cli "partition vol --load golden/vol_greedy.decn" in
+    Alcotest.(check int) "golden replay exit" 0 code;
+    Alcotest.(check string) "golden replay output"
+      (read_file "golden/vol_greedy.report.txt")
+      text
+  end
+
+let test_figure4_jobs () =
+  if not (Lazy.force available) then ()
+  else begin
+    let code, text = run_cli "figure4 -j 2" in
+    Alcotest.(check int) "figure4 -j 2 exit" 0 code;
+    Alcotest.(check bool) "figure4 -j 2 output" true (contains "T-slif" text);
+    let code, _ = run_cli "figure4 -j 0" in
+    Alcotest.(check bool) "figure4 -j 0 rejected" true (code <> 0)
+  end
+
 let suite =
   [
     Alcotest.test_case "figure4 runs" `Slow test_figure4;
@@ -150,4 +302,12 @@ let suite =
     Alcotest.test_case "explore -j differential" `Slow test_explore_jobs_differential;
     Alcotest.test_case "explore -j 0 rejected" `Slow test_explore_rejects_bad_jobs;
     Alcotest.test_case "unknown spec rejected" `Slow test_unknown_spec_fails;
+    Alcotest.test_case "--cache-dir warm/cold identical" `Slow test_cache_warm_cold_identical;
+    Alcotest.test_case "missing source file diagnostic" `Slow test_missing_source_file;
+    Alcotest.test_case "unreadable cache dir diagnostic" `Slow test_unreadable_cache_dir;
+    Alcotest.test_case "malformed store file diagnostic" `Slow test_malformed_store_file;
+    Alcotest.test_case "store write + info" `Slow test_store_write_info;
+    Alcotest.test_case "legacy text decision replays" `Slow test_load_legacy_text_decision;
+    Alcotest.test_case "golden decision replay" `Slow test_golden_decision_replay;
+    Alcotest.test_case "figure4 -j" `Slow test_figure4_jobs;
   ]

@@ -25,6 +25,8 @@ let () =
       ("hwshare", Test_hwshare.suite);
       ("pareto", Test_pareto.suite);
       ("speccharts", Test_spc.suite);
+      ("store", Test_store.suite);
+      ("server", Test_server.suite);
       ("cli", Test_cli.suite);
       ("parallel", Test_parallel.suite);
       ("fuzz", Test_fuzz.suite);

@@ -1,0 +1,329 @@
+(* The query daemon: protocol, LRU, and an in-process server driven by
+   real sockets — with differential checks against the shared [Ops]
+   implementation the CLI prints from. *)
+
+module Server = Slif_server.Server
+module Client = Slif_server.Client
+module Protocol = Slif_server.Protocol
+module Lru = Slif_server.Lru
+module Ops = Slif_server.Ops
+module Json = Slif_obs.Json
+
+(* --- LRU ------------------------------------------------------------------- *)
+
+let test_lru_basics () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find l "a");
+  (* "a" is now most recent, so adding "c" evicts "b". *)
+  Lru.add l "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find l "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find l "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find l "c");
+  Alcotest.(check int) "size" 2 (Lru.size l);
+  Alcotest.(check (list string)) "keys MRU-first" [ "c"; "a" ] (Lru.keys l)
+
+let test_lru_replace () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l "a" 1;
+  Lru.add l "a" 2;
+  Alcotest.(check (option int)) "replaced" (Some 2) (Lru.find l "a");
+  Alcotest.(check int) "no duplicate" 1 (Lru.size l)
+
+let test_lru_bad_capacity () =
+  match Lru.create ~capacity:0 with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- Protocol -------------------------------------------------------------- *)
+
+let test_protocol_parse () =
+  (match Protocol.request_of_line {|{"op":"estimate","spec":"vol","bounds":true}|} with
+  | Ok (Protocol.Estimate { target = Protocol.Bundled "vol"; bounds = true; _ }) -> ()
+  | _ -> Alcotest.fail "estimate request misparsed");
+  (match Protocol.request_of_line {|{"op":"partition","source":"x","deadlines":["m=10"]}|} with
+  | Ok (Protocol.Partition { target = Protocol.Source "x"; algo = "greedy"; deadlines = [ "m=10" ]; _ }) -> ()
+  | _ -> Alcotest.fail "partition request misparsed");
+  match Protocol.request_of_line {|{"op":"stats"}|} with
+  | Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats request misparsed"
+
+let test_protocol_rejects () =
+  let reject line =
+    match Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  reject "not json";
+  reject {|{"no_op":1}|};
+  reject {|{"op":"frobnicate"}|};
+  reject {|{"op":"load"}|};
+  reject {|{"op":"load","spec":"a","source":"b"}|};
+  reject {|{"op":"load","spec":17}|};
+  reject {|{"op":"explore","spec":"a","jobs":"four"}|}
+
+(* --- In-process daemon ----------------------------------------------------- *)
+
+(* Run the server on a fresh loopback port in its own domain, hand the
+   connected client to [f], then shut the daemon down and join it. *)
+let with_server ?(config = fun c -> c) f =
+  let port = Atomic.make None in
+  let on_ready = function
+    | Unix.ADDR_INET (_, p) -> Atomic.set port (Some p)
+    | _ -> ()
+  in
+  let cfg = config (Server.default_config (Server.Tcp 0)) in
+  let domain = Domain.spawn (fun () -> Server.run ~on_ready cfg) in
+  let rec wait_port tries =
+    match Atomic.get port with
+    | Some p -> p
+    | None ->
+        if tries = 0 then Alcotest.fail "server never came up";
+        Unix.sleepf 0.01;
+        wait_port (tries - 1)
+  in
+  let p = wait_port 500 in
+  let client = Client.connect_tcp p in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Client.request_raw client {|{"op":"shutdown"}|}) with _ -> ());
+      Client.close client;
+      Domain.join domain)
+    (fun () -> f p client)
+
+let request_exn client fields =
+  match Client.request client (Json.Obj fields) with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+
+let output_exn client fields =
+  match Protocol.output_field (request_exn client fields) with
+  | Some s -> s
+  | None -> Alcotest.fail "response carries no output"
+
+let test_estimate_differential () =
+  with_server (fun _port client ->
+      List.iter
+        (fun (spec : Specs.Registry.spec) ->
+          let server_out =
+            output_exn client
+              [ ("op", Json.String "estimate"); ("spec", Json.String spec.spec_name);
+                ("bounds", Json.Bool true) ]
+          in
+          Alcotest.(check string)
+            (spec.spec_name ^ " estimate matches the CLI implementation")
+            (Ops.estimate_output ~bounds:true (Ops.annotated spec.source))
+            server_out)
+        Specs.Registry.all)
+
+let test_partition_and_explore_differential () =
+  with_server (fun _port client ->
+      let spec = Specs.Registry.all |> List.hd in
+      let slif = Ops.annotated spec.Specs.Registry.source in
+      let constraints = Ops.constraints_of_deadlines [] in
+      let expected, _ = Ops.partition_output ~algo:Specsyn.Explore.Greedy ~constraints slif in
+      let got =
+        output_exn client
+          [ ("op", Json.String "partition"); ("spec", Json.String spec.Specs.Registry.spec_name) ]
+      in
+      Alcotest.(check string) "partition matches" expected got;
+      (* Explore responses use timings:false, so they are deterministic
+         and jobs-independent — equal to the serial Ops run. *)
+      let expected = Ops.explore_output ~jobs:1 ~constraints slif in
+      let got =
+        output_exn client
+          [ ("op", Json.String "explore"); ("spec", Json.String spec.Specs.Registry.spec_name);
+            ("jobs", Json.Int 2) ]
+      in
+      Alcotest.(check string) "explore matches (jobs-independent)" expected got)
+
+let test_load_key_and_stats () =
+  with_server (fun _port client ->
+      let resp =
+        request_exn client [ ("op", Json.String "load"); ("spec", Json.String "fuzzy") ]
+      in
+      let key =
+        match Json.member "key" resp with
+        | Some (Json.String k) -> k
+        | _ -> Alcotest.fail "load response has no key"
+      in
+      (* The hot path: address the resident graph by content key. *)
+      let by_key = output_exn client [ ("op", Json.String "estimate"); ("key", Json.String key) ] in
+      let by_name =
+        output_exn client [ ("op", Json.String "estimate"); ("spec", Json.String "fuzzy") ]
+      in
+      Alcotest.(check string) "key and name answers agree" by_name by_key;
+      (match
+         Client.request client (Json.Obj [ ("op", Json.String "estimate"); ("key", Json.String "feedfeed") ])
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unknown key accepted");
+      let stats = request_exn client [ ("op", Json.String "stats") ] in
+      (match Json.member "requests" stats with
+      | Some (Json.Int n) -> Alcotest.(check bool) "requests counted" true (n >= 4)
+      | _ -> Alcotest.fail "stats has no request count");
+      match Option.bind (Json.member "lru" stats) (Json.member "keys") with
+      | Some (Json.List keys) ->
+          Alcotest.(check bool) "loaded key resident" true
+            (List.mem (Json.String key) keys)
+      | _ -> Alcotest.fail "stats has no lru keys")
+
+(* Malformed-request soak: garbage of every shape earns an error response,
+   and the daemon still answers real queries afterwards. *)
+let test_malformed_soak () =
+  with_server (fun _port client ->
+      let garbage =
+        [
+          "not json at all";
+          "{";
+          "[]";
+          "42";
+          {|"string"|};
+          {|{"op":"frobnicate"}|};
+          {|{"op":"load"}|};
+          {|{"op":"load","spec":"no-such-spec"}|};
+          {|{"op":"load","spec":"fuzzy","profile":17}|};
+          {|{"op":"partition","spec":"fuzzy","algo":"no-such-algo"}|};
+          {|{"op":"partition","spec":"fuzzy","deadlines":["bad-deadline"]}|};
+          {|{"op":"estimate","source":"entity broken"}|};
+          String.make 4096 'x';
+        ]
+      in
+      let prng = Slif_util.Prng.create 7 in
+      for _ = 1 to 100 do
+        let line = List.nth garbage (Slif_util.Prng.int prng (List.length garbage)) in
+        match Protocol.response_of_line (Client.request_raw client line) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "garbage accepted: %s" line
+      done;
+      let out = output_exn client [ ("op", Json.String "estimate"); ("spec", Json.String "vol") ] in
+      Alcotest.(check bool) "daemon alive after soak" true (String.length out > 0))
+
+(* Several clients from several domains at once: every answer identical
+   to the one-shot implementation. *)
+let test_concurrent_clients () =
+  with_server (fun port _client ->
+      let expected = Ops.estimate_output (Ops.annotated (Specs.Registry.all |> List.hd).source) in
+      let spec_name = (Specs.Registry.all |> List.hd).Specs.Registry.spec_name in
+      let worker () =
+        let c = Client.connect_tcp port in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            List.init 5 (fun _ ->
+                match
+                  Client.request c
+                    (Json.Obj [ ("op", Json.String "estimate"); ("spec", Json.String spec_name) ])
+                with
+                | Ok json -> Protocol.output_field json
+                | Error msg -> Alcotest.failf "concurrent request failed: %s" msg))
+      in
+      let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun out -> Alcotest.(check (option string)) "concurrent answer" (Some expected) out)
+            (Domain.join d))
+        domains)
+
+let test_pipelined_requests () =
+  with_server (fun _port client ->
+      (* Two requests in one write; responses come back in order. *)
+      let first =
+        Client.request_raw client
+          "{\"op\":\"load\",\"spec\":\"vol\"}\n{\"op\":\"stats\"}"
+      in
+      (match Protocol.response_of_line first with
+      | Ok json ->
+          Alcotest.(check bool) "first is the load" true (Json.member "design" json <> None)
+      | Error msg -> Alcotest.failf "pipelined load failed: %s" msg);
+      match Client.request client (Json.Obj [ ("op", Json.String "stats") ]) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "stats after pipeline failed: %s" msg)
+
+let test_max_requests_stops () =
+  let port = Atomic.make None in
+  let on_ready = function
+    | Unix.ADDR_INET (_, p) -> Atomic.set port (Some p)
+    | _ -> ()
+  in
+  let cfg = { (Server.default_config (Server.Tcp 0)) with Server.max_requests = Some 2 } in
+  let domain = Domain.spawn (fun () -> Server.run ~on_ready cfg) in
+  let rec wait_port tries =
+    match Atomic.get port with
+    | Some p -> p
+    | None ->
+        if tries = 0 then Alcotest.fail "server never came up";
+        Unix.sleepf 0.01;
+        wait_port (tries - 1)
+  in
+  let client = Client.connect_tcp (wait_port 500) in
+  ignore (Client.request_raw client {|{"op":"stats"}|});
+  ignore (Client.request_raw client {|{"op":"stats"}|});
+  (* The daemon exits on its own: join must return. *)
+  Domain.join domain;
+  Client.close client
+
+(* The real thing: spawn the built CLI binary as a daemon on a Unix
+   socket and query it. *)
+let cli = "../bin/slif_cli.exe"
+
+let test_cli_daemon_smoke () =
+  if not (Sys.file_exists cli) then ()
+  else begin
+    let sock = Filename.temp_file "slif_serve" ".sock" in
+    Sys.remove sock;
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process cli
+        [| cli; "serve"; "--socket"; sock; "--max-requests"; "2" |]
+        Unix.stdin null null
+    in
+    Unix.close null;
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        if Sys.file_exists sock then Sys.remove sock)
+      (fun () ->
+        let rec wait tries =
+          if Sys.file_exists sock then ()
+          else if tries = 0 then Alcotest.fail "daemon socket never appeared"
+          else begin
+            Unix.sleepf 0.05;
+            wait (tries - 1)
+          end
+        in
+        wait 200;
+        let client = Client.connect_unix sock in
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            let out =
+              output_exn client
+                [ ("op", Json.String "estimate"); ("spec", Json.String "vol") ]
+            in
+            let spec = Option.get (Specs.Registry.find "vol") in
+            Alcotest.(check string) "daemon answer equals one-shot CLI output"
+              (Ops.estimate_output (Ops.annotated spec.Specs.Registry.source))
+              out;
+            ignore (Client.request_raw client {|{"op":"stats"}|})))
+  end
+
+let suite =
+  [
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru replace" `Quick test_lru_replace;
+    Alcotest.test_case "lru bad capacity" `Quick test_lru_bad_capacity;
+    Alcotest.test_case "protocol parse" `Quick test_protocol_parse;
+    Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "estimate differential (all specs)" `Slow test_estimate_differential;
+    Alcotest.test_case "partition/explore differential" `Slow test_partition_and_explore_differential;
+    Alcotest.test_case "load, key addressing, stats" `Slow test_load_key_and_stats;
+    Alcotest.test_case "malformed-request soak" `Slow test_malformed_soak;
+    Alcotest.test_case "concurrent clients" `Slow test_concurrent_clients;
+    Alcotest.test_case "pipelined requests" `Quick test_pipelined_requests;
+    Alcotest.test_case "max-requests stops the daemon" `Quick test_max_requests_stops;
+    Alcotest.test_case "CLI daemon smoke" `Slow test_cli_daemon_smoke;
+  ]

@@ -1,0 +1,278 @@
+(* The persistent store: exact round-trips, totality under corruption,
+   and the content-addressed cache. *)
+
+module Store = Slif_store.Store
+module Cache = Slif_store.Cache
+module Ops = Slif_server.Ops
+
+let annotated_of (spec : Specs.Registry.spec) = Ops.annotated spec.source
+
+let all_specs = Specs.Registry.all
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let check_ok = function
+  | Ok v -> v
+  | Error err -> Alcotest.failf "unexpected store error: %s" (Store.error_message err)
+
+(* --- Round trips ----------------------------------------------------------- *)
+
+let test_roundtrip_structural () =
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let slif = annotated_of spec in
+      let blob = Store.slif_to_string slif in
+      let loaded, _prov = check_ok (Store.slif_of_string blob) in
+      Alcotest.(check bool)
+        (spec.spec_name ^ " round-trips structurally")
+        true
+        (Slif.Types.equal slif loaded))
+    all_specs
+
+(* The acceptance bar: estimates computed from the loaded graph equal the
+   originals to the bit.  [estimate_output ~bounds:true] prints every
+   process's min/avg/max execution time, so any float drift shows. *)
+let test_roundtrip_estimates () =
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let slif = annotated_of spec in
+      let loaded, _ = check_ok (Store.slif_of_string (Store.slif_to_string slif)) in
+      Alcotest.(check string)
+        (spec.spec_name ^ " estimates bit-identical")
+        (Ops.estimate_output ~bounds:true slif)
+        (Ops.estimate_output ~bounds:true loaded))
+    all_specs
+
+let test_roundtrip_serialization_stable () =
+  let slif = annotated_of (List.hd all_specs) in
+  let blob = Store.slif_to_string slif in
+  let loaded, _ = check_ok (Store.slif_of_string blob) in
+  Alcotest.(check string) "re-encoding is byte-identical" blob (Store.slif_to_string loaded)
+
+let test_provenance_roundtrip () =
+  let slif = Lazy.force Helpers.tiny_slif in
+  let provenance =
+    {
+      Store.pv_source_md5 = Digest.to_hex (Digest.string "source");
+      pv_profile = Some "branch p 0.25\n";
+      pv_tech = Cache.tech_fingerprint ();
+    }
+  in
+  let _, p = check_ok (Store.slif_of_string (Store.slif_to_string ~provenance slif)) in
+  Alcotest.(check bool) "provenance travels" true (p = provenance)
+
+let test_save_load_file () =
+  let dir = temp_dir "slif_store" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let slif = Lazy.force Helpers.tiny_slif in
+      let path = Filename.concat dir "tiny.slifstore" in
+      Store.save_slif ~path slif;
+      let loaded, _ = check_ok (Store.load_slif ~path) in
+      Alcotest.(check bool) "file round-trip" true (Slif.Types.equal slif loaded))
+
+(* --- Decisions ------------------------------------------------------------- *)
+
+let test_decision_roundtrip () =
+  let s, part = Helpers.all_on_cpu (Lazy.force Helpers.tiny_slif) in
+  let blob = Store.decision_to_string ~note:"unit test" part in
+  let loaded, note = check_ok (Store.decision_of_string s blob) in
+  Alcotest.(check (option string)) "note travels" (Some "unit test") note;
+  Alcotest.(check bool) "node assignments replayed" true
+    (Slif.Partition.assignments part = Slif.Partition.assignments loaded);
+  Alcotest.(check bool) "channel assignments replayed" true
+    (Slif.Partition.chan_assignments part = Slif.Partition.chan_assignments loaded)
+
+let test_decision_design_mismatch () =
+  let _, part = Helpers.all_on_cpu (Lazy.force Helpers.tiny_slif) in
+  let blob = Store.decision_to_string part in
+  let other, _ = Helpers.all_on_cpu (Lazy.force Helpers.fuzzy_slif) in
+  match Store.decision_of_string other blob with
+  | Error (Store.Decode _) -> ()
+  | Ok _ -> Alcotest.fail "decision replayed onto the wrong design"
+  | Error err -> Alcotest.failf "wrong error: %s" (Store.error_message err)
+
+let test_decision_rejects_slif_container () =
+  let slif = Lazy.force Helpers.tiny_slif in
+  let s, _ = Helpers.all_on_cpu slif in
+  match Store.decision_of_string s (Store.slif_to_string slif) with
+  | Error (Store.Decode _) -> ()
+  | Ok _ -> Alcotest.fail "a SLIF container is not a decision"
+  | Error err -> Alcotest.failf "wrong error: %s" (Store.error_message err)
+
+(* --- Corruption: every damaged input yields a typed error ------------------ *)
+
+let tiny_blob = lazy (Store.slif_to_string (Lazy.force Helpers.tiny_slif))
+
+let test_wrong_magic () =
+  let blob = Lazy.force tiny_blob in
+  let bad = Bytes.of_string blob in
+  Bytes.set bad 0 'X';
+  (match Store.slif_of_string (Bytes.to_string bad) with
+  | Error Store.Bad_magic -> ()
+  | _ -> Alcotest.fail "flipped magic not detected");
+  match Store.slif_of_string "short" with
+  | Error Store.Bad_magic -> ()
+  | _ -> Alcotest.fail "undersized input not rejected as bad magic"
+
+let test_future_version () =
+  let blob = Lazy.force tiny_blob in
+  let bad = Bytes.of_string blob in
+  Bytes.set_int32_le bad 8 99l;
+  match Store.slif_of_string (Bytes.to_string bad) with
+  | Error (Store.Unsupported_version 99) -> ()
+  | _ -> Alcotest.fail "future format version not rejected"
+
+let test_truncations () =
+  let blob = Lazy.force tiny_blob in
+  (* Every strict prefix must fail with a typed error — never succeed,
+     never raise. *)
+  let len = String.length blob in
+  for cut = 0 to len - 1 do
+    if cut mod 7 = 0 || cut > len - 32 then
+      match Store.slif_of_string (String.sub blob 0 cut) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "truncation to %d bytes decoded successfully" cut
+  done
+
+let test_crc_flip () =
+  let blob = Lazy.force tiny_blob in
+  (* Flip a byte inside the first section's payload (header is 12 magic+
+     version bytes, then 12 bytes of section header). *)
+  let bad = Bytes.of_string blob in
+  let pos = 12 + 12 + 2 in
+  Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x40));
+  match Store.slif_of_string (Bytes.to_string bad) with
+  | Error (Store.Checksum_mismatch _) -> ()
+  | Ok _ -> Alcotest.fail "payload corruption not caught by CRC"
+  | Error err -> Alcotest.failf "wrong error: %s" (Store.error_message err)
+
+(* Seeded fuzz over every bundled spec's blob: random single-byte flips
+   and truncations must always produce a typed error (a flipped byte is
+   always covered by the magic, the version field, a section header or a
+   CRC-checked payload — nothing is slack). *)
+let fuzz_blob name blob seed =
+  let prng = Slif_util.Prng.create seed in
+  let len = String.length blob in
+  for _ = 1 to 200 do
+    let mutated =
+      if Slif_util.Prng.bool prng then begin
+        let bad = Bytes.of_string blob in
+        let pos = Slif_util.Prng.int prng len in
+        let bit = 1 lsl Slif_util.Prng.int prng 8 in
+        Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor bit));
+        Bytes.to_string bad
+      end
+      else String.sub blob 0 (Slif_util.Prng.int prng len)
+    in
+    match Store.slif_of_string mutated with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: corrupted blob decoded successfully (seed %d)" name seed
+    | exception e ->
+        Alcotest.failf "%s: corruption escaped as exception %s (seed %d)" name
+          (Printexc.to_string e) seed
+  done
+
+let test_fuzz_corruption () =
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let blob = Store.slif_to_string (annotated_of spec) in
+      fuzz_blob spec.spec_name blob 42)
+    all_specs;
+  Helpers.replay_corpus "store_corruption" (fun seed ->
+      fuzz_blob "tiny" (Lazy.force tiny_blob) seed)
+
+let test_inspect () =
+  let info = check_ok (Store.inspect (Lazy.force tiny_blob)) in
+  Alcotest.(check int) "version" Store.format_version info.Store.si_version;
+  Alcotest.(check bool) "kind" true (info.Store.si_kind = Store.Kslif);
+  Alcotest.(check string) "design" "tiny" info.Store.si_design;
+  let tags = List.map fst info.Store.si_sections in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool) (tag ^ " section present") true (List.mem tag tags))
+    [ "META"; "NODE"; "PORT"; "CHAN"; "COMP" ]
+
+(* --- Cache ----------------------------------------------------------------- *)
+
+let test_cache_key_sensitivity () =
+  let k = Cache.key ~source:"abc" () in
+  Alcotest.(check bool) "source changes key" true (k <> Cache.key ~source:"abd" ());
+  Alcotest.(check bool) "profile changes key" true
+    (k <> Cache.key ~source:"abc" ~profile:"p" ());
+  Alcotest.(check bool) "empty profile differs from none" true
+    (Cache.key ~source:"abc" ~profile:"" () <> k);
+  Alcotest.(check string) "key is deterministic" k (Cache.key ~source:"abc" ())
+
+let test_cache_hit_miss_rebuild () =
+  let dir = temp_dir "slif_cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let source = Helpers.tiny_source in
+      let builds = ref 0 in
+      let build () =
+        incr builds;
+        Ops.annotated source
+      in
+      let load () = Cache.load_or_build ~dir ~source ~build () in
+      let slif1, o1 = load () in
+      let slif2, o2 = load () in
+      Alcotest.(check bool) "first access misses" true (o1 = `Miss);
+      Alcotest.(check bool) "second access hits" true (o2 = `Hit);
+      Alcotest.(check int) "built exactly once" 1 !builds;
+      Alcotest.(check bool) "cached graph identical" true (Slif.Types.equal slif1 slif2);
+      (* Corrupt the entry: the next access rebuilds instead of trusting it. *)
+      let entry = Cache.entry_path ~dir ~key:(Cache.key ~source ()) in
+      let oc = open_out_bin entry in
+      output_string oc "garbage";
+      close_out oc;
+      let slif3, o3 = load () in
+      Alcotest.(check bool) "corrupt entry rebuilt" true (o3 = `Rebuilt);
+      Alcotest.(check int) "rebuild ran the builder" 2 !builds;
+      Alcotest.(check bool) "rebuilt graph identical" true (Slif.Types.equal slif1 slif3))
+
+let test_cache_unusable_dir () =
+  let file = Filename.temp_file "slif_cache" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let dir = Filename.concat file "sub" in
+      match
+        Cache.load_or_build ~dir ~source:"x" ~build:(fun () -> Lazy.force Helpers.tiny_slif) ()
+      with
+      | _ -> Alcotest.fail "unusable cache dir accepted"
+      | exception Store.Store_error (Store.Io _) -> ())
+
+let suite =
+  [
+    Alcotest.test_case "round-trip structural (all specs)" `Quick test_roundtrip_structural;
+    Alcotest.test_case "round-trip estimates to the bit" `Quick test_roundtrip_estimates;
+    Alcotest.test_case "re-encoding stable" `Quick test_roundtrip_serialization_stable;
+    Alcotest.test_case "provenance round-trip" `Quick test_provenance_roundtrip;
+    Alcotest.test_case "save/load file" `Quick test_save_load_file;
+    Alcotest.test_case "decision round-trip" `Quick test_decision_roundtrip;
+    Alcotest.test_case "decision design mismatch" `Quick test_decision_design_mismatch;
+    Alcotest.test_case "decision rejects slif container" `Quick test_decision_rejects_slif_container;
+    Alcotest.test_case "wrong magic" `Quick test_wrong_magic;
+    Alcotest.test_case "future version" `Quick test_future_version;
+    Alcotest.test_case "truncations all rejected" `Quick test_truncations;
+    Alcotest.test_case "CRC catches payload flip" `Quick test_crc_flip;
+    Alcotest.test_case "fuzz: corruption is total" `Slow test_fuzz_corruption;
+    Alcotest.test_case "inspect" `Quick test_inspect;
+    Alcotest.test_case "cache key sensitivity" `Quick test_cache_key_sensitivity;
+    Alcotest.test_case "cache hit/miss/rebuild" `Quick test_cache_hit_miss_rebuild;
+    Alcotest.test_case "cache unusable dir" `Quick test_cache_unusable_dir;
+  ]
