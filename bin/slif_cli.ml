@@ -530,7 +530,8 @@ let store_cmd =
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run obs socket port cache_dir lru jobs max_requests =
+  let run obs socket port cache_dir lru jobs max_requests slow_ms event_log event_level
+      sample =
     with_obs obs @@ fun () ->
     let addr =
       match (socket, port) with
@@ -541,15 +542,34 @@ let serve_cmd =
     in
     if lru < 1 then failf "--lru must be at least 1";
     if jobs < 1 then failf "--jobs must be at least 1";
+    if sample < 1 then failf "--sample must be at least 1";
+    (match slow_ms with
+    | Some s when s < 0.0 -> failf "--slow-ms must not be negative"
+    | Some _ | None -> ());
     let cfg =
-      { Slif_server.Server.addr; cache_dir; lru_capacity = lru; jobs; max_requests }
+      {
+        Slif_server.Server.addr;
+        cache_dir;
+        lru_capacity = lru;
+        jobs;
+        max_requests;
+        slow_ms;
+        max_line_bytes = Slif_server.Server.default_max_line_bytes;
+      }
     in
+    (match event_log with
+    | Some path ->
+        Slif_obs.Event.open_log path;
+        Slif_obs.Event.set_level event_level;
+        Slif_obs.Event.set_sample sample
+    | None -> ());
     let on_ready sockaddr =
       (match sockaddr with
       | Unix.ADDR_UNIX path -> Printf.printf "listening on %s\n" path
       | Unix.ADDR_INET (_, port) -> Printf.printf "listening on 127.0.0.1:%d\n" port);
       flush stdout
     in
+    Fun.protect ~finally:Slif_obs.Event.close_log @@ fun () ->
     (match Slif_server.Server.run ~on_ready cfg with
     | () -> ()
     | exception Unix.Unix_error (err, _, arg) ->
@@ -581,11 +601,162 @@ let serve_cmd =
          & info [ "max-requests" ] ~docv:"N"
              ~doc:"Exit after serving $(docv) requests (soak and smoke harnesses).")
   in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log requests that take at least $(docv) milliseconds to stderr (and \
+                   the event log, at warn level).")
+  in
+  let event_log =
+    Arg.(value & opt (some string) None
+         & info [ "event-log" ] ~docv:"FILE"
+             ~doc:"Append structured request events to $(docv) as JSON lines, each \
+                   carrying the request's trace id.")
+  in
+  let event_level =
+    let levels =
+      [
+        ("debug", Slif_obs.Event.Debug);
+        ("info", Slif_obs.Event.Info);
+        ("warn", Slif_obs.Event.Warn);
+        ("error", Slif_obs.Event.Error);
+      ]
+    in
+    Arg.(value & opt (enum levels) Slif_obs.Event.Info
+         & info [ "event-level" ] ~docv:"LEVEL"
+             ~doc:"Minimum level written to --event-log: debug, info, warn or error.")
+  in
+  let sample =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N"
+             ~doc:"Keep 1 in $(docv) debug/info event-log lines (warnings and errors \
+                   always land).")
+  in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve load/estimate/partition/explore/stats queries over a socket \
-             (newline-delimited JSON).")
-    Term.(const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ jobs $ max_requests)
+       ~doc:"Serve load/estimate/partition/explore/stats/health/metrics queries over \
+             a socket (newline-delimited JSON).")
+    Term.(
+      const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ jobs $ max_requests
+      $ slow_ms $ event_log $ event_level $ sample)
+
+(* --- stats (client) --------------------------------------------------------- *)
+
+let stats_cmd =
+  let run obs socket port watch interval count timeout_ms =
+    with_obs obs @@ fun () ->
+    if interval <= 0.0 then failf "--interval must be positive";
+    (match count with
+    | Some n when n < 1 -> failf "--count must be at least 1"
+    | Some _ | None -> ());
+    let module J = Slif_obs.Json in
+    let module Client = Slif_server.Client in
+    let connect () =
+      match (socket, port) with
+      | Some path, None -> Client.connect_unix ?timeout_ms path
+      | None, Some p -> Client.connect_tcp ?timeout_ms p
+      | None, None -> failf "specify --socket PATH or --port N"
+      | Some _, Some _ -> failf "give only one of --socket and --port"
+    in
+    let mem name j = Option.value (J.member name j) ~default:J.Null in
+    let fnum j name =
+      match mem name j with J.Int n -> float_of_int n | J.Float f -> f | _ -> nan
+    in
+    let inum j name =
+      match mem name j with J.Int n -> n | J.Float f -> int_of_float f | _ -> 0
+    in
+    let fetch c op =
+      match Client.request c (J.Obj [ ("op", J.String op) ]) with
+      | Ok json -> json
+      | Error msg -> failf "%s request failed: %s" op msg
+    in
+    let render () =
+      let c = connect () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let health = fetch c "health" in
+      let stats = fetch c "stats" in
+      let lru = mem "lru" health in
+      Printf.printf "uptime %.1fs  requests %d  errors %d  inflight %d  lru %d/%d\n"
+        (fnum health "uptime_s") (inum health "requests") (inum health "errors")
+        (inum health "inflight") (inum lru "size") (inum lru "capacity");
+      (match mem "last_error" health with
+      | J.String msg -> Printf.printf "last error: %s\n" msg
+      | _ -> ());
+      (match mem "latency_us" stats with
+      | J.Obj ((_ :: _) as ops) ->
+          let table =
+            Slif_util.Table.create
+              ~header:[ "op"; "recent"; "p50 us"; "p90 us"; "p99 us"; "max us" ]
+          in
+          List.iter
+            (fun (op, q) ->
+              Slif_util.Table.add_row table
+                [
+                  op;
+                  string_of_int (inum q "count");
+                  Printf.sprintf "%.0f" (fnum q "p50");
+                  Printf.sprintf "%.0f" (fnum q "p90");
+                  Printf.sprintf "%.0f" (fnum q "p99");
+                  Printf.sprintf "%.0f" (fnum q "max");
+                ])
+            ops;
+          Slif_util.Table.print table
+      | _ -> print_endline "no requests observed yet");
+      flush stdout
+    in
+    let render () =
+      try render () with
+      | Unix.Unix_error (err, _, _) ->
+          failf "cannot reach the daemon: %s" (Unix.error_message err)
+      | Client.Timeout -> failf "the daemon did not answer within the timeout"
+      | End_of_file -> failf "the daemon closed the connection"
+    in
+    if not watch then render ()
+    else begin
+      (* top-style: redraw in place on a terminal, scroll otherwise. *)
+      let iterations = match count with Some n -> n | None -> max_int in
+      let i = ref 0 in
+      while !i < iterations do
+        if !i > 0 then Unix.sleepf interval;
+        if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+        render ();
+        incr i
+      done
+    end;
+    0
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix-domain socket path.")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"N" ~doc:"Daemon loopback TCP port.")
+  in
+  let watch =
+    Arg.(value & flag
+         & info [ "watch"; "w" ]
+             ~doc:"Refresh continuously (top-style) instead of printing once.")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between --watch refreshes.")
+  in
+  let count =
+    Arg.(value & opt (some int) None
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Stop --watch after $(docv) refreshes (default: until interrupted).")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Fail if the daemon does not answer within $(docv) milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show a running daemon's health and recent per-op latency quantiles.")
+    Term.(
+      const run $ obs_term $ socket $ port $ watch $ interval $ count $ timeout_ms)
 
 let main_cmd =
   let doc = "SLIF: a specification-level intermediate format for system design" in
@@ -593,7 +764,7 @@ let main_cmd =
     (Cmd.info "slif" ~version:"1.0.0" ~doc)
     [
       dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd;
-      store_cmd; serve_cmd;
+      store_cmd; serve_cmd; stats_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -87,5 +87,28 @@ let () =
       section "stats";
       request client [ ("op", Json.String "stats") ];
 
+      section "health: liveness, inflight connections, last error";
+      (match Client.request client (Json.Obj [ ("op", Json.String "health") ]) with
+      | Ok json ->
+          List.iter
+            (fun field ->
+              match Json.member field json with
+              | Some v -> Printf.printf "%s: %s\n" field (Json.to_string v)
+              | None -> ())
+            [ "uptime_s"; "inflight"; "requests"; "errors"; "lru"; "last_error" ]
+      | Error msg -> Printf.printf "error: %s\n" msg);
+
+      section "metrics: Prometheus text exposition (first lines)";
+      (match Client.request client (Json.Obj [ ("op", Json.String "metrics") ]) with
+      | Ok json -> (
+          match Slif_server.Protocol.output_field json with
+          | Some text ->
+              String.split_on_char '\n' text
+              |> List.filteri (fun i _ -> i < 12)
+              |> List.iter print_endline;
+              print_endline "..."
+          | None -> print_endline "no output field")
+      | Error msg -> Printf.printf "error: %s\n" msg);
+
       section "shutdown";
       request client [ ("op", Json.String "shutdown") ])

@@ -1,4 +1,4 @@
-let hist_json (s : Histogram.summary) =
+let hist_json (s : Histogram.summary) (q : Histogram.quantiles) =
   Json.Obj
     [
       ("count", Json.Int s.count);
@@ -6,6 +6,9 @@ let hist_json (s : Histogram.summary) =
       ("min", Json.Float s.min);
       ("max", Json.Float s.max);
       ("mean", Json.Float s.mean);
+      ("p50", Json.Float q.q_p50);
+      ("p90", Json.Float q.q_p90);
+      ("p99", Json.Float q.q_p99);
     ]
 
 let to_json () =
@@ -14,7 +17,8 @@ let to_json () =
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (Counter.snapshot ())) );
       ( "histograms",
-        Json.Obj (List.map (fun (name, s) -> (name, hist_json s)) (Histogram.snapshot ())) );
+        Json.Obj
+          (List.map (fun (name, s, q) -> (name, hist_json s q)) (Histogram.snapshot_full ())) );
       ("dropped_span_events", Json.Int (Registry.dropped_events ()));
     ]
 
@@ -37,7 +41,7 @@ let write_jsonl path =
           output_char oc '\n')
         (Counter.snapshot ());
       List.iter
-        (fun (name, (s : Histogram.summary)) ->
+        (fun (name, (s : Histogram.summary), (q : Histogram.quantiles)) ->
           Json.to_channel oc
             (Json.Obj
                [
@@ -48,13 +52,16 @@ let write_jsonl path =
                  ("min", Json.Float s.min);
                  ("max", Json.Float s.max);
                  ("mean", Json.Float s.mean);
+                 ("p50", Json.Float q.q_p50);
+                 ("p90", Json.Float q.q_p90);
+                 ("p99", Json.Float q.q_p99);
                ]);
           output_char oc '\n')
-        (Histogram.snapshot ()))
+        (Histogram.snapshot_full ()))
 
 let summary_string () =
   let counters = Counter.snapshot () in
-  let hists = Histogram.snapshot () in
+  let hists = Histogram.snapshot_full () in
   if counters = [] && hists = [] then ""
   else begin
     let buf = Buffer.create 512 in
@@ -68,15 +75,15 @@ let summary_string () =
         counters
     end;
     if hists <> [] then begin
-      Buffer.add_string buf "histograms (count / mean / min / max):\n";
+      Buffer.add_string buf "histograms (count / mean / p50 / p99 / min / max):\n";
       let width =
-        List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 hists
+        List.fold_left (fun acc (name, _, _) -> max acc (String.length name)) 0 hists
       in
       List.iter
-        (fun (name, (s : Histogram.summary)) ->
+        (fun (name, (s : Histogram.summary), (q : Histogram.quantiles)) ->
           Buffer.add_string buf
-            (Printf.sprintf "  %-*s %d / %.3f / %.3f / %.3f\n" width name s.count s.mean
-               s.min s.max))
+            (Printf.sprintf "  %-*s %d / %.3f / %.3f / %.3f / %.3f / %.3f\n" width name
+               s.count s.mean q.q_p50 q.q_p99 s.min s.max))
         hists
     end;
     Buffer.contents buf

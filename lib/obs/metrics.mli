@@ -3,8 +3,12 @@
     text summary for [--verbose]. *)
 
 val to_json : unit -> Json.t
-(** {v {"counters":{...},"histograms":{name:{count,sum,min,max,mean}},
-       "dropped_span_events":n} v} *)
+(** {v {"counters":{...},
+       "histograms":{name:{count,sum,min,max,mean,p50,p90,p99}},
+       "dropped_span_events":n} v}
+    The p50/p90/p99 fields are log-bucket estimates
+    ({!Histogram.quantiles}); a bare lifetime summary without them is no
+    longer emitted. *)
 
 val write_file : string -> unit
 (** Write the summary-JSON form. *)

@@ -1,0 +1,93 @@
+type labels = (string * string) list
+
+type family =
+  | Counter of { name : string; help : string; samples : (labels * float) list }
+  | Gauge of { name : string; help : string; samples : (labels * float) list }
+  | Summary of {
+      name : string;
+      help : string;
+      series : (labels * Histogram.quantiles * float) list;
+    }
+
+let is_name_char first c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || ((not first) && c >= '0' && c <= '9')
+
+(* Metric names may only be [a-zA-Z_:][a-zA-Z0-9_:]*; dotted registry
+   names like [server.request.estimate] become [server_request_estimate]. *)
+let sanitize_name s =
+  if s = "" then "_"
+  else
+    String.mapi (fun i c -> if is_name_char (i = 0) c then c else '_') s
+
+let add_escaped_label_value buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_labels buf = function
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (sanitize_name k);
+          Buffer.add_string buf "=\"";
+          add_escaped_label_value buf v;
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+let add_value buf v =
+  if Float.is_nan v then Buffer.add_string buf "NaN"
+  else if v = Float.infinity then Buffer.add_string buf "+Inf"
+  else if v = Float.neg_infinity then Buffer.add_string buf "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" v)
+
+let add_sample buf name labels v =
+  Buffer.add_string buf name;
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  add_value buf v;
+  Buffer.add_char buf '\n'
+
+let add_header buf name help kind =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let add_family buf family =
+  match family with
+  | Counter { name; help; samples } ->
+      let name = sanitize_name name in
+      add_header buf name help "counter";
+      List.iter (fun (labels, v) -> add_sample buf name labels v) samples
+  | Gauge { name; help; samples } ->
+      let name = sanitize_name name in
+      add_header buf name help "gauge";
+      List.iter (fun (labels, v) -> add_sample buf name labels v) samples
+  | Summary { name; help; series } ->
+      let name = sanitize_name name in
+      add_header buf name help "summary";
+      List.iter
+        (fun (labels, (q : Histogram.quantiles), sum) ->
+          List.iter
+            (fun (tag, v) -> add_sample buf name (labels @ [ ("quantile", tag) ]) v)
+            [ ("0.5", q.q_p50); ("0.9", q.q_p90); ("0.99", q.q_p99) ];
+          add_sample buf (name ^ "_sum") labels sum;
+          add_sample buf (name ^ "_count") labels (float_of_int q.q_count))
+        series
+
+let to_string families =
+  let buf = Buffer.create 4096 in
+  List.iter (add_family buf) families;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Prometheus text exposition format v0.0.4.
+
+    Renders metric families — [# HELP] / [# TYPE] headers followed by
+    [name{label="value"} number] sample lines — exactly as a Prometheus
+    scraper expects.  Dotted registry names are sanitized to the legal
+    character set; label values are escaped.  The daemon's [metrics] op
+    is the consumer: registry counters become counter families, latency
+    histograms become summary families with p50/p90/p99 quantile
+    samples plus [_sum] / [_count]. *)
+
+type labels = (string * string) list
+
+type family =
+  | Counter of { name : string; help : string; samples : (labels * float) list }
+  | Gauge of { name : string; help : string; samples : (labels * float) list }
+  | Summary of {
+      name : string;
+      help : string;
+      series : (labels * Histogram.quantiles * float) list;
+          (** labels, quantiles, sum; [q_count] supplies [_count] *)
+    }
+
+val sanitize_name : string -> string
+(** Map every character outside [[a-zA-Z0-9_:]] (or a leading digit) to
+    ['_']. *)
+
+val to_string : family list -> string
+(** Render the families in order, one exposition document. *)

@@ -12,6 +12,7 @@ type hist = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array;  (* log-spaced; geometry lives in Histogram *)
 }
 
 type local = {
@@ -22,6 +23,7 @@ type local = {
   mutable n_events : int;
   mutable dropped : int;
   mutable depth : int;
+  mutable trace : string option;
 }
 
 (* The master switch is the only cell every probe reads; an [Atomic] load
@@ -51,6 +53,7 @@ let key =
           n_events = 0;
           dropped = 0;
           depth = 0;
+          trace = None;
         }
       in
       Mutex.lock locals_mu;
@@ -92,6 +95,19 @@ let reset () =
 let epoch_ns () = !epoch
 
 let depth () = (local ()).depth
+
+(* The ambient request identity of the calling domain.  Deliberately
+   independent of [on ()]: the event log tags lines with the trace id
+   even when span/counter recording is off. *)
+let set_trace id = (local ()).trace <- id
+
+let current_trace () = (local ()).trace
+
+let with_trace id f =
+  let l = local () in
+  let saved = l.trace in
+  l.trace <- Some id;
+  Fun.protect ~finally:(fun () -> l.trace <- saved) f
 
 let push_event l ev =
   if l.n_events >= Atomic.get max_events then l.dropped <- l.dropped + 1

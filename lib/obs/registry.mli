@@ -52,6 +52,9 @@ type hist = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array;
+      (** log-spaced observation counts; the geometry (base, offset,
+          width) is owned by {!Histogram} *)
 }
 
 type local = {
@@ -62,6 +65,7 @@ type local = {
   mutable n_events : int;
   mutable dropped : int;
   mutable depth : int;  (** span nesting depth (maintained by {!Span.with_}) *)
+  mutable trace : string option;  (** ambient request trace id, if any *)
 }
 
 val local : unit -> local
@@ -75,6 +79,17 @@ val fold_locals : ('a -> local -> 'a) -> 'a -> 'a
 
 val depth : unit -> int
 (** Current span nesting depth of the calling domain. *)
+
+val set_trace : string option -> unit
+(** Set (or clear) the calling domain's ambient trace id.  Spans opened
+    while it is set carry a [trace_id] arg, and {!Event.emit} tags its
+    lines with it.  Works whether or not recording is enabled. *)
+
+val current_trace : unit -> string option
+
+val with_trace : string -> (unit -> 'a) -> 'a
+(** Run [f] with the trace id set, restoring the previous id afterwards
+    (even on raise). *)
 
 val push_event : local -> span_event -> unit
 (** Append a completed span to the domain's buffer, dropping it (and

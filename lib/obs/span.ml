@@ -1,6 +1,14 @@
 let record ?(args = []) l name ~t0 ~depth =
   let t1 = Clock.now_ns () in
   let dur = Int64.sub t1 t0 in
+  (* Every span opened while a request trace id is set carries it, so
+     the Chrome trace can be filtered to one request even though the
+     events stay on their domain's lane. *)
+  let args =
+    match l.Registry.trace with
+    | Some id -> ("trace_id", id) :: args
+    | None -> args
+  in
   Registry.push_event l
     {
       Registry.ev_name = name;

@@ -1,13 +1,43 @@
 type t = { fd : Unix.file_descr; rbuf : Buffer.t }
 
-let connect fd addr =
-  Unix.connect fd addr;
+exception Timeout
+
+(* Non-blocking connect + select, so an unreachable daemon fails after
+   [timeout_ms] instead of hanging the caller in [Unix.connect]. *)
+let connect_with_deadline fd addr timeout_ms =
+  let timeout_s = float_of_int timeout_ms /. 1e3 in
+  Unix.set_nonblock fd;
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+    -> (
+      match Unix.select [] [ fd ] [] timeout_s with
+      | _, [], _ -> raise Timeout
+      | _, _ :: _, _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+  Unix.clear_nonblock fd
+
+let connect ?timeout_ms fd addr =
+  (match timeout_ms with
+  | None -> Unix.connect fd addr
+  | Some ms ->
+      if ms < 1 then invalid_arg "Client.connect: timeout_ms must be >= 1";
+      connect_with_deadline fd addr ms;
+      (* From here on the kernel enforces the deadline on every read and
+         write; a stalled server surfaces as EAGAIN, mapped to Timeout
+         below. *)
+      let timeout_s = float_of_int ms /. 1e3 in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s);
   { fd; rbuf = Buffer.create 1024 }
 
-let connect_unix path = connect (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0) (Unix.ADDR_UNIX path)
+let connect_unix ?timeout_ms path =
+  connect ?timeout_ms (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0) (Unix.ADDR_UNIX path)
 
-let connect_tcp port =
-  connect
+let connect_tcp ?timeout_ms port =
+  connect ?timeout_ms
     (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0)
     (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
 
@@ -15,7 +45,9 @@ let write_all fd s =
   let len = String.length s in
   let pos = ref 0 in
   while !pos < len do
-    pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+    match Unix.write_substring fd s !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout
   done
 
 (* Pull the next newline-terminated line out of the buffer, reading more
@@ -35,7 +67,9 @@ let read_line t =
         | 0 -> raise End_of_file
         | n ->
             Buffer.add_subbytes t.rbuf chunk 0 n;
-            go ())
+            go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            raise Timeout)
   in
   go ()
 

@@ -1,21 +1,33 @@
 (** A small synchronous client for the [slif serve] wire protocol.
 
     One request line out, one response line back.  Used by the test
-    suite (differential CLI-vs-server checks), the bench A9 section and
-    the bundled example client; [slif serve --probe] also goes through
-    it. *)
+    suite (differential CLI-vs-server checks), the bench A9/A10 sections
+    and the bundled example client; [slif serve --probe] and
+    [slif stats] also go through it.
+
+    Pass [?timeout_ms] at connect time to bound every blocking step:
+    the connect itself (non-blocking + select) and, via
+    [SO_RCVTIMEO] / [SO_SNDTIMEO], each subsequent read and write.  A
+    deadline miss raises {!Timeout}; without the option the client
+    blocks indefinitely, as before. *)
 
 type t
 
-val connect_unix : string -> t
-(** Connect to a Unix-domain socket path.  Raises [Unix.Unix_error]. *)
+exception Timeout
+(** A connect, read or write exceeded the [timeout_ms] deadline. *)
 
-val connect_tcp : int -> t
-(** Connect to loopback TCP.  Raises [Unix.Unix_error]. *)
+val connect_unix : ?timeout_ms:int -> string -> t
+(** Connect to a Unix-domain socket path.  Raises [Unix.Unix_error], or
+    {!Timeout} when [timeout_ms] elapses first.
+    [Invalid_argument] when [timeout_ms < 1]. *)
+
+val connect_tcp : ?timeout_ms:int -> int -> t
+(** Connect to loopback TCP.  Same errors as {!connect_unix}. *)
 
 val request_raw : t -> string -> string
 (** Send one line (newline appended if missing) and block for one
-    response line.  Raises [End_of_file] if the server closes first. *)
+    response line.  Raises [End_of_file] if the server closes first,
+    {!Timeout} if a [timeout_ms]-configured socket stalls. *)
 
 val request : t -> Slif_obs.Json.t -> (Slif_obs.Json.t, string) result
 (** Serialize a request object, send it, parse the response through

@@ -21,6 +21,8 @@ type request =
       deadlines : string list;
     }
   | Stats
+  | Health
+  | Metrics
   | Shutdown
 
 let op_name = function
@@ -29,6 +31,8 @@ let op_name = function
   | Partition _ -> "partition"
   | Explore _ -> "explore"
   | Stats -> "stats"
+  | Health -> "health"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 let ( let* ) = Result.bind
@@ -89,6 +93,8 @@ let request_of_line line =
   in
   match op with
   | "stats" -> Ok Stats
+  | "health" -> Ok Health
+  | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
   | "load" ->
       let* target = target_of json in

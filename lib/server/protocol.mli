@@ -13,6 +13,8 @@
       {"op":"partition", <target> [, "algo":"greedy"] [, "deadlines":["p=2000",...]]}
       {"op":"explore",   <target> [, "jobs":4] [, "deadlines":[...]]}
       {"op":"stats"}
+      {"op":"health"}
+      {"op":"metrics"}
       {"op":"shutdown"}
     v}
     where [<target>] is ["spec"] (a bundled benchmark name), ["source"]
@@ -40,6 +42,8 @@ type request =
       deadlines : string list;
     }
   | Stats
+  | Health
+  | Metrics
   | Shutdown
 
 val op_name : request -> string

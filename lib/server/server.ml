@@ -1,3 +1,5 @@
+module Obs = Slif_obs
+
 type addr =
   | Unix_sock of string
   | Tcp of int
@@ -8,20 +10,38 @@ type config = {
   lru_capacity : int;
   jobs : int;
   max_requests : int option;
+  slow_ms : float option;
+  max_line_bytes : int;
 }
 
-let default_config addr =
-  { addr; cache_dir = None; lru_capacity = 8; jobs = 1; max_requests = None }
+(* A line that long is not a query; answer with a protocol error and
+   drop the connection instead of buffering without bound. *)
+let default_max_line_bytes = 64 * 1024 * 1024
 
-(* A line that long is not a query; cut the connection instead of
-   buffering without bound. *)
-let max_line_bytes = 64 * 1024 * 1024
+let default_config addr =
+  {
+    addr;
+    cache_dir = None;
+    lru_capacity = 8;
+    jobs = 1;
+    max_requests = None;
+    slow_ms = None;
+    max_line_bytes = default_max_line_bytes;
+  }
 
 type conn = {
   fd : Unix.file_descr;
+  cid : int;  (** connection serial, part of every trace id *)
   rbuf : Buffer.t;
   mutable outq : string;  (** bytes accepted but not yet written *)
+  mutable close_after_flush : bool;
 }
+
+(* Per-op latency telemetry: a lifetime log-bucket histogram and a
+   sliding window of recent requests.  Always on (the cost per request
+   is two bucket increments), independent of the registry switch, so
+   [metrics] and [stats] answer even when span recording is off. *)
+type op_lat = { lt : Obs.Histogram.t; win : Obs.Histogram.window }
 
 type state = {
   cfg : config;
@@ -29,13 +49,36 @@ type state = {
   started_us : float;
   mutable served : int;
   mutable errors : int;
+  mutable next_req : int;
+  mutable inflight : int;  (** open client connections *)
+  mutable last_error : string option;
   per_op : (string, int ref) Hashtbl.t;
+  lat : (string, op_lat) Hashtbl.t;
   mutable stop : bool;
 }
 
+(* Every op the daemon can ever serve, so one [metrics] scrape exposes
+   the full family set even before traffic arrives. *)
+let known_ops =
+  [ "load"; "estimate"; "partition"; "explore"; "stats"; "health"; "metrics";
+    "shutdown"; "malformed" ]
+
+let lat_for st op =
+  match Hashtbl.find_opt st.lat op with
+  | Some l -> l
+  | None ->
+      let l = { lt = Obs.Histogram.create (); win = Obs.Histogram.window () } in
+      Hashtbl.add st.lat op l;
+      l
+
+let record_latency st op dur_us =
+  let l = lat_for st op in
+  Obs.Histogram.record l.lt dur_us;
+  Obs.Histogram.window_record l.win dur_us
+
 let count_op st op =
   st.served <- st.served + 1;
-  Slif_obs.Counter.incr ("server.request." ^ op);
+  Obs.Counter.incr ("server.request." ^ op);
   let cell =
     match Hashtbl.find_opt st.per_op op with
     | Some c -> c
@@ -45,6 +88,11 @@ let count_op st op =
         c
   in
   incr cell
+
+let note_error st msg =
+  st.errors <- st.errors + 1;
+  st.last_error <- Some msg;
+  Obs.Counter.incr "server.error"
 
 (* --- Target resolution ----------------------------------------------------- *)
 
@@ -64,10 +112,10 @@ let resolve st target profile =
   | Protocol.Key key -> (
       match Lru.find st.lru key with
       | Some slif ->
-          Slif_obs.Counter.incr "server.lru_hit";
+          Obs.Counter.incr "server.lru_hit";
           Ok (key, slif)
       | None ->
-          Slif_obs.Counter.incr "server.lru_miss";
+          Obs.Counter.incr "server.lru_miss";
           Error (Printf.sprintf "key %S is not resident (load it first)" key))
   | Protocol.Bundled _ | Protocol.Source _ -> (
       let source =
@@ -82,15 +130,172 @@ let resolve st target profile =
           let key = Slif_store.Cache.key ~source ?profile () in
           match Lru.find st.lru key with
           | Some slif ->
-              Slif_obs.Counter.incr "server.lru_hit";
+              Obs.Counter.incr "server.lru_hit";
               Ok (key, slif)
           | None ->
-              Slif_obs.Counter.incr "server.lru_miss";
+              Obs.Counter.incr "server.lru_miss";
               let slif =
                 Ops.annotated ?cache_dir:st.cfg.cache_dir ?profile_text:profile source
               in
               Lru.add st.lru key slif;
               Ok (key, slif)))
+
+(* --- Telemetry views -------------------------------------------------------- *)
+
+let uptime_s st = (Obs.Clock.now_us () -. st.started_us) /. 1e6
+
+let sorted_ops st =
+  Hashtbl.fold (fun op l acc -> (op, l) :: acc) st.lat [] |> List.sort compare
+
+let quantiles_json (q : Obs.Histogram.quantiles) =
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("count", J.Int q.q_count);
+      ("p50", J.Float q.q_p50);
+      ("p90", J.Float q.q_p90);
+      ("p99", J.Float q.q_p99);
+      ("max", J.Float q.q_max);
+    ]
+
+(* The [stats] latency block reports the sliding window — what the
+   daemon is doing now — not lifetime averages. *)
+let latency_json st =
+  let module J = Obs.Json in
+  J.Obj
+    (List.filter_map
+       (fun (op, l) ->
+         Option.map (fun q -> (op, quantiles_json q)) (Obs.Histogram.window_quantiles l.win))
+       (sorted_ops st))
+
+let prometheus_text st =
+  let module P = Obs.Prometheus in
+  let per_op_counts =
+    Hashtbl.fold (fun op c acc -> ([ ("op", op) ], float_of_int !c) :: acc) st.per_op []
+    |> List.sort compare
+  in
+  let lifetime_series =
+    List.filter_map
+      (fun (op, l) ->
+        if Obs.Histogram.count l.lt = 0 then None
+        else
+          Some
+            ([ ("op", op) ], Obs.Histogram.quantile_summary l.lt, Obs.Histogram.sum l.lt))
+      (sorted_ops st)
+  in
+  let recent_series =
+    List.filter_map
+      (fun (op, l) ->
+        Option.map
+          (fun q -> ([ ("op", op) ], q, 0.0))
+          (Obs.Histogram.window_quantiles l.win))
+      (sorted_ops st)
+  in
+  let registry_counters =
+    List.map
+      (fun (name, v) ->
+        P.Counter
+          {
+            name = "slif_" ^ P.sanitize_name name ^ "_total";
+            help = Printf.sprintf "Registry counter %s." name;
+            samples = [ ([], float_of_int v) ];
+          })
+      (Obs.Counter.snapshot ())
+  in
+  let registry_hists =
+    List.map
+      (fun (name, (s : Obs.Histogram.summary), q) ->
+        P.Summary
+          {
+            name = "slif_" ^ P.sanitize_name name;
+            help = Printf.sprintf "Registry histogram %s." name;
+            series = [ ([], q, s.sum) ];
+          })
+      (Obs.Histogram.snapshot_full ())
+  in
+  P.to_string
+    ([
+       P.Gauge
+         {
+           name = "slif_server_uptime_seconds";
+           help = "Seconds since the daemon started.";
+           samples = [ ([], uptime_s st) ];
+         };
+       P.Gauge
+         {
+           name = "slif_server_inflight_connections";
+           help = "Open client connections.";
+           samples = [ ([], float_of_int st.inflight) ];
+         };
+       P.Counter
+         {
+           name = "slif_server_requests_total";
+           help = "Requests served, by op.";
+           samples = per_op_counts;
+         };
+       P.Counter
+         {
+           name = "slif_server_errors_total";
+           help = "Requests answered with an error.";
+           samples = [ ([], float_of_int st.errors) ];
+         };
+       P.Gauge
+         {
+           name = "slif_server_lru_entries";
+           help = "Annotated graphs resident in the LRU.";
+           samples = [ ([], float_of_int (Lru.size st.lru)) ];
+         };
+       P.Gauge
+         {
+           name = "slif_server_lru_capacity";
+           help = "LRU capacity.";
+           samples = [ ([], float_of_int (Lru.capacity st.lru)) ];
+         };
+       P.Summary
+         {
+           name = "slif_server_request_duration_microseconds";
+           help = "Lifetime per-op request latency (log-bucket quantiles).";
+           series = lifetime_series;
+         };
+       P.Summary
+         {
+           name = "slif_server_recent_request_duration_microseconds";
+           help =
+             Printf.sprintf
+               "Exact quantiles over the most recent requests per op (window %d)."
+               Obs.Histogram.default_window_capacity;
+           series = recent_series;
+         };
+     ]
+    @ registry_counters @ registry_hists)
+
+(* The SIGUSR1 runtime dump: everything [stats] and the quantile block
+   know, to stderr (or wherever [oc] points), without stopping the
+   select loop. *)
+let dump_telemetry st oc =
+  Printf.fprintf oc
+    "--- slif serve telemetry ---\nuptime_s: %.1f\nrequests: %d\nerrors:   %d\ninflight: %d\nlru:      %d/%d\n"
+    (uptime_s st) st.served st.errors st.inflight (Lru.size st.lru)
+    (Lru.capacity st.lru);
+  (match st.last_error with
+  | Some msg -> Printf.fprintf oc "last_error: %s\n" msg
+  | None -> ());
+  Printf.fprintf oc "per-op latency, microseconds (lifetime p50/p90/p99/max | recent):\n";
+  List.iter
+    (fun (op, l) ->
+      if Obs.Histogram.count l.lt > 0 then begin
+        let q = Obs.Histogram.quantile_summary l.lt in
+        let r =
+          match Obs.Histogram.window_quantiles l.win with
+          | Some r -> Printf.sprintf "%.0f/%.0f/%.0f/%.0f" r.q_p50 r.q_p90 r.q_p99 r.q_max
+          | None -> "-"
+        in
+        Printf.fprintf oc "  %-10s %6d reqs  %.0f/%.0f/%.0f/%.0f | %s\n" op q.q_count
+          q.q_p50 q.q_p90 q.q_p99 q.q_max r
+      end)
+    (sorted_ops st);
+  Printf.fprintf oc "--- end telemetry ---\n";
+  flush oc
 
 (* --- Request handling ------------------------------------------------------ *)
 
@@ -105,7 +310,7 @@ let deadlines_of specs =
   go [] specs
 
 let handle_request st req =
-  let module J = Slif_obs.Json in
+  let module J = Obs.Json in
   let with_target target profile f =
     match resolve st target profile with
     | Error msg -> Protocol.error msg
@@ -154,7 +359,7 @@ let handle_request st req =
       in
       Protocol.ok
         [
-          ("uptime_s", J.Float ((Slif_obs.Clock.now_us () -. st.started_us) /. 1e6));
+          ("uptime_s", J.Float (uptime_s st));
           ("requests", J.Int st.served);
           ("errors", J.Int st.errors);
           ("by_op", J.Obj per_op);
@@ -165,39 +370,89 @@ let handle_request st req =
                 ("capacity", J.Int (Lru.capacity st.lru));
                 ("keys", J.List (List.map (fun k -> J.String k) (Lru.keys st.lru)));
               ] );
+          ("latency_us", latency_json st);
         ]
+  | Protocol.Health ->
+      Protocol.ok
+        [
+          ("uptime_s", J.Float (uptime_s st));
+          ("inflight", J.Int st.inflight);
+          ("requests", J.Int st.served);
+          ("errors", J.Int st.errors);
+          ( "lru",
+            J.Obj
+              [
+                ("size", J.Int (Lru.size st.lru));
+                ("capacity", J.Int (Lru.capacity st.lru));
+              ] );
+          ( "last_error",
+            match st.last_error with Some msg -> J.String msg | None -> J.Null );
+        ]
+  | Protocol.Metrics ->
+      Protocol.ok [ ("output", J.String (prometheus_text st)) ]
   | Protocol.Shutdown ->
       st.stop <- true;
       Protocol.ok [ ("bye", J.Bool true) ]
 
-let handle_line st line =
-  let response =
+let response_is_ok response =
+  String.length response >= 10 && String.sub response 0 10 = {|{"ok":true|}
+
+let handle_line st c line =
+  st.next_req <- st.next_req + 1;
+  (* The trace id names the connection and the request; every span and
+     event-log line below carries it. *)
+  let tid = Printf.sprintf "c%d-r%d" c.cid st.next_req in
+  Obs.Registry.with_trace tid @@ fun () ->
+  let t0 = Obs.Clock.now_us () in
+  let op, response =
     match Protocol.request_of_line line with
     | Error msg ->
-        st.errors <- st.errors + 1;
+        note_error st msg;
         count_op st "malformed";
-        Slif_obs.Counter.incr "server.error";
-        Protocol.error msg
-    | Ok req ->
+        ("malformed", Protocol.error msg)
+    | Ok req -> (
         let op = Protocol.op_name req in
         count_op st op;
-        Slif_obs.Span.with_ ("server.request." ^ op) @@ fun () ->
-        (match handle_request st req with
-        | response -> response
-        | exception e ->
-            (* A failing operation is the client's problem, not the
-               daemon's: report and keep serving. *)
-            st.errors <- st.errors + 1;
-            Slif_obs.Counter.incr "server.error";
-            let msg =
-              match e with
-              | Slif_store.Store.Store_error err -> Slif_store.Store.error_message err
-              | Failure msg -> msg
-              | Invalid_argument msg -> msg
-              | e -> Printexc.to_string e
-            in
-            Protocol.error msg)
+        ( op,
+          Obs.Span.with_ ("server.request." ^ op) @@ fun () ->
+          match handle_request st req with
+          | response -> response
+          | exception e ->
+              (* A failing operation is the client's problem, not the
+                 daemon's: report and keep serving. *)
+              let msg =
+                match e with
+                | Slif_store.Store.Store_error err -> Slif_store.Store.error_message err
+                | Failure msg -> msg
+                | Invalid_argument msg -> msg
+                | e -> Printexc.to_string e
+              in
+              note_error st msg;
+              Protocol.error msg ))
   in
+  let dur_us = Obs.Clock.now_us () -. t0 in
+  record_latency st op dur_us;
+  let ok = response_is_ok response in
+  Obs.Event.emit "server.request"
+    ~fields:
+      [
+        ("op", Obs.Json.String op);
+        ("dur_us", Obs.Json.Float dur_us);
+        ("ok", Obs.Json.Bool ok);
+      ];
+  (match st.cfg.slow_ms with
+  | Some limit when dur_us /. 1e3 >= limit ->
+      Obs.Counter.incr "server.slow_request";
+      Obs.Event.emit ~level:Obs.Event.Warn "server.slow_request"
+        ~fields:
+          [
+            ("op", Obs.Json.String op);
+            ("dur_ms", Obs.Json.Float (dur_us /. 1e3));
+            ("limit_ms", Obs.Json.Float limit);
+          ];
+      Printf.eprintf "slif serve: slow request %s op=%s %.1f ms (limit %.1f ms)\n%!" tid
+        op (dur_us /. 1e3) limit
+  | Some _ | None -> ());
   (match st.cfg.max_requests with
   | Some limit when st.served >= limit -> st.stop <- true
   | _ -> ());
@@ -220,18 +475,33 @@ let listen_socket addr =
       Unix.listen fd 64;
       fd
 
-let close_conn conns c =
+let close_conn st conns c =
   (try Unix.close c.fd with Unix.Unix_error _ -> ());
-  conns := List.filter (fun c' -> c'.fd != c.fd) !conns
+  let before = List.length !conns in
+  conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
+  st.inflight <- st.inflight - (before - List.length !conns)
 
 (* Drain complete lines out of the connection's read buffer. *)
-let process_buffer st conns c =
+let process_buffer st c =
   let continue = ref true in
   while !continue do
     let text = Buffer.contents c.rbuf in
     match String.index_opt text '\n' with
     | None ->
-        if Buffer.length c.rbuf > max_line_bytes then close_conn conns c;
+        if Buffer.length c.rbuf > st.cfg.max_line_bytes then begin
+          (* Answer with a well-formed protocol error, then close once
+             the response has flushed — never buffer without bound. *)
+          note_error st "request line over the byte cap";
+          Obs.Counter.incr "server.line_cap";
+          Buffer.clear c.rbuf;
+          c.outq <-
+            c.outq
+            ^ Protocol.error
+                (Printf.sprintf "request line exceeds the %d-byte cap"
+                   st.cfg.max_line_bytes)
+            ^ "\n";
+          c.close_after_flush <- true
+        end;
         continue := false
     | Some nl ->
         let line = String.sub text 0 nl in
@@ -243,62 +513,120 @@ let process_buffer st conns c =
             String.sub line 0 (String.length line - 1)
           else line
         in
-        if String.trim line <> "" then c.outq <- c.outq ^ handle_line st line ^ "\n";
+        if String.trim line <> "" then c.outq <- c.outq ^ handle_line st c line ^ "\n";
         if st.stop then continue := false
   done
 
 let try_read st conns c =
   let chunk = Bytes.create 65536 in
   match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-  | 0 -> close_conn conns c
+  | 0 -> close_conn st conns c
   | n ->
       Buffer.add_subbytes c.rbuf chunk 0 n;
-      process_buffer st conns c
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn conns c
+      process_buffer st c
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn st conns c
   | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
 
-let try_write conns c =
+let try_write st conns c =
   match Unix.write_substring c.fd c.outq 0 (String.length c.outq) with
-  | n -> c.outq <- String.sub c.outq n (String.length c.outq - n)
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_conn conns c
+  | n ->
+      c.outq <- String.sub c.outq n (String.length c.outq - n);
+      if c.outq = "" && c.close_after_flush then close_conn st conns c
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn st conns c
   | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+
+(* SIGUSR1 just raises a flag; the loop notices on its next wake-up (the
+   signal interrupts a pending select with EINTR, so the dump is prompt)
+   and writes the telemetry dump outside the handler. *)
+let dump_requested = Atomic.make false
 
 let run ?on_ready cfg =
   (* A client closing mid-response must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let prev_usr1 =
+    try
+      Some
+        (Sys.signal Sys.sigusr1
+           (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
   let listen_fd = listen_socket cfg.addr in
   (match on_ready with Some f -> f (Unix.getsockname listen_fd) | None -> ());
   let st =
     {
       cfg;
       lru = Lru.create ~capacity:cfg.lru_capacity;
-      started_us = Slif_obs.Clock.now_us ();
+      started_us = Obs.Clock.now_us ();
       served = 0;
       errors = 0;
+      next_req = 0;
+      inflight = 0;
+      last_error = None;
       per_op = Hashtbl.create 8;
+      lat = Hashtbl.create 8;
       stop = false;
     }
   in
+  List.iter (fun op -> ignore (lat_for st op)) known_ops;
+  Obs.Event.emit "server.start"
+    ~fields:
+      [
+        ( "addr",
+          Obs.Json.String
+            (match cfg.addr with Unix_sock p -> p | Tcp p -> Printf.sprintf "tcp:%d" p)
+        );
+      ];
+  let next_cid = ref 0 in
   let conns = ref [] in
   let pending () = List.exists (fun c -> c.outq <> "") !conns in
   while (not st.stop) || pending () do
-    let reads = if st.stop then [] else listen_fd :: List.map (fun c -> c.fd) !conns in
+    if Atomic.get dump_requested then begin
+      Atomic.set dump_requested false;
+      dump_telemetry st stderr
+    end;
+    let reads =
+      if st.stop then []
+      else
+        listen_fd
+        :: List.filter_map
+             (fun c -> if c.close_after_flush then None else Some c.fd)
+             !conns
+    in
     let writes = List.filter_map (fun c -> if c.outq <> "" then Some c.fd else None) !conns in
     match Unix.select reads writes [] 0.2 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, writable, _ ->
         if List.memq listen_fd readable then begin
           match Unix.accept listen_fd with
-          | fd, _ -> conns := { fd; rbuf = Buffer.create 1024; outq = "" } :: !conns
+          | fd, _ ->
+              incr next_cid;
+              st.inflight <- st.inflight + 1;
+              conns :=
+                {
+                  fd;
+                  cid = !next_cid;
+                  rbuf = Buffer.create 1024;
+                  outq = "";
+                  close_after_flush = false;
+                }
+                :: !conns
           | exception Unix.Unix_error _ -> ()
         end;
         List.iter
           (fun c -> if List.memq c.fd readable then try_read st conns c)
           (List.filter (fun c -> c.fd != listen_fd) !conns);
-        List.iter (fun c -> if List.memq c.fd writable then try_write conns c) !conns
+        List.iter (fun c -> if List.memq c.fd writable then try_write st conns c) !conns
   done;
+  Obs.Event.emit "server.stop"
+    ~fields:
+      [ ("requests", Obs.Json.Int st.served); ("errors", Obs.Json.Int st.errors) ];
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match prev_usr1 with
+  | Some behavior -> ( try Sys.set_signal Sys.sigusr1 behavior with Invalid_argument _ -> ())
+  | None -> ());
   match cfg.addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   | Tcp _ -> ()

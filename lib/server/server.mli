@@ -6,13 +6,20 @@
     graphs are resident in an {!Lru} keyed by content hash; a
     [--cache-dir] additionally persists them across restarts through
     {!Slif_store.Cache}.  Request handling is hardened: any malformed
-    line or failing operation becomes an error response, and the loop
-    survives client disconnects mid-request.
+    line or failing operation becomes an error response, a request line
+    over {!field-config.max_line_bytes} earns a protocol error before
+    the connection is closed, and the loop survives client disconnects
+    mid-request.
 
-    Observability: each request runs under a [server.request.<op>] span
-    (so per-request-type latency histograms come for free) and bumps
-    [server.request.<op>] / [server.error] counters;
-    [server.lru_hit] / [server.lru_miss] count graph residency. *)
+    Observability: every request is assigned a trace id
+    ([c<conn>-r<serial>]) installed via {!Slif_obs.Registry.with_trace},
+    so the [server.request.<op>] span and every {!Slif_obs.Event} line
+    emitted while serving it share the id.  Per-op latency is recorded
+    in always-on lifetime histograms plus a sliding window — the
+    [stats], [health] and [metrics] ops report them regardless of the
+    registry switch.  Requests slower than [slow_ms] are logged to
+    stderr and the event log at [Warn]; [SIGUSR1] dumps the live
+    telemetry to stderr without stopping the loop. *)
 
 type addr =
   | Unix_sock of string  (** path of a Unix-domain socket (created; stale file replaced) *)
@@ -24,10 +31,18 @@ type config = {
   lru_capacity : int;
   jobs : int;  (** domain-pool width for [explore] requests without their own ["jobs"] *)
   max_requests : int option;  (** stop after this many requests (soak/smoke harnesses) *)
+  slow_ms : float option;
+      (** log requests at least this slow to stderr and the event log *)
+  max_line_bytes : int;
+      (** request lines over this earn a protocol error and a close *)
 }
 
+val default_max_line_bytes : int
+(** 64 MB. *)
+
 val default_config : addr -> config
-(** lru_capacity 8, jobs 1, no cache dir, no request limit. *)
+(** lru_capacity 8, jobs 1, no cache dir, no request limit, no slow-log,
+    64 MB line cap. *)
 
 val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> unit
 (** Bind, listen and serve until a [shutdown] request (or the request

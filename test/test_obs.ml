@@ -273,6 +273,226 @@ let test_event_cap () =
        Alcotest.(check int) "drops counted" 2 (Obs.Registry.dropped_events ())))
     ()
 
+(* --- Quantiles ------------------------------------------------------------ *)
+
+(* Log buckets with base 1.15 put every estimate within ~7% of the true
+   value; 10% is a comfortable test margin. *)
+let check_close name expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f within 10%% of %.2f" name got expected)
+    true
+    (Float.abs (got -. expected) <= 0.10 *. expected)
+
+let test_quantile_estimation () =
+  (with_fresh @@ fun () ->
+   for v = 1 to 1000 do
+     Obs.Histogram.observe "lat" (float_of_int v)
+   done;
+   match Obs.Histogram.quantiles "lat" with
+   | None -> Alcotest.fail "quantiles missing"
+   | Some q ->
+       Alcotest.(check int) "count" 1000 q.q_count;
+       check_close "p50" 500.0 q.q_p50;
+       check_close "p90" 900.0 q.q_p90;
+       check_close "p99" 990.0 q.q_p99;
+       Alcotest.(check (float 1e-9)) "max is exact" 1000.0 q.q_max;
+       Alcotest.(check bool) "estimates never exceed the true max" true
+         (q.q_p50 <= q.q_max && q.q_p90 <= q.q_max && q.q_p99 <= q.q_max))
+    ()
+
+let test_quantiles_clamped_to_max () =
+  (with_fresh @@ fun () ->
+   (* A single observation: every quantile must equal it exactly, not a
+      bucket midpoint above it. *)
+   Obs.Histogram.observe "one" 123.0;
+   match Obs.Histogram.quantiles "one" with
+   | None -> Alcotest.fail "quantiles missing"
+   | Some q ->
+       Alcotest.(check (float 1e-9)) "p50 clamped" 123.0 q.q_p50;
+       Alcotest.(check (float 1e-9)) "p99 clamped" 123.0 q.q_p99)
+    ()
+
+let test_snapshot_full_pairs () =
+  (with_fresh @@ fun () ->
+   List.iter (Obs.Histogram.observe "a") [ 1.0; 2.0; 3.0 ];
+   Obs.Histogram.observe "b" 10.0;
+   let full = Obs.Histogram.snapshot_full () in
+   Alcotest.(check (list string)) "sorted names" [ "a"; "b" ]
+     (List.map (fun (n, _, _) -> n) full);
+   List.iter
+     (fun (name, (s : Obs.Histogram.summary), (q : Obs.Histogram.quantiles)) ->
+       Alcotest.(check int) (name ^ ": summary and quantiles agree on count") s.count
+         q.q_count;
+       Alcotest.(check (float 1e-9)) (name ^ ": same max") s.max q.q_max)
+     full)
+    ()
+
+let test_standalone_histogram () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check bool) "empty quantile is nan" true (Float.is_nan (Obs.Histogram.quantile h 0.5));
+  for v = 1 to 100 do
+    Obs.Histogram.record h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 (Obs.Histogram.sum h);
+  check_close "standalone p50" 50.0 (Obs.Histogram.quantile h 0.5);
+  let q = Obs.Histogram.quantile_summary h in
+  Alcotest.(check (float 1e-9)) "exact max" 100.0 q.q_max;
+  (* Works with the registry disabled — it is daemon telemetry, not a
+     registry probe. *)
+  Alcotest.(check bool) "registry off" false (Obs.Registry.on ())
+
+let test_window_exact_and_wraparound () =
+  let w = Obs.Histogram.window ~capacity:4 () in
+  Alcotest.(check bool) "empty window has no quantiles" true
+    (Obs.Histogram.window_quantiles w = None);
+  List.iter (Obs.Histogram.window_record w) [ 10.0; 20.0; 30.0; 40.0 ];
+  (match Obs.Histogram.window_quantiles w with
+  | Some q ->
+      Alcotest.(check int) "full window count" 4 q.q_count;
+      Alcotest.(check (float 1e-9)) "exact max" 40.0 q.q_max
+  | None -> Alcotest.fail "full window has quantiles");
+  (* Two more observations overwrite the two oldest. *)
+  List.iter (Obs.Histogram.window_record w) [ 50.0; 60.0 ];
+  (match Obs.Histogram.window_quantiles w with
+  | Some q ->
+      Alcotest.(check int) "count stays at capacity" 4 q.q_count;
+      Alcotest.(check (float 1e-9)) "old max displaced" 60.0 q.q_max;
+      (* Remaining values are 30,40,50,60: the exact p50 must sit inside. *)
+      Alcotest.(check bool) "p50 from survivors" true (q.q_p50 >= 30.0 && q.q_p50 <= 60.0)
+  | None -> Alcotest.fail "window lost its contents");
+  Alcotest.(check int) "size capped" 4 (Obs.Histogram.window_size w);
+  match Obs.Histogram.window ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- Event log ------------------------------------------------------------ *)
+
+let read_jsonl path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (parse_ok "event line")
+
+let with_event_log f =
+  let path = Filename.temp_file "slif_obs" ".events.jsonl" in
+  Obs.Event.open_log path;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Event.close_log ();
+      Obs.Event.set_level Obs.Event.Info;
+      Obs.Event.set_sample 1;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_event_emit_and_levels () =
+  with_event_log (fun path ->
+      Obs.Event.set_level Obs.Event.Info;
+      Obs.Event.emit ~level:Obs.Event.Debug "below.threshold";
+      Obs.Event.emit "plain" ~fields:[ ("k", Obs.Json.Int 7) ];
+      Obs.Event.emit ~level:Obs.Event.Error "bad" ;
+      Obs.Event.close_log ();
+      let events = read_jsonl path in
+      Alcotest.(check int) "debug filtered out" 2 (List.length events);
+      let first = List.hd events in
+      Alcotest.(check bool) "has timestamp" true (Obs.Json.member "ts_us" first <> None);
+      Alcotest.(check bool) "level recorded" true
+        (Obs.Json.member "level" first = Some (Obs.Json.String "info"));
+      Alcotest.(check bool) "name recorded" true
+        (Obs.Json.member "event" first = Some (Obs.Json.String "plain"));
+      Alcotest.(check bool) "user field kept" true
+        (Obs.Json.member "k" first = Some (Obs.Json.Int 7));
+      Alcotest.(check bool) "no trace outside a request" true
+        (Obs.Json.member "trace_id" first = None))
+
+let test_event_sampling () =
+  with_event_log (fun path ->
+      Obs.Event.set_sample 3;
+      for _ = 1 to 9 do
+        Obs.Event.emit "tick"
+      done;
+      (* Warnings bypass sampling. *)
+      Obs.Event.emit ~level:Obs.Event.Warn "always";
+      Obs.Event.close_log ();
+      let events = read_jsonl path in
+      Alcotest.(check int) "1-in-3 of 9 plus the warning" 4 (List.length events);
+      Alcotest.(check int) "emitted counter" 4 (Obs.Event.emitted ());
+      Alcotest.(check int) "sampled-out counter" 6 (Obs.Event.sampled_out ());
+      match Obs.Event.set_sample 0 with
+      | () -> Alcotest.fail "sample 0 accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_event_trace_id () =
+  with_event_log (fun path ->
+      Obs.Registry.with_trace "t-42" (fun () -> Obs.Event.emit "inside");
+      Obs.Event.emit "outside";
+      Obs.Event.close_log ();
+      match read_jsonl path with
+      | [ inside; outside ] ->
+          Alcotest.(check bool) "trace id attached" true
+            (Obs.Json.member "trace_id" inside = Some (Obs.Json.String "t-42"));
+          Alcotest.(check bool) "cleared after with_trace" true
+            (Obs.Json.member "trace_id" outside = None)
+      | events -> Alcotest.failf "expected 2 events, got %d" (List.length events))
+
+let test_event_disabled_is_noop () =
+  (* No sink: emit must be free and counters must not move. *)
+  Obs.Event.close_log ();
+  let before = Obs.Event.emitted () in
+  Obs.Event.emit "nobody.listening";
+  Alcotest.(check int) "nothing recorded" before (Obs.Event.emitted ())
+
+(* --- Span trace ids -------------------------------------------------------- *)
+
+let test_span_trace_id_arg () =
+  (with_fresh @@ fun () ->
+   Obs.Registry.with_trace "req-7" (fun () -> Obs.Span.with_ "work" (fun () -> ()));
+   Obs.Span.with_ "untraced" (fun () -> ());
+   let find name = List.find (fun (e : Obs.Trace.event) -> e.name = name) (Obs.Trace.events ()) in
+   Alcotest.(check (option string)) "span carries the ambient trace id" (Some "req-7")
+     (List.assoc_opt "trace_id" (find "work").args);
+   Alcotest.(check (option string)) "no ambient id, no arg" None
+     (List.assoc_opt "trace_id" (find "untraced").args))
+    ()
+
+(* --- Prometheus rendering --------------------------------------------------- *)
+
+let test_prometheus_rendering () =
+  let module P = Obs.Prometheus in
+  let q =
+    { Obs.Histogram.q_count = 3; q_p50 = 10.0; q_p90 = 20.0; q_p99 = 30.0; q_max = 31.0 }
+  in
+  let text =
+    P.to_string
+      [
+        P.Counter
+          {
+            name = P.sanitize_name "server.request.load";
+            help = "Requests.";
+            samples = [ ([ ("op", "a\"b\\c\nd") ], 5.0) ];
+          };
+        P.Gauge { name = "up"; help = "Up."; samples = [ ([], 1.0) ] };
+        P.Summary
+          { name = "lat_us"; help = "Latency."; series = [ ([ ("op", "x") ], q, 60.0) ] };
+      ]
+  in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "renders %s" (String.escaped needle)) true (go 0)
+  in
+  contains "# HELP server_request_load Requests.\n";
+  contains "# TYPE server_request_load counter\n";
+  (* Label values escape backslash, quote and newline. *)
+  contains {|server_request_load{op="a\"b\\c\nd"} 5|};
+  contains "# TYPE up gauge\n";
+  contains "up 1\n";
+  contains "# TYPE lat_us summary\n";
+  contains {|lat_us{op="x",quantile="0.5"} 10|};
+  contains {|lat_us{op="x",quantile="0.99"} 30|};
+  contains {|lat_us_sum{op="x"} 60|};
+  contains {|lat_us_count{op="x"} 3|};
+  Alcotest.(check string) "leading digit escaped" "_fast" (P.sanitize_name "2fast")
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -295,4 +515,18 @@ let suite =
     Alcotest.test_case "pipeline counters fire when enabled" `Quick
       test_pipeline_counters_fire;
     Alcotest.test_case "span buffer cap" `Quick test_event_cap;
+    Alcotest.test_case "quantile estimation accuracy" `Quick test_quantile_estimation;
+    Alcotest.test_case "quantiles clamp to the true max" `Quick
+      test_quantiles_clamped_to_max;
+    Alcotest.test_case "snapshot_full pairs summaries and quantiles" `Quick
+      test_snapshot_full_pairs;
+    Alcotest.test_case "standalone histogram" `Quick test_standalone_histogram;
+    Alcotest.test_case "window: exact quantiles and wraparound" `Quick
+      test_window_exact_and_wraparound;
+    Alcotest.test_case "event log: emit and level filter" `Quick test_event_emit_and_levels;
+    Alcotest.test_case "event log: deterministic sampling" `Quick test_event_sampling;
+    Alcotest.test_case "event log: trace ids" `Quick test_event_trace_id;
+    Alcotest.test_case "event log: no sink, no work" `Quick test_event_disabled_is_noop;
+    Alcotest.test_case "spans carry the ambient trace id" `Quick test_span_trace_id_arg;
+    Alcotest.test_case "prometheus exposition rendering" `Quick test_prometheus_rendering;
   ]

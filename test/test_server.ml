@@ -311,6 +311,360 @@ let test_cli_daemon_smoke () =
             ignore (Client.request_raw client {|{"op":"stats"}|})))
   end
 
+(* --- LRU eviction order under touch / re-insert ----------------------------- *)
+
+let test_lru_touch_reinsert_order () =
+  let l = Lru.create ~capacity:3 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Lru.add l "c" 3;
+  (* Touch a then b: c is now the oldest. *)
+  ignore (Lru.find l "a");
+  ignore (Lru.find l "b");
+  Lru.add l "d" 4;
+  Alcotest.(check (option int)) "c evicted" None (Lru.find l "c");
+  Alcotest.(check (list string)) "order after touches" [ "d"; "b"; "a" ] (Lru.keys l);
+  (* Re-inserting an existing key refreshes it without growing. *)
+  Lru.add l "a" 10;
+  Alcotest.(check (list string)) "re-insert is a touch" [ "a"; "d"; "b" ] (Lru.keys l);
+  Lru.add l "e" 5;
+  Alcotest.(check (option int)) "b evicted next" None (Lru.find l "b");
+  Alcotest.(check (option int)) "re-inserted value kept" (Some 10) (Lru.find l "a");
+  Alcotest.(check int) "size capped" 3 (Lru.size l)
+
+let test_lru_capacity_one () =
+  let l = Lru.create ~capacity:1 in
+  Lru.add l "a" 1;
+  Alcotest.(check (option int)) "sole entry" (Some 1) (Lru.find l "a");
+  Lru.add l "b" 2;
+  Alcotest.(check (option int)) "previous evicted" None (Lru.find l "a");
+  Alcotest.(check (option int)) "newcomer resident" (Some 2) (Lru.find l "b");
+  Lru.add l "b" 3;
+  Alcotest.(check (option int)) "replace in place" (Some 3) (Lru.find l "b");
+  Alcotest.(check int) "never grows" 1 (Lru.size l)
+
+(* --- health / metrics ops ---------------------------------------------------- *)
+
+let test_health_op () =
+  with_server (fun _port client ->
+      ignore (request_exn client [ ("op", Json.String "load"); ("spec", Json.String "vol") ]);
+      let health = request_exn client [ ("op", Json.String "health") ] in
+      (match Json.member "uptime_s" health with
+      | Some (Json.Float s) -> Alcotest.(check bool) "uptime non-negative" true (s >= 0.0)
+      | _ -> Alcotest.fail "health has no uptime_s");
+      (match Json.member "inflight" health with
+      | Some (Json.Int n) -> Alcotest.(check bool) "our connection counted" true (n >= 1)
+      | _ -> Alcotest.fail "health has no inflight");
+      (match Json.member "errors" health with
+      | Some (Json.Int 0) -> ()
+      | _ -> Alcotest.fail "clean daemon reports zero errors");
+      (match Json.member "last_error" health with
+      | Some Json.Null -> ()
+      | _ -> Alcotest.fail "clean daemon has a null last_error");
+      (match Option.bind (Json.member "lru" health) (Json.member "size") with
+      | Some (Json.Int 1) -> ()
+      | _ -> Alcotest.fail "loaded graph not reflected in lru size");
+      (* After a failing request, last_error carries the message. *)
+      ignore (Client.request_raw client "not json");
+      let health = request_exn client [ ("op", Json.String "health") ] in
+      (match Json.member "errors" health with
+      | Some (Json.Int n) -> Alcotest.(check bool) "error counted" true (n >= 1)
+      | _ -> Alcotest.fail "health lost its error count");
+      match Json.member "last_error" health with
+      | Some (Json.String _) -> ()
+      | _ -> Alcotest.fail "last_error not recorded")
+
+(* A permissive line-level check of the exposition format: every line is
+   a comment ([# HELP] / [# TYPE]) or [name{labels} value] with a legal
+   metric name and a float-parsable value. *)
+let check_prometheus_exposition text =
+  let legal_name s =
+    s <> ""
+    && String.for_all
+         (fun ch ->
+           (ch >= 'a' && ch <= 'z')
+           || (ch >= 'A' && ch <= 'Z')
+           || (ch >= '0' && ch <= '9')
+           || ch = '_' || ch = ':')
+         s
+    && not (s.[0] >= '0' && s.[0] <= '9')
+  in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 1 && line.[0] = '#' then begin
+        let is_help = String.length line > 7 && String.sub line 0 7 = "# HELP " in
+        let is_type = String.length line > 7 && String.sub line 0 7 = "# TYPE " in
+        if not (is_help || is_type) then Alcotest.failf "bad comment line: %s" line;
+        if is_type then begin
+          match String.split_on_char ' ' line with
+          | [ "#"; "TYPE"; name; kind ] ->
+              if not (legal_name name) then Alcotest.failf "bad metric name: %s" name;
+              if not (List.mem kind [ "counter"; "gauge"; "summary" ]) then
+                Alcotest.failf "bad metric type: %s" kind
+          | _ -> Alcotest.failf "bad TYPE line: %s" line
+        end
+      end
+      else begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "sample line without a value: %s" line
+        | Some sp ->
+            let name_part = String.sub line 0 sp in
+            let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+            (match float_of_string_opt value with
+            | Some _ -> ()
+            | None -> Alcotest.failf "unparsable sample value %S in: %s" value line);
+            let bare =
+              match String.index_opt name_part '{' with
+              | Some b ->
+                  if name_part.[String.length name_part - 1] <> '}' then
+                    Alcotest.failf "unterminated label set: %s" line;
+                  String.sub name_part 0 b
+              | None -> name_part
+            in
+            if not (legal_name bare) then Alcotest.failf "bad sample name: %s" line
+      end)
+    (String.split_on_char '\n' text)
+
+let test_metrics_op () =
+  with_server (fun _port client ->
+      ignore (request_exn client [ ("op", Json.String "load"); ("spec", Json.String "vol") ]);
+      ignore
+        (request_exn client [ ("op", Json.String "estimate"); ("spec", Json.String "vol") ]);
+      ignore (request_exn client [ ("op", Json.String "stats") ]);
+      let text = output_exn client [ ("op", Json.String "metrics") ] in
+      check_prometheus_exposition text;
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        Alcotest.(check bool) (Printf.sprintf "exposes %s" needle) true (go 0)
+      in
+      contains "# TYPE slif_server_uptime_seconds gauge";
+      contains "# TYPE slif_server_requests_total counter";
+      contains "# TYPE slif_server_request_duration_microseconds summary";
+      contains {|slif_server_requests_total{op="estimate"} 1|};
+      (* Every op served so far has its three quantiles. *)
+      List.iter
+        (fun op ->
+          List.iter
+            (fun q ->
+              contains
+                (Printf.sprintf
+                   {|slif_server_request_duration_microseconds{op="%s",quantile="%s"}|}
+                   op q))
+            [ "0.5"; "0.9"; "0.99" ])
+        [ "load"; "estimate"; "stats" ])
+
+(* --- trace ids: spans and event log agree ------------------------------------ *)
+
+let test_trace_ids_shared () =
+  let tmp = Filename.temp_file "slif_events" ".jsonl" in
+  Slif_obs.Registry.reset ();
+  Slif_obs.Registry.enable ();
+  Slif_obs.Event.open_log tmp;
+  Fun.protect
+    ~finally:(fun () ->
+      Slif_obs.Event.close_log ();
+      Slif_obs.Registry.disable ();
+      Slif_obs.Registry.reset ();
+      Sys.remove tmp)
+    (fun () ->
+      with_server (fun _port client ->
+          ignore
+            (request_exn client [ ("op", Json.String "load"); ("spec", Json.String "vol") ]);
+          ignore (request_exn client [ ("op", Json.String "stats") ]));
+      Slif_obs.Event.close_log ();
+      let ic = open_in tmp in
+      let rec lines acc =
+        match input_line ic with
+        | line -> lines (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = lines [] in
+      close_in ic;
+      let log_traces =
+        List.filter_map
+          (fun line ->
+            match Json.parse line with
+            | Ok json when Json.member "event" json = Some (Json.String "server.request")
+              -> (
+                match Json.member "trace_id" json with
+                | Some (Json.String id) -> Some id
+                | _ -> Alcotest.failf "request event without trace_id: %s" line)
+            | Ok _ -> None
+            | Error msg -> Alcotest.failf "event log line is not JSON (%s): %s" msg line)
+          lines
+      in
+      Alcotest.(check bool) "request events logged" true (List.length log_traces >= 2);
+      let span_traces =
+        List.filter_map
+          (fun (e : Slif_obs.Trace.event) ->
+            if String.length e.name >= 15 && String.sub e.name 0 15 = "server.request." then
+              List.assoc_opt "trace_id" e.args
+            else None)
+          (Slif_obs.Trace.events ())
+      in
+      Alcotest.(check bool) "request spans carry trace ids" true
+        (List.length span_traces >= 2);
+      List.iter
+        (fun id ->
+          Alcotest.(check bool)
+            (Printf.sprintf "span trace id %s appears in the event log" id)
+            true (List.mem id log_traces))
+        span_traces)
+
+(* --- stats latency block ------------------------------------------------------ *)
+
+let test_stats_latency () =
+  with_server (fun _port client ->
+      ignore
+        (request_exn client [ ("op", Json.String "estimate"); ("spec", Json.String "vol") ]);
+      let stats = request_exn client [ ("op", Json.String "stats") ] in
+      match Option.bind (Json.member "latency_us" stats) (Json.member "estimate") with
+      | Some q ->
+          (match Json.member "count" q with
+          | Some (Json.Int 1) -> ()
+          | _ -> Alcotest.fail "estimate latency count wrong");
+          (match (Json.member "p50" q, Json.member "p99" q, Json.member "max" q) with
+          | Some (Json.Float p50), Some (Json.Float p99), Some (Json.Float mx) ->
+              Alcotest.(check bool) "quantiles ordered" true (p50 <= p99 && p99 <= mx);
+              Alcotest.(check bool) "latency positive" true (p50 > 0.0)
+          | _ -> Alcotest.fail "latency quantile fields missing")
+      | None -> Alcotest.fail "stats has no latency for estimate")
+
+(* --- line cap ----------------------------------------------------------------- *)
+
+let test_line_cap () =
+  with_server
+    ~config:(fun c -> { c with Server.max_line_bytes = 1024 })
+    (fun port client ->
+      (* A raw socket, so we can pour bytes in without a newline. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let chunk = Bytes.make 4096 'x' in
+          ignore (Unix.write fd chunk 0 (Bytes.length chunk));
+          (* The daemon must answer with a protocol error, then close. *)
+          let buf = Buffer.create 256 in
+          let piece = Bytes.create 4096 in
+          let eof = ref false in
+          while not !eof do
+            match Unix.read fd piece 0 (Bytes.length piece) with
+            | 0 -> eof := true
+            | n -> Buffer.add_subbytes buf piece 0 n
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                eof := true
+          done;
+          let reply = String.trim (Buffer.contents buf) in
+          match Protocol.response_of_line reply with
+          | Ok _ -> Alcotest.fail "oversized line accepted"
+          | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "error names the cap: %s" msg)
+                true
+                (let needle = "byte cap" in
+                 let nl = String.length needle and ml = String.length msg in
+                 let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+                 go 0));
+      (* The daemon keeps serving other connections. *)
+      ignore (request_exn client [ ("op", Json.String "stats") ]))
+
+(* SIGUSR1 makes the daemon dump its telemetry to stderr and keep
+   serving.  Needs the real process: signals are process-wide. *)
+let test_sigusr1_dump () =
+  if not (Sys.file_exists cli) then ()
+  else begin
+    let sock = Filename.temp_file "slif_serve" ".sock" in
+    Sys.remove sock;
+    let err_path = Filename.temp_file "slif_serve" ".stderr" in
+    let err_fd = Unix.openfile err_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process cli [| cli; "serve"; "--socket"; sock |] Unix.stdin null err_fd
+    in
+    Unix.close null;
+    Unix.close err_fd;
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        if Sys.file_exists sock then Sys.remove sock;
+        if Sys.file_exists err_path then Sys.remove err_path)
+      (fun () ->
+        let rec wait tries =
+          if Sys.file_exists sock then ()
+          else if tries = 0 then Alcotest.fail "daemon socket never appeared"
+          else begin
+            Unix.sleepf 0.05;
+            wait (tries - 1)
+          end
+        in
+        wait 200;
+        let client = Client.connect_unix ~timeout_ms:10_000 sock in
+        Fun.protect
+          ~finally:(fun () ->
+            (try ignore (Client.request_raw client {|{"op":"shutdown"}|}) with _ -> ());
+            Client.close client)
+          (fun () ->
+            ignore (request_exn client [ ("op", Json.String "stats") ]);
+            Unix.kill pid Sys.sigusr1;
+            let contains_dump () =
+              let ic = open_in err_path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              let needle = "slif serve telemetry" in
+              let nl = String.length needle and tl = String.length text in
+              let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+              go 0
+            in
+            let rec wait_dump tries =
+              if contains_dump () then ()
+              else if tries = 0 then Alcotest.fail "no telemetry dump after SIGUSR1"
+              else begin
+                Unix.sleepf 0.05;
+                wait_dump (tries - 1)
+              end
+            in
+            wait_dump 100;
+            (* Still serving after the dump. *)
+            ignore (request_exn client [ ("op", Json.String "health") ])))
+  end
+
+(* --- client timeouts ---------------------------------------------------------- *)
+
+(* A listener whose backlog completes the TCP handshake but which never
+   reads or replies: connect succeeds, the request stalls. *)
+let test_client_timeout () =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "not an inet socket"
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close srv with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c = Client.connect_tcp ~timeout_ms:200 port in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          match Client.request_raw c {|{"op":"stats"}|} with
+          | _ -> Alcotest.fail "stalled socket produced an answer"
+          | exception Client.Timeout ->
+              let dt = Unix.gettimeofday () -. t0 in
+              Alcotest.(check bool) "deadline honored" true (dt >= 0.1 && dt < 5.0)))
+
+let test_client_timeout_rejects_bad_value () =
+  match Client.connect_tcp ~timeout_ms:0 1 with
+  | _ -> Alcotest.fail "timeout_ms 0 accepted"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "lru basics" `Quick test_lru_basics;
@@ -326,4 +680,16 @@ let suite =
     Alcotest.test_case "pipelined requests" `Quick test_pipelined_requests;
     Alcotest.test_case "max-requests stops the daemon" `Quick test_max_requests_stops;
     Alcotest.test_case "CLI daemon smoke" `Slow test_cli_daemon_smoke;
+    Alcotest.test_case "lru touch and re-insert order" `Quick test_lru_touch_reinsert_order;
+    Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
+    Alcotest.test_case "health op" `Slow test_health_op;
+    Alcotest.test_case "metrics op (Prometheus exposition)" `Slow test_metrics_op;
+    Alcotest.test_case "trace ids shared by spans and event log" `Slow
+      test_trace_ids_shared;
+    Alcotest.test_case "stats reports latency quantiles" `Slow test_stats_latency;
+    Alcotest.test_case "line cap earns a protocol error" `Quick test_line_cap;
+    Alcotest.test_case "SIGUSR1 dumps telemetry" `Slow test_sigusr1_dump;
+    Alcotest.test_case "client timeout on a stalled socket" `Quick test_client_timeout;
+    Alcotest.test_case "client rejects non-positive timeout" `Quick
+      test_client_timeout_rejects_bad_value;
   ]
