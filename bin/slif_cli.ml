@@ -679,6 +679,20 @@ let stats_cmd =
       Printf.printf "uptime %.1fs  requests %d  errors %d  inflight %d  lru %d/%d\n"
         (fnum health "uptime_s") (inum health "requests") (inum health "errors")
         (inum health "inflight") (inum lru "size") (inum lru "capacity");
+      (match mem "gc" stats with
+      | J.Obj _ as gc ->
+          Printf.printf
+            "gc     minor %d  major %d  promoted %.3g words  heap %.3g words\n"
+            (inum gc "minor_collections") (inum gc "major_collections")
+            (fnum gc "promoted_words")
+            (float_of_int (inum gc "heap_words"))
+      | _ -> ());
+      (match mem "pool" stats with
+      | J.Obj _ as p ->
+          Printf.printf "pool   live %d (created %d)  tasks %d submitted / %d completed\n"
+            (inum p "pools_live") (inum p "pools_created") (inum p "tasks_submitted")
+            (inum p "tasks_completed")
+      | _ -> ());
       (match mem "last_error" health with
       | J.String msg -> Printf.printf "last error: %s\n" msg
       | _ -> ());
@@ -758,13 +772,145 @@ let stats_cmd =
     Term.(
       const run $ obs_term $ socket $ port $ watch $ interval $ count $ timeout_ms)
 
+(* --- profile ---------------------------------------------------------------- *)
+
+(* "-j 4", "-j 1..8", "-j 1,2,4" or mixtures ("1..2,8"): the domain
+   counts the scaling sweep measures. *)
+let parse_jobs_range s =
+  let parse_int what v =
+    match int_of_string_opt (String.trim v) with
+    | Some n when n >= 1 -> n
+    | Some _ -> failf "-j: domain counts must be at least 1 (got %s)" v
+    | None -> failf "-j: %s %S is not a number" what v
+  in
+  let range_split item =
+    let n = String.length item in
+    let rec find i =
+      if i + 1 >= n then None
+      else if item.[i] = '.' && item.[i + 1] = '.' then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let parse_item item =
+    match range_split item with
+    | Some i ->
+        let lo = parse_int "range start" (String.sub item 0 i) in
+        let hi =
+          parse_int "range end" (String.sub item (i + 2) (String.length item - i - 2))
+        in
+        if hi < lo then failf "-j: empty range %s" item;
+        List.init (hi - lo + 1) (fun k -> lo + k)
+    | None -> [ parse_int "domain count" item ]
+  in
+  let items = String.split_on_char ',' (String.trim s) in
+  let jobs = List.concat_map parse_item (List.filter (fun i -> String.trim i <> "") items) in
+  if jobs = [] then failf "-j: no domain counts in %S" s;
+  List.sort_uniq compare jobs
+
+(* Each run's Chrome trace gets its domain count in the file name:
+   profile.json -> profile-j4.json. *)
+let trace_path_for base j =
+  let ext = Filename.extension base in
+  if ext = "" then Printf.sprintf "%s-j%d" base j
+  else Printf.sprintf "%s-j%d%s" (Filename.remove_extension base) j ext
+
+let profile_cmd =
+  let run spec file profile auto cache_dir jobs_spec json_path trace min_coverage
+      deadlines =
+    guarded @@ fun () ->
+    let jobs = parse_jobs_range jobs_spec in
+    (match min_coverage with
+    | Some f when f < 0.0 || f > 1.0 -> failf "--min-coverage must be in [0, 1]"
+    | Some _ | None -> ());
+    let src = source_of ~file ~spec in
+    let source = read_source src in
+    let name =
+      match src with `Bundled s -> s | `File path -> Filename.basename path
+    in
+    let slif = annotated ?cache_dir ~auto ~profile source in
+    let constraints = Ops.constraints_of_deadlines (parse_deadlines deadlines) in
+    let trace = Option.map (fun base j -> trace_path_for base j) trace in
+    let result = Specsyn.Profiler.run ?trace ~constraints ~name ~jobs slif in
+    print_string (Specsyn.Profiler.to_text result);
+    Option.iter
+      (fun path -> Slif_obs.Json.write_file path (Specsyn.Profiler.to_json result))
+      json_path;
+    if not result.Specsyn.Profiler.identical then begin
+      Printf.eprintf
+        "slif: profiled runs disagree across domain counts — determinism violated\n";
+      1
+    end
+    else
+      match min_coverage with
+      | Some floor
+        when List.exists
+               (fun (r : Specsyn.Profiler.run) ->
+                 r.Specsyn.Profiler.p_report.Slif_obs.Attribution.coverage < floor)
+               result.Specsyn.Profiler.runs ->
+          Printf.eprintf
+            "slif: attribution coverage fell below %.0f%% for at least one run\n"
+            (100.0 *. floor);
+          1
+      | _ -> 0
+  in
+  let jobs =
+    let doc =
+      "Domain counts to sweep: a count (4), an inclusive range (1..8) or a \
+       comma-separated mixture (1,2,4..8).  Each count runs the full \
+       exploration once with the parallelism profiler armed."
+    in
+    Arg.(value & opt string "1..2" & info [ "jobs"; "j" ] ~docv:"RANGE" ~doc)
+  in
+  let json_path =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable scaling report (schema slif-profile/1) \
+                   to $(docv).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write one Chrome trace per domain count, with spans and pool \
+                   counter tracks; -jN is inserted before the extension.")
+  in
+  let min_coverage =
+    Arg.(value & opt (some float) None
+         & info [ "min-coverage" ] ~docv:"FRACTION"
+             ~doc:"Exit nonzero when the attribution names less than $(docv) of the \
+                   measured wall time in any run (CI smoke uses 0.9).")
+  in
+  let deadlines =
+    Arg.(value & opt_all string []
+         & info [ "deadline" ] ~docv:"BEHAVIOR=US"
+             ~doc:"Execution-time constraint, as in $(b,slif partition).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile the parallel exploration across domain counts: speedup curve, \
+             per-domain wall-time attribution (task/queue/lock/GC/copy/idle), lock \
+             contention and GC pressure."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the same design-space exploration once per requested domain \
+              count with the contention, GC and scheduler profilers armed, then \
+              reports where each domain's wall time went.  Profiling never \
+              changes what exploration computes: the command fails if results \
+              differ across domain counts.";
+         ])
+    Term.(
+      const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ cache_dir_arg
+      $ jobs $ json_path $ trace $ min_coverage $ deadlines)
+
 let main_cmd =
   let doc = "SLIF: a specification-level intermediate format for system design" in
   Cmd.group
     (Cmd.info "slif" ~version:"1.0.0" ~doc)
     [
       dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd;
-      store_cmd; serve_cmd; stats_cmd;
+      store_cmd; serve_cmd; stats_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,168 @@
+type category = Task_run | Queue_wait | Lock_wait | Gc | Copy | Idle
+
+let categories = [ Task_run; Queue_wait; Lock_wait; Gc; Copy; Idle ]
+
+let category_name = function
+  | Task_run -> "task-run"
+  | Queue_wait -> "queue-wait"
+  | Lock_wait -> "lock-wait"
+  | Gc -> "gc"
+  | Copy -> "copy"
+  | Idle -> "idle"
+
+let index_of = function
+  | Task_run -> 0
+  | Queue_wait -> 1
+  | Lock_wait -> 2
+  | Gc -> 3
+  | Copy -> 4
+  | Idle -> 5
+
+let n_categories = 6
+
+(* Same shape as the span registry: one cell per domain reached through
+   DLS (the producers never lock), a global list of the cells for the
+   readers, and one atomic gate in front of everything. *)
+let enabled = Atomic.make false
+
+type cell = { dom : int; by_cat : float array; mutable wall : float }
+
+let cells_mu = Mutex.create ()
+let cells : cell list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { dom = (Domain.self () :> int); by_cat = Array.make n_categories 0.0; wall = 0.0 }
+      in
+      Mutex.lock cells_mu;
+      cells := c :: !cells;
+      Mutex.unlock cells_mu;
+      c)
+
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let add cat us =
+  if Atomic.get enabled && Float.is_finite us && us > 0.0 then begin
+    let c = Domain.DLS.get key in
+    let i = index_of cat in
+    c.by_cat.(i) <- c.by_cat.(i) +. us
+  end
+
+let add_wall us =
+  if Atomic.get enabled && Float.is_finite us && us > 0.0 then begin
+    let c = Domain.DLS.get key in
+    c.wall <- c.wall +. us
+  end
+
+let fold_cells f acc =
+  Mutex.lock cells_mu;
+  let cs = !cells in
+  Mutex.unlock cells_mu;
+  List.fold_left f acc (List.sort (fun a b -> compare a.dom b.dom) cs)
+
+let reset () =
+  fold_cells
+    (fun () c ->
+      Array.fill c.by_cat 0 n_categories 0.0;
+      c.wall <- 0.0)
+    ()
+
+type per_domain = {
+  dom : int;
+  wall_us : float;
+  raw : (category * float) list;
+  net : (category * float) list;
+  other_us : float;
+}
+
+type report = {
+  domains : per_domain list;
+  total_wall_us : float;
+  totals : (category * float) list;
+  total_other_us : float;
+  coverage : float;
+}
+
+let raw_of_cell c = List.map (fun cat -> (cat, c.by_cat.(index_of cat))) categories
+
+let snapshot () =
+  fold_cells
+    (fun acc c ->
+      {
+        dom = c.dom;
+        wall_us = c.wall;
+        raw = raw_of_cell c;
+        net = raw_of_cell c;
+        other_us = Float.max 0.0 (c.wall -. Array.fold_left ( +. ) 0.0 c.by_cat);
+      }
+      :: acc)
+    []
+  |> List.rev
+
+(* The GC/lock/copy time measured inside a task is already part of the
+   gross task-run figure; carving it out keeps one domain's categories
+   summing to at most its wall.  A process-wide GC time (runtime_events
+   cannot attribute pauses to [Domain.self] ids) is spread over the
+   domains in proportion to their gross task time — the allocation the
+   pauses interrupted. *)
+let report ?gc_us () =
+  (* Cells persist across profiled runs (a domain's DLS outlives a
+     reset only as zeros); all-zero cells are domains that took no part
+     in this run and would only pad the report. *)
+  let live (c : cell) = c.wall > 0.0 || Array.exists (fun v -> v > 0.0) c.by_cat in
+  let cs =
+    fold_cells (fun acc c -> if live c then c :: acc else acc) []
+    |> List.sort (fun (a : cell) (b : cell) -> compare a.dom b.dom)
+  in
+  let gross_task c = c.by_cat.(index_of Task_run) in
+  let total_gross_task = List.fold_left (fun acc c -> acc +. gross_task c) 0.0 cs in
+  let recorded_gc = List.fold_left (fun acc c -> acc +. c.by_cat.(index_of Gc)) 0.0 cs in
+  let gc_total = match gc_us with Some g -> Float.max g recorded_gc | None -> recorded_gc in
+  let domains =
+    List.map
+      (fun c ->
+        let gc_share =
+          if gc_us = None then c.by_cat.(index_of Gc)
+          else if total_gross_task <= 0.0 then 0.0
+          else gc_total *. gross_task c /. total_gross_task
+        in
+        let carve =
+          c.by_cat.(index_of Lock_wait) +. c.by_cat.(index_of Copy) +. gc_share
+        in
+        let net_task = Float.max 0.0 (gross_task c -. carve) in
+        let net =
+          List.map
+            (fun cat ->
+              match cat with
+              | Task_run -> (cat, net_task)
+              | Gc -> (cat, gc_share)
+              | _ -> (cat, c.by_cat.(index_of cat)))
+            categories
+        in
+        let named = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 net in
+        {
+          dom = c.dom;
+          wall_us = c.wall;
+          raw = raw_of_cell c;
+          net;
+          other_us = Float.max 0.0 (c.wall -. named);
+        })
+      cs
+  in
+  let total_wall_us = List.fold_left (fun acc d -> acc +. d.wall_us) 0.0 domains in
+  let totals =
+    List.map
+      (fun cat ->
+        ( cat,
+          List.fold_left (fun acc d -> acc +. List.assoc cat d.net) 0.0 domains ))
+      categories
+  in
+  let named = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 totals in
+  let total_other_us = Float.max 0.0 (total_wall_us -. named) in
+  let coverage =
+    if total_wall_us <= 0.0 then 1.0 else Float.min 1.0 (named /. total_wall_us)
+  in
+  { domains; total_wall_us; totals; total_other_us; coverage }

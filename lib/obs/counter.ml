@@ -30,3 +30,16 @@ let snapshot () =
         l.Registry.counters)
     ();
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged [] |> List.sort compare
+
+(* Unmerged view: which domain did the counting.  The scaling report
+   uses it to show per-domain memo hit rates. *)
+let snapshot_by_domain () =
+  Registry.fold_locals
+    (fun acc l ->
+      let cs =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) l.Registry.counters []
+        |> List.sort compare
+      in
+      if cs = [] then acc else (l.Registry.dom, cs) :: acc)
+    []
+  |> List.rev

@@ -17,3 +17,7 @@ val get : string -> int
 
 val snapshot : unit -> (string * int) list
 (** All counters, sorted by name. *)
+
+val snapshot_by_domain : unit -> (int * (string * int) list) list
+(** Per-domain unmerged counters, ascending domain id; domains that
+    never counted are omitted.  Names sorted within each domain. *)

@@ -178,6 +178,13 @@ let record t v =
 let count t = t.t_count
 let sum t = t.t_sum
 
+let clear t =
+  t.t_count <- 0;
+  t.t_sum <- 0.0;
+  t.t_min <- Float.infinity;
+  t.t_max <- Float.neg_infinity;
+  Array.fill t.t_buckets 0 n_buckets 0
+
 let stats t =
   {
     count = t.t_count;

@@ -58,6 +58,9 @@ val count : t -> int
 
 val sum : t -> float
 
+val clear : t -> unit
+(** Zero the histogram in place (count, sum, extremes, buckets). *)
+
 val stats : t -> summary
 
 val quantile : t -> float -> float

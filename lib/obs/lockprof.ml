@@ -1,0 +1,134 @@
+let enabled = Atomic.make false
+
+type t = {
+  name : string;
+  category : Attribution.category;
+  mu : Mutex.t;
+  wait : Histogram.t;
+  hold : Histogram.t;
+  mutable acquisitions : int;
+  mutable contended : int;
+  (* Acquisition timestamp of the current holder; [nan] when the holder
+     was not profiled (so a disable between lock and unlock never records
+     a bogus hold).  Only ever written while the mutex is held. *)
+  mutable acquired_at : float;
+}
+
+let locks_mu = Mutex.create ()
+let locks : t list ref = ref []
+
+let create ?(category = Attribution.Lock_wait) name =
+  let t =
+    {
+      name;
+      category;
+      mu = Mutex.create ();
+      wait = Histogram.create ();
+      hold = Histogram.create ();
+      acquisitions = 0;
+      contended = 0;
+      acquired_at = Float.nan;
+    }
+  in
+  Mutex.lock locks_mu;
+  locks := t :: !locks;
+  Mutex.unlock locks_mu;
+  t
+
+let name t = t.name
+let mutex t = t.mu
+
+let set_enabled b = Atomic.set enabled b
+let on () = Atomic.get enabled
+
+(* The stat cells are only ever mutated by the thread currently holding
+   [t.mu]: the wait is recorded right after acquisition, the hold right
+   before release.  The profiling therefore needs no lock of its own. *)
+let lock t =
+  if not (Atomic.get enabled) then Mutex.lock t.mu
+  else if Mutex.try_lock t.mu then begin
+    t.acquisitions <- t.acquisitions + 1;
+    Histogram.record t.wait 0.0;
+    t.acquired_at <- Clock.now_us ()
+  end
+  else begin
+    let t0 = Clock.now_us () in
+    Mutex.lock t.mu;
+    let t1 = Clock.now_us () in
+    let waited = t1 -. t0 in
+    t.acquisitions <- t.acquisitions + 1;
+    t.contended <- t.contended + 1;
+    Histogram.record t.wait waited;
+    Attribution.add t.category waited;
+    t.acquired_at <- t1
+  end
+
+let unlock t =
+  if Atomic.get enabled && Float.is_finite t.acquired_at then
+    Histogram.record t.hold (Clock.now_us () -. t.acquired_at);
+  t.acquired_at <- Float.nan;
+  Mutex.unlock t.mu
+
+(* Close the hold segment before parking, reopen it on wake: blocked
+   time belongs to the wait's category (idle by default), never to the
+   hold histogram. *)
+let wait ?(category = Attribution.Idle) t cond =
+  if not (Atomic.get enabled) then Condition.wait cond t.mu
+  else begin
+    let t0 = Clock.now_us () in
+    if Float.is_finite t.acquired_at then Histogram.record t.hold (t0 -. t.acquired_at);
+    t.acquired_at <- Float.nan;
+    Condition.wait cond t.mu;
+    let t1 = Clock.now_us () in
+    Attribution.add category (t1 -. t0);
+    if Atomic.get enabled then t.acquired_at <- t1
+  end
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e
+
+type stat = {
+  s_name : string;
+  acquisitions : int;
+  contended : int;
+  wait_us : Histogram.summary;
+  wait_quantiles : Histogram.quantiles;
+  hold_us : Histogram.summary;
+  hold_quantiles : Histogram.quantiles;
+}
+
+let stats t =
+  {
+    s_name = t.name;
+    acquisitions = t.acquisitions;
+    contended = t.contended;
+    wait_us = Histogram.stats t.wait;
+    wait_quantiles = Histogram.quantile_summary t.wait;
+    hold_us = Histogram.stats t.hold;
+    hold_quantiles = Histogram.quantile_summary t.hold;
+  }
+
+let all () =
+  Mutex.lock locks_mu;
+  let ls = !locks in
+  Mutex.unlock locks_mu;
+  List.map stats ls |> List.sort (fun a b -> compare a.s_name b.s_name)
+
+let reset () =
+  Mutex.lock locks_mu;
+  let ls = !locks in
+  Mutex.unlock locks_mu;
+  List.iter
+    (fun (t : t) ->
+      t.acquisitions <- 0;
+      t.contended <- 0;
+      Histogram.clear t.wait;
+      Histogram.clear t.hold)
+    ls

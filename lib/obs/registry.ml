@@ -15,6 +15,8 @@ type hist = {
   h_buckets : int array;  (* log-spaced; geometry lives in Histogram *)
 }
 
+type counter_sample = { sa_name : string; sa_ts_ns : int64; sa_value : float; sa_dom : int }
+
 type local = {
   dom : int;
   counters : (string, int ref) Hashtbl.t;
@@ -22,6 +24,8 @@ type local = {
   mutable events : span_event list;  (* newest first *)
   mutable n_events : int;
   mutable dropped : int;
+  mutable samples : counter_sample list;  (* newest first *)
+  mutable n_samples : int;
   mutable depth : int;
   mutable trace : string option;
 }
@@ -52,6 +56,8 @@ let key =
           events = [];
           n_events = 0;
           dropped = 0;
+          samples = [];
+          n_samples = 0;
           depth = 0;
           trace = None;
         }
@@ -88,6 +94,8 @@ let reset () =
       l.events <- [];
       l.n_events <- 0;
       l.dropped <- 0;
+      l.samples <- [];
+      l.n_samples <- 0;
       l.depth <- 0)
     ();
   epoch := Clock.now_ns ()
@@ -118,6 +126,29 @@ let push_event l ev =
 
 let all_events () =
   fold_locals (fun acc l -> acc @ List.rev l.events) []
+
+(* Timestamped gauge samples for the trace export's counter tracks.
+   Same cell discipline as spans: the producer touches only its own
+   domain, the reader merges.  Shares the span cap so a runaway sampler
+   is bounded by the same knob. *)
+let sample name value =
+  if Atomic.get enabled then begin
+    let l = local () in
+    if l.n_samples >= Atomic.get max_events then l.dropped <- l.dropped + 1
+    else begin
+      l.samples <-
+        {
+          sa_name = name;
+          sa_ts_ns = Int64.sub (Clock.now_ns ()) !epoch;
+          sa_value = value;
+          sa_dom = l.dom;
+        }
+        :: l.samples;
+      l.n_samples <- l.n_samples + 1
+    end
+  end
+
+let all_samples () = fold_locals (fun acc l -> acc @ List.rev l.samples) []
 
 let dropped_events () = fold_locals (fun acc l -> acc + l.dropped) 0
 

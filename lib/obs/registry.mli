@@ -57,6 +57,13 @@ type hist = {
           width) is owned by {!Histogram} *)
 }
 
+type counter_sample = {
+  sa_name : string;
+  sa_ts_ns : int64;  (** relative to the epoch, like span timestamps *)
+  sa_value : float;
+  sa_dom : int;  (** domain that took the sample *)
+}
+
 type local = {
   dom : int;  (** [Domain.self] of the owning domain *)
   counters : (string, int ref) Hashtbl.t;
@@ -64,6 +71,8 @@ type local = {
   mutable events : span_event list;  (** newest first *)
   mutable n_events : int;
   mutable dropped : int;
+  mutable samples : counter_sample list;  (** newest first *)
+  mutable n_samples : int;
   mutable depth : int;  (** span nesting depth (maintained by {!Span.with_}) *)
   mutable trace : string option;  (** ambient request trace id, if any *)
 }
@@ -101,6 +110,16 @@ val all_events : unit -> span_event list
 
 val dropped_events : unit -> int
 (** Total drops across all domains. *)
+
+val sample : string -> float -> unit
+(** Record a timestamped gauge sample in the calling domain's cell —
+    the trace export turns each name into a Perfetto counter track
+    ([ph:"C"]).  No-op while disabled; bounded by {!set_max_events}
+    (excess samples count as drops). *)
+
+val all_samples : unit -> counter_sample list
+(** All gauge samples, per-domain chronological order, domains in
+    ascending id order. *)
 
 val set_max_events : int -> unit
 (** Cap each domain's span buffer (default 200_000 events) so a runaway

@@ -39,6 +39,22 @@ let event_json ev =
       ("args", Json.Obj args);
     ]
 
+(* Perfetto counter tracks: one "ph":"C" event per gauge sample.  The
+   (pid, name) pair identifies the track, so samples from different
+   domains fold into one line per counter name; the sampling domain is
+   kept as an arg for filtering. *)
+let sample_json (s : Registry.counter_sample) =
+  Json.Obj
+    [
+      ("name", Json.String s.sa_name);
+      ("cat", Json.String "slif");
+      ("ph", Json.String "C");
+      ("ts", Json.Float (Int64.to_float s.sa_ts_ns /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("value", Json.Float s.sa_value); ("dom", Json.Int s.sa_dom) ]);
+    ]
+
 let process_name_event =
   Json.Obj
     [
@@ -51,7 +67,10 @@ let process_name_event =
 let to_json () =
   Json.Obj
     [
-      ("traceEvents", Json.List (process_name_event :: List.map event_json (events ())));
+      ( "traceEvents",
+        Json.List
+          ((process_name_event :: List.map event_json (events ()))
+          @ List.map sample_json (Registry.all_samples ())) );
       ("displayTimeUnit", Json.String "ms");
       ("droppedSpanEvents", Json.Int (Registry.dropped_events ()));
     ]

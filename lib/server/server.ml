@@ -54,6 +54,8 @@ type state = {
   mutable last_error : string option;
   per_op : (string, int ref) Hashtbl.t;
   lat : (string, op_lat) Hashtbl.t;
+  mutable select_idle_us : float;  (** time parked in [select] with nothing to do *)
+  mutable loop_iters : int;
   mutable stop : bool;
 }
 
@@ -144,6 +146,45 @@ let resolve st target profile =
 
 let uptime_s st = (Obs.Clock.now_us () -. st.started_us) /. 1e6
 
+let gc_counts_fields (c : Obs.Gcprof.counts) =
+  let module J = Obs.Json in
+  [
+    ("minor_collections", J.Int c.minor_collections);
+    ("major_collections", J.Int c.major_collections);
+    ("compactions", J.Int c.compactions);
+    ("minor_words", J.Float c.minor_words);
+    ("promoted_words", J.Float c.promoted_words);
+    ("major_words", J.Float c.major_words);
+  ]
+
+(* The GC block served by [stats] and [health]: process totals, current
+   heap size, and the per-domain split (a hot pool worker shows up as
+   the domain doing the collecting). *)
+let gc_json () =
+  let module J = Obs.Json in
+  Obs.Gcprof.sample ();
+  J.Obj
+    (gc_counts_fields (Obs.Gcprof.counts ())
+    @ [
+        ("heap_words", J.Int (Obs.Gcprof.heap_words ()));
+        ( "per_domain",
+          J.Obj
+            (List.map
+               (fun (dom, c) -> (string_of_int dom, J.Obj (gc_counts_fields c)))
+               (Obs.Gcprof.per_domain ())) );
+      ])
+
+let pool_json () =
+  let module J = Obs.Json in
+  let g = Slif_util.Pool.global_stats () in
+  J.Obj
+    [
+      ("pools_created", J.Int g.Slif_util.Pool.g_pools_created);
+      ("pools_live", J.Int g.Slif_util.Pool.g_pools_live);
+      ("tasks_submitted", J.Int g.Slif_util.Pool.g_tasks_submitted);
+      ("tasks_completed", J.Int g.Slif_util.Pool.g_tasks_completed);
+    ]
+
 let sorted_ops st =
   Hashtbl.fold (fun op l acc -> (op, l) :: acc) st.lat [] |> List.sort compare
 
@@ -190,6 +231,136 @@ let prometheus_text st =
           (fun q -> ([ ("op", op) ], q, 0.0))
           (Obs.Histogram.window_quantiles l.win))
       (sorted_ops st)
+  in
+  Obs.Gcprof.sample ();
+  let dom_label d = [ ("domain", string_of_int d) ] in
+  let gc_per_domain = Obs.Gcprof.per_domain () in
+  let gc_counter name help pick =
+    P.Counter
+      {
+        name;
+        help;
+        samples = List.map (fun (d, c) -> (dom_label d, pick c)) gc_per_domain;
+      }
+  in
+  let gc_families =
+    [
+      gc_counter "slif_gc_minor_collections_total" "Minor collections, by domain."
+        (fun (c : Obs.Gcprof.counts) -> float_of_int c.minor_collections);
+      gc_counter "slif_gc_major_collections_total" "Major collection cycles, by domain."
+        (fun c -> float_of_int c.major_collections);
+      gc_counter "slif_gc_compactions_total" "Heap compactions, by domain." (fun c ->
+          float_of_int c.compactions);
+      gc_counter "slif_gc_minor_words_total" "Words allocated on minor heaps, by domain."
+        (fun c -> c.minor_words);
+      gc_counter "slif_gc_promoted_words_total"
+        "Words promoted from minor to major heap, by domain." (fun c -> c.promoted_words);
+      gc_counter "slif_gc_major_words_total"
+        "Words allocated on the major heap (including promotions), by domain." (fun c ->
+          c.major_words);
+      P.Gauge
+        {
+          name = "slif_gc_heap_words";
+          help = "Current major-heap size of the process, in words.";
+          samples = [ ([], float_of_int (Obs.Gcprof.heap_words ())) ];
+        };
+    ]
+  in
+  let pg = Slif_util.Pool.global_stats () in
+  let pool_families =
+    [
+      P.Counter
+        {
+          name = "slif_pool_pools_created_total";
+          help = "Domain pools ever created.";
+          samples = [ ([], float_of_int pg.Slif_util.Pool.g_pools_created) ];
+        };
+      P.Gauge
+        {
+          name = "slif_pool_pools_live";
+          help = "Domain pools currently alive.";
+          samples = [ ([], float_of_int pg.Slif_util.Pool.g_pools_live) ];
+        };
+      P.Counter
+        {
+          name = "slif_pool_tasks_submitted_total";
+          help = "Tasks handed to pool map calls.";
+          samples = [ ([], float_of_int pg.Slif_util.Pool.g_tasks_submitted) ];
+        };
+      P.Counter
+        {
+          name = "slif_pool_tasks_completed_total";
+          help = "Pool tasks that ran to completion.";
+          samples = [ ([], float_of_int pg.Slif_util.Pool.g_tasks_completed) ];
+        };
+    ]
+  in
+  (* Lock families only appear once a profiled lock recorded something:
+     with Lockprof disabled (the default) the histograms stay empty. *)
+  let lock_stats =
+    List.filter (fun (s : Obs.Lockprof.stat) -> s.acquisitions > 0) (Obs.Lockprof.all ())
+  in
+  let lock_label (s : Obs.Lockprof.stat) = [ ("lock", s.s_name) ] in
+  let lock_families =
+    if lock_stats = [] then []
+    else
+      [
+        P.Counter
+          {
+            name = "slif_lock_acquisitions_total";
+            help = "Profiled-lock acquisitions, by lock.";
+            samples =
+              List.map
+                (fun (s : Obs.Lockprof.stat) ->
+                  (lock_label s, float_of_int s.acquisitions))
+                lock_stats;
+          };
+        P.Counter
+          {
+            name = "slif_lock_contended_total";
+            help = "Acquisitions that had to wait, by lock.";
+            samples =
+              List.map
+                (fun (s : Obs.Lockprof.stat) -> (lock_label s, float_of_int s.contended))
+                lock_stats;
+          };
+        P.Summary
+          {
+            name = "slif_lock_wait_microseconds";
+            help = "Time spent waiting to acquire each profiled lock.";
+            series =
+              List.map
+                (fun (s : Obs.Lockprof.stat) ->
+                  (lock_label s, s.wait_quantiles, s.wait_us.sum))
+                lock_stats;
+          };
+        P.Summary
+          {
+            name = "slif_lock_hold_microseconds";
+            help = "Time each profiled lock was held.";
+            series =
+              List.map
+                (fun (s : Obs.Lockprof.stat) ->
+                  (lock_label s, s.hold_quantiles, s.hold_us.sum))
+                lock_stats;
+          };
+      ]
+  in
+  let select_families =
+    [
+      P.Counter
+        {
+          name = "slif_server_select_idle_seconds_total";
+          help = "Time the event loop spent parked in select with nothing to do.";
+          samples = [ ([], st.select_idle_us /. 1e6) ];
+        };
+      P.Counter
+        {
+          name = "slif_server_loop_iterations_total";
+          help = "Event-loop wake-ups.";
+          samples = [ ([], float_of_int st.loop_iters) ];
+        };
+    ]
   in
   let registry_counters =
     List.map
@@ -267,7 +438,8 @@ let prometheus_text st =
            series = recent_series;
          };
      ]
-    @ registry_counters @ registry_hists)
+    @ select_families @ gc_families @ pool_families @ lock_families @ registry_counters
+    @ registry_hists)
 
 (* The SIGUSR1 runtime dump: everything [stats] and the quantile block
    know, to stderr (or wherever [oc] points), without stopping the
@@ -371,6 +543,8 @@ let handle_request st req =
                 ("keys", J.List (List.map (fun k -> J.String k) (Lru.keys st.lru)));
               ] );
           ("latency_us", latency_json st);
+          ("gc", gc_json ());
+          ("pool", pool_json ());
         ]
   | Protocol.Health ->
       Protocol.ok
@@ -385,6 +559,17 @@ let handle_request st req =
                 ("size", J.Int (Lru.size st.lru));
                 ("capacity", J.Int (Lru.capacity st.lru));
               ] );
+          ( "gc",
+            (Obs.Gcprof.sample ();
+             let c = Obs.Gcprof.counts () in
+             J.Obj
+               [
+                 ("minor_collections", J.Int c.minor_collections);
+                 ("major_collections", J.Int c.major_collections);
+                 ("promoted_words", J.Float c.promoted_words);
+                 ("heap_words", J.Int (Obs.Gcprof.heap_words ()));
+               ]) );
+          ("pool", pool_json ());
           ( "last_error",
             match st.last_error with Some msg -> J.String msg | None -> J.Null );
         ]
@@ -566,6 +751,8 @@ let run ?on_ready cfg =
       last_error = None;
       per_op = Hashtbl.create 8;
       lat = Hashtbl.create 8;
+      select_idle_us = 0.0;
+      loop_iters = 0;
       stop = false;
     }
   in
@@ -595,9 +782,25 @@ let run ?on_ready cfg =
              !conns
     in
     let writes = List.filter_map (fun c -> if c.outq <> "" then Some c.fd else None) !conns in
-    match Unix.select reads writes [] 0.2 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, writable, _ ->
+    st.loop_iters <- st.loop_iters + 1;
+    let sel_t0 = Obs.Clock.now_us () in
+    let sel =
+      match Unix.select reads writes [] 0.2 with
+      | r -> Some r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+    in
+    (* Blocking in select with nothing ready is the daemon's idle time:
+       part of its wall, useful both for the metrics scrape and — when a
+       profiled sweep runs in-process — for the attribution report. *)
+    let sel_dur = Obs.Clock.now_us () -. sel_t0 in
+    (match sel with
+    | Some ([], [], _) | None ->
+        st.select_idle_us <- st.select_idle_us +. sel_dur;
+        Obs.Attribution.add Obs.Attribution.Idle sel_dur
+    | Some _ -> ());
+    match sel with
+    | None -> ()
+    | Some (readable, writable, _) ->
         if List.memq listen_fd readable then begin
           match Unix.accept listen_fd with
           | fd, _ ->

@@ -462,8 +462,21 @@ let of_problem (problem : Search.problem) part =
    parallel sweep needs. *)
 let copy t =
   if t.txn <> None then invalid_arg "Engine.copy: a transaction is pending";
-  create ~weights:t.weights ~constraints:t.constraints t.graph
-    (Slif.Partition.copy t.part)
+  let clone () =
+    Slif_obs.Span.with_ "engine.copy" @@ fun () ->
+    Slif_obs.Counter.incr "engine.copies";
+    create ~weights:t.weights ~constraints:t.constraints t.graph
+      (Slif.Partition.copy t.part)
+  in
+  if not (Slif_obs.Attribution.on ()) then clone ()
+  else begin
+    let t0 = Slif_obs.Clock.now_us () in
+    let r = clone () in
+    (* The clone cost is part of the task body that requested it; the
+       attribution report carves it out of gross task-run. *)
+    Slif_obs.Attribution.add Slif_obs.Attribution.Copy (Slif_obs.Clock.now_us () -. t0);
+    r
+  end
 
 (* --- Move generation ------------------------------------------------------ *)
 

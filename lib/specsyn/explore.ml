@@ -60,8 +60,10 @@ let run ?(jobs = 1) ?constraints ?weights ?(algos = default_algos)
     Slif_obs.Counter.add "explore.partitions_evaluated" solution.Search.evaluated;
     { alloc; algo; solution; elapsed_s; partitions_per_s }
   in
+  (* Even [jobs = 1] goes through the pool: its single-domain path runs
+     the same thunks inline, so the serial and parallel sweeps share one
+     code path and the profiler's task instrumentation covers both. *)
   let entries =
-    if jobs = 1 then List.map solve_one tasks
-    else Slif_util.Pool.with_pool ~jobs (fun pool -> Slif_util.Pool.map pool solve_one tasks)
+    Slif_util.Pool.with_pool ~jobs (fun pool -> Slif_util.Pool.map pool solve_one tasks)
   in
   List.sort (fun a b -> compare a.solution.Search.cost b.solution.Search.cost) entries

@@ -1,32 +1,81 @@
 (* Work queue shared by the submitter and the worker domains.  Tasks are
    packaged as [unit -> unit] thunks that write into a per-call results
    array, so one queue serves map calls of any element type.  Everything
-   below the public API is guarded by one mutex; the hot path (the task
-   bodies) runs without it. *)
+   below the public API is guarded by one profiled mutex (the
+   [Slif_obs.Lockprof] lock "pool.queue"); the hot path (the task bodies)
+   runs without it.
+
+   Instrumentation never changes scheduling: tasks still execute in
+   submission order off one queue, results are still reassembled by
+   index, so a profiled sweep returns byte-identical results.  With both
+   the span registry and the attribution switch off, the added cost per
+   task is one atomic load and a [Gc.quick_stat] at completion. *)
 
 type t = {
   n_jobs : int;
   queue : (unit -> unit) Queue.t;
-  mu : Mutex.t;
+  lock : Slif_obs.Lockprof.t;
   work : Condition.t;            (* signalled when tasks arrive or at shutdown *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+  mutable submitted : int;       (* tasks ever handed to [mapi]; under [lock] *)
+  mutable completed : int;       (* tasks whose thunk settled; under [lock] *)
 }
+
+type stats = {
+  st_jobs : int;
+  st_worker_domains : int;
+  st_queued : int;
+  st_submitted : int;
+  st_completed : int;
+}
+
+(* Process-wide totals for the daemon's metrics: pools are transient
+   (one per sweep), so the scrape needs counters that survive them. *)
+let g_pools_created = Atomic.make 0
+let g_pools_live = Atomic.make 0
+let g_submitted = Atomic.make 0
+let g_completed = Atomic.make 0
+
+type global_stats = {
+  g_pools_created : int;
+  g_pools_live : int;
+  g_tasks_submitted : int;
+  g_tasks_completed : int;
+}
+
+let global_stats () =
+  {
+    g_pools_created = Atomic.get g_pools_created;
+    g_pools_live = Atomic.get g_pools_live;
+    g_tasks_submitted = Atomic.get g_submitted;
+    g_tasks_completed = Atomic.get g_completed;
+  }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let rec worker_loop pool =
-  Mutex.lock pool.mu;
+  Slif_obs.Lockprof.lock pool.lock;
   while Queue.is_empty pool.queue && not pool.stop do
-    Condition.wait pool.work pool.mu
+    (* Parked with nothing to run: idle time, not queue contention. *)
+    Slif_obs.Lockprof.wait pool.lock pool.work
   done;
-  if Queue.is_empty pool.queue then Mutex.unlock pool.mu (* stop requested *)
+  if Queue.is_empty pool.queue then Slif_obs.Lockprof.unlock pool.lock (* stop requested *)
   else begin
     let thunk = Queue.pop pool.queue in
-    Mutex.unlock pool.mu;
+    Slif_obs.Lockprof.unlock pool.lock;
     thunk ();
     worker_loop pool
   end
+
+(* Workers report their whole loop lifetime as wall time when they join,
+   so an attribution report taken after [shutdown] has the full
+   denominator for every worker domain. *)
+let worker_main pool () =
+  let t0 = Slif_obs.Clock.now_us () in
+  Fun.protect
+    ~finally:(fun () -> Slif_obs.Attribution.add_wall (Slif_obs.Clock.now_us () -. t0))
+    (fun () -> worker_loop pool)
 
 let create ?jobs () =
   let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
@@ -35,25 +84,45 @@ let create ?jobs () =
     {
       n_jobs;
       queue = Queue.create ();
-      mu = Mutex.create ();
+      lock = Slif_obs.Lockprof.create ~category:Slif_obs.Attribution.Queue_wait "pool.queue";
       work = Condition.create ();
       stop = false;
       workers = [];
+      submitted = 0;
+      completed = 0;
     }
   in
-  pool.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  Atomic.incr g_pools_created;
+  Atomic.incr g_pools_live;
+  pool.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (worker_main pool));
   pool
 
 let jobs t = t.n_jobs
 
+let stats t =
+  Slif_obs.Lockprof.lock t.lock;
+  let s =
+    {
+      st_jobs = t.n_jobs;
+      st_worker_domains = List.length t.workers;
+      st_queued = Queue.length t.queue;
+      st_submitted = t.submitted;
+      st_completed = t.completed;
+    }
+  in
+  Slif_obs.Lockprof.unlock t.lock;
+  s
+
 let shutdown t =
-  Mutex.lock t.mu;
+  Slif_obs.Lockprof.lock t.lock;
+  let was_stopped = t.stop in
   t.stop <- true;
   Condition.broadcast t.work;
-  Mutex.unlock t.mu;
+  Slif_obs.Lockprof.unlock t.lock;
   let workers = t.workers in
   t.workers <- [];
-  List.iter Domain.join workers
+  List.iter Domain.join workers;
+  if not was_stopped then Atomic.decr g_pools_live
 
 let with_pool ?jobs f =
   let pool = create ?jobs () in
@@ -73,21 +142,56 @@ let mapi pool f tasks =
       let failures = Array.make n None in
       let remaining = ref n in
       let settled = Condition.create () in
+      (* One flag per call: with every profiling surface off, the thunks
+         skip the clock reads entirely. *)
+      let profiled = Slif_obs.Registry.on () || Slif_obs.Attribution.on () in
+      let wall0 = if profiled then Slif_obs.Clock.now_us () else 0.0 in
+      let t_submit = if profiled then Slif_obs.Clock.now_us () else 0.0 in
       let thunk i () =
-        (match f i arr.(i) with
-        | v -> results.(i) <- Some v
-        | exception e -> failures.(i) <- Some e);
-        Mutex.lock pool.mu;
+        (if profiled then begin
+           let t_start = Slif_obs.Clock.now_us () in
+           (* Submission-to-start latency: how long the task sat queued. *)
+           Slif_obs.Histogram.observe "pool.task_queue_wait_us" (t_start -. t_submit);
+           (match f i arr.(i) with
+           | v -> results.(i) <- Some v
+           | exception e -> failures.(i) <- Some e);
+           let dur = Slif_obs.Clock.now_us () -. t_start in
+           Slif_obs.Histogram.observe "pool.task_run_us" dur;
+           Slif_obs.Attribution.add Slif_obs.Attribution.Task_run dur
+         end
+         else
+           match f i arr.(i) with
+           | v -> results.(i) <- Some v
+           | exception e -> failures.(i) <- Some e);
+        (* Always-on, sub-microsecond: keeps per-domain GC pressure
+           counters live for the daemon without any switch. *)
+        Slif_obs.Gcprof.sample ();
+        Slif_obs.Lockprof.lock pool.lock;
+        pool.completed <- pool.completed + 1;
         decr remaining;
+        if profiled then begin
+          (* Counter tracks for the trace export: queue drain and task
+             completion over time. *)
+          Slif_obs.Registry.sample "pool.queue_depth"
+            (float_of_int (Queue.length pool.queue));
+          Slif_obs.Registry.sample "pool.tasks_completed" (float_of_int pool.completed)
+        end;
         if !remaining = 0 then Condition.broadcast settled;
-        Mutex.unlock pool.mu
+        Slif_obs.Lockprof.unlock pool.lock
       in
-      if pool.n_jobs = 1 || n = 1 then
+      Slif_obs.Counter.add "pool.tasks" n;
+      Atomic.fetch_and_add g_submitted n |> ignore;
+      if pool.n_jobs = 1 || n = 1 then begin
+        Slif_obs.Lockprof.lock pool.lock;
+        pool.submitted <- pool.submitted + n;
+        Slif_obs.Lockprof.unlock pool.lock;
         for i = 0 to n - 1 do
           thunk i ()
         done
+      end
       else begin
-        Mutex.lock pool.mu;
+        Slif_obs.Lockprof.lock pool.lock;
+        pool.submitted <- pool.submitted + n;
         for i = 0 to n - 1 do
           Queue.add (thunk i) pool.queue
         done;
@@ -96,15 +200,19 @@ let mapi pool f tasks =
            sleeps until the last in-flight task settles. *)
         while not (Queue.is_empty pool.queue) do
           let thunk = Queue.pop pool.queue in
-          Mutex.unlock pool.mu;
+          Slif_obs.Lockprof.unlock pool.lock;
           thunk ();
-          Mutex.lock pool.mu
+          Slif_obs.Lockprof.lock pool.lock
         done;
         while !remaining > 0 do
-          Condition.wait settled pool.mu
+          (* Waiting for stragglers is idle time on the submitter. *)
+          Slif_obs.Lockprof.wait pool.lock settled
         done;
-        Mutex.unlock pool.mu
+        Slif_obs.Lockprof.unlock pool.lock
       end;
+      Atomic.fetch_and_add g_completed n |> ignore;
+      (* The submitting domain's wall denominator: each map call's span. *)
+      if profiled then Slif_obs.Attribution.add_wall (Slif_obs.Clock.now_us () -. wall0);
       Array.iter (function Some e -> raise e | None -> ()) failures;
       Array.to_list (Array.map Option.get results)
 

@@ -18,7 +18,17 @@
     The submitting domain participates in the work (a pool of [jobs = n]
     spawns [n - 1] worker domains), and tasks must therefore not block on
     each other.  A pool is meant to be driven from one domain at a time;
-    concurrent {!map} calls from different domains are not supported. *)
+    concurrent {!map} calls from different domains are not supported.
+
+    The pool is also the parallelism profiler's main probe site.  Its
+    internal mutex is the {!Slif_obs.Lockprof} lock ["pool.queue"]
+    (waits charged to {!Slif_obs.Attribution.Queue_wait}); while
+    profiling is enabled each task feeds the [pool.task_run_us] and
+    [pool.task_queue_wait_us] histograms and the per-domain
+    {!Slif_obs.Attribution} cells (task bodies as task-run, condition
+    parks as idle, worker loop lifetimes and map-call spans as wall
+    time).  Instrumented or not, the queue discipline is identical, so
+    results never depend on whether a sweep was profiled. *)
 
 type t
 
@@ -35,6 +45,29 @@ val jobs : t -> int
 
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; the pool must be idle. *)
+
+type stats = {
+  st_jobs : int;  (** parallelism, including the submitter *)
+  st_worker_domains : int;  (** spawned domains still attached (jobs - 1, 0 after shutdown) *)
+  st_queued : int;  (** tasks sitting in the queue right now *)
+  st_submitted : int;  (** tasks ever handed to {!mapi} on this pool *)
+  st_completed : int;  (** tasks whose body has settled *)
+}
+
+val stats : t -> stats
+(** A consistent snapshot (taken under the queue lock).  Safe to call
+    concurrently with a running {!map}. *)
+
+type global_stats = {
+  g_pools_created : int;
+  g_pools_live : int;  (** created minus shut down *)
+  g_tasks_submitted : int;
+  g_tasks_completed : int;
+}
+
+val global_stats : unit -> global_stats
+(** Process-wide totals across every pool that ever existed — what the
+    daemon's metrics scrape exports, since pools are transient. *)
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run the function, [shutdown] — even on exceptions. *)

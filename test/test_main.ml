@@ -29,6 +29,7 @@ let () =
       ("server", Test_server.suite);
       ("cli", Test_cli.suite);
       ("parallel", Test_parallel.suite);
+      ("profiler", Test_profiler.suite);
       ("fuzz", Test_fuzz.suite);
       ("integration", Test_integration.suite);
     ]

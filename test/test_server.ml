@@ -364,6 +364,15 @@ let test_health_op () =
       (match Option.bind (Json.member "lru" health) (Json.member "size") with
       | Some (Json.Int 1) -> ()
       | _ -> Alcotest.fail "loaded graph not reflected in lru size");
+      (match Option.bind (Json.member "gc" health) (Json.member "heap_words") with
+      | Some (Json.Int n) -> Alcotest.(check bool) "heap gauge positive" true (n > 0)
+      | _ -> Alcotest.fail "health has no gc.heap_words");
+      (match Option.bind (Json.member "gc" health) (Json.member "minor_collections") with
+      | Some (Json.Int n) -> Alcotest.(check bool) "minor count sane" true (n >= 0)
+      | _ -> Alcotest.fail "health has no gc.minor_collections");
+      (match Option.bind (Json.member "pool" health) (Json.member "pools_created") with
+      | Some (Json.Int n) -> Alcotest.(check bool) "pool totals present" true (n >= 0)
+      | _ -> Alcotest.fail "health has no pool.pools_created");
       (* After a failing request, last_error carries the message. *)
       ignore (Client.request_raw client "not json");
       let health = request_exn client [ ("op", Json.String "health") ] in
@@ -453,7 +462,42 @@ let test_metrics_op () =
                    {|slif_server_request_duration_microseconds{op="%s",quantile="%s"}|}
                    op q))
             [ "0.5"; "0.9"; "0.99" ])
-        [ "load"; "estimate"; "stats" ])
+        [ "load"; "estimate"; "stats" ];
+      (* The parallel-stack families: GC pressure per domain, pool
+         lifetime totals, and the select loop's idle accounting. *)
+      contains "# TYPE slif_gc_minor_collections_total counter";
+      contains "# TYPE slif_gc_promoted_words_total counter";
+      contains "# TYPE slif_gc_heap_words gauge";
+      contains {|slif_gc_minor_words_total{domain="|};
+      contains "# TYPE slif_pool_pools_created_total counter";
+      contains "# TYPE slif_pool_pools_live gauge";
+      contains "# TYPE slif_pool_tasks_submitted_total counter";
+      contains "# TYPE slif_pool_tasks_completed_total counter";
+      contains "# TYPE slif_server_select_idle_seconds_total counter";
+      contains "# TYPE slif_server_loop_iterations_total counter")
+
+(* The stats op carries the same gc/pool blocks the CLI renders in
+   [slif stats --watch]. *)
+let test_stats_gc_pool () =
+  with_server (fun _port client ->
+      ignore (request_exn client [ ("op", Json.String "load"); ("spec", Json.String "vol") ]);
+      let stats = request_exn client [ ("op", Json.String "stats") ] in
+      (match Option.bind (Json.member "gc" stats) (Json.member "minor_words") with
+      (* whole-number floats round-trip the wire as ints *)
+      | Some (Json.Float w) -> Alcotest.(check bool) "allocation observed" true (w >= 0.0)
+      | Some (Json.Int w) -> Alcotest.(check bool) "allocation observed" true (w >= 0)
+      | _ -> Alcotest.fail "stats has no gc.minor_words");
+      (match Option.bind (Json.member "gc" stats) (Json.member "per_domain") with
+      | Some (Json.Obj (_ :: _)) -> ()
+      | _ -> Alcotest.fail "stats gc.per_domain empty — daemon domain never sampled");
+      match Json.member "pool" stats with
+      | Some (Json.Obj fields) ->
+          List.iter
+            (fun k ->
+              if not (List.mem_assoc k fields) then
+                Alcotest.failf "stats pool block lacks %s" k)
+            [ "pools_created"; "pools_live"; "tasks_submitted"; "tasks_completed" ]
+      | _ -> Alcotest.fail "stats has no pool block")
 
 (* --- trace ids: spans and event log agree ------------------------------------ *)
 
@@ -684,6 +728,7 @@ let suite =
     Alcotest.test_case "lru capacity one" `Quick test_lru_capacity_one;
     Alcotest.test_case "health op" `Slow test_health_op;
     Alcotest.test_case "metrics op (Prometheus exposition)" `Slow test_metrics_op;
+    Alcotest.test_case "stats op carries gc and pool blocks" `Slow test_stats_gc_pool;
     Alcotest.test_case "trace ids shared by spans and event log" `Slow
       test_trace_ids_shared;
     Alcotest.test_case "stats reports latency quantiles" `Slow test_stats_latency;
