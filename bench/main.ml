@@ -607,6 +607,7 @@ let a8 () =
   in
   let baseline = ref nan in
   let reports = ref [] in
+  let rates = ref [] in
   List.iter
     (fun jobs ->
       let entries, elapsed = Slif_obs.Clock.time (fun () -> sweep jobs) in
@@ -618,6 +619,7 @@ let a8 () =
           0 entries
       in
       let per_s = if elapsed > 0.0 then float_of_int total /. elapsed else 0.0 in
+      rates := (jobs, per_s) :: !rates;
       if jobs = 1 then baseline := per_s;
       Slif_obs.Counter.add (Printf.sprintf "bench.a8.designs_per_s.j%d" jobs)
         (int_of_float per_s);
@@ -637,7 +639,20 @@ let a8 () =
   if not identical then exit 1;
   print_endline
     "(speedup tracks physical cores; on a single-core host every row sits\n\
-    \ near 1.00x — determinism, not the ratio, is the invariant checked here)"
+    \ near 1.00x — determinism, not the ratio, is the invariant checked here)";
+  (* CI scaling gate (SLIF_BENCH_SCALING_GATE=1): with the pool's
+     hardware domain cap, asking for a second job must never cost
+     throughput — on a one-core runner -j 2 runs the same single domain
+     as -j 1, and on a multicore runner it should gain.  The 0.90x floor
+     absorbs run-to-run noise while still catching the old inversion,
+     where -j 2 ran at a fraction of -j 1. *)
+  if Sys.getenv_opt "SLIF_BENCH_SCALING_GATE" <> None then begin
+    let r1 = List.assoc 1 !rates and r2 = List.assoc 2 !rates in
+    let ok = r2 >= 0.9 *. r1 in
+    Printf.printf "scaling gate: -j2 %.0f designs/s vs -j1 %.0f (floor 0.90x): %s\n" r2 r1
+      (if ok then "ok" else "FAIL");
+    if not ok then exit 1
+  end
 
 (* --- A11: parallel-stack attribution + profiler overhead ---------------------- *)
 

@@ -227,19 +227,22 @@ let parse_deadlines deadlines =
     deadlines
 
 let partition_cmd =
-  let run obs spec file profile auto cache_dir algo explore pareto jobs no_timings
+  let run obs spec file profile auto cache_dir algo explore pareto jobs chunk no_timings
       deadlines save load_ =
     with_obs obs @@ fun () ->
     if jobs < 1 then failf "--jobs must be at least 1";
+    if chunk < 0 then failf "--chunk must be at least 1 (or 0 for the heuristic)";
+    let chunk = if chunk >= 1 then Some chunk else None in
     let source = read_source (source_of ~file ~spec) in
     let slif = annotated ?cache_dir ~auto ~profile source in
     let constraints = Ops.constraints_of_deadlines (parse_deadlines deadlines) in
     if explore then
-      print_string (Ops.explore_output ~jobs ~timings:(not no_timings) ~constraints slif)
+      print_string
+        (Ops.explore_output ~jobs ?chunk ~timings:(not no_timings) ~constraints slif)
     else if pareto then begin
       let s = Ops.apply_proc_asic slif in
       let graph = Slif.Graph.make s in
-      let points = Specsyn.Pareto.sweep ~jobs ~constraints graph in
+      let points = Specsyn.Pareto.sweep ~jobs ?chunk ~constraints graph in
       let table =
         Slif_util.Table.create
           ~header:[ "worst exectime (us)"; "hw gates"; "sw bytes"; "time weight" ]
@@ -309,6 +312,15 @@ let partition_cmd =
          & opt int (Slif_util.Pool.default_jobs ())
          & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
+  let chunk =
+    let doc =
+      "Slice multi-restart work into contiguous chunks of $(docv) restarts \
+       (points, for --pareto).  0 picks the built-in heuristic (about four \
+       chunks per job, clamped to 1..64).  The result is bit-identical for \
+       every value; only load balancing changes."
+    in
+    Arg.(value & opt int 0 & info [ "chunk" ] ~docv:"N" ~doc)
+  in
   let no_timings =
     Arg.(value & flag
          & info [ "no-timings" ]
@@ -337,8 +349,8 @@ let partition_cmd =
        ~doc:"Partition a specification onto a processor-ASIC architecture.")
     Term.(
       const run $ obs_term $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg
-      $ cache_dir_arg $ algo_arg $ explore $ pareto $ jobs $ no_timings $ deadlines
-      $ save $ load_)
+      $ cache_dir_arg $ algo_arg $ explore $ pareto $ jobs $ chunk $ no_timings
+      $ deadlines $ save $ load_)
 
 let estimate_cmd =
   let run obs spec file profile auto cache_dir bounds =
@@ -816,10 +828,12 @@ let trace_path_for base j =
   else Printf.sprintf "%s-j%d%s" (Filename.remove_extension base) j ext
 
 let profile_cmd =
-  let run spec file profile auto cache_dir jobs_spec json_path trace min_coverage
+  let run spec file profile auto cache_dir jobs_spec chunk json_path trace min_coverage
       deadlines =
     guarded @@ fun () ->
     let jobs = parse_jobs_range jobs_spec in
+    if chunk < 0 then failf "--chunk must be at least 1 (or 0 for the heuristic)";
+    let chunk = if chunk >= 1 then Some chunk else None in
     (match min_coverage with
     | Some f when f < 0.0 || f > 1.0 -> failf "--min-coverage must be in [0, 1]"
     | Some _ | None -> ());
@@ -831,7 +845,7 @@ let profile_cmd =
     let slif = annotated ?cache_dir ~auto ~profile source in
     let constraints = Ops.constraints_of_deadlines (parse_deadlines deadlines) in
     let trace = Option.map (fun base j -> trace_path_for base j) trace in
-    let result = Specsyn.Profiler.run ?trace ~constraints ~name ~jobs slif in
+    let result = Specsyn.Profiler.run ?chunk ?trace ~constraints ~name ~jobs slif in
     print_string (Specsyn.Profiler.to_text result);
     Option.iter
       (fun path -> Slif_obs.Json.write_file path (Specsyn.Profiler.to_json result))
@@ -861,6 +875,13 @@ let profile_cmd =
        exploration once with the parallelism profiler armed."
     in
     Arg.(value & opt string "1..2" & info [ "jobs"; "j" ] ~docv:"RANGE" ~doc)
+  in
+  let chunk =
+    let doc =
+      "Restart slice size for multi-restart algorithms, as in \
+       $(b,slif partition --chunk); 0 picks the heuristic."
+    in
+    Arg.(value & opt int 0 & info [ "chunk" ] ~docv:"N" ~doc)
   in
   let json_path =
     Arg.(value & opt (some string) None
@@ -902,7 +923,7 @@ let profile_cmd =
          ])
     Term.(
       const run $ spec_arg $ file_arg $ profile_arg $ auto_profile_arg $ cache_dir_arg
-      $ jobs $ json_path $ trace $ min_coverage $ deadlines)
+      $ jobs $ chunk $ json_path $ trace $ min_coverage $ deadlines)
 
 let main_cmd =
   let doc = "SLIF: a specification-level intermediate format for system design" in

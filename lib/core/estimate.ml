@@ -2,21 +2,44 @@ exception Recursive_specification of string
 
 type mode = Avg | Min | Max
 
+(* The execution-time memo is an unboxed generation-stamped pair of
+   arrays: entry [i] is valid iff [memo_gen.(i) = gen].  Compared to the
+   [float option array] it replaces, a memo store no longer allocates a
+   [Some] box (the old layout produced one short-lived block per miss —
+   tens of millions per sweep — which was the single biggest source of
+   minor-GC pressure in parallel exploration), and [invalidate_all]
+   becomes a generation bump instead of an O(nodes) fill.  The estimator
+   is single-domain by design: in the share-nothing exploration stack
+   each pool worker owns its own estimator, so no cell here is ever
+   written by two domains. *)
 type t = {
   graph : Graph.t;
-  part : Partition.t;
+  mutable part : Partition.t;  (* mutable so a replica can [rebind] it *)
   mode : mode;
   concurrency : bool;
   recursion_depth : int;
   cyclic : bool;                    (* call cycle present: disable caching *)
-  cache : float option array;       (* exectime per node *)
+  memo_val : float array;           (* exectime per node, valid per memo_gen *)
+  memo_gen : int array;
+  mutable gen : int;                (* current generation, always >= 1 *)
+  visit : int array;                (* recursion depths; all zero between calls *)
   mutable synced_version : int;
   mutable queries : int;
   mutable hits : int;
+  (* Resolved counter cells: the memo path bumps these tens of millions
+     of times per profiled sweep, so it must not pay a hash lookup per
+     bump.  Resolved on the creating domain — the domain that runs the
+     estimator, in the per-domain replica architecture. *)
+  c_exectime : Slif_obs.Counter.cell;
+  c_hit : Slif_obs.Counter.cell;
+  c_miss : Slif_obs.Counter.cell;
+  c_inval_full : Slif_obs.Counter.cell;
+  c_inval_incr : Slif_obs.Counter.cell;
 }
 
 let create ?(mode = Avg) ?(concurrency = false) ?(recursion_depth = 0) graph part =
   let s = Graph.slif graph in
+  let n_nodes = Array.length s.Types.nodes in
   {
     graph;
     part;
@@ -24,23 +47,34 @@ let create ?(mode = Avg) ?(concurrency = false) ?(recursion_depth = 0) graph par
     concurrency;
     recursion_depth;
     cyclic = Graph.has_call_cycle graph;
-    cache = Array.make (Array.length s.Types.nodes) None;
+    memo_val = Array.make n_nodes 0.0;
+    memo_gen = Array.make n_nodes 0;
+    gen = 1;
+    visit = Array.make n_nodes 0;
     synced_version = Partition.version part;
     queries = 0;
     hits = 0;
+    c_exectime = Slif_obs.Counter.cell "estimate.exectime_calls";
+    c_hit = Slif_obs.Counter.cell "estimate.memo_hit";
+    c_miss = Slif_obs.Counter.cell "estimate.memo_miss";
+    c_inval_full = Slif_obs.Counter.cell "estimate.invalidate_full";
+    c_inval_incr = Slif_obs.Counter.cell "estimate.invalidate_incremental";
   }
 
 let graph t = t.graph
 let partition t = t.part
 
 let invalidate_all t =
-  Slif_obs.Counter.incr "estimate.invalidate_full";
-  Array.fill t.cache 0 (Array.length t.cache) None;
+  Slif_obs.Counter.bump t.c_inval_full;
+  (* A generation bump orphans every memo entry at once; the arrays are
+     left in place and entries rewrite lazily as queries return. *)
+  t.gen <- t.gen + 1;
   t.synced_version <- Partition.version t.part
 
 let invalidate_nodes t ids =
-  Slif_obs.Counter.incr "estimate.invalidate_incremental";
-  List.iter (fun id -> t.cache.(id) <- None) ids;
+  Slif_obs.Counter.bump t.c_inval_incr;
+  (* Generations start at 1, so 0 never matches [t.gen]. *)
+  List.iter (fun id -> t.memo_gen.(id) <- 0) ids;
   t.synced_version <- Partition.version t.part
 
 let note_node_moved t node = invalidate_nodes t (Graph.transitive_callers t.graph node)
@@ -50,6 +84,13 @@ let note_chan_moved t chan =
   if chan < 0 || chan >= Array.length s.Types.chans then
     invalid_arg "Estimate.note_chan_moved: no such channel";
   invalidate_nodes t (Graph.transitive_callers t.graph s.Types.chans.(chan).Types.c_src)
+
+(* Re-point the estimator at another (total) partition of the same SLIF,
+   dropping the whole memo.  This is how an engine replica re-engages a
+   new candidate without reallocating any of the arrays above. *)
+let rebind t part =
+  t.part <- part;
+  invalidate_all t
 
 let sync t = if Partition.version t.part <> t.synced_version then invalidate_all t
 
@@ -126,33 +167,48 @@ let comm_time t exec chans =
     Hashtbl.fold (fun _ cost acc -> acc +. cost) tagged !untagged
   end
 
+(* The recursion-depth scratch ([t.visit]) is zero outside a call; every
+   recursive entry restores its slot on the way out, so the only way to
+   leave residue is an exception mid-recursion — cleaned up here so a
+   caught [Recursive_specification] cannot poison later queries. *)
+let with_clean_visit t f =
+  match f () with
+  | v -> v
+  | exception e ->
+      Array.fill t.visit 0 (Array.length t.visit) 0;
+      raise e
+
 let exectime_us t id =
   sync t;
-  Slif_obs.Counter.incr "estimate.exectime_calls";
-  let visiting = Hashtbl.create 8 in
+  Slif_obs.Counter.bump t.c_exectime;
+  with_clean_visit t @@ fun () ->
   let rec exec id =
     t.queries <- t.queries + 1;
-    match t.cache.(id) with
-    | Some v ->
-        t.hits <- t.hits + 1;
-        Slif_obs.Counter.incr "estimate.memo_hit";
-        v
-    | None ->
-        Slif_obs.Counter.incr "estimate.memo_miss";
-        let depth = Option.value (Hashtbl.find_opt visiting id) ~default:0 in
-        if depth > 0 && t.recursion_depth = 0 then
-          raise
-            (Recursive_specification (Graph.slif t.graph).Types.nodes.(id).Types.n_name);
-        if depth > t.recursion_depth then 0.0
-        else begin
-          Hashtbl.replace visiting id (depth + 1);
-          let comp = Partition.comp_of_exn t.part id in
-          let ict = node_ict t id comp in
-          let value = ict +. comm_time t exec (Graph.out_chans t.graph id) in
-          Hashtbl.replace visiting id depth;
-          if not t.cyclic then t.cache.(id) <- Some value;
-          value
-        end
+    if t.memo_gen.(id) = t.gen then begin
+      t.hits <- t.hits + 1;
+      Slif_obs.Counter.bump t.c_hit;
+      t.memo_val.(id)
+    end
+    else begin
+      Slif_obs.Counter.bump t.c_miss;
+      let depth = t.visit.(id) in
+      if depth > 0 && t.recursion_depth = 0 then
+        raise
+          (Recursive_specification (Graph.slif t.graph).Types.nodes.(id).Types.n_name);
+      if depth > t.recursion_depth then 0.0
+      else begin
+        t.visit.(id) <- depth + 1;
+        let comp = Partition.comp_of_exn t.part id in
+        let ict = node_ict t id comp in
+        let value = ict +. comm_time t exec (Graph.out_chans t.graph id) in
+        t.visit.(id) <- depth;
+        if not t.cyclic then begin
+          t.memo_val.(id) <- value;
+          t.memo_gen.(id) <- t.gen
+        end;
+        value
+      end
+    end
   in
   exec id
 
@@ -186,14 +242,14 @@ let bus_bitrate_capacity_limited_mbps t bus =
 
 let exectime_scaled t factors id =
   let s = Graph.slif t.graph in
-  let visiting = Hashtbl.create 8 in
+  with_clean_visit t @@ fun () ->
   let rec exec id =
-    let depth = Option.value (Hashtbl.find_opt visiting id) ~default:0 in
+    let depth = t.visit.(id) in
     if depth > 0 && t.recursion_depth = 0 then
       raise (Recursive_specification s.Types.nodes.(id).Types.n_name);
     if depth > t.recursion_depth then 0.0
     else begin
-      Hashtbl.replace visiting id (depth + 1);
+      t.visit.(id) <- depth + 1;
       let comp = Partition.comp_of_exn t.part id in
       let ict = node_ict t id comp in
       let cost (c : Types.channel) =
@@ -213,7 +269,7 @@ let exectime_scaled t factors id =
       let comm =
         List.fold_left (fun acc c -> acc +. cost c) 0.0 (Graph.out_chans t.graph id)
       in
-      Hashtbl.replace visiting id depth;
+      t.visit.(id) <- depth;
       ict +. comm
     end
   in

@@ -105,5 +105,13 @@ val invalidate_nodes : t -> int list -> unit
     callers (the move engine) that already computed the invalidation set;
     {!note_node_moved} and {!note_chan_moved} are the curated wrappers. *)
 
+val rebind : t -> Partition.t -> unit
+(** Re-point the estimator at another partition of the same SLIF and
+    drop the whole memo (an O(1) generation bump — no arrays are
+    reallocated or cleared).  This is what lets a per-domain engine
+    replica evaluate a fresh candidate without rebuilding its estimator;
+    the caller is responsible for the partition really belonging to the
+    same specification. *)
+
 val stats_queries : t -> int
 val stats_cache_hits : t -> int

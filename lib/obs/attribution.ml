@@ -22,10 +22,20 @@ let n_categories = 6
 
 (* Same shape as the span registry: one cell per domain reached through
    DLS (the producers never lock), a global list of the cells for the
-   readers, and one atomic gate in front of everything. *)
+   readers, and one atomic gate in front of everything.
+
+   The per-category accumulators and the wall figure share one float
+   array padded to [cell_slots] words (two cache lines including the
+   header): every task completion writes these cells, and unpadded
+   cells from different domains promoted next to each other in the
+   major heap would false-share — precisely the contention this module
+   exists to measure. *)
 let enabled = Atomic.make false
 
-type cell = { dom : int; by_cat : float array; mutable wall : float }
+let wall_slot = n_categories
+let cell_slots = 15
+
+type cell = { dom : int; by_cat : float array (* categories, then wall, then padding *) }
 
 let cells_mu = Mutex.create ()
 let cells : cell list ref = ref []
@@ -33,7 +43,7 @@ let cells : cell list ref = ref []
 let key =
   Domain.DLS.new_key (fun () ->
       let c =
-        { dom = (Domain.self () :> int); by_cat = Array.make n_categories 0.0; wall = 0.0 }
+        { dom = (Domain.self () :> int); by_cat = Array.make cell_slots 0.0 }
       in
       Mutex.lock cells_mu;
       cells := c :: !cells;
@@ -54,7 +64,7 @@ let add cat us =
 let add_wall us =
   if Atomic.get enabled && Float.is_finite us && us > 0.0 then begin
     let c = Domain.DLS.get key in
-    c.wall <- c.wall +. us
+    c.by_cat.(wall_slot) <- c.by_cat.(wall_slot) +. us
   end
 
 let fold_cells f acc =
@@ -63,12 +73,7 @@ let fold_cells f acc =
   Mutex.unlock cells_mu;
   List.fold_left f acc (List.sort (fun a b -> compare a.dom b.dom) cs)
 
-let reset () =
-  fold_cells
-    (fun () c ->
-      Array.fill c.by_cat 0 n_categories 0.0;
-      c.wall <- 0.0)
-    ()
+let reset () = fold_cells (fun () c -> Array.fill c.by_cat 0 cell_slots 0.0) ()
 
 type per_domain = {
   dom : int;
@@ -91,12 +96,15 @@ let raw_of_cell c = List.map (fun cat -> (cat, c.by_cat.(index_of cat))) categor
 let snapshot () =
   fold_cells
     (fun acc c ->
+      let named =
+        List.fold_left (fun acc cat -> acc +. c.by_cat.(index_of cat)) 0.0 categories
+      in
       {
         dom = c.dom;
-        wall_us = c.wall;
+        wall_us = c.by_cat.(wall_slot);
         raw = raw_of_cell c;
         net = raw_of_cell c;
-        other_us = Float.max 0.0 (c.wall -. Array.fold_left ( +. ) 0.0 c.by_cat);
+        other_us = Float.max 0.0 (c.by_cat.(wall_slot) -. named);
       }
       :: acc)
     []
@@ -112,7 +120,7 @@ let report ?gc_us () =
   (* Cells persist across profiled runs (a domain's DLS outlives a
      reset only as zeros); all-zero cells are domains that took no part
      in this run and would only pad the report. *)
-  let live (c : cell) = c.wall > 0.0 || Array.exists (fun v -> v > 0.0) c.by_cat in
+  let live (c : cell) = Array.exists (fun v -> v > 0.0) c.by_cat in
   let cs =
     fold_cells (fun acc c -> if live c then c :: acc else acc) []
     |> List.sort (fun (a : cell) (b : cell) -> compare a.dom b.dom)
@@ -145,10 +153,10 @@ let report ?gc_us () =
         let named = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 net in
         {
           dom = c.dom;
-          wall_us = c.wall;
+          wall_us = c.by_cat.(wall_slot);
           raw = raw_of_cell c;
           net;
-          other_us = Float.max 0.0 (c.wall -. named);
+          other_us = Float.max 0.0 (c.by_cat.(wall_slot) -. named);
         })
       cs
   in

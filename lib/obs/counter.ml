@@ -1,12 +1,41 @@
+(* Counters live in padded per-domain cells (Registry.cell_words words,
+   value in slot 0) so two domains bumping different counters never
+   contend on a cache line.  A cell that exists with value 0 is treated
+   as absent everywhere below, which keeps [Registry.reset] — which
+   zeroes cells in place instead of dropping them — invisible to
+   readers. *)
+
+let find_cell name =
+  let l = Registry.local () in
+  match Hashtbl.find_opt l.Registry.counters name with
+  | Some c -> c
+  | None ->
+      let c = Registry.new_cell () in
+      Hashtbl.add l.Registry.counters name c;
+      c
+
 let add name n =
   if Registry.on () then begin
-    let l = Registry.local () in
-    match Hashtbl.find_opt l.Registry.counters name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.add l.Registry.counters name (ref n)
+    let c = find_cell name in
+    c.(0) <- c.(0) + n
   end
 
 let incr ?(by = 1) name = add name by
+
+(* --- Resolved handles ---------------------------------------------------
+
+   The estimate memo path bumps its hit/miss counters tens of millions of
+   times per profiled sweep; paying a hash lookup per bump there is the
+   kind of shared-path overhead this layer exists to measure, not add.
+   A handle resolves the (domain, name) cell once; bumping is then one
+   predictable branch and one store into a cache line the owning domain
+   has exclusive use of. *)
+
+type cell = int array
+
+let cell name = find_cell name
+
+let bump ?(by = 1) (c : cell) = if Registry.on () then c.(0) <- c.(0) + by
 
 (* Reads merge every domain's cell: two pool workers bumping the same
    name contribute to one exported total. *)
@@ -14,7 +43,7 @@ let get name =
   Registry.fold_locals
     (fun acc l ->
       match Hashtbl.find_opt l.Registry.counters name with
-      | Some r -> acc + !r
+      | Some c -> acc + c.(0)
       | None -> acc)
     0
 
@@ -23,10 +52,11 @@ let snapshot () =
   Registry.fold_locals
     (fun () l ->
       Hashtbl.iter
-        (fun name r ->
-          match Hashtbl.find_opt merged name with
-          | Some total -> Hashtbl.replace merged name (total + !r)
-          | None -> Hashtbl.add merged name !r)
+        (fun name (c : cell) ->
+          if c.(0) <> 0 then
+            match Hashtbl.find_opt merged name with
+            | Some total -> Hashtbl.replace merged name (total + c.(0))
+            | None -> Hashtbl.add merged name c.(0))
         l.Registry.counters)
     ();
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged [] |> List.sort compare
@@ -37,7 +67,9 @@ let snapshot_by_domain () =
   Registry.fold_locals
     (fun acc l ->
       let cs =
-        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) l.Registry.counters []
+        Hashtbl.fold
+          (fun name (c : cell) acc -> if c.(0) <> 0 then (name, c.(0)) :: acc else acc)
+          l.Registry.counters []
         |> List.sort compare
       in
       if cs = [] then acc else (l.Registry.dom, cs) :: acc)

@@ -17,9 +17,20 @@ type hist = {
 
 type counter_sample = { sa_name : string; sa_ts_ns : int64; sa_value : float; sa_dom : int }
 
+(* Counter cells are padded out to [cell_words] machine words (two 64-byte
+   cache lines including the array header) with the live value in slot 0.
+   Each cell is written by exactly one domain — its owner — but cells from
+   different domains end up adjacent in the major heap once promoted, and
+   an unpadded cell would then share a cache line with a neighbour that
+   another domain hammers.  The padding buys true share-nothing counting:
+   a domain bumping its hot cell never invalidates another domain's line. *)
+let cell_words = 15
+
+let new_cell () : int array = Array.make cell_words 0
+
 type local = {
   dom : int;
-  counters : (string, int ref) Hashtbl.t;
+  counters : (string, int array) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
   mutable events : span_event list;  (* newest first *)
   mutable n_events : int;
@@ -89,7 +100,11 @@ let disable () = Atomic.set enabled false
 let reset () =
   fold_locals
     (fun () l ->
-      Hashtbl.reset l.counters;
+      (* Counter cells are zeroed in place, not dropped: hot-path probes
+         (Counter.cell) cache a cell across resets, and a dropped cell
+         would silently swallow their writes after the next profiled run
+         re-arms the registry. *)
+      Hashtbl.iter (fun _ c -> Array.fill c 0 cell_words 0) l.counters;
       Hashtbl.reset l.hists;
       l.events <- [];
       l.n_events <- 0;

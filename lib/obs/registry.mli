@@ -64,9 +64,20 @@ type counter_sample = {
   sa_dom : int;  (** domain that took the sample *)
 }
 
+val cell_words : int
+(** Size of a padded counter cell in words.  The live value sits in slot
+    0; the rest is padding so a cell owns its cache lines outright and a
+    domain bumping its counter never invalidates a line another domain's
+    counter lives on (the false-sharing fix the scaling work needed). *)
+
+val new_cell : unit -> int array
+(** A fresh zeroed padded cell. *)
+
 type local = {
   dom : int;  (** [Domain.self] of the owning domain *)
-  counters : (string, int ref) Hashtbl.t;
+  counters : (string, int array) Hashtbl.t;
+      (** padded cells ({!cell_words} words, value in slot 0); zeroed in
+          place by {!reset} so resolved {!Counter.cell} handles survive *)
   hists : (string, hist) Hashtbl.t;
   mutable events : span_event list;  (** newest first *)
   mutable n_events : int;

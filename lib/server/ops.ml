@@ -116,6 +116,6 @@ let partition_report_for ~constraints s part =
   let est = Specsyn.Search.estimator graph part in
   Specsyn.Report.partition_report ~constraints est ^ "\n"
 
-let explore_output ?(jobs = 1) ?(timings = false) ~constraints slif =
-  let entries = Specsyn.Explore.run ~jobs ~constraints slif in
+let explore_output ?(jobs = 1) ?chunk ?(timings = false) ~constraints slif =
+  let entries = Specsyn.Explore.run ~jobs ?chunk ~constraints slif in
   Specsyn.Report.explore_report ~timings entries ^ "\n"

@@ -57,11 +57,14 @@ val apply_proc_asic : Slif.Types.t -> Slif.Types.t
 
 val explore_output :
   ?jobs:int ->
+  ?chunk:int ->
   ?timings:bool ->
   constraints:Specsyn.Cost.constraints ->
   Slif.Types.t ->
   string
-(** The [slif partition --explore] report.  [timings] defaults to false
-    (the daemon needs schedule-independent responses; it equals the CLI
-    run with [--no-timings]); the CLI passes true unless asked not
-    to. *)
+(** The [slif partition --explore] report.  [chunk] is the restart slice
+    size forwarded to {!Specsyn.Explore.run} (default: the pool
+    heuristic); the report is identical for every value.  [timings]
+    defaults to false (the daemon needs schedule-independent responses;
+    it equals the CLI run with [--no-timings]); the CLI passes true
+    unless asked not to. *)

@@ -29,9 +29,21 @@ val run :
   ?restarts:int ->
   ?params:params ->
   ?initial:Slif.Partition.t ->
+  ?chunk:int ->
+  ?replica:(unit -> Engine.t) ->
   Search.problem ->
   Search.solution
 (** [run problem] anneals [restarts] chains (default 1) from [initial]
     (default: the all-software seed partition).  [evaluated] sums over
     chains.  With [?pool], chains run in parallel with identical
-    results.  Raises [Invalid_argument] when [restarts <= 0]. *)
+    results.
+
+    Multi-restart runs process chains as contiguous index chunks of
+    size [chunk] (default {!Slif_util.Pool.default_chunk}) — coarse
+    work units whose per-chunk winners fold exactly like the chains
+    themselves, so results are byte-identical for every [chunk] and
+    [jobs].  [replica] supplies the calling domain's reusable engine
+    (resolved inside each task); every chain then starts from one
+    {!Engine.acquire} rescoring instead of a full engine build, with
+    bitwise-identical costs.  Raises [Invalid_argument] when
+    [restarts <= 0]. *)

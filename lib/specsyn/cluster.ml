@@ -94,7 +94,7 @@ let clusters ?(params = default_params) graph ~k =
   Hashtbl.fold (fun _ members acc -> members :: acc) buckets []
   |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
 
-let run ?(params = default_params) ~k (problem : Search.problem) =
+let run ?(params = default_params) ?replica ~k (problem : Search.problem) =
   Slif_obs.Span.with_ "search.clustering" ~args:[ ("k", string_of_int k) ]
   @@ fun () ->
   let graph = problem.Search.graph in
@@ -129,5 +129,11 @@ let run ?(params = default_params) ~k (problem : Search.problem) =
               load_ref := !load_ref +. size_proxy s.Slif.Types.nodes.(id))
             members)
     ordered;
-  let cost = Engine.cost (Engine.of_problem problem part) in
+  let cost =
+    match replica with
+    | Some eng ->
+        Engine.acquire eng part;
+        Engine.cost eng
+    | None -> Engine.cost (Engine.of_problem problem part)
+  in
   { Search.part; cost; evaluated = 1 }

@@ -28,6 +28,6 @@ val clusters : ?params:params -> Slif.Graph.t -> k:int -> int list list
     closeness merge is possible).  Raises [Invalid_argument] when
     [k < 1]. *)
 
-val run : ?params:params -> k:int -> Search.problem -> Search.solution
+val run : ?params:params -> ?replica:Engine.t -> k:int -> Search.problem -> Search.solution
 (** Cluster, then assign clusters to components (behaviors force their
     cluster onto processors), and score the resulting partition. *)

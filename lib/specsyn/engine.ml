@@ -21,7 +21,7 @@ type txn = {
 
 type t = {
   graph : Slif.Graph.t;
-  part : Slif.Partition.t;
+  mutable part : Slif.Partition.t;  (* mutable so [acquire] can re-point a replica *)
   est : Slif.Estimate.t;
   weights : Cost.weights;
   constraints : Cost.constraints;  (* kept so [copy] can rebuild deadlines *)
@@ -361,6 +361,38 @@ let rollback t =
 
 (* --- Construction --------------------------------------------------------- *)
 
+(* Score the partition's current (total) state into zeroed aggregates.
+   [create] and [acquire] both come through here, with the same loop
+   order and arithmetic, so a re-acquired replica's aggregates are
+   bitwise those of a freshly created engine over the same partition. *)
+let init_aggregates t =
+  let s = slif t in
+  Array.iteri
+    (fun i _ ->
+      let comp = Slif.Partition.comp_of_exn t.part i in
+      let k = ci t comp in
+      t.comp_size.(k) <-
+        t.comp_size.(k) +. size_weight t i (Slif.Partition.comp_tech s comp))
+    s.Slif.Types.nodes;
+  Array.iter
+    (fun (c : Slif.Types.channel) ->
+      let bus = Slif.Partition.bus_of_exn t.part c.c_id in
+      List.iter
+        (fun k -> t.cut_count.(k).(bus) <- t.cut_count.(k).(bus) + 1)
+        (crossed_comps t c);
+      t.chan_rate.(c.c_id) <- Slif.Estimate.chan_bitrate_mbps t.est c)
+    s.Slif.Types.chans;
+  for k = 0 to t.n_comps - 1 do
+    t.size_viol.(k) <- size_viol_of t k;
+    t.io_viol.(k) <- io_viol_of t k
+  done;
+  Array.iteri (fun i _ -> t.time_viol.(i) <- time_viol_of t i) t.deadlines;
+  for b = 0 to Array.length t.bitrate_viol - 1 do
+    t.bitrate_viol.(b) <- bitrate_viol_of t b
+  done;
+  (* Building the aggregates scores the partition in full. *)
+  Slif_obs.Counter.incr "search.partitions_scored"
+
 let create ?(weights = Cost.default_weights) ?(constraints = Cost.no_constraints) graph part
     =
   Slif_obs.Span.with_ "engine.create" @@ fun () ->
@@ -424,36 +456,44 @@ let create ?(weights = Cost.default_weights) ?(constraints = Cost.no_constraints
   in
   (* Initial aggregates from the partition's current state (requires a
      total mapping, like Cost.evaluate). *)
-  Array.iteri
-    (fun i _ ->
-      let comp = Slif.Partition.comp_of_exn part i in
-      let k = ci t comp in
-      t.comp_size.(k) <-
-        t.comp_size.(k) +. size_weight t i (Slif.Partition.comp_tech s comp))
-    s.Slif.Types.nodes;
-  Array.iter
-    (fun (c : Slif.Types.channel) ->
-      let bus = Slif.Partition.bus_of_exn part c.c_id in
-      List.iter
-        (fun k -> t.cut_count.(k).(bus) <- t.cut_count.(k).(bus) + 1)
-        (crossed_comps t c);
-      t.chan_rate.(c.c_id) <- Slif.Estimate.chan_bitrate_mbps est c)
-    s.Slif.Types.chans;
-  for k = 0 to n_comps - 1 do
-    t.size_viol.(k) <- size_viol_of t k;
-    t.io_viol.(k) <- io_viol_of t k
-  done;
-  Array.iteri (fun i _ -> t.time_viol.(i) <- time_viol_of t i) t.deadlines;
-  for b = 0 to n_buses - 1 do
-    t.bitrate_viol.(b) <- bitrate_viol_of t b
-  done;
-  (* Building the aggregates scores the initial partition in full. *)
-  Slif_obs.Counter.incr "search.partitions_scored";
+  init_aggregates t;
   t
 
 let of_problem (problem : Search.problem) part =
   create ~weights:problem.Search.weights ~constraints:problem.Search.constraints
     problem.Search.graph part
+
+(* Re-point an existing engine at a fresh partition of the same SLIF.
+   Everything immutable — incident lists, candidate arrays, resolved
+   deadlines, the estimator's preallocated memo — is kept; only the
+   aggregates are zeroed and rescored.  This is the per-domain replica
+   primitive: a pool worker creates one engine at domain start-up and
+   re-acquires it for every work item, so the per-task cost drops from a
+   full [create] (incident-list and estimator construction included) to
+   one initial scoring over arrays that are already hot in its cache,
+   with zero allocation shared across domains. *)
+let acquire t part =
+  if t.txn <> None then invalid_arg "Engine.acquire: a transaction is pending";
+  let rebind () =
+    Slif_obs.Span.with_ "engine.acquire" @@ fun () ->
+    Slif_obs.Counter.incr "engine.acquires";
+    t.part <- part;
+    Slif.Estimate.rebind t.est part;
+    t.scored <- 0;
+    (* The additive aggregates must restart from zero; the remaining
+       arrays are fully overwritten by [init_aggregates]. *)
+    Array.fill t.comp_size 0 t.n_comps 0.0;
+    Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.cut_count;
+    init_aggregates t
+  in
+  if not (Slif_obs.Attribution.on ()) then rebind ()
+  else begin
+    let t0 = Slif_obs.Clock.now_us () in
+    rebind ();
+    (* Like [copy]: the re-acquisition cost is engine-setup work inside
+       the task body, carved out of gross task-run by the report. *)
+    Slif_obs.Attribution.add Slif_obs.Attribution.Copy (Slif_obs.Clock.now_us () -. t0)
+  end
 
 (* A copy clones the partition and rebuilds the aggregates from it.
    Rebuilding (rather than cloning every array and the estimator's memo

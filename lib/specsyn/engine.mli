@@ -56,10 +56,33 @@ val of_problem : Search.problem -> Slif.Partition.t -> t
 val copy : t -> t
 (** An engine over a {!Slif.Partition.copy} of the current partition with
     the same weights and constraints, sharing no mutable cell with the
-    original — the per-task clone a parallel sweep hands each domain.
-    Costs one full initial scoring (the aggregates are rebuilt, which
-    also bumps the partitions-scored counter like {!create}).  Raises
-    [Invalid_argument] while a transaction is pending. *)
+    original.  Costs one full initial scoring (the aggregates are
+    rebuilt, which also bumps the partitions-scored counter like
+    {!create}).  Raises [Invalid_argument] while a transaction is
+    pending.
+
+    @deprecated as the parallel-sweep isolation primitive.  A copy per
+    task rebuilds the incident lists and the estimator on every clone
+    and was the dominant per-task overhead of the old sweeps; the
+    share-nothing architecture keeps one engine per domain and
+    {!acquire}s it per work item instead (DESIGN.md §13).  [copy]
+    remains for callers that genuinely need two live engines over
+    snapshots of the same state. *)
+
+val acquire : t -> Slif.Partition.t -> unit
+(** [acquire t part] re-points the engine (and its estimator) at [part]
+    — a fresh total partition of the same SLIF — zeroes the aggregates
+    and rescores them with exactly {!create}'s arithmetic, so costs
+    reported afterwards are bitwise what a fresh engine over [part]
+    would report.  The immutable precompute (incident channel lists,
+    candidate arrays, resolved deadlines, the estimator's memo arrays)
+    is reused, and {!moves_scored} restarts at zero.  This is the
+    per-domain replica primitive of the share-nothing sweeps: one engine
+    per pool worker, re-acquired per work item, no allocation shared
+    across domains.  Weights and constraints keep their {!create}-time
+    values.  Raises [Invalid_argument] while a transaction is pending
+    (and, like {!create}, when [part] is partial or a weight is
+    missing). *)
 
 val graph : t -> Slif.Graph.t
 

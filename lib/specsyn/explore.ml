@@ -23,47 +23,150 @@ type entry = {
 let default_algos =
   [ Random 50; Greedy; Group_migration; Annealing Annealing.default_params; Clustering 4 ]
 
-let run ?(jobs = 1) ?constraints ?weights ?(algos = default_algos)
+(* Everything one allocation's work items need, built at most once per
+   (domain, allocation): the applied SLIF, its graph and problem, and
+   the domain's private engine replica.  Nothing in here is ever seen by
+   another domain — the share-nothing invariant — so the replica's memo
+   and aggregate arrays stay hot in exactly one cache hierarchy. *)
+type ctx = {
+  c_problem : Search.problem;
+  c_eng : Engine.t;
+}
+
+(* One schedulable unit: a (alloc x algo) pair, or — for multi-restart
+   algorithms, whose natural tasks are far too small and too uneven to
+   schedule one by one — a contiguous restart slice of one. *)
+type work = {
+  w_pair : int;                  (* index into the pair array *)
+  w_slice : (int * int) option;  (* Random restart range (start, len) *)
+}
+
+let run ?(jobs = 1) ?(chunk = 0) ?constraints ?weights ?(algos = default_algos)
     ?(allocs = Alloc.catalog) slif =
-  Slif_obs.Span.with_ "explore.run" ~args:[ ("jobs", string_of_int jobs) ] @@ fun () ->
-  (* Every (alloc x algo) combination is an independent task: it applies
-     the allocation, builds its own graph, problem and engines, and the
-     algorithms seed their own generators — no mutable state crosses task
-     boundaries, so the pool can run the sweep on any number of domains.
-     Pool.map merges in submission order and the cost sort below is
-     stable, hence the report is bit-identical regardless of [jobs]. *)
-  let tasks =
-    List.concat_map (fun alloc -> List.map (fun algo -> (alloc, algo)) algos) allocs
+  Slif_obs.Span.with_ "explore.run"
+    ~args:[ ("jobs", string_of_int jobs); ("chunk", string_of_int chunk) ]
+  @@ fun () ->
+  (* Every (alloc x algo) combination is independent: it gets its own
+     graph, problem and engine state, and the algorithms seed their own
+     generators — no mutable state crosses work-unit boundaries, so the
+     pool can run the sweep on any number of domains.  Pool.map merges
+     in submission order, slice winners fold in index order, and the
+     cost sort below is stable, hence the report is bit-identical
+     regardless of [jobs] and [chunk]. *)
+  let alloc_arr = Array.of_list allocs in
+  let pairs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun ai _ -> List.map (fun algo -> (ai, algo)) algos)
+            allocs))
   in
-  let solve_one (alloc, algo) =
-    let s = Alloc.apply slif alloc in
-    let graph = Slif.Graph.make s in
-    let problem = Search.problem ?constraints ?weights graph in
-    let solve () =
-      match algo with
-      | Random restarts -> Random_part.run ~restarts problem
-      | Greedy -> Greedy.run problem
-      | Group_migration -> Group_migration.run problem
-      | Annealing params -> Annealing.run ~params problem
-      | Clustering k -> Cluster.run ~k problem
-    in
-    let solve () =
-      Slif_obs.Span.with_ "explore.entry"
-        ~args:[ ("alloc", alloc.Alloc.alloc_name); ("algo", algo_name algo) ]
-        solve
-    in
-    let solution, elapsed_s = Slif_obs.Clock.time solve in
-    let partitions_per_s =
-      if elapsed_s > 0.0 then float_of_int solution.Search.evaluated /. elapsed_s
-      else 0.0
-    in
-    Slif_obs.Counter.add "explore.partitions_evaluated" solution.Search.evaluated;
-    { alloc; algo; solution; elapsed_s; partitions_per_s }
+  let chunk_for n =
+    if chunk >= 1 then chunk else Slif_util.Pool.default_chunk ~jobs n
+  in
+  let works =
+    List.concat
+      (List.mapi
+         (fun p (_, algo) ->
+           match algo with
+           | Random n when n > 0 ->
+               (* Slice the restarts so they load-balance across domains
+                  instead of arriving as one monolithic task. *)
+               List.map
+                 (fun sl -> { w_pair = p; w_slice = Some sl })
+                 (Slif_util.Pool.chunks ~chunk:(chunk_for n) n)
+           | _ -> [ { w_pair = p; w_slice = None } ])
+         (Array.to_list pairs))
   in
   (* Even [jobs = 1] goes through the pool: its single-domain path runs
      the same thunks inline, so the serial and parallel sweeps share one
      code path and the profiler's task instrumentation covers both. *)
+  let results =
+    Slif_util.Pool.with_pool ~jobs (fun pool ->
+        (* The per-domain context cache, keyed by allocation index.  A
+           domain builds an allocation's graph, problem and engine
+           replica the first time it meets it and reuses them for every
+           later work item of that allocation — replacing today's
+           rebuild-per-task (and the Engine.copy-per-task design before
+           it) with one [Engine.acquire] per candidate. *)
+        let ctxs = Slif_util.Pool.local pool (fun () -> Hashtbl.create 8) in
+        let ctx_for ai =
+          let tbl = Slif_util.Pool.get ctxs in
+          match Hashtbl.find_opt tbl ai with
+          | Some c -> c
+          | None ->
+              let s = Alloc.apply slif alloc_arr.(ai) in
+              let graph = Slif.Graph.make s in
+              let problem = Search.problem ?constraints ?weights graph in
+              let eng = Engine.of_problem problem (Search.seed_partition s) in
+              let c = { c_problem = problem; c_eng = eng } in
+              Hashtbl.add tbl ai c;
+              c
+        in
+        let solve_work w =
+          let ai, algo = pairs.(w.w_pair) in
+          let ctx = ctx_for ai in
+          let problem = ctx.c_problem in
+          let replica () = ctx.c_eng in
+          let solve () =
+            match (algo, w.w_slice) with
+            | Random _, Some (start, len) ->
+                Random_part.run_range ~replica ~seed:1 ~start ~len problem
+            | Random restarts, None -> Random_part.run ~replica ~restarts problem
+            | Greedy, _ -> Greedy.run ~replica:ctx.c_eng problem
+            | Group_migration, _ -> Group_migration.run ~replica:ctx.c_eng problem
+            | Annealing params, _ -> Annealing.run ~replica ~params problem
+            | Clustering k, _ -> Cluster.run ~replica:ctx.c_eng ~k problem
+          in
+          let solve () =
+            Slif_obs.Span.with_ "explore.entry"
+              ~args:
+                [
+                  ("alloc", alloc_arr.(ai).Alloc.alloc_name); ("algo", algo_name algo);
+                ]
+              solve
+          in
+          Slif_obs.Clock.time solve
+        in
+        Slif_util.Pool.map pool solve_work works)
+  in
+  (* Deterministic merge: group the results back onto their pairs in
+     submission order (works of one pair are contiguous and slice order
+     equals index order), fold each pair's slice winners
+     earliest-strictly-best — the same fold the serial restart loop does
+     — and restore the serial [evaluated] semantics. *)
+  let by_pair = Array.make (Array.length pairs) [] in
+  List.iter2
+    (fun w (solution, elapsed_s) ->
+      by_pair.(w.w_pair) <- (solution, elapsed_s) :: by_pair.(w.w_pair))
+    works results;
   let entries =
-    Slif_util.Pool.with_pool ~jobs (fun pool -> Slif_util.Pool.map pool solve_one tasks)
+    Array.to_list
+      (Array.mapi
+         (fun p (ai, algo) ->
+           match List.rev by_pair.(p) with
+           | [] -> assert false
+           | (first, first_s) :: rest ->
+               let best, elapsed_s =
+                 List.fold_left
+                   (fun ((best : Search.solution), acc_s)
+                        ((sol : Search.solution), s) ->
+                     ((if sol.Search.cost < best.Search.cost then sol else best), acc_s +. s))
+                   (first, first_s) rest
+               in
+               let solution =
+                 match algo with
+                 | Random restarts -> { best with Search.evaluated = restarts }
+                 | _ -> best
+               in
+               let partitions_per_s =
+                 if elapsed_s > 0.0 then
+                   float_of_int solution.Search.evaluated /. elapsed_s
+                 else 0.0
+               in
+               Slif_obs.Counter.add "explore.partitions_evaluated"
+                 solution.Search.evaluated;
+               { alloc = alloc_arr.(ai); algo; solution; elapsed_s; partitions_per_s })
+         pairs)
   in
   List.sort (fun a b -> compare a.solution.Search.cost b.solution.Search.cost) entries

@@ -24,6 +24,7 @@ type entry = {
 
 val run :
   ?jobs:int ->
+  ?chunk:int ->
   ?constraints:Cost.constraints ->
   ?weights:Cost.weights ->
   ?algos:algo list ->
@@ -34,9 +35,20 @@ val run :
     default; the SLIF must already be annotated.  Results are sorted by
     cost (cheapest first), stably over (alloc, algo) submission order.
 
-    [jobs] (default 1) runs the (alloc x algo) combinations on a
-    {!Slif_util.Pool} of that many domains.  Every combination builds its
-    own graph, problem and engines, and results merge in submission
-    order, so the entry list — order, costs, evaluation counts — is
-    identical for every [jobs]; only [elapsed_s]/[partitions_per_s]
-    reflect the actual schedule. *)
+    [jobs] (default 1) runs the work on a {!Slif_util.Pool} of that many
+    domains.  The schedulable unit is an (alloc x algo) combination,
+    except multi-restart algorithms ([Random n]), whose restarts are
+    sliced into contiguous chunks of [chunk] (default [0] = the
+    {!Slif_util.Pool.default_chunk} heuristic over [jobs]) so they
+    load-balance instead of arriving as one monolithic task.
+
+    Each domain lazily builds one private context per allocation — the
+    applied SLIF, graph, problem and an engine replica — and every work
+    item re-engages the replica through {!Engine.acquire}, whose
+    rescoring is bitwise {!Engine.create}'s.  No mutable state crosses
+    domains (share-nothing); results merge in submission order and slice
+    winners fold earliest-strictly-best, so the entry list — order,
+    costs, evaluation counts — is identical for every [jobs] and every
+    [chunk]; only [elapsed_s]/[partitions_per_s] reflect the actual
+    schedule.  For sliced entries [elapsed_s] sums the slices' task
+    times (CPU time, not the sweep's wall clock). *)

@@ -5,4 +5,7 @@
     remains) and each is moved to the feasible component that minimizes
     total cost given the placements made so far.  One pass; deterministic. *)
 
-val run : Search.problem -> Search.solution
+val run : ?replica:Engine.t -> Search.problem -> Search.solution
+(** [replica] reuses the calling domain's engine via {!Engine.acquire}
+    (bitwise-identical scoring, no per-run engine build) — the
+    share-nothing sweep's fast path. *)

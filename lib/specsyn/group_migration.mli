@@ -7,4 +7,12 @@
     classic hill-climbing-with-escape partitioner the paper's complexity
     argument (the n-squared algorithm of Section 5) refers to. *)
 
-val run : ?max_passes:int -> ?initial:Slif.Partition.t -> Search.problem -> Search.solution
+val run :
+  ?max_passes:int ->
+  ?initial:Slif.Partition.t ->
+  ?replica:Engine.t ->
+  Search.problem ->
+  Search.solution
+(** [replica] reuses the calling domain's engine via {!Engine.acquire}
+    (bitwise-identical scoring, no per-run engine build) — the
+    share-nothing sweep's fast path. *)

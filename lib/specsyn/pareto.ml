@@ -62,17 +62,25 @@ let objective (s : Slif.Types.t) ~weight_time eng =
 let default_weights_time = [ 0.1; 0.3; 1.0; 2.0; 4.0; 8.0; 16.0 ]
 
 let sweep ?(jobs = 1) ?(constraints = Cost.no_constraints) ?(steps_per_point = 400)
-    ?(weights_time = default_weights_time) graph =
+    ?(weights_time = default_weights_time) ?chunk graph =
   let s = Slif.Graph.slif graph in
   let n_nodes = Array.length s.Slif.Types.nodes in
-  (* Each weight point is one independent task: its generator seed is a
-     function of the point's index alone, and the partition and engine
-     are task-private — the sweep produces the same candidates at any
-     [jobs]. *)
-  let anneal_point i weight_time =
+  (* Each weight point is an independent computation: its generator seed
+     is a function of the point's index alone, and the partition it
+     anneals is point-private — the sweep produces the same candidates
+     at any [jobs] and any chunking.  The engine is the executing
+     domain's replica, re-acquired per point ([Engine.acquire] rescoring
+     is bitwise [Engine.create]'s, so sharing it changes nothing). *)
+  let anneal_point replica i weight_time =
     let rng = Slif_util.Prng.create (1000 + i) in
     let part = Search.seed_partition s in
-    let eng = Engine.create ~constraints graph part in
+    let eng =
+      match replica with
+      | Some eng ->
+          Engine.acquire eng part;
+          eng
+      | None -> Engine.create ~constraints graph part
+    in
     let cost = ref (objective s ~weight_time eng) in
     let temp = ref 0.5 in
     for _ = 1 to steps_per_point do
@@ -97,11 +105,38 @@ let sweep ?(jobs = 1) ?(constraints = Cost.no_constraints) ?(steps_per_point = 4
     done;
     score graph part ~weight_time
   in
+  let wt = Array.of_list weights_time in
+  let n = Array.length wt in
   let candidates =
-    if jobs = 1 then List.mapi anneal_point weights_time
+    if jobs = 1 then begin
+      (* One engine for the whole serial sweep, re-acquired per point. *)
+      let replica =
+        if n = 0 then None
+        else Some (Engine.create ~constraints graph (Search.seed_partition s))
+      in
+      List.mapi (fun i w -> anneal_point replica i w) weights_time
+    end
     else
       Slif_util.Pool.with_pool ~jobs (fun pool ->
-          Slif_util.Pool.mapi pool anneal_point weights_time)
+          (* One engine replica per domain, created on the domain that
+             uses it; points are grouped into contiguous chunks so each
+             task amortizes its replica acquisition over several points. *)
+          let replica =
+            Slif_util.Pool.local pool (fun () ->
+                Engine.create ~constraints graph (Search.seed_partition s))
+          in
+          let chunk =
+            match chunk with
+            | Some c -> c
+            | None -> Slif_util.Pool.default_chunk ~jobs n
+          in
+          let pieces = Slif_util.Pool.chunks ~chunk n in
+          Slif_util.Pool.map pool
+            (fun (start, len) ->
+              let eng = Some (Slif_util.Pool.get replica) in
+              List.init len (fun d -> anneal_point eng (start + d) wt.(start + d)))
+            pieces
+          |> List.concat)
   in
   (* The serial accumulator consed points in reverse; keep feeding [front]
      the same order so tie-breaks in its stable sort never move. *)

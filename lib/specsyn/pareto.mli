@@ -31,6 +31,7 @@ val sweep :
   ?constraints:Cost.constraints ->
   ?steps_per_point:int ->
   ?weights_time:float list ->
+  ?chunk:int ->
   Slif.Graph.t ->
   point list
 (** [sweep graph] runs simulated annealing once per time-weight in
@@ -38,6 +39,10 @@ val sweep :
     the Pareto front of all solutions found.
 
     [jobs] (default 1) anneals the weight points on a {!Slif_util.Pool}
-    of that many domains.  Each point's generator is seeded by its index
-    and anneals a private partition/engine, so the front is identical
-    for every [jobs]. *)
+    of that many domains, grouped into contiguous chunks of [chunk]
+    points (default {!Slif_util.Pool.default_chunk}) so each task
+    amortizes per-task setup over several points.  Each point's
+    generator is seeded by its index and anneals a point-private
+    partition on the executing domain's engine replica (re-acquired per
+    point, with {!Engine.create}-bitwise rescoring), so the front is
+    identical for every [jobs] and every [chunk]. *)

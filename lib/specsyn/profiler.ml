@@ -5,6 +5,8 @@ type run = {
   p_elapsed_s : float;
   p_speedup : float;
   p_tasks : int;
+  p_designs : int;
+  p_designs_per_s : float;
   p_digest : string;
   p_report : Obs.Attribution.report;
   p_gc : Obs.Gcprof.counts;
@@ -67,7 +69,7 @@ let memo_by_domain () =
       if hit = 0 && miss = 0 then None else Some (dom, (hit, miss)))
     (Obs.Counter.snapshot_by_domain ())
 
-let run ?constraints ?weights ?algos ?allocs ?trace ~name ~jobs slif =
+let run ?constraints ?weights ?algos ?allocs ?chunk ?trace ~name ~jobs slif =
   let jobs = List.sort_uniq compare jobs in
   if jobs = [] then invalid_arg "Profiler.run: no domain counts";
   List.iter (fun j -> if j < 1 then invalid_arg "Profiler.run: jobs must be >= 1") jobs;
@@ -75,7 +77,7 @@ let run ?constraints ?weights ?algos ?allocs ?trace ~name ~jobs slif =
     arm ();
     Fun.protect ~finally:disarm @@ fun () ->
     let t0 = Obs.Clock.now_us () in
-    let entries = Explore.run ~jobs:j ?constraints ?weights ?algos ?allocs slif in
+    let entries = Explore.run ~jobs:j ?chunk ?constraints ?weights ?algos ?allocs slif in
     let elapsed_s = (Obs.Clock.now_us () -. t0) /. 1e6 in
     Obs.Gcprof.poll ();
     Obs.Gcprof.sample ();
@@ -90,6 +92,13 @@ let run ?constraints ?weights ?algos ?allocs ?trace ~name ~jobs slif =
         p_elapsed_s = elapsed_s;
         p_speedup = 1.0;
         p_tasks = Obs.Counter.get "pool.tasks";
+        (* The same counter BENCH A8 divides by elapsed time, so the
+           profile's throughput column and the benchmark's designs/s
+           agree by construction. *)
+        p_designs = Obs.Counter.get "explore.partitions_evaluated";
+        p_designs_per_s =
+          (let d = Obs.Counter.get "explore.partitions_evaluated" in
+           if elapsed_s > 0.0 then float_of_int d /. elapsed_s else 0.0);
         p_digest = digest_entries entries;
         p_report = report;
         p_gc = Obs.Gcprof.counts ();
@@ -172,6 +181,8 @@ let run_json r =
       ("elapsed_s", J.Float r.p_elapsed_s);
       ("speedup", J.Float r.p_speedup);
       ("tasks", J.Int r.p_tasks);
+      ("designs", J.Int r.p_designs);
+      ("designs_per_s", J.Float r.p_designs_per_s);
       ("digest", J.String r.p_digest);
       ("attribution", report_json r.p_report);
       ( "gc",
@@ -229,11 +240,12 @@ let to_text t =
   pf "slif profile: %s\n" t.spec_name;
   pf "results identical across domain counts: %s\n\n"
     (if t.identical then "yes" else "NO — investigate");
-  pf "  jobs  elapsed_s  speedup  tasks  coverage\n";
+  pf "  jobs  elapsed_s  speedup  tasks  designs/s  coverage\n";
   List.iter
     (fun r ->
-      pf "  %4d  %9.3f  %6.2fx  %5d  %7.1f%%\n" r.p_jobs r.p_elapsed_s r.p_speedup
-        r.p_tasks (100.0 *. r.p_report.coverage))
+      pf "  %4d  %9.3f  %6.2fx  %5d  %9.0f  %7.1f%%\n" r.p_jobs r.p_elapsed_s
+        r.p_speedup r.p_tasks r.p_designs_per_s
+        (100.0 *. r.p_report.coverage))
     t.runs;
   List.iter
     (fun r ->

@@ -26,6 +26,11 @@ type run = {
   p_elapsed_s : float;
   p_speedup : float;  (** elapsed of the lowest-jobs run / this run's elapsed *)
   p_tasks : int;  (** pool tasks the sweep submitted *)
+  p_designs : int;  (** partitions evaluated ([explore.partitions_evaluated]) *)
+  p_designs_per_s : float;
+      (** [p_designs / p_elapsed_s] — the same counter BENCH A8 reads, so
+          the profile's throughput column is comparable with
+          [bench.a8.designs_per_s.jN] *)
   p_digest : string;  (** hex digest of the result entries, timing excluded *)
   p_report : Slif_obs.Attribution.report;
   p_gc : Slif_obs.Gcprof.counts;
@@ -49,6 +54,7 @@ val run :
   ?weights:Cost.weights ->
   ?algos:Explore.algo list ->
   ?allocs:Alloc.t list ->
+  ?chunk:int ->
   ?trace:(int -> string) ->
   name:string ->
   jobs:int list ->
@@ -56,10 +62,12 @@ val run :
   t
 (** [run ~name ~jobs slif] sweeps the annotated SLIF once per domain
     count in [jobs] (deduplicated, ascending; [Invalid_argument] when
-    empty or containing a count below 1).  [trace] maps a domain count
-    to a file path: when given, each run's Chrome trace — spans plus the
-    pool's counter tracks — is written there before the registry is
-    reset for the next run. *)
+    empty or containing a count below 1).  [chunk] is forwarded to
+    {!Explore.run}'s restart slicing (default: the
+    {!Slif_util.Pool.default_chunk} heuristic).  [trace] maps a domain
+    count to a file path: when given, each run's Chrome trace — spans
+    plus the pool's counter tracks — is written there before the
+    registry is reset for the next run. *)
 
 val to_json : t -> Slif_obs.Json.t
 (** The machine-readable scaling report, schema ["slif-profile/1"]. *)

@@ -12,7 +12,8 @@
    task is one atomic load and a [Gc.quick_stat] at completion. *)
 
 type t = {
-  n_jobs : int;
+  n_jobs : int;                  (* requested parallelism; drives seeds/chunks *)
+  n_domains : int;               (* domains actually running (capped to hardware) *)
   queue : (unit -> unit) Queue.t;
   lock : Slif_obs.Lockprof.t;
   work : Condition.t;            (* signalled when tasks arrive or at shutdown *)
@@ -20,6 +21,11 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable submitted : int;       (* tasks ever handed to [mapi]; under [lock] *)
   mutable completed : int;       (* tasks whose thunk settled; under [lock] *)
+  (* Domain-local slot machinery (cold paths, own plain mutex so the
+     profiled queue lock never sees it). *)
+  aux_mu : Mutex.t;
+  mutable cleanups : (int -> unit) list;  (* newest first; arg = domain id *)
+  mutable teardown_exn : exn option;      (* first teardown failure, raised by [shutdown] *)
 }
 
 type stats = {
@@ -54,6 +60,25 @@ let global_stats () =
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Run every registered domain-local teardown for the calling domain.
+   A raising teardown must not abandon the remaining slots or wedge
+   [shutdown]'s joins, so failures are recorded (first one wins — the
+   registration order is deterministic) and re-raised later from
+   [shutdown] on the submitting domain. *)
+let run_cleanups pool =
+  let dom = (Domain.self () :> int) in
+  Mutex.lock pool.aux_mu;
+  let fs = List.rev pool.cleanups in
+  Mutex.unlock pool.aux_mu;
+  List.iter
+    (fun f ->
+      try f dom
+      with e ->
+        Mutex.lock pool.aux_mu;
+        if pool.teardown_exn = None then pool.teardown_exn <- Some e;
+        Mutex.unlock pool.aux_mu)
+    fs
+
 let rec worker_loop pool =
   Slif_obs.Lockprof.lock pool.lock;
   while Queue.is_empty pool.queue && not pool.stop do
@@ -70,19 +95,36 @@ let rec worker_loop pool =
 
 (* Workers report their whole loop lifetime as wall time when they join,
    so an attribution report taken after [shutdown] has the full
-   denominator for every worker domain. *)
+   denominator for every worker domain.  Domain-local slots are torn
+   down on the worker itself, after its last task and before it exits —
+   the other half of the init-on-first-use lifecycle. *)
 let worker_main pool () =
   let t0 = Slif_obs.Clock.now_us () in
   Fun.protect
-    ~finally:(fun () -> Slif_obs.Attribution.add_wall (Slif_obs.Clock.now_us () -. t0))
+    ~finally:(fun () ->
+      run_cleanups pool;
+      Slif_obs.Attribution.add_wall (Slif_obs.Clock.now_us () -. t0))
     (fun () -> worker_loop pool)
 
-let create ?jobs () =
+let create ?jobs ?(oversubscribe = false) () =
   let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
   if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  (* Domains beyond the hardware's parallelism cannot run concurrently;
+     they only multiply stop-the-world GC barriers and scheduling
+     latency (the measured A8 inversion).  The requested [n_jobs] keeps
+     driving seeds and chunk sizes — results depend on it alone — while
+     the domain count is capped to what the machine can actually run, so
+     [-j 8] on a small box degrades to fewer domains, never to a
+     slowdown.  [oversubscribe] bypasses the cap (the contention tests
+     and the profiler's worst-case mode want the pathology back). *)
+  let n_domains =
+    if oversubscribe then n_jobs
+    else min n_jobs (max 1 (Domain.recommended_domain_count ()))
+  in
   let pool =
     {
       n_jobs;
+      n_domains;
       queue = Queue.create ();
       lock = Slif_obs.Lockprof.create ~category:Slif_obs.Attribution.Queue_wait "pool.queue";
       work = Condition.create ();
@@ -90,14 +132,18 @@ let create ?jobs () =
       workers = [];
       submitted = 0;
       completed = 0;
+      aux_mu = Mutex.create ();
+      cleanups = [];
+      teardown_exn = None;
     }
   in
   Atomic.incr g_pools_created;
   Atomic.incr g_pools_live;
-  pool.workers <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (worker_main pool));
+  pool.workers <- List.init (n_domains - 1) (fun _ -> Domain.spawn (worker_main pool));
   pool
 
 let jobs t = t.n_jobs
+let domains t = t.n_domains
 
 let stats t =
   Slif_obs.Lockprof.lock t.lock;
@@ -122,11 +168,104 @@ let shutdown t =
   let workers = t.workers in
   t.workers <- [];
   List.iter Domain.join workers;
-  if not was_stopped then Atomic.decr g_pools_live
+  if not was_stopped then begin
+    Atomic.decr g_pools_live;
+    (* The submitting domain participates in the work, so it may hold
+       initialized slots too. *)
+    run_cleanups t;
+    Mutex.lock t.aux_mu;
+    let e = t.teardown_exn in
+    t.teardown_exn <- None;
+    Mutex.unlock t.aux_mu;
+    match e with None -> () | Some e -> raise e
+  end
 
-let with_pool ?jobs f =
-  let pool = create ?jobs () in
+let with_pool ?jobs ?oversubscribe f =
+  let pool = create ?jobs ?oversubscribe () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* --- Domain-local slots ---------------------------------------------------
+
+   One value per domain that participates in the pool's work, created
+   lazily on the domain that will use it (so an [init] that resolves
+   DLS-backed observability handles resolves them on the right domain)
+   and torn down when the worker exits or the pool shuts down.  This is
+   the carrier of the share-nothing architecture: an exploration sweep
+   keeps one engine replica per domain in a slot, and no task ever
+   touches another domain's replica.
+
+   Only the table structure is locked; each domain reads and writes its
+   own key exclusively, so [get] never blocks on another domain's init
+   and an initialized slot is reached with one small critical section
+   per task. *)
+
+type 'a local = {
+  l_init : unit -> 'a;
+  l_mu : Mutex.t;
+  l_tbl : (int, 'a) Hashtbl.t;  (* domain id -> slot *)
+}
+
+let local pool ?teardown init =
+  let l = { l_init = init; l_mu = Mutex.create (); l_tbl = Hashtbl.create 8 } in
+  (match teardown with
+  | None -> ()
+  | Some td ->
+      let cleanup dom =
+        Mutex.lock l.l_mu;
+        let v = Hashtbl.find_opt l.l_tbl dom in
+        Hashtbl.remove l.l_tbl dom;
+        Mutex.unlock l.l_mu;
+        match v with None -> () | Some v -> td v
+      in
+      Mutex.lock pool.aux_mu;
+      pool.cleanups <- cleanup :: pool.cleanups;
+      Mutex.unlock pool.aux_mu);
+  l
+
+let get (l : 'a local) =
+  let dom = (Domain.self () :> int) in
+  Mutex.lock l.l_mu;
+  let v = Hashtbl.find_opt l.l_tbl dom in
+  Mutex.unlock l.l_mu;
+  match v with
+  | Some v -> v
+  | None ->
+      (* Init runs outside the lock: it may be expensive (an engine
+         replica build) and no other domain can race for this key.  An
+         init that raises stores nothing — the exception surfaces as the
+         calling task's deterministic failure, and a later [get] retries. *)
+      let v = l.l_init () in
+      Mutex.lock l.l_mu;
+      Hashtbl.add l.l_tbl dom v;
+      Mutex.unlock l.l_mu;
+      v
+
+(* --- Chunking -------------------------------------------------------------
+
+   Coarse work units for sweeps whose natural tasks are tiny.  The
+   helpers only slice index space; determinism is the caller's side of
+   the contract — derive per *index* (not per chunk) from the root seed
+   and merge earliest-index-wins, and the result is a pure function of
+   the index range, byte-identical for every chunk size and job count. *)
+
+let chunks ~chunk n =
+  if chunk < 1 then invalid_arg "Pool.chunks: chunk must be >= 1";
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else go (start + chunk) ((start, min chunk (n - start)) :: acc)
+  in
+  go 0 []
+
+let default_chunk ~jobs n =
+  if jobs < 1 then invalid_arg "Pool.default_chunk: jobs must be >= 1";
+  if n <= 0 then 1
+  else
+    (* About four chunks per domain: coarse enough to amortize queue
+       traffic and per-chunk setup, fine enough that a straggler chunk
+       cannot idle the other domains for long.  The cap keeps single-job
+       runs from degenerating into one giant task that a later [-j]
+       comparison could not split. *)
+    max 1 (min 64 ((n + (4 * jobs) - 1) / (4 * jobs)))
 
 (* Tasks never let an exception escape into the worker loop: the thunk
    stores the outcome and the failure is re-raised from [mapi], picking
@@ -181,7 +320,7 @@ let mapi pool f tasks =
       in
       Slif_obs.Counter.add "pool.tasks" n;
       Atomic.fetch_and_add g_submitted n |> ignore;
-      if pool.n_jobs = 1 || n = 1 then begin
+      if pool.n_domains = 1 || n = 1 then begin
         Slif_obs.Lockprof.lock pool.lock;
         pool.submitted <- pool.submitted + n;
         Slif_obs.Lockprof.unlock pool.lock;

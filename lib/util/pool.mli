@@ -36,15 +36,35 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what the CLI's [-j] defaults
     to. *)
 
-val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [jobs - 1] worker domains (default
-    {!default_jobs}).  Raises [Invalid_argument] when [jobs < 1]. *)
+val create : ?jobs:int -> ?oversubscribe:bool -> unit -> t
+(** [create ~jobs ()] builds a pool of logical parallelism [jobs]
+    (default {!default_jobs}), spawning at most
+    [Domain.recommended_domain_count () - 1] worker domains: domains
+    beyond the hardware's parallelism cannot run concurrently and only
+    multiply stop-the-world GC barriers (the measured cause of parallel
+    sweeps running {e slower} than serial ones on small machines).
+    [jobs] keeps its full value for everything deterministic — seeds,
+    chunk heuristics, {!jobs} — so results are a function of the
+    requested [-j] alone, independent of the machine the sweep ran on.
+    [oversubscribe] (default false) lifts the cap and spawns [jobs - 1]
+    domains unconditionally — for contention experiments that want the
+    pathology back.  Raises [Invalid_argument] when [jobs < 1]. *)
 
 val jobs : t -> int
-(** The parallelism the pool was created with (including the submitter). *)
+(** The logical parallelism the pool was created with (including the
+    submitter) — the value that drives seeds and chunk sizing. *)
+
+val domains : t -> int
+(** Domains actually executing tasks (including the submitter):
+    [min jobs (recommended_domain_count)] unless the pool was created
+    with [~oversubscribe:true]. *)
 
 val shutdown : t -> unit
-(** Join all worker domains.  Idempotent; the pool must be idle. *)
+(** Join all worker domains and tear down the submitting domain's
+    {!local} slots.  Idempotent; the pool must be idle.  If any slot
+    teardown raised (on any domain), the first such exception — in
+    registration order, so deterministic — is re-raised here after every
+    domain has joined. *)
 
 type stats = {
   st_jobs : int;  (** parallelism, including the submitter *)
@@ -69,8 +89,50 @@ val global_stats : unit -> global_stats
 (** Process-wide totals across every pool that ever existed — what the
     daemon's metrics scrape exports, since pools are transient. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
 (** [create], run the function, [shutdown] — even on exceptions. *)
+
+(* --- Domain-local slots -------------------------------------------------- *)
+
+type 'a local
+(** One lazily initialized value per domain participating in the pool's
+    work — the carrier of share-nothing sweep state (an engine replica
+    per domain, say).  No slot is ever visible to two domains. *)
+
+val local : t -> ?teardown:('a -> unit) -> (unit -> 'a) -> 'a local
+(** [local pool ~teardown init] declares a slot family on the pool.
+    [init] runs on first {!get} {e on the requesting domain} (so
+    domain-affine resources — DLS-backed counter handles, estimator
+    scratch — land on the domain that will use them); [teardown] runs on
+    that same domain when its worker exits, or at {!shutdown} for the
+    submitting domain.  An [init] that raises stores nothing: the
+    exception propagates to the calling task (surfacing deterministically
+    through {!map}'s lowest-index rule) and the next {!get} retries.
+    A raising [teardown] is caught, never wedges a worker join, and is
+    re-raised from {!shutdown}. *)
+
+val get : 'a local -> 'a
+(** The calling domain's slot, initializing it on first use.  Meant to be
+    called from task bodies (or the submitting domain). *)
+
+(* --- Chunking ------------------------------------------------------------- *)
+
+val chunks : chunk:int -> int -> (int * int) list
+(** [chunks ~chunk n] slices the index range [0 .. n-1] into
+    [(start, len)] runs of at most [chunk] indices, in order.  Callers
+    keep determinism by deriving per-index seeds ({!Prng.derive} on the
+    {e index}, never on the chunk) and merging earliest-index-wins, which
+    makes the outcome a pure function of [n] and the root seed —
+    byte-identical for every [chunk] and every job count.  Raises
+    [Invalid_argument] when [chunk < 1]. *)
+
+val default_chunk : jobs:int -> int -> int
+(** The chunk-size heuristic behind the CLI's [--chunk 0] (auto): about
+    four chunks per job — [ceil (n / (4 * jobs))] clamped to [1 .. 64] —
+    coarse enough to amortize queue traffic and per-chunk replica
+    acquisition, fine enough that one straggler chunk cannot idle the
+    other domains for long.  Depends only on [n] and the requested
+    [jobs], so auto-chunked sweeps stay machine-independent. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f tasks] runs [f] on every task (in parallel when the pool

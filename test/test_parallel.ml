@@ -99,11 +99,14 @@ let explore_differential label ?(algos = light_algos) ~allocs slif =
   let parallel = Specsyn.Explore.run ~jobs:jobs_par ~algos ~allocs slif in
   check_entries label serial parallel;
   (* The timing-free report must be byte-identical — what the CLI's
-     [-j N --no-timings] differential relies on. *)
+     [-j N --no-timings] differential relies on — and stay so at the
+     finest restart slicing (one restart per pool task). *)
+  let report = Specsyn.Report.explore_report ~timings:false in
+  Alcotest.(check string) (label ^ ": report bytes") (report serial) (report parallel);
   Alcotest.(check string)
-    (label ^ ": report bytes")
-    (Specsyn.Report.explore_report ~timings:false serial)
-    (Specsyn.Report.explore_report ~timings:false parallel)
+    (label ^ ": chunk-1 report bytes")
+    (report serial)
+    (report (Specsyn.Explore.run ~jobs:jobs_par ~chunk:1 ~algos ~allocs slif))
 
 let test_explore_bundled () =
   let allocs = [ Specsyn.Alloc.proc_asic (); Specsyn.Alloc.proc_asic_mem () ] in
@@ -143,6 +146,134 @@ let test_explore_fuzzed () =
   for seed = 0 to 19 do
     explore_differential_seed seed
   done
+
+(* --- Chunked-merge determinism ------------------------------------------- *)
+
+(* The chunk size only reshapes work units; the merged entry list and
+   the timing-free report must be byte-identical at every extreme —
+   one restart per task, everything in one task, and the heuristic. *)
+let test_explore_chunk_differential () =
+  let allocs = [ Specsyn.Alloc.proc_asic () ] in
+  let slif = Lazy.force Helpers.fuzzy_slif in
+  let sweep ?chunk jobs =
+    Specsyn.Report.explore_report ~timings:false
+      (Specsyn.Explore.run ~jobs ?chunk ~algos:light_algos ~allocs slif)
+  in
+  let reference = sweep 1 in
+  List.iter
+    (fun (label, report) -> Alcotest.(check string) label reference report)
+    [
+      ("chunk 1, serial", sweep ~chunk:1 1);
+      ("chunk 1, parallel", sweep ~chunk:1 jobs_par);
+      ("chunk 64, parallel", sweep ~chunk:64 jobs_par);
+      ("heuristic chunk, parallel", sweep jobs_par);
+    ]
+
+(* --- Pool domain cap and chunk helpers ------------------------------------ *)
+
+let test_pool_domain_cap () =
+  let cap = max 1 (Domain.recommended_domain_count ()) in
+  Pool.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check int) "jobs is as requested" 8 (Pool.jobs pool);
+      Alcotest.(check int) "domains capped to hardware" (min 8 cap) (Pool.domains pool));
+  Pool.with_pool ~jobs:8 ~oversubscribe:true (fun pool ->
+      Alcotest.(check int) "oversubscribe bypasses the cap" 8 (Pool.domains pool))
+
+let test_pool_chunks () =
+  Alcotest.check_raises "chunk 0" (Invalid_argument "Pool.chunks: chunk must be >= 1")
+    (fun () -> ignore (Pool.chunks ~chunk:0 5));
+  Alcotest.(check (list (pair int int))) "empty range" [] (Pool.chunks ~chunk:4 0);
+  Alcotest.(check (list (pair int int)))
+    "exact split" [ (0, 3); (3, 3) ] (Pool.chunks ~chunk:3 6);
+  Alcotest.(check (list (pair int int)))
+    "ragged tail" [ (0, 4); (4, 4); (8, 2) ] (Pool.chunks ~chunk:4 10);
+  (* Contiguous full cover, whatever the chunk size. *)
+  List.iter
+    (fun chunk ->
+      let pieces = Pool.chunks ~chunk 37 in
+      let covered = List.fold_left (fun acc (_, len) -> acc + len) 0 pieces in
+      Alcotest.(check int) "covers every index" 37 covered;
+      ignore
+        (List.fold_left
+           (fun expect (start, len) ->
+             Alcotest.(check int) "contiguous" expect start;
+             start + len)
+           0 pieces))
+    [ 1; 2; 5; 36; 37; 64 ];
+  (* The heuristic depends only on (n, requested jobs) — never on the
+     machine — and clamps to [1, 64]. *)
+  Alcotest.(check int) "empty work" 1 (Pool.default_chunk ~jobs:4 0);
+  Alcotest.(check int) "tiny work" 1 (Pool.default_chunk ~jobs:4 3);
+  Alcotest.(check int) "four chunks per job" 5 (Pool.default_chunk ~jobs:2 40);
+  Alcotest.(check int) "clamped to 64" 64 (Pool.default_chunk ~jobs:1 10_000);
+  Alcotest.check_raises "jobs 0"
+    (Invalid_argument "Pool.default_chunk: jobs must be >= 1") (fun () ->
+      ignore (Pool.default_chunk ~jobs:0 10))
+
+(* --- Domain-local slot lifecycle ------------------------------------------ *)
+
+(* Init runs lazily on the domain that uses the slot (at most once per
+   domain), every initialized slot is torn down exactly once by pool
+   shutdown, and each [get] returns the calling domain's own value. *)
+let test_pool_local_lifecycle () =
+  let inits = Atomic.make 0 and teardowns = Atomic.make 0 in
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
+      let slot =
+        Pool.local pool
+          ~teardown:(fun dom ->
+            Atomic.incr teardowns;
+            if dom <> (Domain.self () :> int) then
+              Alcotest.fail "teardown ran on a foreign domain")
+          (fun () ->
+            Atomic.incr inits;
+            (Domain.self () :> int))
+      in
+      let doms =
+        Pool.map pool
+          (fun _ ->
+            let v = Pool.get slot in
+            Alcotest.(check int) "slot belongs to this domain"
+              (Domain.self () :> int)
+              v;
+            v)
+          (List.init 64 Fun.id)
+      in
+      let distinct = List.length (List.sort_uniq compare doms) in
+      Alcotest.(check int) "one init per participating domain" distinct
+        (Atomic.get inits));
+  Alcotest.(check int) "every initialized slot torn down" (Atomic.get inits)
+    (Atomic.get teardowns)
+
+let test_pool_local_init_raises () =
+  (* A raising init stores nothing: it surfaces as the task's failure
+     (lowest submission index wins, like any task exception) and the
+     pool still shuts down cleanly. *)
+  Pool.with_pool ~jobs:2 ~oversubscribe:true (fun pool ->
+      let slot = Pool.local pool (fun () -> failwith "init boom") in
+      Alcotest.check_raises "init failure surfaces" (Failure "init boom") (fun () ->
+          ignore (Pool.map pool (fun _ -> ignore (Pool.get slot)) [ 1; 2; 3 ]));
+      Alcotest.(check (list int)) "pool still works" [ 10 ]
+        (Pool.map pool (fun x -> 10 * x) [ 1 ]))
+
+let test_pool_local_teardown_raises () =
+  (* A raising teardown must not wedge the joins; the first failure is
+     re-raised from [shutdown] after every worker has exited. *)
+  let torn = Atomic.make 0 in
+  let pool = Pool.create ~jobs:3 ~oversubscribe:true () in
+  let slot =
+    Pool.local pool
+      ~teardown:(fun _ ->
+        Atomic.incr torn;
+        failwith "teardown boom")
+      (fun () -> (Domain.self () :> int))
+  in
+  let inits =
+    List.length
+      (List.sort_uniq compare (Pool.map pool (fun _ -> Pool.get slot) (List.init 32 Fun.id)))
+  in
+  Alcotest.check_raises "shutdown re-raises the teardown failure"
+    (Failure "teardown boom") (fun () -> Pool.shutdown pool);
+  Alcotest.(check int) "every slot's teardown still ran" inits (Atomic.get torn)
 
 (* --- Partition-level comparison ------------------------------------------ *)
 
@@ -249,6 +380,81 @@ let test_engine_copy_isolation () =
       | _ -> Alcotest.fail "copy during a pending transaction should raise");
       Specsyn.Engine.rollback dup
 
+(* --- Engine.acquire bit-exactness ----------------------------------------- *)
+
+(* The share-nothing refactor rides entirely on [Engine.acquire]
+   rescoring bitwise like [Engine.create]: one replica re-acquired per
+   restart must pick the same winner, at the same cost bits, as a fresh
+   engine per restart. *)
+let test_engine_acquire_bit_exact () =
+  let problem = Lazy.force fuzzy_problem in
+  let part = Specsyn.Search.seed_partition (Slif.Graph.slif problem.Specsyn.Search.graph) in
+  let replica = Specsyn.Engine.of_problem problem part in
+  (* Dirty the replica first, so acquire is rescoring from a genuinely
+     stale state, not from the partition it was created on. *)
+  let rng = Prng.create 3 in
+  for _ = 1 to 10 do
+    match Specsyn.Engine.random_move replica rng with
+    | None -> ()
+    | Some m ->
+        ignore (Specsyn.Engine.propose replica m);
+        Specsyn.Engine.commit replica
+  done;
+  List.iter
+    (fun seed ->
+      let fresh = Specsyn.Random_part.run ~seed ~restarts:16 problem in
+      let reacquired =
+        Specsyn.Random_part.run ~replica:(fun () -> replica) ~seed ~restarts:16 problem
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: same cost bits" seed)
+        0
+        (Int64.compare
+           (Int64.bits_of_float fresh.Specsyn.Search.cost)
+           (Int64.bits_of_float reacquired.Specsyn.Search.cost));
+      check_same_partition
+        (Printf.sprintf "seed %d: same winner" seed)
+        fresh.Specsyn.Search.part reacquired.Specsyn.Search.part)
+    [ 1; 2; 7 ]
+
+(* --- Per-domain memo isolation -------------------------------------------- *)
+
+(* Two domains hammer their own replicas (private estimate memo, private
+   aggregates) concurrently; each must observe exactly the cost sequence
+   a serial run of the same move stream observes.  Any cross-domain
+   write to memo or aggregate state shows up as a diverging cost. *)
+let test_memo_isolation_across_domains () =
+  let problem = Lazy.force fuzzy_problem in
+  let walk dom =
+    (* A private seed partition per walk: the engine mutates it as it
+       commits moves, so sharing one would break determinism on its
+       own, independent of memo state. *)
+    let part =
+      Specsyn.Search.seed_partition (Slif.Graph.slif problem.Specsyn.Search.graph)
+    in
+    let eng = Specsyn.Engine.of_problem problem part in
+    let rng = Prng.derive ~root:11 dom in
+    let costs = ref [ Specsyn.Engine.cost eng ] in
+    for _ = 1 to 60 do
+      (match Specsyn.Engine.random_move eng rng with
+      | None -> ()
+      | Some m ->
+          ignore (Specsyn.Engine.propose eng m);
+          Specsyn.Engine.commit eng);
+      costs := Specsyn.Engine.cost eng :: !costs
+    done;
+    List.rev !costs
+  in
+  let serial = List.map walk [ 0; 1 ] in
+  let spawned = List.map (fun d -> Domain.spawn (fun () -> walk d)) [ 0; 1 ] in
+  let concurrent = List.map Domain.join spawned in
+  List.iteri
+    (fun d (s, c) ->
+      Alcotest.(check (list (float 0.0)))
+        (Printf.sprintf "domain %d cost walk" d)
+        s c)
+    (List.combine serial concurrent)
+
 (* --- Observability under domain contention -------------------------------- *)
 
 let test_obs_stress () =
@@ -298,7 +504,17 @@ let suite =
       test_pool_map_seeded_jobs_invariant;
     Alcotest.test_case "prng derive yields disjoint streams" `Quick
       test_prng_derive_streams;
+    Alcotest.test_case "pool caps domains to the hardware" `Quick test_pool_domain_cap;
+    Alcotest.test_case "chunk helpers slice and clamp" `Quick test_pool_chunks;
+    Alcotest.test_case "local slots: init once, teardown once" `Quick
+      test_pool_local_lifecycle;
+    Alcotest.test_case "local slots: raising init surfaces as task failure" `Quick
+      test_pool_local_init_raises;
+    Alcotest.test_case "local slots: raising teardown re-raised from shutdown" `Quick
+      test_pool_local_teardown_raises;
     Alcotest.test_case "explore -j4 == -j1 on bundled specs" `Quick test_explore_bundled;
+    Alcotest.test_case "explore chunk size never shows in the report" `Quick
+      test_explore_chunk_differential;
     Alcotest.test_case "explore -j4 == -j1 on fuzzed designs" `Quick test_explore_fuzzed;
     Alcotest.test_case "pareto front is jobs-invariant" `Quick test_pareto_differential;
     Alcotest.test_case "annealing restarts pool == serial" `Quick
@@ -306,5 +522,9 @@ let suite =
     Alcotest.test_case "random restarts pool == serial" `Quick
       test_random_part_differential;
     Alcotest.test_case "engine copy shares no state" `Quick test_engine_copy_isolation;
+    Alcotest.test_case "engine acquire rescoring is bit-exact" `Quick
+      test_engine_acquire_bit_exact;
+    Alcotest.test_case "replica memos are domain-private" `Quick
+      test_memo_isolation_across_domains;
     Alcotest.test_case "obs registry under 8-domain load" `Slow test_obs_stress;
   ]

@@ -32,7 +32,9 @@ let with_profiling f =
 
 let test_pool_stats_lifecycle () =
   let g0 = Pool.global_stats () in
-  let pool = Pool.create ~jobs:4 () in
+  (* Oversubscribed on purpose: the lifecycle assertions count worker
+     domains, which the hardware cap would reduce on a small machine. *)
+  let pool = Pool.create ~jobs:4 ~oversubscribe:true () in
   let s = Pool.stats pool in
   Alcotest.(check int) "jobs" 4 s.Pool.st_jobs;
   Alcotest.(check int) "workers" 3 s.Pool.st_worker_domains;
@@ -215,7 +217,9 @@ let test_attribution_covers_wall () =
     done;
     !acc
   in
-  Pool.with_pool ~jobs:4 (fun pool ->
+  (* Oversubscribed: the coverage invariant is only interesting with
+     real worker domains, and the test counts four attribution cells. *)
+  Pool.with_pool ~jobs:4 ~oversubscribe:true (fun pool ->
       ignore (Pool.map pool (fun _ -> spin_ms 5.0) (List.init 32 Fun.id)));
   let r = Obs.Attribution.report () in
   Alcotest.(check bool) "wall measured" true (r.Obs.Attribution.total_wall_us > 0.0);
