@@ -1037,6 +1037,329 @@ let a10 () =
     "(the disabled-path delta should sit within ~2% — inside run-to-run noise;\n\
     \ the trace cell is only read once a span or event actually records)"
 
+(* --- A10b: daemon load harness — closed-loop concurrency sweep -------------- *)
+
+(* How many concurrent clients the multi-domain daemon sustains, and
+   where it saturates.  The daemon runs in a forked child so the two
+   processes' select loops each get the full descriptor budget
+   ([Unix.select] rejects fd numbers >= 1024; one process cannot hold
+   both ends of ~1000 connections).  The parent drives every
+   concurrency level from a single select-multiplexed loop — C
+   closed-loop connections, one outstanding request each — and reports
+   sustained req/s plus client-side p50/p99 per level.  Every response
+   is also checked byte-for-byte against the first one: under load the
+   daemon must answer identically, not just quickly. *)
+
+type lconn = {
+  lc_fd : Unix.file_descr;
+  mutable lc_off : int;  (** bytes of the request line already written *)
+  lc_in : Buffer.t;
+  mutable lc_t_send : float;
+  mutable lc_done : int;
+  mutable lc_active : bool;
+}
+
+(* select caps fd numbers below 1024; keep headroom for stdio/pipes. *)
+let a10b_fd_budget = 960
+
+let a10b_level port line per_conn clients =
+  let request = line ^ "\n" in
+  let conns =
+    List.init clients (fun _ ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.set_nonblock fd;
+        {
+          lc_fd = fd;
+          lc_off = 0;
+          lc_in = Buffer.create 512;
+          lc_t_send = 0.0;
+          lc_done = 0;
+          lc_active = true;
+        })
+  in
+  let total = clients * per_conn in
+  let window = Slif_obs.Histogram.window ~capacity:total () in
+  let completed = ref 0 in
+  let expected = ref None in
+  let mismatches = ref 0 in
+  let t0 = Slif_obs.Clock.now_us () in
+  List.iter (fun c -> c.lc_t_send <- t0) conns;
+  let deadline_us = t0 +. 180.0 *. 1e6 in
+  let finish c =
+    c.lc_active <- false;
+    try Unix.close c.lc_fd with Unix.Unix_error _ -> ()
+  in
+  let on_line c resp =
+    let dur = Slif_obs.Clock.now_us () -. c.lc_t_send in
+    Slif_obs.Histogram.window_record window dur;
+    incr completed;
+    (match !expected with
+    | None -> expected := Some resp
+    | Some e -> if resp <> e then incr mismatches);
+    c.lc_done <- c.lc_done + 1;
+    if c.lc_done >= per_conn then finish c
+    else begin
+      c.lc_off <- 0;
+      c.lc_t_send <- Slif_obs.Clock.now_us ()
+    end
+  in
+  let drain_lines c =
+    let continue = ref true in
+    while !continue && c.lc_active do
+      let text = Buffer.contents c.lc_in in
+      match String.index_opt text '\n' with
+      | None -> continue := false
+      | Some nl ->
+          let resp = String.sub text 0 nl in
+          Buffer.clear c.lc_in;
+          Buffer.add_substring c.lc_in text (nl + 1) (String.length text - nl - 1);
+          on_line c resp
+    done
+  in
+  let chunk = Bytes.create 65536 in
+  let timed_out = ref false in
+  while !completed < total && not !timed_out do
+    if Slif_obs.Clock.now_us () > deadline_us then timed_out := true
+    else begin
+      let live = List.filter (fun c -> c.lc_active) conns in
+      let reads = List.map (fun c -> c.lc_fd) live in
+      let writes =
+        List.filter_map
+          (fun c -> if c.lc_off < String.length request then Some c.lc_fd else None)
+          live
+      in
+      match Unix.select reads writes [] 5.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          List.iter
+            (fun c ->
+              if c.lc_active && List.memq c.lc_fd writable then begin
+                match
+                  Unix.write_substring c.lc_fd request c.lc_off
+                    (String.length request - c.lc_off)
+                with
+                | n -> c.lc_off <- c.lc_off + n
+                | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                | exception Unix.Unix_error _ -> finish c
+              end;
+              if c.lc_active && List.memq c.lc_fd readable then begin
+                match Unix.read c.lc_fd chunk 0 (Bytes.length chunk) with
+                | 0 -> finish c
+                | n ->
+                    Buffer.add_subbytes c.lc_in chunk 0 n;
+                    drain_lines c
+                | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                | exception Unix.Unix_error _ -> finish c
+              end)
+            conns
+    end
+  done;
+  let elapsed_s = (Slif_obs.Clock.now_us () -. t0) /. 1e6 in
+  List.iter (fun c -> if c.lc_active then finish c) conns;
+  let req_per_s = float_of_int !completed /. Float.max elapsed_s 1e-9 in
+  (req_per_s, Slif_obs.Histogram.window_quantiles window, !completed, !mismatches,
+   !timed_out)
+
+let a10_load () =
+  section "A10b: daemon load harness (closed-loop concurrency sweep)";
+  let workers =
+    match Sys.getenv_opt "SLIF_BENCH_LOAD_WORKERS" with
+    | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 2)
+    | None -> 2
+  in
+  let levels =
+    let parse s =
+      List.filter_map int_of_string_opt (String.split_on_char ',' (String.trim s))
+    in
+    match Sys.getenv_opt "SLIF_BENCH_LOAD_CLIENTS" with
+    | Some s when parse s <> [] -> parse s
+    | _ -> if bench_fast then [ 8; 16 ] else [ 64; 128; 256; 512; 1024 ]
+  in
+  flush stdout;
+  flush stderr;
+  (* The daemon runs as a spawned [slif serve] process rather than a
+     fork: OCaml 5 forbids [Unix.fork] once domains exist, and earlier
+     bench phases spawn them.  A separate process also gives the daemon
+     its own select fd budget, independent of the client driver's. *)
+  let cli =
+    let candidates =
+      [
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          (Filename.concat ".." (Filename.concat "bin" "slif_cli.exe"));
+        Filename.concat "_build"
+          (Filename.concat "default" (Filename.concat "bin" "slif_cli.exe"));
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some p -> p
+    | None -> failwith "a10load: cannot find slif_cli.exe (run under dune)"
+  in
+  let out_r, out_w = Unix.pipe () in
+  let daemon_pid =
+    Unix.create_process cli
+      [|
+        cli; "serve"; "--port"; "0"; "--workers"; string_of_int workers;
+        "--lru"; "16";
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let port =
+    (* First stdout line: "listening on 127.0.0.1:<port>". *)
+    let buf = Buffer.create 64 in
+    let b = Bytes.create 1 in
+    let rec banner () =
+      match Unix.read out_r b 0 1 with
+      | 0 -> Buffer.contents buf
+      | _ ->
+          if Bytes.get b 0 = '\n' then Buffer.contents buf
+          else begin
+            Buffer.add_char buf (Bytes.get b 0);
+            banner ()
+          end
+    in
+    let l = banner () in
+    Unix.close out_r;
+    match String.rindex_opt l ':' with
+    | Some i ->
+        int_of_string
+          (String.trim (String.sub l (i + 1) (String.length l - i - 1)))
+    | None -> failwith ("a10load: unexpected daemon banner: " ^ l)
+  in
+  Fun.protect
+        ~finally:(fun () ->
+          (try
+             let c = Slif_server.Client.connect_tcp ~timeout_ms:10_000 port in
+             ignore (Slif_server.Client.request_raw c {|{"op":"shutdown"}|});
+             Slif_server.Client.close c
+           with _ -> ());
+          ignore (try Unix.waitpid [] daemon_pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0)))
+        (fun () ->
+          (* Prime the LRU so the sweep measures serving, not rebuilds. *)
+          let prime = Slif_server.Client.connect_tcp ~timeout_ms:30_000 port in
+          ignore (Slif_server.Client.request_raw prime {|{"op":"load","spec":"fuzzy"}|});
+          Slif_server.Client.close prime;
+          Printf.printf "daemon: spawned slif serve, %d worker domains\n" workers;
+          let line = {|{"op":"estimate","spec":"fuzzy"}|} in
+          let per_conn_for clients =
+            if bench_fast then 5 else max 5 (10_000 / clients)
+          in
+          let table =
+            Slif_util.Table.create
+              ~header:
+                [ "clients"; "requests"; "req/s"; "p50 us"; "p99 us"; "max us"; "note" ]
+          in
+          let total_mismatches = ref 0 in
+          let results =
+            List.map
+              (fun requested ->
+                let clients = min requested a10b_fd_budget in
+                let clamped = clients <> requested in
+                let req_per_s, q, completed, mismatches, timed_out =
+                  a10b_level port line (per_conn_for clients) clients
+                in
+                total_mismatches := !total_mismatches + mismatches;
+                let note =
+                  String.concat " "
+                    ((if clamped then
+                        [ Printf.sprintf "(clamped from %d: select fd ceiling)" requested ]
+                      else [])
+                    @ (if mismatches > 0 then
+                         [ Printf.sprintf "%d MISMATCHED RESPONSES" mismatches ]
+                       else [])
+                    @ if timed_out then [ "TIMED OUT" ] else [])
+                in
+                (match q with
+                | Some q ->
+                    Slif_obs.Counter.add
+                      (Printf.sprintf "bench.a10.load.c%d.req_per_s" requested)
+                      (int_of_float req_per_s);
+                    Slif_obs.Counter.add
+                      (Printf.sprintf "bench.a10.load.c%d.p50_us" requested)
+                      (int_of_float q.q_p50);
+                    Slif_obs.Counter.add
+                      (Printf.sprintf "bench.a10.load.c%d.p99_us" requested)
+                      (int_of_float q.q_p99);
+                    Slif_util.Table.add_row table
+                      [
+                        string_of_int clients;
+                        string_of_int completed;
+                        Printf.sprintf "%.0f" req_per_s;
+                        Printf.sprintf "%.0f" q.q_p50;
+                        Printf.sprintf "%.0f" q.q_p99;
+                        Printf.sprintf "%.0f" q.q_max;
+                        note;
+                      ]
+                | None ->
+                    Slif_util.Table.add_row table
+                      [ string_of_int clients; "0"; "-"; "-"; "-"; "-"; note ]);
+                (requested, req_per_s))
+              levels
+          in
+          Slif_util.Table.print table;
+          (* Any response byte differing from the first is a correctness
+             failure of the multi-worker daemon, not a perf artifact —
+             fail the phase loudly (CI runs this as a smoke). *)
+          if !total_mismatches > 0 then
+            failwith
+              (Printf.sprintf
+                 "a10load: %d responses differed across the sweep — the daemon is \
+                  not byte-deterministic under load"
+                 !total_mismatches);
+          (* The saturation point: the level with the highest sustained
+             throughput — beyond it extra clients only add queueing. *)
+          (match results with
+          | [] -> ()
+          | (c0, r0) :: rest ->
+              let sat_c, sat_r =
+                List.fold_left
+                  (fun (bc, br) (c, r) -> if r > br then (c, r) else (bc, br))
+                  (c0, r0) rest
+              in
+              Slif_obs.Counter.add "bench.a10.load.saturation_clients" sat_c;
+              Printf.printf
+                "saturation: throughput peaks at %d clients (%.0f req/s); deeper\n\
+                 levels only grow p99 queueing delay\n"
+                sat_c sat_r);
+          (* Batch amortization: the same work as N single lines in one
+             round trip. *)
+          let c = Slif_server.Client.connect_tcp ~timeout_ms:30_000 port in
+          let n_items = 16 in
+          let rounds = if bench_fast then 3 else 20 in
+          let t_single =
+            Slif_obs.Clock.time_n (rounds * n_items) (fun () ->
+                ignore (Slif_server.Client.request_raw c line))
+          in
+          let item =
+            Slif_obs.Json.Obj
+              [
+                ("op", Slif_obs.Json.String "estimate");
+                ("spec", Slif_obs.Json.String "fuzzy");
+              ]
+          in
+          let breq =
+            Slif_obs.Json.to_string
+              (Slif_server.Client.batch_request (List.init n_items (fun _ -> item)))
+          in
+          let t_batch =
+            Slif_obs.Clock.time_n rounds (fun () ->
+                ignore (Slif_server.Client.request_raw c breq))
+          in
+          Slif_server.Client.close c;
+          let single_item_us = t_single *. 1e6 in
+          let batch_item_us = t_batch *. 1e6 /. float_of_int n_items in
+          Slif_obs.Counter.add "bench.a10.load.single_item_us"
+            (int_of_float single_item_us);
+          Slif_obs.Counter.add
+            (Printf.sprintf "bench.a10.load.batch%d_item_us" n_items)
+            (int_of_float batch_item_us);
+          Printf.printf
+            "batch amortization: %.1f us/item singly vs %.1f us/item in batches of %d\n\
+             (the delta is per-line framing + round-trip scheduling, amortized away)\n"
+            single_item_us batch_item_us n_items)
+
 (* --- BENCH_obs.json: machine-readable phase timings + counters -------------- *)
 
 let bench_obs_path =
@@ -1158,6 +1481,7 @@ let () =
   phase "a8" a8;
   phase "a9" a9;
   phase "a10" a10;
+  phase "a10load" a10_load;
   phase "a11" a11;
   write_bench_obs ();
   print_endline "\ndone."

@@ -542,8 +542,8 @@ let store_cmd =
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run obs socket port cache_dir lru jobs max_requests slow_ms event_log event_level
-      sample =
+  let run obs socket port cache_dir lru lru_shards workers jobs max_requests slow_ms
+      max_batch_items max_outq_mb max_connections event_log event_level sample =
     with_obs obs @@ fun () ->
     let addr =
       match (socket, port) with
@@ -553,8 +553,15 @@ let serve_cmd =
       | Some _, Some _ -> failf "give only one of --socket and --port"
     in
     if lru < 1 then failf "--lru must be at least 1";
+    if lru_shards < 1 then failf "--lru-shards must be at least 1";
+    if workers < 1 then failf "--workers must be at least 1";
     if jobs < 1 then failf "--jobs must be at least 1";
     if sample < 1 then failf "--sample must be at least 1";
+    if max_batch_items < 1 then failf "--max-batch-items must be at least 1";
+    if max_outq_mb < 1 then failf "--max-outq-mb must be at least 1";
+    (match max_connections with
+    | Some n when n < 1 -> failf "--max-connections must be at least 1"
+    | Some _ | None -> ());
     (match slow_ms with
     | Some s when s < 0.0 -> failf "--slow-ms must not be negative"
     | Some _ | None -> ());
@@ -563,10 +570,15 @@ let serve_cmd =
         Slif_server.Server.addr;
         cache_dir;
         lru_capacity = lru;
+        lru_shards;
+        workers;
         jobs;
         max_requests;
         slow_ms;
         max_line_bytes = Slif_server.Server.default_max_line_bytes;
+        max_batch_items;
+        max_outq_bytes = max_outq_mb * 1024 * 1024;
+        max_connections;
       }
     in
     (match event_log with
@@ -603,10 +615,37 @@ let serve_cmd =
     Arg.(value & opt int 8
          & info [ "lru" ] ~docv:"N" ~doc:"Keep at most $(docv) annotated graphs resident.")
   in
+  let lru_shards =
+    Arg.(value & opt int 8
+         & info [ "lru-shards" ] ~docv:"N"
+             ~doc:"Split the resident set over $(docv) independently locked shards.")
+  in
+  let workers =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Execute requests on $(docv) worker domains (the acceptor stays on \
+                   its own).")
+  in
   let jobs =
     Arg.(value & opt int 1
          & info [ "jobs"; "j" ] ~docv:"N"
              ~doc:"Default domain count for explore requests that do not set their own.")
+  in
+  let max_batch_items =
+    Arg.(value & opt int Slif_server.Protocol.default_max_batch_items
+         & info [ "max-batch-items" ] ~docv:"N"
+             ~doc:"Reject batch requests carrying more than $(docv) items.")
+  in
+  let max_outq_mb =
+    Arg.(value & opt int (Slif_server.Server.default_max_outq_bytes / (1024 * 1024))
+         & info [ "max-outq-mb" ] ~docv:"MB"
+             ~doc:"Disconnect a client once its unread responses exceed $(docv) \
+                   megabytes (slow-reader backpressure).")
+  in
+  let max_connections =
+    Arg.(value & opt (some int) None
+         & info [ "max-connections" ] ~docv:"N"
+             ~doc:"Refuse connections beyond $(docv) concurrent clients.")
   in
   let max_requests =
     Arg.(value & opt (some int) None
@@ -649,8 +688,9 @@ let serve_cmd =
        ~doc:"Serve load/estimate/partition/explore/stats/health/metrics queries over \
              a socket (newline-delimited JSON).")
     Term.(
-      const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ jobs $ max_requests
-      $ slow_ms $ event_log $ event_level $ sample)
+      const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ lru_shards $ workers
+      $ jobs $ max_requests $ slow_ms $ max_batch_items $ max_outq_mb $ max_connections
+      $ event_log $ event_level $ sample)
 
 (* --- stats (client) --------------------------------------------------------- *)
 

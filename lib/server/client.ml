@@ -81,4 +81,34 @@ let request_raw t line =
 let request t json =
   Protocol.response_of_line (request_raw t (Slif_obs.Json.to_string json))
 
+(* Write every line before reading anything: the daemon's per-connection
+   sequence numbers guarantee the k-th response line answers the k-th
+   request line, so one round trip carries the whole pipeline. *)
+let pipeline_raw t lines =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      if String.length line = 0 || line.[String.length line - 1] <> '\n' then
+        Buffer.add_char buf '\n')
+    lines;
+  write_all t.fd (Buffer.contents buf);
+  List.map (fun _ -> read_line t) lines
+
+let pipeline t jsons = List.map Protocol.response_of_line
+    (pipeline_raw t (List.map Slif_obs.Json.to_string jsons))
+
+(* The [batch] op's request object: one wire line, many items. *)
+let batch_request items =
+  Slif_obs.Json.Obj
+    [ ("op", Slif_obs.Json.String "batch"); ("items", Slif_obs.Json.List items) ]
+
+let batch t items =
+  match request t (batch_request items) with
+  | Error _ as e -> e
+  | Ok json -> (
+      match Slif_obs.Json.member "results" json with
+      | Some (Slif_obs.Json.List results) -> Ok results
+      | Some _ | None -> Error "batch response carries no \"results\" list")
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -33,4 +33,23 @@ val request : t -> Slif_obs.Json.t -> (Slif_obs.Json.t, string) result
 (** Serialize a request object, send it, parse the response through
     {!Protocol.response_of_line}. *)
 
+val pipeline_raw : t -> string list -> string list
+(** Send every line, then read exactly as many response lines.  The
+    daemon answers a connection in request order however its workers
+    interleave, so response [k] matches request [k].  Same exceptions as
+    {!request_raw}. *)
+
+val pipeline : t -> Slif_obs.Json.t list -> (Slif_obs.Json.t, string) result list
+(** {!pipeline_raw} over request objects, each response parsed through
+    {!Protocol.response_of_line}. *)
+
+val batch_request : Slif_obs.Json.t list -> Slif_obs.Json.t
+(** The [batch] request object wrapping [items] — one wire line, many
+    operations. *)
+
+val batch : t -> Slif_obs.Json.t list -> (Slif_obs.Json.t list, string) result
+(** Send one [batch] request; [Ok] carries the per-item result objects
+    in item order (inspect each item's ["ok"] field — item failures do
+    not fail the batch). *)
+
 val close : t -> unit

@@ -23,3 +23,59 @@ val add : 'a t -> string -> 'a -> unit
 
 val keys : 'a t -> string list
 (** Resident keys, most recently used first. *)
+
+(** Domain-safe sharded wrapper — the multi-worker daemon's resident
+    set.
+
+    Keys route to a shard by a deterministic hash of the key bytes;
+    each shard is an independent plain {!t} guarded by its own
+    {!Slif_obs.Lockprof} lock ([server.lru.<i>]), so concurrent workers
+    only contend when their keys collide on a shard — there is no
+    global lock.  Eviction, touch and re-insert semantics within a
+    shard are exactly the plain cache's; a shard never evicts another
+    shard's entries.  Per-shard hit/miss counters are mutated under the
+    shard lock, so totals are exact however many domains hammer the
+    cache. *)
+module Sharded : sig
+  type 'a t
+
+  val create : ?shards:int -> capacity:int -> unit -> 'a t
+  (** [create ~shards ~capacity ()] (default 8 shards) splits [capacity]
+      over the shards, rounding up so every shard holds at least one
+      entry — {!capacity} reports the rounded total, [>=] the request.
+      Raises [Invalid_argument] when [shards < 1] or [capacity < 1]. *)
+
+  val shards : 'a t -> int
+  val capacity : 'a t -> int
+  val size : 'a t -> int
+
+  val shard_of_key : 'a t -> string -> int
+  (** The shard a key routes to — a pure function of the key bytes,
+      stable for the cache's whole life. *)
+
+  val find : 'a t -> string -> 'a option
+  (** Refreshes recency within the key's shard on a hit; counts a hit
+      or a miss. *)
+
+  val add : 'a t -> string -> 'a -> unit
+  (** Inserts (or refreshes) the binding in the key's shard, evicting
+      that shard's least recently used entry when it is full. *)
+
+  val keys : 'a t -> string list
+  (** Resident keys, grouped by shard (ascending), most recently used
+      first within each shard. *)
+
+  val hits : 'a t -> int
+  val misses : 'a t -> int
+
+  type shard_stat = {
+    sh_index : int;
+    sh_size : int;
+    sh_capacity : int;
+    sh_hits : int;
+    sh_misses : int;
+  }
+
+  val shard_stats : 'a t -> shard_stat list
+  (** One entry per shard, ascending index. *)
+end

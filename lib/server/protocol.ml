@@ -20,6 +20,9 @@ type request =
       jobs : int option;
       deadlines : string list;
     }
+  | Batch of (request, string) result list
+      (** parsed items in request order; a malformed item is carried as
+          its error message, isolated from its neighbours *)
   | Stats
   | Health
   | Metrics
@@ -30,10 +33,19 @@ let op_name = function
   | Estimate _ -> "estimate"
   | Partition _ -> "partition"
   | Explore _ -> "explore"
+  | Batch _ -> "batch"
   | Stats -> "stats"
   | Health -> "health"
   | Metrics -> "metrics"
   | Shutdown -> "shutdown"
+
+(* Control ops read or mutate the acceptor's own accounting; the
+   acceptor executes them inline instead of dispatching to a worker. *)
+let is_control = function
+  | Stats | Health | Metrics | Shutdown -> true
+  | Load _ | Estimate _ | Partition _ | Explore _ | Batch _ -> false
+
+let default_max_batch_items = 4096
 
 let ( let* ) = Result.bind
 
@@ -78,18 +90,19 @@ let target_of json =
   | None, None, None -> Error "request needs a target: one of \"spec\", \"source\", \"key\""
   | _ -> Error "give exactly one of \"spec\", \"source\", \"key\""
 
-let request_of_line line =
-  let* json =
-    match Json.parse line with
-    | Ok j -> Ok j
-    | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
-  in
+let rec request_of_json ?(max_batch_items = default_max_batch_items) ?(in_batch = false)
+    json =
   let* () = match json with Json.Obj _ -> Ok () | _ -> Error "request must be a JSON object" in
   let* op =
     match Json.member "op" json with
     | Some (Json.String s) -> Ok s
     | Some _ -> Error "field \"op\" must be a string"
     | None -> Error "missing field \"op\""
+  in
+  let* () =
+    if in_batch && (op = "batch" || List.mem op [ "stats"; "health"; "metrics"; "shutdown" ])
+    then Error (Printf.sprintf "op %S is not allowed inside a batch" op)
+    else Ok ()
   in
   match op with
   | "stats" -> Ok Stats
@@ -120,10 +133,37 @@ let request_of_line line =
       let* jobs = int_field "jobs" json in
       let* deadlines = strings_field "deadlines" json in
       Ok (Explore { target; profile; jobs; deadlines })
+  | "batch" -> (
+      match Json.member "items" json with
+      | None -> Error "batch needs an \"items\" list"
+      | Some (Json.List items) ->
+          if List.length items > max_batch_items then
+            Error
+              (Printf.sprintf "batch has %d items (cap %d)" (List.length items)
+                 max_batch_items)
+          else
+            (* A malformed item stays an [Error _] slot: its neighbours
+               are still executed and every slot answers in order. *)
+            Ok
+              (Batch
+                 (List.map
+                    (fun item -> request_of_json ~max_batch_items ~in_batch:true item)
+                    items))
+      | Some _ -> Error "field \"items\" must be a list")
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
-let ok fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
-let error msg = Json.to_string (Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ])
+let request_of_line ?max_batch_items line =
+  let* json =
+    match Json.parse line with
+    | Ok j -> Ok j
+    | Error msg -> Error (Printf.sprintf "invalid JSON: %s" msg)
+  in
+  request_of_json ?max_batch_items json
+
+let ok_obj fields = Json.Obj (("ok", Json.Bool true) :: fields)
+let error_obj msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+let ok fields = Json.to_string (ok_obj fields)
+let error msg = Json.to_string (error_obj msg)
 
 let response_of_line line =
   match Json.parse line with

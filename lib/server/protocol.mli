@@ -12,6 +12,7 @@
       {"op":"estimate",  <target> [, "bounds":true]}
       {"op":"partition", <target> [, "algo":"greedy"] [, "deadlines":["p=2000",...]]}
       {"op":"explore",   <target> [, "jobs":4] [, "deadlines":[...]]}
+      {"op":"batch",     "items":[<request>, ...]}
       {"op":"stats"}
       {"op":"health"}
       {"op":"metrics"}
@@ -41,6 +42,12 @@ type request =
       jobs : int option;
       deadlines : string list;
     }
+  | Batch of (request, string) result list
+      (** Items in request order.  A malformed item (bad JSON shape,
+          disallowed op) is carried as its error message — the batch
+          still parses, the error is isolated to that slot.  Nested
+          batches and control ops (stats/health/metrics/shutdown) are
+          not allowed as items. *)
   | Stats
   | Health
   | Metrics
@@ -48,13 +55,30 @@ type request =
 
 val op_name : request -> string
 
-val request_of_line : string -> (request, string) result
+val is_control : request -> bool
+(** Stats, health, metrics and shutdown: ops that read or mutate the
+    acceptor's own accounting, executed inline on the acceptor rather
+    than dispatched to a domain worker. *)
+
+val default_max_batch_items : int
+(** 4096. *)
+
+val request_of_line : ?max_batch_items:int -> string -> (request, string) result
+(** [max_batch_items] (default {!default_max_batch_items}) bounds one
+    batch; a longer [items] list fails the whole request with an error
+    naming the cap. *)
 
 val ok : (string * Slif_obs.Json.t) list -> string
 (** Serialize a success response (adds ["ok": true] first). *)
 
 val error : string -> string
 (** Serialize an error response. *)
+
+val ok_obj : (string * Slif_obs.Json.t) list -> Slif_obs.Json.t
+(** The unserialized form of {!ok} — what batch results embed. *)
+
+val error_obj : string -> Slif_obs.Json.t
+(** The unserialized form of {!error}. *)
 
 val response_of_line : string -> (Slif_obs.Json.t, string) result
 (** Client side: parse a response line; [Error] carries either the JSON

@@ -8,33 +8,100 @@ type config = {
   addr : addr;
   cache_dir : string option;
   lru_capacity : int;
+  lru_shards : int;
+  workers : int;
   jobs : int;
   max_requests : int option;
   slow_ms : float option;
   max_line_bytes : int;
+  max_batch_items : int;
+  max_outq_bytes : int;
+  max_connections : int option;
 }
 
 (* A line that long is not a query; answer with a protocol error and
    drop the connection instead of buffering without bound. *)
 let default_max_line_bytes = 64 * 1024 * 1024
 
+(* Unread responses past this mark the reader as too slow to keep. *)
+let default_max_outq_bytes = 32 * 1024 * 1024
+
 let default_config addr =
   {
     addr;
     cache_dir = None;
     lru_capacity = 8;
+    lru_shards = 8;
+    workers = 1;
     jobs = 1;
     max_requests = None;
     slow_ms = None;
     max_line_bytes = default_max_line_bytes;
+    max_batch_items = Protocol.default_max_batch_items;
+    max_outq_bytes = default_max_outq_bytes;
+    max_connections = None;
   }
 
 type conn = {
   fd : Unix.file_descr;
   cid : int;  (** connection serial, part of every trace id *)
   rbuf : Buffer.t;
-  mutable outq : string;  (** bytes accepted but not yet written *)
+  out : Buffer.t;  (** bytes accepted but not yet written *)
+  mutable out_off : int;  (** prefix of [out] already written *)
   mutable close_after_flush : bool;
+  mutable dropping : bool;
+      (** backpressure tripped: responses are discarded, the connection
+          closes once the error line flushes *)
+  mutable next_seq : int;  (** next sequence number to assign at framing *)
+  mutable next_flush : int;  (** next sequence number to move into [out] *)
+  pending : (int, string) Hashtbl.t;
+      (** completed responses waiting for their turn on the wire —
+          workers finish out of order, clients read in order *)
+}
+
+(* What a worker measured about one executed request; the acceptor owns
+   every counter, so accounting rides back on the completion. *)
+type acct = {
+  a_op : string;
+  a_wire : bool;  (** a request line (counts toward [served]) vs a batch item *)
+  a_dur_us : float;
+  a_err : string option;
+}
+
+type job = {
+  jb_cid : int;
+  jb_seq : int;
+  jb_tid : string;
+  jb_line : string;
+  jb_enq_us : float;
+}
+
+type outcome =
+  | Resp of string * acct list  (** serialized response + accounting *)
+  | Control of Protocol.request
+      (** stats/health/metrics/shutdown: rendered by the acceptor, which
+          owns the state they report *)
+
+type completion = {
+  cp_cid : int;
+  cp_seq : int;
+  cp_tid : string;
+  cp_worker : int;
+  cp_wait_us : float;  (** time the job sat in the queue *)
+  cp_out : outcome;
+}
+
+(* Everything the acceptor and the worker domains share: the job queue
+   (condition-parked workers), the completion queue, and the self-pipe
+   that wakes the acceptor's select when a completion lands. *)
+type shared = {
+  jq_lock : Obs.Lockprof.t;
+  jq_cond : Condition.t;
+  jq : job Queue.t;
+  mutable jq_stop : bool;
+  cq_lock : Obs.Lockprof.t;
+  cq : completion Queue.t;
+  wake_w : Unix.file_descr;
 }
 
 (* Per-op latency telemetry: a lifetime log-bucket histogram and a
@@ -45,12 +112,19 @@ type op_lat = { lt : Obs.Histogram.t; win : Obs.Histogram.window }
 
 type state = {
   cfg : config;
-  lru : Slif.Types.t Lru.t;
+  lru : Slif.Types.t Lru.Sharded.t;
+  sh : shared;
   started_us : float;
   mutable served : int;
   mutable errors : int;
   mutable next_req : int;
   mutable inflight : int;  (** open client connections *)
+  mutable jobs_inflight : int;  (** dispatched lines whose completion has not drained *)
+  mutable outq_overflows : int;
+  mutable dropped_responses : int;
+  mutable rejected_conns : int;
+  worker_served : int array;  (** per-worker completions, drained single-threaded *)
+  queue_wait : Obs.Histogram.t;
   mutable last_error : string option;
   per_op : (string, int ref) Hashtbl.t;
   lat : (string, op_lat) Hashtbl.t;
@@ -59,11 +133,21 @@ type state = {
   mutable stop : bool;
 }
 
+(* The execution environment workers see: configuration and the sharded
+   resident set — no acceptor-owned mutable accounting. *)
+type exec_env = { x_cfg : config; x_lru : Slif.Types.t Lru.Sharded.t }
+
 (* Every op the daemon can ever serve, so one [metrics] scrape exposes
    the full family set even before traffic arrives. *)
 let known_ops =
-  [ "load"; "estimate"; "partition"; "explore"; "stats"; "health"; "metrics";
-    "shutdown"; "malformed" ]
+  [ "load"; "estimate"; "partition"; "explore"; "batch"; "stats"; "health";
+    "metrics"; "shutdown"; "malformed" ]
+
+(* Process-wide labeled families (per-worker requests, batch items by
+   op); the [stats] op reports daemon-local exact figures from [state]
+   instead, since families outlive any one daemon in a test process. *)
+let worker_family () = Obs.Family.create "server.worker.requests" ~label:"worker"
+let batch_family () = Obs.Family.create "server.batch.items" ~label:"op"
 
 let lat_for st op =
   match Hashtbl.find_opt st.lat op with
@@ -78,23 +162,30 @@ let record_latency st op dur_us =
   Obs.Histogram.record l.lt dur_us;
   Obs.Histogram.window_record l.win dur_us
 
-let count_op st op =
-  st.served <- st.served + 1;
-  Obs.Counter.incr ("server.request." ^ op);
-  let cell =
-    match Hashtbl.find_opt st.per_op op with
-    | Some c -> c
-    | None ->
-        let c = ref 0 in
-        Hashtbl.add st.per_op op c;
-        c
-  in
-  incr cell
-
 let note_error st msg =
   st.errors <- st.errors + 1;
   st.last_error <- Some msg;
   Obs.Counter.incr "server.error"
+
+(* Acceptor-side accounting for one executed request or batch item. *)
+let account st (a : acct) =
+  if a.a_wire then st.served <- st.served + 1
+  else Obs.Family.incr (batch_family ()) a.a_op;
+  Obs.Counter.incr ("server.request." ^ a.a_op);
+  let cell =
+    match Hashtbl.find_opt st.per_op a.a_op with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add st.per_op a.a_op c;
+        c
+  in
+  incr cell;
+  record_latency st a.a_op a.a_dur_us;
+  match a.a_err with Some msg -> note_error st msg | None -> ()
+
+let queue_depth st =
+  Obs.Lockprof.with_lock st.sh.jq_lock (fun () -> Queue.length st.sh.jq)
 
 (* --- Target resolution ----------------------------------------------------- *)
 
@@ -108,11 +199,14 @@ let source_of_bundled name =
               (List.map (fun s -> s.Specs.Registry.spec_name) Specs.Registry.all)))
 
 (* Resolve a request target to (content key, annotated SLIF), going
-   through the LRU and, below it, the on-disk cache. *)
-let resolve st target profile =
+   through the sharded LRU and, below it, the on-disk cache.  Two
+   workers missing on the same key concurrently both build it; the
+   second [add] refreshes the first — graphs are immutable, so the
+   duplicate work is idempotent and briefly-doubled, never wrong. *)
+let resolve env target profile =
   match target with
   | Protocol.Key key -> (
-      match Lru.find st.lru key with
+      match Lru.Sharded.find env.x_lru key with
       | Some slif ->
           Obs.Counter.incr "server.lru_hit";
           Ok (key, slif)
@@ -130,16 +224,16 @@ let resolve st target profile =
       | Error _ as e -> e
       | Ok source -> (
           let key = Slif_store.Cache.key ~source ?profile () in
-          match Lru.find st.lru key with
+          match Lru.Sharded.find env.x_lru key with
           | Some slif ->
               Obs.Counter.incr "server.lru_hit";
               Ok (key, slif)
           | None ->
               Obs.Counter.incr "server.lru_miss";
               let slif =
-                Ops.annotated ?cache_dir:st.cfg.cache_dir ?profile_text:profile source
+                Ops.annotated ?cache_dir:env.x_cfg.cache_dir ?profile_text:profile source
               in
-              Lru.add st.lru key slif;
+              Lru.Sharded.add env.x_lru key slif;
               Ok (key, slif)))
 
 (* --- Telemetry views -------------------------------------------------------- *)
@@ -158,8 +252,8 @@ let gc_counts_fields (c : Obs.Gcprof.counts) =
   ]
 
 (* The GC block served by [stats] and [health]: process totals, current
-   heap size, and the per-domain split (a hot pool worker shows up as
-   the domain doing the collecting). *)
+   heap size, and the per-domain split (a hot worker shows up as the
+   domain doing the collecting). *)
 let gc_json () =
   let module J = Obs.Json in
   Obs.Gcprof.sample ();
@@ -184,6 +278,39 @@ let pool_json () =
       ("tasks_submitted", J.Int g.Slif_util.Pool.g_tasks_submitted);
       ("tasks_completed", J.Int g.Slif_util.Pool.g_tasks_completed);
     ]
+
+(* The worker/queue block served by [stats] and [health]: daemon-local
+   exact figures (the Family counters are process-wide). *)
+let server_json st =
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("workers", J.Int st.cfg.workers);
+      ("queue_depth", J.Int (queue_depth st));
+      ("jobs_inflight", J.Int st.jobs_inflight);
+      ( "per_worker",
+        J.Obj
+          (Array.to_list (Array.mapi (fun w n -> (string_of_int w, J.Int n)) st.worker_served))
+      );
+      ("outq_overflows", J.Int st.outq_overflows);
+      ("dropped_responses", J.Int st.dropped_responses);
+      ("rejected_connections", J.Int st.rejected_conns);
+    ]
+
+let lru_shards_json st =
+  let module J = Obs.Json in
+  J.List
+    (List.map
+       (fun (s : Lru.Sharded.shard_stat) ->
+         J.Obj
+           [
+             ("shard", J.Int s.sh_index);
+             ("size", J.Int s.sh_size);
+             ("capacity", J.Int s.sh_capacity);
+             ("hits", J.Int s.sh_hits);
+             ("misses", J.Int s.sh_misses);
+           ])
+       (Lru.Sharded.shard_stats st.lru))
 
 let sorted_ops st =
   Hashtbl.fold (fun op l acc -> (op, l) :: acc) st.lat [] |> List.sort compare
@@ -351,16 +478,120 @@ let prometheus_text st =
       P.Counter
         {
           name = "slif_server_select_idle_seconds_total";
-          help = "Time the event loop spent parked in select with nothing to do.";
+          help = "Time the acceptor spent parked in select with nothing to do.";
           samples = [ ([], st.select_idle_us /. 1e6) ];
         };
       P.Counter
         {
           name = "slif_server_loop_iterations_total";
-          help = "Event-loop wake-ups.";
+          help = "Acceptor-loop wake-ups.";
           samples = [ ([], float_of_int st.loop_iters) ];
         };
     ]
+  in
+  let worker_families =
+    [
+      P.Gauge
+        {
+          name = "slif_server_workers";
+          help = "Worker domains executing requests.";
+          samples = [ ([], float_of_int st.cfg.workers) ];
+        };
+      P.Gauge
+        {
+          name = "slif_server_queue_depth";
+          help = "Jobs waiting in the dispatch queue.";
+          samples = [ ([], float_of_int (queue_depth st)) ];
+        };
+      P.Gauge
+        {
+          name = "slif_server_jobs_inflight";
+          help = "Dispatched request lines whose completion has not drained.";
+          samples = [ ([], float_of_int st.jobs_inflight) ];
+        };
+      P.Counter
+        {
+          name = "slif_server_outq_overflows_total";
+          help = "Connections dropped for reading too slowly.";
+          samples = [ ([], float_of_int st.outq_overflows) ];
+        };
+      P.Counter
+        {
+          name = "slif_server_dropped_responses_total";
+          help = "Responses discarded because their connection was gone.";
+          samples = [ ([], float_of_int st.dropped_responses) ];
+        };
+      P.Counter
+        {
+          name = "slif_server_rejected_connections_total";
+          help = "Connections refused over the connection limit.";
+          samples = [ ([], float_of_int st.rejected_conns) ];
+        };
+    ]
+    @
+    if Obs.Histogram.count st.queue_wait = 0 then []
+    else
+      [
+        P.Summary
+          {
+            name = "slif_server_queue_wait_microseconds";
+            help = "Time jobs sat in the dispatch queue before a worker took them.";
+            series =
+              [ ([], Obs.Histogram.quantile_summary st.queue_wait,
+                 Obs.Histogram.sum st.queue_wait) ];
+          };
+      ]
+  in
+  let shard_label i = [ ("shard", string_of_int i) ] in
+  let shard_stats = Lru.Sharded.shard_stats st.lru in
+  let shard_samples pick =
+    List.map
+      (fun (s : Lru.Sharded.shard_stat) -> (shard_label s.sh_index, float_of_int (pick s)))
+      shard_stats
+  in
+  let lru_shard_families =
+    [
+      P.Gauge
+        {
+          name = "slif_server_lru_shard_entries";
+          help = "Resident graphs, by LRU shard.";
+          samples = shard_samples (fun s -> s.sh_size);
+        };
+      P.Counter
+        {
+          name = "slif_server_lru_shard_hits_total";
+          help = "Cache hits, by LRU shard.";
+          samples = shard_samples (fun s -> s.sh_hits);
+        };
+      P.Counter
+        {
+          name = "slif_server_lru_shard_misses_total";
+          help = "Cache misses, by LRU shard.";
+          samples = shard_samples (fun s -> s.sh_misses);
+        };
+    ]
+  in
+  (* Every labeled family (per-worker requests, batch items by op, and
+     whatever future subsystems register) exports generically. *)
+  let labeled_families =
+    List.filter_map
+      (fun f ->
+        match Obs.Family.snapshot f with
+        | [] -> None
+        | series ->
+            Some
+              (P.Counter
+                 {
+                   name = "slif_" ^ P.sanitize_name (Obs.Family.name f) ^ "_total";
+                   help =
+                     Printf.sprintf "Family %s, by %s." (Obs.Family.name f)
+                       (Obs.Family.label f);
+                   samples =
+                     List.map
+                       (fun (v, n) -> ([ (Obs.Family.label f, v) ], float_of_int n))
+                       series;
+                 }))
+      (Obs.Family.all ())
   in
   let registry_counters =
     List.map
@@ -414,13 +645,13 @@ let prometheus_text st =
          {
            name = "slif_server_lru_entries";
            help = "Annotated graphs resident in the LRU.";
-           samples = [ ([], float_of_int (Lru.size st.lru)) ];
+           samples = [ ([], float_of_int (Lru.Sharded.size st.lru)) ];
          };
        P.Gauge
          {
            name = "slif_server_lru_capacity";
            help = "LRU capacity.";
-           samples = [ ([], float_of_int (Lru.capacity st.lru)) ];
+           samples = [ ([], float_of_int (Lru.Sharded.capacity st.lru)) ];
          };
        P.Summary
          {
@@ -438,17 +669,26 @@ let prometheus_text st =
            series = recent_series;
          };
      ]
-    @ select_families @ gc_families @ pool_families @ lock_families @ registry_counters
+    @ worker_families @ lru_shard_families @ select_families @ gc_families
+    @ pool_families @ lock_families @ labeled_families @ registry_counters
     @ registry_hists)
 
 (* The SIGUSR1 runtime dump: everything [stats] and the quantile block
    know, to stderr (or wherever [oc] points), without stopping the
-   select loop. *)
+   acceptor loop. *)
 let dump_telemetry st oc =
   Printf.fprintf oc
-    "--- slif serve telemetry ---\nuptime_s: %.1f\nrequests: %d\nerrors:   %d\ninflight: %d\nlru:      %d/%d\n"
-    (uptime_s st) st.served st.errors st.inflight (Lru.size st.lru)
-    (Lru.capacity st.lru);
+    "--- slif serve telemetry ---\n\
+     uptime_s: %.1f\n\
+     requests: %d\n\
+     errors:   %d\n\
+     inflight: %d\n\
+     workers:  %d (queue %d, jobs inflight %d)\n\
+     lru:      %d/%d (hits %d, misses %d)\n"
+    (uptime_s st) st.served st.errors st.inflight st.cfg.workers (queue_depth st)
+    st.jobs_inflight (Lru.Sharded.size st.lru)
+    (Lru.Sharded.capacity st.lru)
+    (Lru.Sharded.hits st.lru) (Lru.Sharded.misses st.lru);
   (match st.last_error with
   | Some msg -> Printf.fprintf oc "last_error: %s\n" msg
   | None -> ());
@@ -469,7 +709,7 @@ let dump_telemetry st oc =
   Printf.fprintf oc "--- end telemetry ---\n";
   flush oc
 
-(* --- Request handling ------------------------------------------------------ *)
+(* --- Request execution (worker side) --------------------------------------- *)
 
 let deadlines_of specs =
   let rec go acc = function
@@ -481,17 +721,22 @@ let deadlines_of specs =
   in
   go [] specs
 
-let handle_request st req =
+let exn_message = function
+  | Slif_store.Store.Store_error err -> Slif_store.Store.error_message err
+  | Failure msg -> msg
+  | Invalid_argument msg -> msg
+  | e -> Printexc.to_string e
+
+(* The response fields for one non-control, non-batch request. *)
+let fields_of_request env req =
   let module J = Obs.Json in
   let with_target target profile f =
-    match resolve st target profile with
-    | Error msg -> Protocol.error msg
-    | Ok (key, slif) -> f key slif
+    match resolve env target profile with Error _ as e -> e | Ok (key, slif) -> f key slif
   in
   match req with
   | Protocol.Load { target; profile } ->
       with_target target profile (fun key (slif : Slif.Types.t) ->
-          Protocol.ok
+          Ok
             [
               ("key", J.String key);
               ("design", J.String slif.Slif.Types.design_name);
@@ -501,123 +746,116 @@ let handle_request st req =
   | Protocol.Estimate { target; profile; bounds } ->
       with_target target profile (fun key slif ->
           let output = Ops.estimate_output ~bounds slif in
-          Protocol.ok [ ("key", J.String key); ("output", J.String output) ])
+          Ok [ ("key", J.String key); ("output", J.String output) ])
   | Protocol.Partition { target; profile; algo; deadlines } ->
       with_target target profile (fun key slif ->
           match Ops.algo_of_string algo with
-          | Error msg -> Protocol.error msg
+          | Error _ as e -> e
           | Ok algo -> (
               match deadlines_of deadlines with
-              | Error msg -> Protocol.error msg
+              | Error _ as e -> e
               | Ok ds ->
                   let constraints = Ops.constraints_of_deadlines ds in
                   let output, _part = Ops.partition_output ~algo ~constraints slif in
-                  Protocol.ok [ ("key", J.String key); ("output", J.String output) ]))
+                  Ok [ ("key", J.String key); ("output", J.String output) ]))
   | Protocol.Explore { target; profile; jobs; deadlines } ->
       with_target target profile (fun key slif ->
           match deadlines_of deadlines with
-          | Error msg -> Protocol.error msg
+          | Error _ as e -> e
           | Ok ds ->
               let jobs =
-                match jobs with Some j when j >= 1 -> j | Some _ | None -> st.cfg.jobs
+                match jobs with Some j when j >= 1 -> j | Some _ | None -> env.x_cfg.jobs
               in
               let constraints = Ops.constraints_of_deadlines ds in
               let output = Ops.explore_output ~jobs ~constraints slif in
-              Protocol.ok [ ("key", J.String key); ("output", J.String output) ])
-  | Protocol.Stats ->
-      let per_op =
-        Hashtbl.fold (fun op c acc -> (op, J.Int !c) :: acc) st.per_op []
-        |> List.sort compare
-      in
-      Protocol.ok
-        [
-          ("uptime_s", J.Float (uptime_s st));
-          ("requests", J.Int st.served);
-          ("errors", J.Int st.errors);
-          ("by_op", J.Obj per_op);
-          ( "lru",
-            J.Obj
-              [
-                ("size", J.Int (Lru.size st.lru));
-                ("capacity", J.Int (Lru.capacity st.lru));
-                ("keys", J.List (List.map (fun k -> J.String k) (Lru.keys st.lru)));
-              ] );
-          ("latency_us", latency_json st);
-          ("gc", gc_json ());
-          ("pool", pool_json ());
-        ]
-  | Protocol.Health ->
-      Protocol.ok
-        [
-          ("uptime_s", J.Float (uptime_s st));
-          ("inflight", J.Int st.inflight);
-          ("requests", J.Int st.served);
-          ("errors", J.Int st.errors);
-          ( "lru",
-            J.Obj
-              [
-                ("size", J.Int (Lru.size st.lru));
-                ("capacity", J.Int (Lru.capacity st.lru));
-              ] );
-          ( "gc",
-            (Obs.Gcprof.sample ();
-             let c = Obs.Gcprof.counts () in
-             J.Obj
-               [
-                 ("minor_collections", J.Int c.minor_collections);
-                 ("major_collections", J.Int c.major_collections);
-                 ("promoted_words", J.Float c.promoted_words);
-                 ("heap_words", J.Int (Obs.Gcprof.heap_words ()));
-               ]) );
-          ("pool", pool_json ());
-          ( "last_error",
-            match st.last_error with Some msg -> J.String msg | None -> J.Null );
-        ]
-  | Protocol.Metrics ->
-      Protocol.ok [ ("output", J.String (prometheus_text st)) ]
+              Ok [ ("key", J.String key); ("output", J.String output) ])
+  | Protocol.Batch _ | Protocol.Stats | Protocol.Health | Protocol.Metrics
   | Protocol.Shutdown ->
-      st.stop <- true;
-      Protocol.ok [ ("bye", J.Bool true) ]
+      assert false
+
+(* A failing operation is the client's problem, not the daemon's:
+   report and keep serving.  Returns the response object plus the
+   message to charge to the error counter (handler-level errors —
+   unknown spec, bad deadline — are answers, not daemon errors). *)
+let exec_obj env req =
+  match fields_of_request env req with
+  | Ok fields -> (Protocol.ok_obj fields, None)
+  | Error msg -> (Protocol.error_obj msg, None)
+  | exception e ->
+      let msg = exn_message e in
+      (Protocol.error_obj msg, Some msg)
+
+(* One batch slot: its own span, its own timing, its own error
+   isolation — a malformed or failing item never touches its
+   neighbours. *)
+let exec_item env item =
+  let t0 = Obs.Clock.now_us () in
+  match item with
+  | Error msg ->
+      ( Protocol.error_obj msg,
+        {
+          a_op = "malformed";
+          a_wire = false;
+          a_dur_us = Obs.Clock.now_us () -. t0;
+          a_err = Some msg;
+        } )
+  | Ok req ->
+      let op = Protocol.op_name req in
+      let obj, err = Obs.Span.with_ ("server.request." ^ op) (fun () -> exec_obj env req) in
+      (obj, { a_op = op; a_wire = false; a_dur_us = Obs.Clock.now_us () -. t0; a_err = err })
+
+let execute env job =
+  let module J = Obs.Json in
+  let t0 = Obs.Clock.now_us () in
+  match
+    Protocol.request_of_line ~max_batch_items:env.x_cfg.max_batch_items job.jb_line
+  with
+  | Error msg ->
+      Resp
+        ( Protocol.error msg,
+          [
+            {
+              a_op = "malformed";
+              a_wire = true;
+              a_dur_us = Obs.Clock.now_us () -. t0;
+              a_err = Some msg;
+            };
+          ] )
+  | Ok req when Protocol.is_control req -> Control req
+  | Ok (Protocol.Batch items) ->
+      Obs.Span.with_ "server.request.batch" @@ fun () ->
+      let pairs = List.map (exec_item env) items in
+      let resp =
+        Protocol.ok
+          [
+            ("count", J.Int (List.length pairs));
+            ("results", J.List (List.map fst pairs));
+          ]
+      in
+      let wire =
+        {
+          a_op = "batch";
+          a_wire = true;
+          a_dur_us = Obs.Clock.now_us () -. t0;
+          a_err = None;
+        }
+      in
+      Resp (resp, wire :: List.map snd pairs)
+  | Ok req ->
+      let op = Protocol.op_name req in
+      let obj, err = Obs.Span.with_ ("server.request." ^ op) (fun () -> exec_obj env req) in
+      Resp
+        ( J.to_string obj,
+          [
+            { a_op = op; a_wire = true; a_dur_us = Obs.Clock.now_us () -. t0; a_err = err };
+          ] )
 
 let response_is_ok response =
   String.length response >= 10 && String.sub response 0 10 = {|{"ok":true|}
 
-let handle_line st c line =
-  st.next_req <- st.next_req + 1;
-  (* The trace id names the connection and the request; every span and
-     event-log line below carries it. *)
-  let tid = Printf.sprintf "c%d-r%d" c.cid st.next_req in
-  Obs.Registry.with_trace tid @@ fun () ->
-  let t0 = Obs.Clock.now_us () in
-  let op, response =
-    match Protocol.request_of_line line with
-    | Error msg ->
-        note_error st msg;
-        count_op st "malformed";
-        ("malformed", Protocol.error msg)
-    | Ok req -> (
-        let op = Protocol.op_name req in
-        count_op st op;
-        ( op,
-          Obs.Span.with_ ("server.request." ^ op) @@ fun () ->
-          match handle_request st req with
-          | response -> response
-          | exception e ->
-              (* A failing operation is the client's problem, not the
-                 daemon's: report and keep serving. *)
-              let msg =
-                match e with
-                | Slif_store.Store.Store_error err -> Slif_store.Store.error_message err
-                | Failure msg -> msg
-                | Invalid_argument msg -> msg
-                | e -> Printexc.to_string e
-              in
-              note_error st msg;
-              Protocol.error msg ))
-  in
-  let dur_us = Obs.Clock.now_us () -. t0 in
-  record_latency st op dur_us;
-  let ok = response_is_ok response in
+(* The request event and the slow-request log, shared by workers (for
+   executed requests) and the acceptor (for control ops). *)
+let emit_request_event cfg tid op dur_us ok =
   Obs.Event.emit "server.request"
     ~fields:
       [
@@ -625,7 +863,7 @@ let handle_line st c line =
         ("dur_us", Obs.Json.Float dur_us);
         ("ok", Obs.Json.Bool ok);
       ];
-  (match st.cfg.slow_ms with
+  match cfg.slow_ms with
   | Some limit when dur_us /. 1e3 >= limit ->
       Obs.Counter.incr "server.slow_request";
       Obs.Event.emit ~level:Obs.Event.Warn "server.slow_request"
@@ -635,15 +873,153 @@ let handle_line st c line =
             ("dur_ms", Obs.Json.Float (dur_us /. 1e3));
             ("limit_ms", Obs.Json.Float limit);
           ];
-      Printf.eprintf "slif serve: slow request %s op=%s %.1f ms (limit %.1f ms)\n%!" tid
-        op (dur_us /. 1e3) limit
-  | Some _ | None -> ());
-  (match st.cfg.max_requests with
-  | Some limit when st.served >= limit -> st.stop <- true
-  | _ -> ());
-  response
+      Printf.eprintf "slif serve: slow request %s op=%s %.1f ms (limit %.1f ms)\n%!" tid op
+        (dur_us /. 1e3) limit
+  | Some _ | None -> ()
 
-(* --- Event loop ------------------------------------------------------------ *)
+let wake sh =
+  try ignore (Unix.write_substring sh.wake_w "x" 0 1)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) ->
+    ()
+
+(* One worker domain: park on the job queue, execute under the job's
+   trace id, push the completion and poke the acceptor's self-pipe.
+   Workers never touch acceptor-owned accounting — it rides back on the
+   completion. *)
+let worker_loop sh env w =
+  let fam = worker_family () in
+  let rec go () =
+    Obs.Lockprof.lock sh.jq_lock;
+    while Queue.is_empty sh.jq && not sh.jq_stop do
+      Obs.Lockprof.wait sh.jq_lock sh.jq_cond
+    done;
+    if Queue.is_empty sh.jq then Obs.Lockprof.unlock sh.jq_lock
+    else begin
+      let job = Queue.pop sh.jq in
+      Obs.Lockprof.unlock sh.jq_lock;
+      let wait_us = Obs.Clock.now_us () -. job.jb_enq_us in
+      let out =
+        Obs.Registry.with_trace job.jb_tid @@ fun () ->
+        let out =
+          match execute env job with
+          | out -> out
+          | exception e ->
+              (* [execute] guards each op; this is the last-ditch net
+                 under the parser itself. *)
+              let msg = exn_message e in
+              Resp
+                ( Protocol.error msg,
+                  [ { a_op = "malformed"; a_wire = true; a_dur_us = 0.0; a_err = Some msg } ]
+                )
+        in
+        (match out with
+        | Resp (resp, { a_op; a_dur_us; _ } :: _) ->
+            emit_request_event env.x_cfg job.jb_tid a_op a_dur_us (response_is_ok resp)
+        | Resp (_, []) | Control _ -> ());
+        out
+      in
+      Obs.Family.incr fam (string_of_int w);
+      Obs.Lockprof.with_lock sh.cq_lock (fun () ->
+          Queue.add
+            {
+              cp_cid = job.jb_cid;
+              cp_seq = job.jb_seq;
+              cp_tid = job.jb_tid;
+              cp_worker = w;
+              cp_wait_us = wait_us;
+              cp_out = out;
+            }
+            sh.cq);
+      wake sh;
+      go ()
+    end
+  in
+  go ()
+
+(* --- Control ops (acceptor side) ------------------------------------------- *)
+
+(* Stats, health, metrics and shutdown read (or flip) acceptor-owned
+   accounting, so the acceptor renders them itself when the completion
+   drains — single-threaded, no locks, and still at the request's wire
+   position so per-connection ordering holds. *)
+let render_control st tid req =
+  let module J = Obs.Json in
+  Obs.Registry.with_trace tid @@ fun () ->
+  let t0 = Obs.Clock.now_us () in
+  let op = Protocol.op_name req in
+  let resp =
+    Obs.Span.with_ ("server.request." ^ op) @@ fun () ->
+    match req with
+    | Protocol.Stats ->
+        let per_op =
+          Hashtbl.fold (fun op c acc -> (op, J.Int !c) :: acc) st.per_op []
+          |> List.sort compare
+        in
+        Protocol.ok
+          [
+            ("uptime_s", J.Float (uptime_s st));
+            ("requests", J.Int st.served);
+            ("errors", J.Int st.errors);
+            ("by_op", J.Obj per_op);
+            ( "lru",
+              J.Obj
+                [
+                  ("size", J.Int (Lru.Sharded.size st.lru));
+                  ("capacity", J.Int (Lru.Sharded.capacity st.lru));
+                  ("hits", J.Int (Lru.Sharded.hits st.lru));
+                  ("misses", J.Int (Lru.Sharded.misses st.lru));
+                  ( "keys",
+                    J.List (List.map (fun k -> J.String k) (Lru.Sharded.keys st.lru)) );
+                  ("shards", lru_shards_json st);
+                ] );
+            ("server", server_json st);
+            ("latency_us", latency_json st);
+            ("gc", gc_json ());
+            ("pool", pool_json ());
+          ]
+    | Protocol.Health ->
+        Protocol.ok
+          [
+            ("uptime_s", J.Float (uptime_s st));
+            ("inflight", J.Int st.inflight);
+            ("requests", J.Int st.served);
+            ("errors", J.Int st.errors);
+            ("workers", J.Int st.cfg.workers);
+            ("queue_depth", J.Int (queue_depth st));
+            ( "lru",
+              J.Obj
+                [
+                  ("size", J.Int (Lru.Sharded.size st.lru));
+                  ("capacity", J.Int (Lru.Sharded.capacity st.lru));
+                ] );
+            ( "gc",
+              (Obs.Gcprof.sample ();
+               let c = Obs.Gcprof.counts () in
+               J.Obj
+                 [
+                   ("minor_collections", J.Int c.minor_collections);
+                   ("major_collections", J.Int c.major_collections);
+                   ("promoted_words", J.Float c.promoted_words);
+                   ("heap_words", J.Int (Obs.Gcprof.heap_words ()));
+                 ]) );
+            ("pool", pool_json ());
+            ( "last_error",
+              match st.last_error with Some msg -> J.String msg | None -> J.Null );
+          ]
+    | Protocol.Metrics -> Protocol.ok [ ("output", J.String (prometheus_text st)) ]
+    | Protocol.Shutdown ->
+        st.stop <- true;
+        Protocol.ok [ ("bye", J.Bool true) ]
+    | Protocol.Load _ | Protocol.Estimate _ | Protocol.Partition _ | Protocol.Explore _
+    | Protocol.Batch _ ->
+        assert false
+  in
+  let dur_us = Obs.Clock.now_us () -. t0 in
+  emit_request_event st.cfg tid op dur_us (response_is_ok resp);
+  (resp, { a_op = op; a_wire = true; a_dur_us = dur_us; a_err = None })
+
+(* --- Event loop (acceptor) -------------------------------------------------- *)
 
 let listen_socket addr =
   match addr with
@@ -666,7 +1042,68 @@ let close_conn st conns c =
   conns := List.filter (fun c' -> c'.fd != c.fd) !conns;
   st.inflight <- st.inflight - (before - List.length !conns)
 
-(* Drain complete lines out of the connection's read buffer. *)
+let outq_bytes c = Buffer.length c.out - c.out_off
+
+(* Backpressure: a reader this far behind is never catching up.  Stop
+   queueing for it, answer with one protocol error, and close once that
+   line flushes — the daemon's memory is not the client's buffer. *)
+let overflow st c =
+  c.dropping <- true;
+  c.close_after_flush <- true;
+  st.outq_overflows <- st.outq_overflows + 1;
+  Obs.Counter.incr "server.outq_overflow";
+  let msg =
+    Printf.sprintf "slow reader: %d unread response bytes exceed the %d-byte cap; closing"
+      (outq_bytes c) st.cfg.max_outq_bytes
+  in
+  note_error st msg;
+  Buffer.add_string c.out (Protocol.error msg);
+  Buffer.add_char c.out '\n'
+
+(* Move consecutive completed responses into the write buffer.  Workers
+   finish out of order; the wire never shows it. *)
+let rec flush_ready st c =
+  match Hashtbl.find_opt c.pending c.next_flush with
+  | None -> ()
+  | Some resp ->
+      Hashtbl.remove c.pending c.next_flush;
+      c.next_flush <- c.next_flush + 1;
+      if c.dropping then st.dropped_responses <- st.dropped_responses + 1
+      else begin
+        Buffer.add_string c.out resp;
+        Buffer.add_char c.out '\n';
+        if outq_bytes c > st.cfg.max_outq_bytes then overflow st c
+      end;
+      flush_ready st c
+
+(* An acceptor-generated response (line cap, connection limit) still
+   takes a sequence number, so it interleaves correctly with whatever
+   the connection already has in flight. *)
+let local_response st c resp =
+  let seq = c.next_seq in
+  c.next_seq <- seq + 1;
+  Hashtbl.replace c.pending seq resp;
+  flush_ready st c
+
+let dispatch st c line =
+  st.next_req <- st.next_req + 1;
+  let seq = c.next_seq in
+  c.next_seq <- seq + 1;
+  (* The trace id names the connection and the request; every span and
+     event-log line emitted while serving it carries the id. *)
+  let tid = Printf.sprintf "c%d-r%d" c.cid st.next_req in
+  st.jobs_inflight <- st.jobs_inflight + 1;
+  let job =
+    { jb_cid = c.cid; jb_seq = seq; jb_tid = tid; jb_line = line;
+      jb_enq_us = Obs.Clock.now_us () }
+  in
+  Obs.Lockprof.lock st.sh.jq_lock;
+  Queue.add job st.sh.jq;
+  Condition.signal st.sh.jq_cond;
+  Obs.Lockprof.unlock st.sh.jq_lock
+
+(* Frame complete lines out of the connection's read buffer and hand
+   them to the workers. *)
 let process_buffer st c =
   let continue = ref true in
   while !continue do
@@ -679,12 +1116,10 @@ let process_buffer st c =
           note_error st "request line over the byte cap";
           Obs.Counter.incr "server.line_cap";
           Buffer.clear c.rbuf;
-          c.outq <-
-            c.outq
-            ^ Protocol.error
-                (Printf.sprintf "request line exceeds the %d-byte cap"
-                   st.cfg.max_line_bytes)
-            ^ "\n";
+          local_response st c
+            (Protocol.error
+               (Printf.sprintf "request line exceeds the %d-byte cap"
+                  st.cfg.max_line_bytes));
           c.close_after_flush <- true
         end;
         continue := false
@@ -698,9 +1133,12 @@ let process_buffer st c =
             String.sub line 0 (String.length line - 1)
           else line
         in
-        if String.trim line <> "" then c.outq <- c.outq ^ handle_line st c line ^ "\n";
-        if st.stop then continue := false
+        if String.trim line <> "" then dispatch st c line
   done
+
+(* A connection may close only after everything it was owed has been
+   written (or deliberately dropped). *)
+let flushed_out c = outq_bytes c = 0 && (c.dropping || c.next_flush = c.next_seq)
 
 let try_read st conns c =
   let chunk = Bytes.create 65536 in
@@ -711,16 +1149,62 @@ let try_read st conns c =
       process_buffer st c
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       close_conn st conns c
-  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
 
 let try_write st conns c =
-  match Unix.write_substring c.fd c.outq 0 (String.length c.outq) with
-  | n ->
-      c.outq <- String.sub c.outq n (String.length c.outq - n);
-      if c.outq = "" && c.close_after_flush then close_conn st conns c
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      close_conn st conns c
-  | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ()
+  let len = outq_bytes c in
+  if len = 0 then begin
+    if c.close_after_flush && flushed_out c then close_conn st conns c
+  end
+  else
+    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off len with
+    | n ->
+        c.out_off <- c.out_off + n;
+        if c.out_off >= Buffer.length c.out then begin
+          Buffer.clear c.out;
+          c.out_off <- 0;
+          if c.close_after_flush && flushed_out c then close_conn st conns c
+        end
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn st conns c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+(* Pull every queued completion, account it, and slot its response at
+   the connection's wire position. *)
+let drain_completions st conns =
+  let comps =
+    Obs.Lockprof.with_lock st.sh.cq_lock (fun () ->
+        let l = List.of_seq (Queue.to_seq st.sh.cq) in
+        Queue.clear st.sh.cq;
+        l)
+  in
+  List.iter
+    (fun cp ->
+      st.jobs_inflight <- st.jobs_inflight - 1;
+      if cp.cp_worker >= 0 && cp.cp_worker < Array.length st.worker_served then
+        st.worker_served.(cp.cp_worker) <- st.worker_served.(cp.cp_worker) + 1;
+      Obs.Histogram.record st.queue_wait cp.cp_wait_us;
+      let resp =
+        match cp.cp_out with
+        | Resp (resp, accts) ->
+            List.iter (account st) accts;
+            resp
+        | Control req ->
+            let resp, a = render_control st cp.cp_tid req in
+            account st a;
+            resp
+      in
+      (match st.cfg.max_requests with
+      | Some limit when st.served >= limit -> st.stop <- true
+      | _ -> ());
+      match List.find_opt (fun c -> c.cid = cp.cp_cid) !conns with
+      | Some c ->
+          Hashtbl.replace c.pending cp.cp_seq resp;
+          flush_ready st c
+      | None ->
+          (* The connection died while its request ran. *)
+          st.dropped_responses <- st.dropped_responses + 1)
+    comps
 
 (* SIGUSR1 just raises a flag; the loop notices on its next wake-up (the
    signal interrupts a pending select with EINTR, so the dump is prompt)
@@ -737,17 +1221,39 @@ let run ?on_ready cfg =
            (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true)))
     with Invalid_argument _ | Sys_error _ -> None
   in
+  let workers = max 1 cfg.workers in
+  let cfg = { cfg with workers } in
   let listen_fd = listen_socket cfg.addr in
-  (match on_ready with Some f -> f (Unix.getsockname listen_fd) | None -> ());
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let sh =
+    {
+      jq_lock = Obs.Lockprof.create ~category:Obs.Attribution.Queue_wait "server.jobq";
+      jq_cond = Condition.create ();
+      jq = Queue.create ();
+      jq_stop = false;
+      cq_lock = Obs.Lockprof.create "server.compq";
+      cq = Queue.create ();
+      wake_w;
+    }
+  in
   let st =
     {
       cfg;
-      lru = Lru.create ~capacity:cfg.lru_capacity;
+      lru = Lru.Sharded.create ~shards:cfg.lru_shards ~capacity:cfg.lru_capacity ();
+      sh;
       started_us = Obs.Clock.now_us ();
       served = 0;
       errors = 0;
       next_req = 0;
       inflight = 0;
+      jobs_inflight = 0;
+      outq_overflows = 0;
+      dropped_responses = 0;
+      rejected_conns = 0;
+      worker_served = Array.make workers 0;
+      queue_wait = Obs.Histogram.create ();
       last_error = None;
       per_op = Hashtbl.create 8;
       lat = Hashtbl.create 8;
@@ -757,6 +1263,19 @@ let run ?on_ready cfg =
     }
   in
   List.iter (fun op -> ignore (lat_for st op)) known_ops;
+  let env = { x_cfg = cfg; x_lru = st.lru } in
+  (* The worker fleet: an oversubscribed pool (condition-parked workers
+     do not compute, so the hardware-domain cap does not apply) driven
+     by one spawned domain whose [Pool.map] call carries every worker
+     loop until shutdown. *)
+  let pool = Slif_util.Pool.create ~name:"server" ~jobs:workers ~oversubscribe:true () in
+  let driver =
+    Domain.spawn (fun () ->
+        ignore
+          (Slif_util.Pool.map pool (fun w -> worker_loop sh env w)
+             (List.init workers Fun.id)))
+  in
+  (match on_ready with Some f -> f (Unix.getsockname listen_fd) | None -> ());
   Obs.Event.emit "server.start"
     ~fields:
       [
@@ -764,24 +1283,35 @@ let run ?on_ready cfg =
           Obs.Json.String
             (match cfg.addr with Unix_sock p -> p | Tcp p -> Printf.sprintf "tcp:%d" p)
         );
+        ("workers", Obs.Json.Int workers);
       ];
   let next_cid = ref 0 in
   let conns = ref [] in
-  let pending () = List.exists (fun c -> c.outq <> "") !conns in
-  while (not st.stop) || pending () do
+  let pending_work () =
+    st.jobs_inflight > 0
+    || List.exists (fun c -> outq_bytes c > 0 || Hashtbl.length c.pending > 0) !conns
+  in
+  while (not st.stop) || pending_work () do
     if Atomic.get dump_requested then begin
       Atomic.set dump_requested false;
       dump_telemetry st stderr
     end;
+    drain_completions st conns;
     let reads =
-      if st.stop then []
-      else
-        listen_fd
-        :: List.filter_map
-             (fun c -> if c.close_after_flush then None else Some c.fd)
-             !conns
+      wake_r
+      ::
+      (if st.stop then []
+       else
+         listen_fd
+         :: List.filter_map
+              (fun c -> if c.close_after_flush then None else Some c.fd)
+              !conns)
     in
-    let writes = List.filter_map (fun c -> if c.outq <> "" then Some c.fd else None) !conns in
+    let writes =
+      List.filter_map
+        (fun c -> if outq_bytes c > 0 || c.close_after_flush then Some c.fd else None)
+        !conns
+    in
     st.loop_iters <- st.loop_iters + 1;
     let sel_t0 = Obs.Clock.now_us () in
     let sel =
@@ -789,9 +1319,10 @@ let run ?on_ready cfg =
       | r -> Some r
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
     in
-    (* Blocking in select with nothing ready is the daemon's idle time:
-       part of its wall, useful both for the metrics scrape and — when a
-       profiled sweep runs in-process — for the attribution report. *)
+    (* Blocking in select with nothing ready is the acceptor's idle
+       time: part of its wall, useful both for the metrics scrape and —
+       when a profiled sweep runs in-process — for the attribution
+       report. *)
     let sel_dur = Obs.Clock.now_us () -. sel_t0 in
     (match sel with
     | Some ([], [], _) | None ->
@@ -801,20 +1332,45 @@ let run ?on_ready cfg =
     match sel with
     | None -> ()
     | Some (readable, writable, _) ->
+        if List.memq wake_r readable then begin
+          let buf = Bytes.create 256 in
+          let rec drain () =
+            match Unix.read wake_r buf 0 (Bytes.length buf) with
+            | n when n > 0 -> drain ()
+            | _ -> ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          in
+          drain ()
+        end;
         if List.memq listen_fd readable then begin
           match Unix.accept listen_fd with
           | fd, _ ->
               incr next_cid;
               st.inflight <- st.inflight + 1;
-              conns :=
+              let c =
                 {
                   fd;
                   cid = !next_cid;
                   rbuf = Buffer.create 1024;
-                  outq = "";
+                  out = Buffer.create 1024;
+                  out_off = 0;
                   close_after_flush = false;
+                  dropping = false;
+                  next_seq = 0;
+                  next_flush = 0;
+                  pending = Hashtbl.create 8;
                 }
-                :: !conns
+              in
+              conns := c :: !conns;
+              (match cfg.max_connections with
+              | Some cap when st.inflight > cap ->
+                  st.rejected_conns <- st.rejected_conns + 1;
+                  Obs.Counter.incr "server.conn_rejected";
+                  local_response st c
+                    (Protocol.error
+                       (Printf.sprintf "connection limit reached (%d)" cap));
+                  c.close_after_flush <- true
+              | _ -> ())
           | exception Unix.Unix_error _ -> ()
         end;
         List.iter
@@ -822,11 +1378,20 @@ let run ?on_ready cfg =
           (List.filter (fun c -> c.fd != listen_fd) !conns);
         List.iter (fun c -> if List.memq c.fd writable then try_write st conns c) !conns
   done;
+  drain_completions st conns;
+  (* Stop the workers: flag, wake everyone, let the pool wind down. *)
+  Obs.Lockprof.with_lock sh.jq_lock (fun () ->
+      sh.jq_stop <- true;
+      Condition.broadcast sh.jq_cond);
+  Domain.join driver;
+  Slif_util.Pool.shutdown pool;
   Obs.Event.emit "server.stop"
     ~fields:
       [ ("requests", Obs.Json.Int st.served); ("errors", Obs.Json.Int st.errors) ];
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close wake_w with Unix.Unix_error _ -> ());
   (match prev_usr1 with
   | Some behavior -> ( try Sys.set_signal Sys.sigusr1 behavior with Invalid_argument _ -> ())
   | None -> ());

@@ -1,23 +1,38 @@
-(** The [slif serve] daemon.
+(** The [slif serve] daemon: one acceptor, N worker domains.
 
-    A single-process event loop (select-multiplexed, so one stalled
-    client never blocks another) accepting newline-delimited JSON
-    requests over a Unix-domain or loopback TCP socket.  Annotated
-    graphs are resident in an {!Lru} keyed by content hash; a
-    [--cache-dir] additionally persists them across restarts through
-    {!Slif_store.Cache}.  Request handling is hardened: any malformed
-    line or failing operation becomes an error response, a request line
-    over {!field-config.max_line_bytes} earns a protocol error before
-    the connection is closed, and the loop survives client disconnects
-    mid-request.
+    The acceptor owns the sockets — a select-multiplexed loop that
+    accepts connections, frames newline-delimited JSON request lines and
+    writes responses — and dispatches every framed line to a fixed pool
+    of worker domains over a condition-parked job queue.  Workers
+    execute requests against the shared sharded {!Lru} (content-hash
+    keyed, one lock per shard) and push completions back through a queue
+    plus a self-pipe that wakes the acceptor's select.  Each connection
+    carries sequence numbers and a reorder buffer, so responses hit the
+    wire in request order no matter which worker finishes first; control
+    ops ([stats]/[health]/[metrics]/[shutdown]) are rendered by the
+    acceptor itself — which owns all accounting, lock-free — at their
+    wire position.  A [batch] request executes its items on one worker
+    with per-item error isolation and in-order results.
+
+    Hardening: any malformed line or failing operation becomes an error
+    response; a request line over {!field-config.max_line_bytes} earns a
+    protocol error before the connection is closed; a reader whose
+    unwritten responses exceed {!field-config.max_outq_bytes} is sent
+    one [slow reader] protocol error and disconnected instead of growing
+    the heap; {!field-config.max_connections} bounds concurrent clients;
+    and the loop survives client disconnects mid-request.  On shutdown
+    (the [shutdown] op or {!field-config.max_requests}) in-flight
+    requests drain and their responses flush before the sockets close.
 
     Observability: every request is assigned a trace id
-    ([c<conn>-r<serial>]) installed via {!Slif_obs.Registry.with_trace},
-    so the [server.request.<op>] span and every {!Slif_obs.Event} line
-    emitted while serving it share the id.  Per-op latency is recorded
-    in always-on lifetime histograms plus a sliding window — the
-    [stats], [health] and [metrics] ops report them regardless of the
-    registry switch.  Requests slower than [slow_ms] are logged to
+    ([c<conn>-r<serial>]) installed via {!Slif_obs.Registry.with_trace}
+    on the worker that executes it, so the [server.request.<op>] span
+    and every {!Slif_obs.Event} line emitted while serving it share the
+    id.  Per-op latency is recorded in always-on lifetime histograms
+    plus a sliding window; per-worker requests and batch items feed
+    {!Slif_obs.Family} counters, per-shard LRU hit/miss/occupancy and
+    queue depth/wait are exported by [stats] and [metrics] regardless of
+    the registry switch.  Requests slower than [slow_ms] are logged to
     stderr and the event log at [Warn]; [SIGUSR1] dumps the live
     telemetry to stderr without stopping the loop. *)
 
@@ -29,25 +44,38 @@ type config = {
   addr : addr;
   cache_dir : string option;  (** persist annotated graphs here too *)
   lru_capacity : int;
+  lru_shards : int;  (** shards of the resident set (locks scale with this) *)
+  workers : int;  (** worker domains executing requests (min 1) *)
   jobs : int;  (** domain-pool width for [explore] requests without their own ["jobs"] *)
   max_requests : int option;  (** stop after this many requests (soak/smoke harnesses) *)
   slow_ms : float option;
       (** log requests at least this slow to stderr and the event log *)
   max_line_bytes : int;
       (** request lines over this earn a protocol error and a close *)
+  max_batch_items : int;  (** cap on one [batch] request's item count *)
+  max_outq_bytes : int;
+      (** unread response bytes per connection before the slow reader is
+          disconnected with a protocol error *)
+  max_connections : int option;
+      (** concurrent connections; extras get an error response and a close *)
 }
 
 val default_max_line_bytes : int
 (** 64 MB. *)
 
+val default_max_outq_bytes : int
+(** 32 MB. *)
+
 val default_config : addr -> config
-(** lru_capacity 8, jobs 1, no cache dir, no request limit, no slow-log,
-    64 MB line cap. *)
+(** lru_capacity 8 over 8 shards, 1 worker, jobs 1, no cache dir, no
+    request limit, no slow-log, 64 MB line cap, 4096 batch items, 32 MB
+    outq cap, unlimited connections. *)
 
 val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> unit
 (** Bind, listen and serve until a [shutdown] request (or the request
-    limit) — then flush pending responses, close every connection and
-    remove the socket file.  [on_ready] fires once the socket is bound
-    and listening (tests use it to synchronize, and to learn the port
-    when [Tcp 0] picked one).  Raises [Unix.Unix_error] if the socket
-    cannot be bound. *)
+    limit) — then drain in-flight requests, flush pending responses,
+    join the worker domains, close every connection and remove the
+    socket file.  [on_ready] fires once the socket is bound and
+    listening (tests use it to synchronize, and to learn the port when
+    [Tcp 0] picked one).  Raises [Unix.Unix_error] if the socket cannot
+    be bound. *)

@@ -106,7 +106,7 @@ let worker_main pool () =
       Slif_obs.Attribution.add_wall (Slif_obs.Clock.now_us () -. t0))
     (fun () -> worker_loop pool)
 
-let create ?jobs ?(oversubscribe = false) () =
+let create ?name ?jobs ?(oversubscribe = false) () =
   let n_jobs = match jobs with Some j -> j | None -> default_jobs () in
   if n_jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   (* Domains beyond the hardware's parallelism cannot run concurrently;
@@ -126,7 +126,14 @@ let create ?jobs ?(oversubscribe = false) () =
       n_jobs;
       n_domains;
       queue = Queue.create ();
-      lock = Slif_obs.Lockprof.create ~category:Slif_obs.Attribution.Queue_wait "pool.queue";
+      lock =
+        (* A named pool (the daemon's long-lived worker pool, say) gets
+           its own Lockprof series, so its queue contention is not
+           pooled with every transient sweep pool's. *)
+        Slif_obs.Lockprof.create ~category:Slif_obs.Attribution.Queue_wait
+          (match name with
+          | Some n -> "pool.queue:" ^ n
+          | None -> "pool.queue");
       work = Condition.create ();
       stop = false;
       workers = [];
@@ -180,8 +187,8 @@ let shutdown t =
     match e with None -> () | Some e -> raise e
   end
 
-let with_pool ?jobs ?oversubscribe f =
-  let pool = create ?jobs ?oversubscribe () in
+let with_pool ?name ?jobs ?oversubscribe f =
+  let pool = create ?name ?jobs ?oversubscribe () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* --- Domain-local slots ---------------------------------------------------

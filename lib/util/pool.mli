@@ -36,7 +36,7 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what the CLI's [-j] defaults
     to. *)
 
-val create : ?jobs:int -> ?oversubscribe:bool -> unit -> t
+val create : ?name:string -> ?jobs:int -> ?oversubscribe:bool -> unit -> t
 (** [create ~jobs ()] builds a pool of logical parallelism [jobs]
     (default {!default_jobs}), spawning at most
     [Domain.recommended_domain_count () - 1] worker domains: domains
@@ -48,7 +48,12 @@ val create : ?jobs:int -> ?oversubscribe:bool -> unit -> t
     requested [-j] alone, independent of the machine the sweep ran on.
     [oversubscribe] (default false) lifts the cap and spawns [jobs - 1]
     domains unconditionally — for contention experiments that want the
-    pathology back.  Raises [Invalid_argument] when [jobs < 1]. *)
+    pathology back, and for pools whose tasks park on conditions rather
+    than compute (the daemon's worker pool).  [name] gives the pool's
+    queue lock its own {!Slif_obs.Lockprof} series
+    (["pool.queue:<name>"]), so a long-lived pool's contention is not
+    aggregated with every transient sweep pool's.
+    Raises [Invalid_argument] when [jobs < 1]. *)
 
 val jobs : t -> int
 (** The logical parallelism the pool was created with (including the
@@ -89,7 +94,7 @@ val global_stats : unit -> global_stats
 (** Process-wide totals across every pool that ever existed — what the
     daemon's metrics scrape exports, since pools are transient. *)
 
-val with_pool : ?jobs:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
+val with_pool : ?name:string -> ?jobs:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
 (** [create], run the function, [shutdown] — even on exceptions. *)
 
 (* --- Domain-local slots -------------------------------------------------- *)

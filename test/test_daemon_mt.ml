@@ -1,0 +1,654 @@
+(* The multi-domain daemon battery: sharded-LRU semantics under
+   concurrent domains, the [batch] op's edges, response ordering under
+   out-of-order worker completion, slow-reader backpressure, drain on
+   shutdown, and — the centerpiece — a socket-level differential soak
+   proving the daemon's answers are byte-identical whether 1, 2 or 4
+   worker domains execute them. *)
+
+module Server = Slif_server.Server
+module Client = Slif_server.Client
+module Protocol = Slif_server.Protocol
+module Lru = Slif_server.Lru
+module Ops = Slif_server.Ops
+module Json = Slif_obs.Json
+
+let with_server = Test_server.with_server
+let request_exn = Test_server.request_exn
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let spec_names =
+  List.filteri (fun i _ -> i < 3)
+    (List.map (fun (s : Specs.Registry.spec) -> s.spec_name) Specs.Registry.all)
+
+(* --- Obs.Family ------------------------------------------------------------- *)
+
+let test_family_counters () =
+  let f = Slif_obs.Family.create "test.family.battery" ~label:"who" in
+  let before = Slif_obs.Family.get f "a" in
+  Slif_obs.Family.incr f "a";
+  Slif_obs.Family.incr f "a" ~by:2;
+  Slif_obs.Family.incr f "b";
+  Alcotest.(check int) "series a" (before + 3) (Slif_obs.Family.get f "a");
+  Alcotest.(check int) "absent series reads zero" 0
+    (Slif_obs.Family.get f "never-fired");
+  (* Re-creating the same name returns the same family... *)
+  let f' = Slif_obs.Family.create "test.family.battery" ~label:"who" in
+  Slif_obs.Family.incr f' "a";
+  Alcotest.(check int) "idempotent create shares series" (before + 4)
+    (Slif_obs.Family.get f "a");
+  (* ...but never with a different label dimension. *)
+  match Slif_obs.Family.create "test.family.battery" ~label:"other" with
+  | _ -> Alcotest.fail "label mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_family_exact_across_domains () =
+  let f = Slif_obs.Family.create "test.family.hammer" ~label:"d" in
+  let per_domain = 2_000 in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Slif_obs.Family.incr f (string_of_int d);
+              Slif_obs.Family.incr f "shared"
+            done))
+  in
+  List.iter Domain.join doms;
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d series exact" d)
+        per_domain
+        (Slif_obs.Family.get f (string_of_int d)))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "contended series exact" (4 * per_domain)
+    (Slif_obs.Family.get f "shared")
+
+(* --- Sharded LRU ------------------------------------------------------------ *)
+
+let test_sharded_routing_deterministic () =
+  let l = Lru.Sharded.create ~shards:8 ~capacity:16 () in
+  let keys = List.init 64 (fun i -> Printf.sprintf "key-%d" i) in
+  let first = List.map (Lru.Sharded.shard_of_key l) keys in
+  List.iteri
+    (fun i k ->
+      Alcotest.(check int) "routing stable" (List.nth first i)
+        (Lru.Sharded.shard_of_key l k);
+      Alcotest.(check bool) "routing in range" true
+        (let s = Lru.Sharded.shard_of_key l k in
+         s >= 0 && s < 8))
+    keys;
+  Alcotest.(check int) "shards" 8 (Lru.Sharded.shards l);
+  Alcotest.(check int) "capacity rounded over shards" 16 (Lru.Sharded.capacity l)
+
+(* Eviction happens within the key's shard only: filling one shard far
+   past its share never evicts another shard's resident entry. *)
+let test_sharded_no_cross_shard_eviction () =
+  let l = Lru.Sharded.create ~shards:4 ~capacity:4 () in
+  (* Find a witness key, then flood keys routed to *other* shards. *)
+  let witness = "witness" in
+  let ws = Lru.Sharded.shard_of_key l witness in
+  Lru.Sharded.add l witness 42;
+  let flood =
+    List.filter
+      (fun k -> Lru.Sharded.shard_of_key l k <> ws)
+      (List.init 200 (fun i -> Printf.sprintf "flood-%d" i))
+  in
+  List.iteri (fun i k -> Lru.Sharded.add l k i) flood;
+  Alcotest.(check (option int)) "witness survived other shards' evictions"
+    (Some 42) (Lru.Sharded.find l witness);
+  (* And the shard never grows past its per-shard share. *)
+  List.iter
+    (fun (s : Lru.Sharded.shard_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d within capacity" s.sh_index)
+        true (s.sh_size <= s.sh_capacity))
+    (Lru.Sharded.shard_stats l)
+
+let test_sharded_touch_and_reinsert () =
+  (* One shard makes the sharded wrapper's recency identical to the
+     plain cache's — touch on hit, refresh on re-add. *)
+  let l = Lru.Sharded.create ~shards:1 ~capacity:2 () in
+  Lru.Sharded.add l "a" 1;
+  Lru.Sharded.add l "b" 2;
+  ignore (Lru.Sharded.find l "a");
+  Lru.Sharded.add l "c" 3;
+  Alcotest.(check (option int)) "b evicted (a touched)" None (Lru.Sharded.find l "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Lru.Sharded.find l "a");
+  Lru.Sharded.add l "a" 9;
+  Alcotest.(check (option int)) "re-insert replaces" (Some 9) (Lru.Sharded.find l "a");
+  Alcotest.(check int) "no duplicate" 2 (Lru.Sharded.size l)
+
+let test_sharded_capacity_one () =
+  let l = Lru.Sharded.create ~shards:1 ~capacity:1 () in
+  Lru.Sharded.add l "a" 1;
+  Lru.Sharded.add l "b" 2;
+  Alcotest.(check (option int)) "a evicted" None (Lru.Sharded.find l "a");
+  Alcotest.(check (option int)) "b resident" (Some 2) (Lru.Sharded.find l "b");
+  Alcotest.(check int) "size one" 1 (Lru.Sharded.size l)
+
+let test_sharded_rejects_bad_args () =
+  (match Lru.Sharded.create ~shards:0 ~capacity:4 () with
+  | _ -> Alcotest.fail "shards 0 accepted"
+  | exception Invalid_argument _ -> ());
+  match Lru.Sharded.create ~shards:4 ~capacity:0 () with
+  | _ -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Eight domains hammer one cache with private key sets sized under the
+   per-shard capacity, so nothing ever evicts: every first find is a
+   miss, every subsequent one a hit, and the shard-lock-guarded counters
+   must come out exact no matter how the domains interleave. *)
+let test_sharded_concurrent_hammer () =
+  let domains = 8 and keys_per_domain = 16 and rounds = 50 in
+  let l =
+    Lru.Sharded.create ~shards:8 ~capacity:(domains * keys_per_domain * 8) ()
+  in
+  let h0 = Lru.Sharded.hits l and m0 = Lru.Sharded.misses l in
+  let worker d () =
+    let keys =
+      Array.init keys_per_domain (fun k -> Printf.sprintf "d%d-k%d" d k)
+    in
+    let bad = ref 0 in
+    Array.iteri
+      (fun i k ->
+        (match Lru.Sharded.find l k with Some _ -> incr bad | None -> ());
+        Lru.Sharded.add l k (d * 1000 + i))
+      keys;
+    for _ = 1 to rounds do
+      Array.iteri
+        (fun i k ->
+          match Lru.Sharded.find l k with
+          | Some v when v = (d * 1000 + i) -> ()
+          | Some _ | None -> incr bad)
+        keys
+    done;
+    !bad
+  in
+  let doms = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let bad = List.fold_left (fun acc d -> acc + Domain.join d) 0 doms in
+  Alcotest.(check int) "every lookup saw its own domain's value" 0 bad;
+  Alcotest.(check int) "misses exact" (domains * keys_per_domain)
+    (Lru.Sharded.misses l - m0);
+  Alcotest.(check int) "hits exact"
+    (domains * keys_per_domain * rounds)
+    (Lru.Sharded.hits l - h0);
+  Alcotest.(check int) "nothing evicted" (domains * keys_per_domain)
+    (Lru.Sharded.size l)
+
+(* --- Batch edges ------------------------------------------------------------ *)
+
+let estimate_item spec =
+  Json.Obj [ ("op", Json.String "estimate"); ("spec", Json.String spec) ]
+
+let batch_line items = Json.to_string (Client.batch_request items)
+
+let results_exn client items =
+  match Client.batch client items with
+  | Ok results -> results
+  | Error msg -> Alcotest.failf "batch failed: %s" msg
+
+let test_batch_empty () =
+  with_server (fun _port client ->
+      let json = request_exn client
+          [ ("op", Json.String "batch"); ("items", Json.List []) ]
+      in
+      (match Json.member "count" json with
+      | Some (Json.Int 0) -> ()
+      | _ -> Alcotest.fail "empty batch count not 0");
+      match Json.member "results" json with
+      | Some (Json.List []) -> ()
+      | _ -> Alcotest.fail "empty batch results not []")
+
+let test_batch_order_and_isolation () =
+  with_server ~config:(fun c -> { c with Server.workers = 2 }) (fun _port client ->
+      let spec = List.hd spec_names in
+      let items =
+        [
+          estimate_item spec;
+          Json.Obj [ ("op", Json.String "frobnicate") ];
+          Json.Obj [ ("op", Json.String "load"); ("spec", Json.String spec) ];
+          Json.Obj [ ("op", Json.String "load"); ("spec", Json.String "no-such-spec") ];
+          estimate_item spec;
+        ]
+      in
+      let results = results_exn client items in
+      Alcotest.(check int) "five slots answered" 5 (List.length results);
+      let ok_of i =
+        match Json.member "ok" (List.nth results i) with
+        | Some (Json.Bool b) -> b
+        | _ -> Alcotest.failf "slot %d has no ok field" i
+      in
+      Alcotest.(check bool) "slot 0 ok" true (ok_of 0);
+      Alcotest.(check bool) "slot 1 malformed isolated" false (ok_of 1);
+      Alcotest.(check bool) "slot 2 ok after the bad one" true (ok_of 2);
+      Alcotest.(check bool) "slot 3 failing op isolated" false (ok_of 3);
+      Alcotest.(check bool) "slot 4 ok" true (ok_of 4);
+      (* Order: the estimate slots are identical; the load slot carries
+         the design block. *)
+      Alcotest.(check bool) "slots 0 and 4 identical" true
+        (Json.to_string (List.nth results 0) = Json.to_string (List.nth results 4));
+      (match Json.member "error" (List.nth results 1) with
+      | Some (Json.String msg) ->
+          Alcotest.(check bool) "slot 1 names the op" true
+            (contains msg "frobnicate")
+      | _ -> Alcotest.fail "slot 1 carries no error");
+      (* A batch item failing is not a daemon error line: the wire
+         response is still ok:true for the batch itself. *)
+      match Json.member "count" (request_exn client
+          [ ("op", Json.String "batch"); ("items", Json.List [ estimate_item spec ]) ])
+      with
+      | Some (Json.Int 1) -> ()
+      | _ -> Alcotest.fail "singleton batch count")
+
+let test_batch_rejects_nested_and_control () =
+  (* Protocol-level: nested batches and control ops are per-item errors,
+     never executed. *)
+  match
+    Protocol.request_of_line
+      (batch_line
+         [
+           Json.Obj [ ("op", Json.String "batch"); ("items", Json.List []) ];
+           Json.Obj [ ("op", Json.String "shutdown") ];
+           Json.Obj [ ("op", Json.String "stats") ];
+         ])
+  with
+  | Ok (Protocol.Batch [ Error m1; Error m2; Error m3 ]) ->
+      List.iter
+        (fun (m, op) ->
+          Alcotest.(check bool)
+            (op ^ " rejected inside batch")
+            true
+            (contains m op))
+        [ (m1, "batch"); (m2, "shutdown"); (m3, "stats") ]
+  | _ -> Alcotest.fail "nested/control items were not isolated errors"
+
+let test_batch_cap () =
+  with_server
+    ~config:(fun c -> { c with Server.max_batch_items = 3 })
+    (fun _port client ->
+      let items n = List.init n (fun _ -> estimate_item (List.hd spec_names)) in
+      (match Client.batch client (items 3) with
+      | Ok results -> Alcotest.(check int) "at the cap" 3 (List.length results)
+      | Error msg -> Alcotest.failf "batch at cap failed: %s" msg);
+      match Client.batch client (items 4) with
+      | Ok _ -> Alcotest.fail "over-cap batch accepted"
+      | Error msg ->
+          Alcotest.(check bool) "error names the cap" true
+            (contains msg "cap"))
+
+let test_batch_differential () =
+  with_server ~config:(fun c -> { c with Server.workers = 2 }) (fun _port client ->
+      List.iter
+        (fun name ->
+          let spec = Specs.Registry.find_exn name in
+          let expected =
+            Ops.estimate_output ~bounds:false (Ops.annotated spec.source)
+          in
+          List.iter
+            (fun r ->
+              match Json.member "output" r with
+              | Some (Json.String out) ->
+                  Alcotest.(check string)
+                    (name ^ " batch item matches serial Ops") expected out
+              | _ -> Alcotest.fail "batch item carries no output")
+            (results_exn client [ estimate_item name; estimate_item name ]))
+        spec_names)
+
+(* --- Ordering under out-of-order completion --------------------------------- *)
+
+(* Four workers race a pipelined burst; sequence numbers must keep the
+   wire in request order — including a control op landing mid-burst,
+   which the acceptor answers at its slot, not when it is parsed. *)
+let test_pipeline_order_with_workers () =
+  with_server ~config:(fun c -> { c with Server.workers = 4 }) (fun _port client ->
+      let spec = List.hd spec_names in
+      let est = Json.Obj [ ("op", Json.String "estimate"); ("spec", Json.String spec) ] in
+      let lines =
+        [
+          Json.to_string est;
+          Json.to_string est;
+          {|{"op":"stats"}|};
+          Json.to_string est;
+          {|{"op":"health"}|};
+          Json.to_string est;
+        ]
+      in
+      let responses = Client.pipeline_raw client lines in
+      Alcotest.(check int) "one response per line" (List.length lines)
+        (List.length responses);
+      let field name r =
+        match Json.parse r with
+        | Ok json -> Json.member name json
+        | Error _ -> None
+      in
+      let estimates = List.filteri (fun i _ -> List.mem i [ 0; 1; 3; 5 ]) responses in
+      (match estimates with
+      | first :: rest ->
+          List.iter
+            (fun r -> Alcotest.(check string) "estimates byte-identical" first r)
+            rest
+      | [] -> ());
+      Alcotest.(check bool) "slot 2 is the stats answer" true
+        (field "by_op" (List.nth responses 2) <> None);
+      Alcotest.(check bool) "slot 4 is the health answer" true
+        (field "inflight" (List.nth responses 4) <> None))
+
+(* --- Differential soak: workers 1 vs 2 vs 4 --------------------------------- *)
+
+(* 64 connections driven from 4 domains pump a deterministic mixed
+   workload (load / estimate / partition / batch / malformed) through
+   the daemon, pipelined.  The full response transcript — every byte,
+   in order — must be identical at every worker count; workers=1 is the
+   serial reference, so this is the daemon-level differential against
+   serial execution. *)
+let soak_lines conn_id rounds =
+  let spec i = List.nth spec_names (i mod List.length spec_names) in
+  List.concat
+    (List.init rounds (fun r ->
+         let s = spec (conn_id + r) in
+         match (conn_id + r) mod 5 with
+         | 0 -> [ Printf.sprintf {|{"op":"load","spec":"%s"}|} s ]
+         | 1 -> [ Printf.sprintf {|{"op":"estimate","spec":"%s"}|} s ]
+         | 2 -> [ Printf.sprintf {|{"op":"partition","spec":"%s"}|} s ]
+         | 3 ->
+             [
+               batch_line
+                 [
+                   estimate_item s;
+                   Json.Obj [ ("op", Json.String "nope") ];
+                   estimate_item (spec (conn_id + r + 1));
+                 ];
+             ]
+         | _ -> [ {|{"op":"frobnicate"}|}; Printf.sprintf {|{"op":"estimate","spec":"%s"}|} s ]))
+
+let soak_transcript ~workers ~conns ~rounds =
+  with_server
+    ~config:(fun c -> { c with Server.workers; lru_capacity = 8; lru_shards = 4 })
+    (fun port _client ->
+      let driver_count = 4 in
+      let per_driver = conns / driver_count in
+      (* Each driver domain pipelines its connections one after another
+         while the other three do the same — at least four deep
+         pipelines race the worker pool at any moment, and each of the
+         [conns] connections carries its whole workload in one write. *)
+      let driver d () =
+        List.init per_driver (fun i ->
+            let conn_id = (d * per_driver) + i in
+            let lines = soak_lines conn_id rounds in
+            let c = Client.connect_tcp ~timeout_ms:120_000 port in
+            let responses = Client.pipeline_raw c lines in
+            Client.close c;
+            (conn_id, responses))
+      in
+      let doms = List.init driver_count (fun d -> Domain.spawn (driver d)) in
+      let all = List.concat_map Domain.join doms in
+      List.sort compare all)
+
+let test_differential_soak () =
+  let conns = 64 and rounds = 5 in
+  let serial = soak_transcript ~workers:1 ~conns ~rounds in
+  Alcotest.(check int) "serial transcript covers every connection" conns
+    (List.length serial);
+  List.iter
+    (fun workers ->
+      let parallel = soak_transcript ~workers ~conns ~rounds in
+      List.iter2
+        (fun (cid, serial_resps) (cid', resps) ->
+          Alcotest.(check int) "same connection" cid cid';
+          List.iteri
+            (fun i (a, b) ->
+              if a <> b then
+                Alcotest.failf
+                  "conn %d response %d differs between workers=1 and workers=%d:\n%s\nvs\n%s"
+                  cid i workers a b)
+            (List.combine serial_resps resps))
+        serial parallel)
+    [ 2; 4 ]
+
+(* And the serial reference itself is honest: spot-check it against the
+   Ops implementation the CLI prints from. *)
+let test_soak_reference_matches_ops () =
+  with_server (fun _port client ->
+      let name = List.hd spec_names in
+      let spec = Specs.Registry.find_exn name in
+      let slif = Ops.annotated spec.source in
+      let line = Printf.sprintf {|{"op":"estimate","spec":"%s"}|} name in
+      let resp = Client.request_raw client line in
+      let key = Slif_store.Cache.key ~source:spec.source () in
+      let expected =
+        Protocol.ok
+          [
+            ("key", Json.String key);
+            ("output", Json.String (Ops.estimate_output ~bounds:false slif));
+          ]
+      in
+      Alcotest.(check string) "wire bytes match Ops + cache key" expected resp)
+
+(* --- Backpressure and limits ------------------------------------------------ *)
+
+let test_backpressure_disconnects_slow_reader () =
+  with_server
+    ~config:(fun c ->
+      { c with Server.workers = 2; max_outq_bytes = 16 * 1024 })
+    (fun port client ->
+      (* A reader that never reads: pump metrics requests (answers run
+         ~10 KB each) without draining a byte.  The kernel's socket
+         buffers absorb the first couple of megabytes; past that the
+         responses pile up in the daemon's per-connection out-queue
+         until the 16 KB cap trips. *)
+      let stats_of client =
+        match request_exn client [ ("op", Json.String "stats") ] with
+        | json -> (
+            match Json.member "server" json with
+            | Some server -> Json.member "outq_overflows" server
+            | None -> None)
+      in
+      let line = {|{"op":"metrics"}|} in
+      let buf = Buffer.create (64 * 1024) in
+      for _ = 1 to 64 do
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      done;
+      let burst = Buffer.contents buf in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (try
+         for _ = 1 to 20 do
+           let pos = ref 0 in
+           while !pos < String.length burst do
+             pos := !pos + Unix.write_substring fd burst !pos (String.length burst - !pos)
+           done;
+           Unix.sleepf 0.02
+         done
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      (* Hold off reading until the daemon has actually hit the cap —
+         draining early could keep the out-queue forever under it. *)
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let rec await_overflow () =
+        match stats_of client with
+        | Some (Json.Int n) when n >= 1 -> ()
+        | _ ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "out-queue overflow never tripped"
+            else begin
+              Unix.sleepf 0.05;
+              await_overflow ()
+            end
+      in
+      await_overflow ();
+      (* Now read what the daemon kept for us: some responses, then the
+         slow-reader protocol error, then EOF. *)
+      let rbuf = Buffer.create 65536 in
+      let chunk = Bytes.create 65536 in
+      (try
+         let rec drain () =
+           match Unix.read fd chunk 0 (Bytes.length chunk) with
+           | 0 -> ()
+           | n ->
+               Buffer.add_subbytes rbuf chunk 0 n;
+               drain ()
+         in
+         drain ()
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let text = Buffer.contents rbuf in
+      Alcotest.(check bool) "the slow-reader protocol error arrived" true
+        (contains text "slow reader");
+      (* The daemon survived and still answers on a healthy connection,
+         with the overflow counted. *)
+      match stats_of client with
+      | Some (Json.Int n) ->
+          Alcotest.(check bool) "overflow counted in stats" true (n >= 1)
+      | _ -> Alcotest.fail "stats carries no server.outq_overflows")
+
+let test_connection_limit () =
+  with_server
+    ~config:(fun c -> { c with Server.max_connections = Some 1 })
+    (fun port client ->
+      (* [with_server]'s own client occupies the single slot. *)
+      let extra = Client.connect_tcp ~timeout_ms:10_000 port in
+      let line = Client.request_raw extra {|{"op":"stats"}|} in
+      Alcotest.(check bool) "refusal names the limit" true
+        (contains line "connection limit");
+      (match Client.request_raw extra {|{"op":"stats"}|} with
+      | _ -> Alcotest.fail "refused connection stayed open"
+      | exception (End_of_file | Client.Timeout | Unix.Unix_error _) -> ());
+      Client.close extra;
+      (* The resident client still works. *)
+      ignore (request_exn client [ ("op", Json.String "health") ]))
+
+(* --- Shutdown and signals --------------------------------------------------- *)
+
+let test_shutdown_drains_inflight () =
+  with_server ~config:(fun c -> { c with Server.workers = 4 }) (fun _port client ->
+      let spec = List.hd spec_names in
+      let est = Printf.sprintf {|{"op":"estimate","spec":"%s"}|} spec in
+      (* Three requests and the shutdown ride one write; the daemon must
+         answer all four, in order, before closing. *)
+      let responses =
+        Client.pipeline_raw client [ est; est; est; {|{"op":"shutdown"}|} ]
+      in
+      (match responses with
+      | [ a; b; c; bye ] ->
+          Alcotest.(check string) "inflight 2 drained identically" a b;
+          Alcotest.(check string) "inflight 3 drained identically" a c;
+          Alcotest.(check bool) "estimates answered" true
+            (contains a {|"ok":true|});
+          Alcotest.(check bool) "bye last" true (contains bye {|"bye":true|})
+      | _ -> Alcotest.fail "wrong response count");
+      (* And the socket reaches EOF: the daemon is gone, not wedged. *)
+      match Client.request_raw client {|{"op":"stats"}|} with
+      | _ -> Alcotest.fail "daemon answered after shutdown"
+      | exception (End_of_file | Unix.Unix_error _) -> ())
+
+let test_sigusr1_under_workers () =
+  with_server ~config:(fun c -> { c with Server.workers = 2 }) (fun _port client ->
+      ignore (request_exn client [ ("op", Json.String "health") ]);
+      (* The dump handler runs on the acceptor between selects; under a
+         worker split it must neither crash nor wedge the daemon. *)
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      Unix.sleepf 0.3;
+      ignore (request_exn client [ ("op", Json.String "health") ]);
+      ignore (request_exn client [ ("op", Json.String "stats") ]))
+
+(* --- Telemetry surfaces ------------------------------------------------------ *)
+
+let test_stats_and_metrics_expose_workers_and_shards () =
+  with_server
+    ~config:(fun c -> { c with Server.workers = 2; lru_shards = 4 })
+    (fun _port client ->
+      let spec = List.hd spec_names in
+      for _ = 1 to 4 do
+        ignore
+          (request_exn client
+             [ ("op", Json.String "estimate"); ("spec", Json.String spec) ])
+      done;
+      ignore (results_exn client [ estimate_item spec ]);
+      let stats = request_exn client [ ("op", Json.String "stats") ] in
+      let server =
+        match Json.member "server" stats with
+        | Some s -> s
+        | None -> Alcotest.fail "stats has no server block"
+      in
+      (match Json.member "workers" server with
+      | Some (Json.Int 2) -> ()
+      | _ -> Alcotest.fail "server.workers not 2");
+      (match Json.member "per_worker" server with
+      | Some (Json.Obj series) ->
+          Alcotest.(check int) "one series per worker" 2 (List.length series)
+      | _ -> Alcotest.fail "server.per_worker missing");
+      (match Json.member "lru" stats with
+      | Some lru -> (
+          (match Json.member "shards" lru with
+          | Some (Json.List shards) ->
+              Alcotest.(check int) "one stat per shard" 4 (List.length shards)
+          | _ -> Alcotest.fail "lru.shards missing");
+          match (Json.member "hits" lru, Json.member "misses" lru) with
+          | Some (Json.Int h), Some (Json.Int m) ->
+              Alcotest.(check bool) "hits counted" true (h >= 3);
+              Alcotest.(check bool) "misses counted" true (m >= 1)
+          | _ -> Alcotest.fail "lru hit/miss totals missing")
+      | None -> Alcotest.fail "stats has no lru block");
+      let metrics =
+        match
+          Protocol.output_field (request_exn client [ ("op", Json.String "metrics") ])
+        with
+        | Some s -> s
+        | None -> Alcotest.fail "metrics has no output"
+      in
+      List.iter
+        (fun family ->
+          Alcotest.(check bool) (family ^ " exported") true
+            (contains metrics family))
+        [
+          "slif_server_workers";
+          "slif_server_queue_depth";
+          "slif_server_lru_shard_hits_total";
+          "slif_server_worker_requests_total";
+          "slif_server_batch_items_total";
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "family counters" `Quick test_family_counters;
+    Alcotest.test_case "family exact across domains" `Slow
+      test_family_exact_across_domains;
+    Alcotest.test_case "sharded lru: deterministic routing" `Quick
+      test_sharded_routing_deterministic;
+    Alcotest.test_case "sharded lru: no cross-shard eviction" `Quick
+      test_sharded_no_cross_shard_eviction;
+    Alcotest.test_case "sharded lru: touch and re-insert" `Quick
+      test_sharded_touch_and_reinsert;
+    Alcotest.test_case "sharded lru: capacity one" `Quick test_sharded_capacity_one;
+    Alcotest.test_case "sharded lru: rejects bad args" `Quick
+      test_sharded_rejects_bad_args;
+    Alcotest.test_case "sharded lru: 8-domain hammer, exact counters" `Slow
+      test_sharded_concurrent_hammer;
+    Alcotest.test_case "batch: empty" `Slow test_batch_empty;
+    Alcotest.test_case "batch: order and per-item isolation" `Slow
+      test_batch_order_and_isolation;
+    Alcotest.test_case "batch: nested and control items rejected" `Quick
+      test_batch_rejects_nested_and_control;
+    Alcotest.test_case "batch: item cap" `Slow test_batch_cap;
+    Alcotest.test_case "batch: differential vs serial Ops" `Slow
+      test_batch_differential;
+    Alcotest.test_case "pipeline order under 4 workers" `Slow
+      test_pipeline_order_with_workers;
+    Alcotest.test_case "differential soak: workers 1/2/4 byte-identical" `Slow
+      test_differential_soak;
+    Alcotest.test_case "soak reference matches Ops bytes" `Slow
+      test_soak_reference_matches_ops;
+    Alcotest.test_case "backpressure disconnects slow readers" `Slow
+      test_backpressure_disconnects_slow_reader;
+    Alcotest.test_case "connection limit refuses extras" `Slow test_connection_limit;
+    Alcotest.test_case "shutdown drains in-flight requests" `Slow
+      test_shutdown_drains_inflight;
+    Alcotest.test_case "SIGUSR1 dump under worker split" `Slow
+      test_sigusr1_under_workers;
+    Alcotest.test_case "stats/metrics expose worker and shard families" `Slow
+      test_stats_and_metrics_expose_workers_and_shards;
+  ]

@@ -27,6 +27,7 @@ let () =
       ("speccharts", Test_spc.suite);
       ("store", Test_store.suite);
       ("server", Test_server.suite);
+      ("daemon-mt", Test_daemon_mt.suite);
       ("cli", Test_cli.suite);
       ("parallel", Test_parallel.suite);
       ("profiler", Test_profiler.suite);
