@@ -525,8 +525,11 @@ let store_info_cmd =
               (match p.Store.pv_profile with Some _ -> "recorded" | None -> "static defaults");
             Printf.printf "tech:    %s\n" p.Store.pv_tech
         | None -> ());
+        Printf.printf "section  offset      size        crc\n";
         List.iter
-          (fun (tag, bytes) -> Printf.printf "section: %s  %d bytes\n" tag bytes)
+          (fun (s : Store.section_info) ->
+            Printf.printf "%s     %-10d  %-10d  %08lx\n" s.Store.sec_tag
+              s.Store.sec_offset s.Store.sec_size s.Store.sec_crc)
           info.Store.si_sections;
         0
   in
@@ -539,11 +542,110 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Write and inspect persistent SLIF store files.")
     [ store_write_cmd; store_info_cmd ]
 
+(* --- synth ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let run obs seed nodes family depth fanout var_fraction sharing jobs out version =
+    with_obs obs @@ fun () ->
+    let family =
+      match Slif_synth.Synth.family_of_string family with
+      | Ok f -> f
+      | Error msg -> failf "%s" msg
+    in
+    if jobs < 1 then failf "--jobs must be at least 1";
+    (match version with
+    | 1 | 2 -> ()
+    | v -> failf "--format must be 1 or 2 (got %d)" v);
+    let p =
+      {
+        (Slif_synth.Synth.default_params ~seed ~nodes family) with
+        depth;
+        fanout;
+        var_fraction;
+        sharing;
+      }
+    in
+    let slif, t_gen =
+      Slif_obs.Clock.time (fun () ->
+          if jobs = 1 then Slif_synth.Synth.generate p
+          else
+            Slif_util.Pool.with_pool ~jobs (fun pool ->
+                Slif_synth.Synth.generate ~pool p))
+    in
+    Printf.printf "%s\n" (Slif_synth.Synth.describe slif);
+    (match out with
+    | Some path ->
+        let (), t_write =
+          Slif_obs.Clock.time (fun () -> Store.save_slif ~path ~version slif)
+        in
+        let bytes = (Unix.stat path).Unix.st_size in
+        Printf.printf "wrote %s (format v%d, %d bytes, %.1f bytes/node)\n" path version
+          bytes
+          (float_of_int bytes /. float_of_int nodes);
+        Printf.printf "generate %.3fs  write %.3fs\n" t_gen t_write
+    | None -> Printf.printf "generate %.3fs\n" t_gen);
+    0
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Root seed (the graph is a pure function of it).")
+  in
+  let nodes =
+    Arg.(value & opt int 100_000
+         & info [ "nodes" ] ~docv:"N" ~doc:"Total node count (behaviors + variables).")
+  in
+  let family =
+    let all =
+      String.concat ", " (List.map Slif_synth.Synth.family_to_string Slif_synth.Synth.all_families)
+    in
+    Arg.(value & opt string "mixed"
+         & info [ "family" ] ~docv:"NAME" ~doc:(Printf.sprintf "Topology family: %s." all))
+  in
+  let depth =
+    Arg.(value & opt int 64
+         & info [ "depth" ] ~docv:"N" ~doc:"Max call-chain length (clamped to 2048).")
+  in
+  let fanout =
+    Arg.(value & opt int 16
+         & info [ "fanout" ] ~docv:"N" ~doc:"Children per node in fanout shapes.")
+  in
+  let var_fraction =
+    Arg.(value & opt float 0.25
+         & info [ "var-fraction" ] ~docv:"F"
+             ~doc:"Fraction of nodes that are variables (sharing families).")
+  in
+  let sharing =
+    Arg.(value & opt int 3
+         & info [ "sharing" ] ~docv:"N"
+             ~doc:"Variable accesses generated per sharing behavior.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Generate on $(docv) domains; output is byte-identical for every value.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the graph as a store container.")
+  in
+  let version =
+    Arg.(value & opt int Store.format_version_v2
+         & info [ "format" ] ~docv:"V"
+             ~doc:"Store format version to write: 1 (eager) or 2 (lazily decodable).")
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Generate a deterministic synthetic access graph (and optionally write it \
+             as a store container).")
+    Term.(
+      const run $ obs_term $ seed $ nodes $ family $ depth $ fanout $ var_fraction
+      $ sharing $ jobs $ out $ version)
+
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
   let run obs socket port cache_dir lru lru_shards workers jobs max_requests slow_ms
-      max_batch_items max_outq_mb max_connections event_log event_level sample =
+      max_batch_items max_outq_mb max_connections max_graph_mb event_log event_level
+      sample =
     with_obs obs @@ fun () ->
     let addr =
       match (socket, port) with
@@ -562,6 +664,9 @@ let serve_cmd =
     (match max_connections with
     | Some n when n < 1 -> failf "--max-connections must be at least 1"
     | Some _ | None -> ());
+    (match max_graph_mb with
+    | Some n when n < 1 -> failf "--max-graph-mb must be at least 1"
+    | Some _ | None -> ());
     (match slow_ms with
     | Some s when s < 0.0 -> failf "--slow-ms must not be negative"
     | Some _ | None -> ());
@@ -579,6 +684,7 @@ let serve_cmd =
         max_batch_items;
         max_outq_bytes = max_outq_mb * 1024 * 1024;
         max_connections;
+        max_graph_mb;
       }
     in
     (match event_log with
@@ -647,6 +753,13 @@ let serve_cmd =
          & info [ "max-connections" ] ~docv:"N"
              ~doc:"Refuse connections beyond $(docv) concurrent clients.")
   in
+  let max_graph_mb =
+    Arg.(value & opt (some int) None
+         & info [ "max-graph-mb" ] ~docv:"MB"
+             ~doc:"Reject store-file loads whose decoded graph would exceed $(docv) \
+                   megabytes (typed error kind \"graph_too_large\"); metadata-only \
+                   loads of v2 containers are always admitted.")
+  in
   let max_requests =
     Arg.(value & opt (some int) None
          & info [ "max-requests" ] ~docv:"N"
@@ -690,7 +803,7 @@ let serve_cmd =
     Term.(
       const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ lru_shards $ workers
       $ jobs $ max_requests $ slow_ms $ max_batch_items $ max_outq_mb $ max_connections
-      $ event_log $ event_level $ sample)
+      $ max_graph_mb $ event_log $ event_level $ sample)
 
 (* --- stats (client) --------------------------------------------------------- *)
 
@@ -971,7 +1084,7 @@ let main_cmd =
     (Cmd.info "slif" ~version:"1.0.0" ~doc)
     [
       dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd;
-      store_cmd; serve_cmd; stats_cmd; profile_cmd;
+      store_cmd; synth_cmd; serve_cmd; stats_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -11,14 +11,23 @@ type mode = Avg | Min | Max
    becomes a generation bump instead of an O(nodes) fill.  The estimator
    is single-domain by design: in the share-nothing exploration stack
    each pool worker owns its own estimator, so no cell here is ever
-   written by two domains. *)
+   written by two domains.
+
+   The traversal itself runs on the graph's [Compact] arrays: CSR
+   adjacency rows instead of channel-record lists, interned technology
+   ids instead of [List.assoc] on string keys, and pre-resolved per-bus
+   ts/td matrices.  Iteration order (channel ids ascending per node) and
+   every float operation match the record path exactly, so estimates are
+   bitwise unchanged — only the constant factor per channel hop drops. *)
 type t = {
   graph : Graph.t;
+  cg : Compact.t;                   (* the graph's struct-of-arrays mirror *)
   mutable part : Partition.t;  (* mutable so a replica can [rebind] it *)
   mode : mode;
   concurrency : bool;
   recursion_depth : int;
   cyclic : bool;                    (* call cycle present: disable caching *)
+  freqs : float array;              (* the mode's per-channel access frequency *)
   memo_val : float array;           (* exectime per node, valid per memo_gen *)
   memo_gen : int array;
   mutable gen : int;                (* current generation, always >= 1 *)
@@ -40,13 +49,20 @@ type t = {
 let create ?(mode = Avg) ?(concurrency = false) ?(recursion_depth = 0) graph part =
   let s = Graph.slif graph in
   let n_nodes = Array.length s.Types.nodes in
+  let cg = Graph.compact graph in
   {
     graph;
+    cg;
     part;
     mode;
     concurrency;
     recursion_depth;
     cyclic = Graph.has_call_cycle graph;
+    freqs =
+      (match mode with
+      | Avg -> cg.Compact.chan_freq
+      | Min -> cg.Compact.chan_freq_min
+      | Max -> cg.Compact.chan_freq_max);
     memo_val = Array.make n_nodes 0.0;
     memo_gen = Array.make n_nodes 0;
     gen = 1;
@@ -100,70 +116,89 @@ let freq t (c : Types.channel) =
   | Min -> c.c_accfreq_min
   | Max -> c.c_accfreq_max
 
-let node_ict t id comp =
+(* ict weight of node [id] on the technology (id) of its component; the
+   slow path rebuilds the record-world error message. *)
+let no_ict_weight t id tid =
   let s = Graph.slif t.graph in
-  let node = s.Types.nodes.(id) in
-  let tech = Partition.comp_tech s comp in
-  match Types.ict_on node tech with
-  | Some v -> v
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Estimate: node %s has no ict weight for technology %s"
-           node.Types.n_name tech)
+  invalid_arg
+    (Printf.sprintf "Estimate: node %s has no ict weight for technology %s"
+       s.Types.nodes.(id).Types.n_name
+       t.cg.Compact.tech_names.(tid))
 
-let transfer_time_us_inner t (c : Types.channel) =
-  let s = Graph.slif t.graph in
-  let bus = s.Types.buses.(Partition.bus_of_exn t.part c.c_id) in
-  let transfers = Slif_util.Bitmath.ceil_div c.c_bits bus.Types.b_bitwidth in
-  let src_tech = Partition.comp_tech s (Partition.comp_of_exn t.part c.c_src) in
+let node_ict_tid t id tid =
+  let ix = Compact.ict_ix t.cg id tid in
+  if ix >= 0 then t.cg.Compact.ict_val.(ix) else no_ict_weight t id tid
+
+let node_ict t id comp = node_ict_tid t id (Compact.comp_tech_id t.cg comp)
+
+(* Transfer time of channel [c] (by id): [ceil(bits/width)] bus transfers
+   at ts (same component) or td (cross-component / port).  The ts/td
+   values come from the compact per-bus matrices, which [Compact.make]
+   resolved with Types.bus_ts/bus_td — fallbacks included — so the
+   result is the record path's to the bit. *)
+let transfer_time_by_id t c =
+  let cg = t.cg in
+  let bus = Partition.bus_of_exn t.part c in
+  let transfers = Slif_util.Bitmath.ceil_div cg.Compact.chan_bits.(c) cg.Compact.bus_width.(bus) in
+  let src = cg.Compact.chan_src.(c) in
+  let st = Compact.comp_tech_id cg (Partition.comp_of_exn t.part src) in
+  let d = cg.Compact.chan_dst.(c) in
+  let nt = cg.Compact.n_techs in
   let bdt =
-    if Partition.same_component t.part c.c_src c.c_dst then
-      Types.bus_ts bus ~tech:src_tech
+    if d >= 0 && Partition.same_component_nodes t.part src d then
+      cg.Compact.bus_ts.((bus * nt) + st)
+    else if d < 0 then
+      (* External pins have no technology: the default td applies. *)
+      cg.Compact.bus_td_default.(bus)
     else
-      match c.c_dst with
-      | Types.Dport _ ->
-          (* External pins have no technology: the default td applies. *)
-          bus.Types.b_td_us
-      | Types.Dnode d ->
-          let dst_tech = Partition.comp_tech s (Partition.comp_of_exn t.part d) in
-          Types.bus_td bus ~a:src_tech ~b:dst_tech
+      let dt = Compact.comp_tech_id cg (Partition.comp_of_exn t.part d) in
+      cg.Compact.bus_td.((((bus * nt) + st) * nt) + dt)
   in
   float_of_int transfers *. bdt
 
 (* Communication cost of one channel access: bus transfer plus the accessed
    object's execution time (eq. 1).  [exec] recurses for callees. *)
-let chan_cost t exec (c : Types.channel) =
-  let s = Graph.slif t.graph in
-  let transfer = transfer_time_us_inner t c in
+let chan_cost_by_id t exec c =
+  let cg = t.cg in
+  let transfer = transfer_time_by_id t c in
+  let d = cg.Compact.chan_dst.(c) in
   let dst_time =
-    match c.c_dst with
-    | Types.Dport _ -> 0.0
-    | Types.Dnode d -> (
-        let node = s.Types.nodes.(d) in
-        match node.Types.n_kind with
-        | Types.Variable _ -> node_ict t d (Partition.comp_of_exn t.part d)
-        | Types.Behavior _ ->
-            (* Messages do not serialize the receiver (DESIGN.md §5). *)
-            if c.c_kind = Types.Message then 0.0 else exec d)
+    if d < 0 then 0.0
+    else if Compact.is_var cg d then node_ict t d (Partition.comp_of_exn t.part d)
+    else if
+      (* Messages do not serialize the receiver (DESIGN.md §5). *)
+      cg.Compact.chan_kind.(c) = Compact.kind_message
+    then 0.0
+    else exec d
   in
-  freq t c *. (transfer +. dst_time)
+  t.freqs.(c) *. (transfer +. dst_time)
 
 (* Group same-tag channels: within a tag group, accesses can overlap, so
-   the group costs the max of its members (fork/join semantics). *)
-let comm_time t exec chans =
-  if not t.concurrency then List.fold_left (fun acc c -> acc +. chan_cost t exec c) 0.0 chans
+   the group costs the max of its members (fork/join semantics).  The
+   channels are the CSR out-row of [id], walked in ascending channel id
+   order — the record path's list order. *)
+let comm_time t exec id =
+  let cg = t.cg in
+  let lo = cg.Compact.out_off.(id) and hi = cg.Compact.out_off.(id + 1) in
+  if not t.concurrency then begin
+    let acc = ref 0.0 in
+    for k = lo to hi - 1 do
+      acc := !acc +. chan_cost_by_id t exec cg.Compact.out_chan.(k)
+    done;
+    !acc
+  end
   else begin
     let tagged = Hashtbl.create 8 in
     let untagged = ref 0.0 in
-    List.iter
-      (fun (c : Types.channel) ->
-        let cost = chan_cost t exec c in
-        match c.c_tag with
-        | None -> untagged := !untagged +. cost
-        | Some tag ->
-            let prev = Option.value (Hashtbl.find_opt tagged tag) ~default:0.0 in
-            Hashtbl.replace tagged tag (max prev cost))
-      chans;
+    for k = lo to hi - 1 do
+      let c = cg.Compact.out_chan.(k) in
+      let cost = chan_cost_by_id t exec c in
+      let tag = cg.Compact.chan_tag.(c) in
+      if tag < 0 then untagged := !untagged +. cost
+      else
+        let prev = Option.value (Hashtbl.find_opt tagged tag) ~default:0.0 in
+        Hashtbl.replace tagged tag (max prev cost)
+    done;
     Hashtbl.fold (fun _ cost acc -> acc +. cost) tagged !untagged
   end
 
@@ -200,7 +235,7 @@ let exectime_us t id =
         t.visit.(id) <- depth + 1;
         let comp = Partition.comp_of_exn t.part id in
         let ict = node_ict t id comp in
-        let value = ict +. comm_time t exec (Graph.out_chans t.graph id) in
+        let value = ict +. comm_time t exec id in
         t.visit.(id) <- depth;
         if not t.cyclic then begin
           t.memo_val.(id) <- value;
@@ -212,9 +247,15 @@ let exectime_us t id =
   in
   exec id
 
-let transfer_time_us t c =
+let transfer_time_us t (c : Types.channel) =
   sync t;
-  transfer_time_us_inner t c
+  transfer_time_by_id t c.c_id
+
+let chan_bitrate_by_id t c =
+  let cg = t.cg in
+  let src_time = exectime_us t cg.Compact.chan_src.(c) in
+  if src_time <= 0.0 then 0.0
+  else t.freqs.(c) *. float_of_int cg.Compact.chan_bits.(c) /. src_time
 
 let chan_bitrate_mbps t (c : Types.channel) =
   let src_time = exectime_us t c.c_src in
@@ -222,9 +263,8 @@ let chan_bitrate_mbps t (c : Types.channel) =
   else freq t c *. float_of_int c.c_bits /. src_time
 
 let bus_bitrate_mbps t bus =
-  let s = Graph.slif t.graph in
   List.fold_left
-    (fun acc cid -> acc +. chan_bitrate_mbps t s.Types.chans.(cid))
+    (fun acc cid -> acc +. chan_bitrate_by_id t cid)
     0.0
     (Partition.chans_of_bus t.part bus)
 
@@ -242,6 +282,7 @@ let bus_bitrate_capacity_limited_mbps t bus =
 
 let exectime_scaled t factors id =
   let s = Graph.slif t.graph in
+  let cg = t.cg in
   with_clean_visit t @@ fun () ->
   let rec exec id =
     let depth = t.visit.(id) in
@@ -252,25 +293,22 @@ let exectime_scaled t factors id =
       t.visit.(id) <- depth + 1;
       let comp = Partition.comp_of_exn t.part id in
       let ict = node_ict t id comp in
-      let cost (c : Types.channel) =
-        let bus = Partition.bus_of_exn t.part c.Types.c_id in
-        let transfer = transfer_time_us_inner t c *. factors.(bus) in
+      let comm = ref 0.0 in
+      for k = cg.Compact.out_off.(id) to cg.Compact.out_off.(id + 1) - 1 do
+        let c = cg.Compact.out_chan.(k) in
+        let bus = Partition.bus_of_exn t.part c in
+        let transfer = transfer_time_by_id t c *. factors.(bus) in
+        let d = cg.Compact.chan_dst.(c) in
         let dst_time =
-          match c.Types.c_dst with
-          | Types.Dport _ -> 0.0
-          | Types.Dnode d -> (
-              let node = s.Types.nodes.(d) in
-              match node.Types.n_kind with
-              | Types.Variable _ -> node_ict t d (Partition.comp_of_exn t.part d)
-              | Types.Behavior _ -> if c.Types.c_kind = Types.Message then 0.0 else exec d)
+          if d < 0 then 0.0
+          else if Compact.is_var cg d then node_ict t d (Partition.comp_of_exn t.part d)
+          else if cg.Compact.chan_kind.(c) = Compact.kind_message then 0.0
+          else exec d
         in
-        freq t c *. (transfer +. dst_time)
-      in
-      let comm =
-        List.fold_left (fun acc c -> acc +. cost c) 0.0 (Graph.out_chans t.graph id)
-      in
+        comm := !comm +. (t.freqs.(c) *. (transfer +. dst_time))
+      done;
       t.visit.(id) <- depth;
-      ict +. comm
+      ict +. !comm
     end
   in
   exec id
@@ -279,18 +317,19 @@ let bus_slowdowns ?(iterations = 8) t =
   Slif_obs.Span.with_ "estimate.bus_slowdowns" @@ fun () ->
   sync t;
   let s = Graph.slif t.graph in
+  let cg = t.cg in
   let n_buses = Array.length s.Types.buses in
   let factors = Array.make n_buses 1.0 in
   for _ = 1 to iterations do
     (* Demand per bus under the current factors. *)
     let demand = Array.make n_buses 0.0 in
-    Array.iter
-      (fun (c : Types.channel) ->
-        let bus = Partition.bus_of_exn t.part c.Types.c_id in
-        let src_time = exectime_scaled t factors c.Types.c_src in
-        if src_time > 0.0 then
-          demand.(bus) <- demand.(bus) +. (freq t c *. float_of_int c.Types.c_bits /. src_time))
-      s.Types.chans;
+    for c = 0 to cg.Compact.n_chans - 1 do
+      let bus = Partition.bus_of_exn t.part c in
+      let src_time = exectime_scaled t factors cg.Compact.chan_src.(c) in
+      if src_time > 0.0 then
+        demand.(bus) <-
+          demand.(bus) +. (t.freqs.(c) *. float_of_int cg.Compact.chan_bits.(c) /. src_time)
+    done;
     Array.iteri
       (fun i (b : Types.bus) ->
         match b.Types.b_capacity_mbps with
@@ -308,19 +347,21 @@ let exectime_contended_us ?iterations t id =
   let factors = bus_slowdowns ?iterations t in
   exectime_scaled t factors id
 
+let no_size_weight t id tid =
+  let s = Graph.slif t.graph in
+  invalid_arg
+    (Printf.sprintf "Estimate: node %s has no size weight for technology %s"
+       s.Types.nodes.(id).Types.n_name
+       t.cg.Compact.tech_names.(tid))
+
 let size t comp =
   Slif_obs.Counter.incr "estimate.size_calls";
-  let s = Graph.slif t.graph in
-  let tech = Partition.comp_tech s comp in
+  let cg = t.cg in
+  let tid = Compact.comp_tech_id cg comp in
   List.fold_left
     (fun acc id ->
-      let node = s.Types.nodes.(id) in
-      match Types.size_on node tech with
-      | Some v -> acc +. v
-      | None ->
-          invalid_arg
-            (Printf.sprintf "Estimate: node %s has no size weight for technology %s"
-               node.Types.n_name tech))
+      let ix = Compact.size_ix cg id tid in
+      if ix >= 0 then acc +. cg.Compact.size_val.(ix) else no_size_weight t id tid)
     0.0
     (Partition.nodes_of_comp t.part comp)
 

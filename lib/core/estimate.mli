@@ -52,6 +52,11 @@ val chan_bitrate_mbps : t -> Types.channel -> float
 (** Equation 2: bits per access x accesses per execution / execution time
     of the source.  (bits/us = Mbit/s.) *)
 
+val chan_bitrate_by_id : t -> int -> float
+(** {!chan_bitrate_mbps} by channel id, reading the compact arrays —
+    what the engine's delta-refresh loop calls so it never materializes
+    channel records. *)
+
 val bus_bitrate_mbps : t -> int -> float
 (** Equation 3: sum of the bus's channel bitrates. *)
 

@@ -1,44 +1,65 @@
+(* The compact struct-of-arrays mirror is the primary representation:
+   every adjacency query below reads CSR rows.  The per-node channel
+   *record* lists survive for callers that want them ([out_chans]), but
+   are materialized lazily — a million-node graph whose consumers stay on
+   the compact arrays never pays for the cons cells. *)
 type t = {
   slif : Types.t;
-  out_ : Types.channel list array;   (* by source node id *)
-  in_ : Types.channel list array;    (* by destination node id *)
+  compact : Compact.t;
+  out_ : Types.channel list array Lazy.t;   (* by source node id *)
+  in_ : Types.channel list array Lazy.t;    (* by destination node id *)
 }
 
 let make (s : Types.t) =
   let n = Array.length s.nodes in
-  let out_ = Array.make n [] in
-  let in_ = Array.make n [] in
-  (* Iterate in reverse so the per-node lists end up in channel order. *)
-  for i = Array.length s.chans - 1 downto 0 do
-    let c = s.chans.(i) in
-    out_.(c.c_src) <- c :: out_.(c.c_src);
-    match c.c_dst with
-    | Types.Dnode d -> in_.(d) <- c :: in_.(d)
-    | Types.Dport _ -> ()
-  done;
-  { slif = s; out_; in_ }
+  let lists () =
+    let out_ = Array.make n [] in
+    let in_ = Array.make n [] in
+    (* Iterate in reverse so the per-node lists end up in channel order. *)
+    for i = Array.length s.chans - 1 downto 0 do
+      let c = s.chans.(i) in
+      out_.(c.c_src) <- c :: out_.(c.c_src);
+      match c.c_dst with
+      | Types.Dnode d -> in_.(d) <- c :: in_.(d)
+      | Types.Dport _ -> ()
+    done;
+    (out_, in_)
+  in
+  let adj = Lazy.from_fun lists in
+  {
+    slif = s;
+    compact = Compact.make s;
+    out_ = lazy (fst (Lazy.force adj));
+    in_ = lazy (snd (Lazy.force adj));
+  }
 
 let slif t = t.slif
+let compact t = t.compact
 
-let out_chans t id = t.out_.(id)
-let in_chans t id = t.in_.(id)
+let out_chans t id = (Lazy.force t.out_).(id)
+let in_chans t id = (Lazy.force t.in_).(id)
 
 let dedup ids = List.sort_uniq compare ids
 
 let callers t id =
-  dedup
-    (List.filter_map
-       (fun (c : Types.channel) -> if c.c_kind = Types.Call then Some c.c_src else None)
-       (in_chans t id))
+  let cg = t.compact in
+  let acc = ref [] in
+  for k = cg.Compact.in_off.(id) to cg.Compact.in_off.(id + 1) - 1 do
+    let c = cg.Compact.in_chan.(k) in
+    if cg.Compact.chan_kind.(c) = Compact.kind_call then
+      acc := cg.Compact.chan_src.(c) :: !acc
+  done;
+  dedup !acc
 
 let callees t id =
-  dedup
-    (List.filter_map
-       (fun (c : Types.channel) ->
-         match (c.c_kind, c.c_dst) with
-         | Types.Call, Types.Dnode d -> Some d
-         | _ -> None)
-       (out_chans t id))
+  let cg = t.compact in
+  let acc = ref [] in
+  for k = cg.Compact.out_off.(id) to cg.Compact.out_off.(id + 1) - 1 do
+    let c = cg.Compact.out_chan.(k) in
+    if cg.Compact.chan_kind.(c) = Compact.kind_call && cg.Compact.chan_dst.(c) >= 0 then
+      acc := cg.Compact.chan_dst.(c) :: !acc
+  done;
+  dedup !acc
 
 let has_call_cycle t =
   let n = Array.length t.slif.nodes in
@@ -71,13 +92,22 @@ let bfs ~next start =
   loop [] [ start ]
 
 let reachable_from t id =
+  let cg = t.compact in
   bfs id ~next:(fun id ->
-      List.filter_map
-        (fun (c : Types.channel) ->
-          match c.c_dst with Types.Dnode d -> Some d | Types.Dport _ -> None)
-        (out_chans t id))
+      let acc = ref [] in
+      for k = cg.Compact.out_off.(id + 1) - 1 downto cg.Compact.out_off.(id) do
+        let c = cg.Compact.out_chan.(k) in
+        if cg.Compact.chan_dst.(c) >= 0 then acc := cg.Compact.chan_dst.(c) :: !acc
+      done;
+      !acc)
 
 let transitive_callers t id =
   (* Any behavior with a channel to [id] depends on its mapping; so do that
      behavior's transitive accessors. *)
-  bfs id ~next:(fun id -> dedup (List.map (fun (c : Types.channel) -> c.c_src) (in_chans t id)))
+  let cg = t.compact in
+  bfs id ~next:(fun id ->
+      let acc = ref [] in
+      for k = cg.Compact.in_off.(id) to cg.Compact.in_off.(id + 1) - 1 do
+        acc := cg.Compact.chan_src.(cg.Compact.in_chan.(k)) :: !acc
+      done;
+      dedup !acc)

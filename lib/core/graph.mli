@@ -9,6 +9,10 @@ val make : Types.t -> t
 
 val slif : t -> Types.t
 
+val compact : t -> Compact.t
+(** The struct-of-arrays mirror built by {!make} — the representation the
+    estimation and engine hot paths index instead of the record lists. *)
+
 val out_chans : t -> int -> Types.channel list
 (** Channels whose source is the given behavior node — GetBehChans(b). *)
 

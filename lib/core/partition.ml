@@ -92,6 +92,11 @@ let chans_of_bus t bus =
   Array.iteri (fun i b -> if b = Some bus then acc := i :: !acc) t.chan_bus;
   List.rev !acc
 
+let same_component_nodes t src d =
+  match (t.node_comp.(src), t.node_comp.(d)) with
+  | Some a, Some b -> a = b
+  | _ -> false
+
 let same_component t src dst =
   match dst with
   | Types.Dport _ -> false

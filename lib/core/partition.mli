@@ -51,6 +51,11 @@ val is_total : t -> bool
 val nodes_of_comp : t -> comp -> int list
 val chans_of_bus : t -> int -> int list
 
+val same_component_nodes : t -> int -> int -> bool
+(** Whether two nodes are currently mapped to the same component; false
+    when either is unassigned.  The int-indexed variant the compact
+    estimation path uses ({!same_component} takes a [Types.dest]). *)
+
 val same_component : t -> int -> Types.dest -> bool
 (** Whether a channel's source node and destination lie on the same
     component; destinations that are external ports are never on a

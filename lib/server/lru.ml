@@ -42,6 +42,8 @@ let add t key value =
   touch t e;
   Hashtbl.replace t.tbl key e
 
+let remove t key = Hashtbl.remove t.tbl key
+
 let keys t =
   Hashtbl.fold (fun k e acc -> (k, e.stamp) :: acc) t.tbl []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
@@ -55,6 +57,7 @@ module Sharded = struct
   let plain_create = create
   let plain_find = find
   let plain_add = add
+  let plain_remove = remove
   let plain_size = size
   let plain_keys = keys
   let plain_capacity = capacity
@@ -109,6 +112,7 @@ module Sharded = struct
             None)
 
   let add t key value = with_shard t key (fun s -> plain_add s.core key value)
+  let remove t key = with_shard t key (fun s -> plain_remove s.core key)
 
   let locked s f =
     Slif_obs.Lockprof.lock s.lock;

@@ -21,6 +21,9 @@ val add : 'a t -> string -> 'a -> unit
 (** Inserts (or refreshes) the binding, evicting the least recently used
     entry when full. *)
 
+val remove : 'a t -> string -> unit
+(** Drops the binding if present; a no-op otherwise. *)
+
 val keys : 'a t -> string list
 (** Resident keys, most recently used first. *)
 
@@ -60,6 +63,10 @@ module Sharded : sig
   val add : 'a t -> string -> 'a -> unit
   (** Inserts (or refreshes) the binding in the key's shard, evicting
       that shard's least recently used entry when it is full. *)
+
+  val remove : 'a t -> string -> unit
+  (** Drops the binding from its shard if present; a no-op otherwise.
+      Counts neither a hit nor a miss. *)
 
   val keys : 'a t -> string list
   (** Resident keys, grouped by shard (ascending), most recently used

@@ -4,6 +4,7 @@ type target =
   | Bundled of string
   | Source of string
   | Key of string
+  | Stored of string
 
 type request =
   | Load of { target : target; profile : string option }
@@ -83,12 +84,15 @@ let target_of json =
   let* spec = str_field "spec" json in
   let* source = str_field "source" json in
   let* key = str_field "key" json in
-  match (spec, source, key) with
-  | Some s, None, None -> Ok (Bundled s)
-  | None, Some s, None -> Ok (Source s)
-  | None, None, Some k -> Ok (Key k)
-  | None, None, None -> Error "request needs a target: one of \"spec\", \"source\", \"key\""
-  | _ -> Error "give exactly one of \"spec\", \"source\", \"key\""
+  let* store = str_field "store" json in
+  match (spec, source, key, store) with
+  | Some s, None, None, None -> Ok (Bundled s)
+  | None, Some s, None, None -> Ok (Source s)
+  | None, None, Some k, None -> Ok (Key k)
+  | None, None, None, Some p -> Ok (Stored p)
+  | None, None, None, None ->
+      Error "request needs a target: one of \"spec\", \"source\", \"key\", \"store\""
+  | _ -> Error "give exactly one of \"spec\", \"source\", \"key\", \"store\""
 
 let rec request_of_json ?(max_batch_items = default_max_batch_items) ?(in_batch = false)
     json =
@@ -161,9 +165,15 @@ let request_of_line ?max_batch_items line =
   request_of_json ?max_batch_items json
 
 let ok_obj fields = Json.Obj (("ok", Json.Bool true) :: fields)
-let error_obj msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let error_obj ?kind msg =
+  Json.Obj
+    (("ok", Json.Bool false)
+    :: ("error", Json.String msg)
+    :: (match kind with None -> [] | Some k -> [ ("kind", Json.String k) ]))
+
 let ok fields = Json.to_string (ok_obj fields)
-let error msg = Json.to_string (error_obj msg)
+let error ?kind msg = Json.to_string (error_obj ?kind msg)
 
 let response_of_line line =
   match Json.parse line with

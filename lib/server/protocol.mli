@@ -2,9 +2,11 @@
 
     Every request is one JSON object on one line; every response is one
     JSON object on one line.  Responses carry ["ok": true] plus
-    op-specific fields, or ["ok": false, "error": <one-line message>].
-    A malformed line never kills the connection, let alone the daemon —
-    it just earns an error response.
+    op-specific fields, or ["ok": false, "error": <one-line message>]
+    with an optional machine-readable ["kind"] (e.g. ["graph_too_large"]
+    when a store-file target is over the [--max-graph-mb] admission
+    budget).  A malformed line never kills the connection, let alone the
+    daemon — it just earns an error response.
 
     Request shapes (fields beyond [op] are op-specific):
     {v
@@ -19,13 +21,17 @@
       {"op":"shutdown"}
     v}
     where [<target>] is ["spec"] (a bundled benchmark name), ["source"]
-    (full specification text) or ["key"] (the content hash of a
-    previously loaded graph — only valid while it is resident). *)
+    (full specification text), ["key"] (the content hash of a
+    previously loaded graph — only valid while it is resident) or
+    ["store"] (the path of a store container on the daemon's
+    filesystem; a v2 container answers [load] from its metadata alone,
+    without decoding the graph). *)
 
 type target =
   | Bundled of string
   | Source of string
   | Key of string
+  | Stored of string
 
 type request =
   | Load of { target : target; profile : string option }
@@ -71,13 +77,15 @@ val request_of_line : ?max_batch_items:int -> string -> (request, string) result
 val ok : (string * Slif_obs.Json.t) list -> string
 (** Serialize a success response (adds ["ok": true] first). *)
 
-val error : string -> string
-(** Serialize an error response. *)
+val error : ?kind:string -> string -> string
+(** Serialize an error response; [kind] adds the machine-readable
+    ["kind"] field (typed errors clients can dispatch on without
+    parsing the message). *)
 
 val ok_obj : (string * Slif_obs.Json.t) list -> Slif_obs.Json.t
 (** The unserialized form of {!ok} — what batch results embed. *)
 
-val error_obj : string -> Slif_obs.Json.t
+val error_obj : ?kind:string -> string -> Slif_obs.Json.t
 (** The unserialized form of {!error}. *)
 
 val response_of_line : string -> (Slif_obs.Json.t, string) result

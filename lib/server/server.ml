@@ -17,6 +17,7 @@ type config = {
   max_batch_items : int;
   max_outq_bytes : int;
   max_connections : int option;
+  max_graph_mb : int option;
 }
 
 (* A line that long is not a query; answer with a protocol error and
@@ -40,6 +41,7 @@ let default_config addr =
     max_batch_items = Protocol.default_max_batch_items;
     max_outq_bytes = default_max_outq_bytes;
     max_connections = None;
+    max_graph_mb = None;
   }
 
 type conn = {
@@ -133,9 +135,29 @@ type state = {
   mutable stop : bool;
 }
 
-(* The execution environment workers see: configuration and the sharded
-   resident set — no acceptor-owned mutable accounting. *)
-type exec_env = { x_cfg : config; x_lru : Slif.Types.t Lru.Sharded.t }
+(* The execution environment workers see: configuration, the sharded
+   resident set, and the open store-file handles — no acceptor-owned
+   mutable accounting.  Handles are keyed by path and shared across
+   workers; a [Lazy_store.t] is domain-safe, so the cache's mutex only
+   guards the cache itself.  The cache is a bounded LRU: a stream of
+   distinct store paths evicts the least recently used handle (its
+   mapping is reclaimed once unreferenced) instead of growing a table
+   without limit. *)
+type exec_env = {
+  x_cfg : config;
+  x_lru : Slif.Types.t Lru.Sharded.t;
+  x_stores : Slif_store.Lazy_store.t Lru.t;
+  x_stores_lock : Mutex.t;
+}
+
+(* Handles are metadata-sized (mmap + directory + META), so the bound
+   only guards against pathological path churn. *)
+let store_handle_capacity = 64
+
+(* A handler-level error with a machine-readable kind ("kind" in the
+   error response) — admission-control rejections, which clients
+   dispatch on without parsing the message. *)
+exception Typed_error of string * string
 
 (* Every op the daemon can ever serve, so one [metrics] scrape exposes
    the full family set even before traffic arrives. *)
@@ -198,6 +220,56 @@ let source_of_bundled name =
            (String.concat ", "
               (List.map (fun s -> s.Specs.Registry.spec_name) Specs.Registry.all)))
 
+(* A store-file target resolves to either a shared lazy v2 handle or a
+   v1 marker (v1 containers can only be decoded whole). *)
+type stored = Lazy of Slif_store.Lazy_store.t | Eager_v1
+
+let stored_key path = "store:" ^ path
+
+(* Resolve a path to a cached handle, revalidating on every hit: the
+   mmap pins the inode it mapped, and [save_slif] replaces stores by
+   atomic rename, so a hit whose (dev, ino, size, mtime) no longer
+   matches the path means the file was regenerated — drop the stale
+   handle *and* its decoded [store:<path>] LRU entry, then reopen. *)
+let store_handle env path =
+  Mutex.lock env.x_stores_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock env.x_stores_lock)
+    (fun () ->
+      let reopen () =
+        match Slif_store.Lazy_store.open_file path with
+        | Ok h ->
+            Lru.add env.x_stores path h;
+            Ok (Lazy h)
+        | Error (Slif_store.Store.Unsupported_version 1) -> Ok Eager_v1
+        | Error err -> Error (Slif_store.Store.error_message err)
+      in
+      match Lru.find env.x_stores path with
+      | Some h when not (Slif_store.Lazy_store.stale h) -> Ok (Lazy h)
+      | Some _ ->
+          Obs.Counter.incr "server.store.reopen";
+          Lru.remove env.x_stores path;
+          Lru.Sharded.remove env.x_lru (stored_key path);
+          reopen ()
+      | None -> reopen ())
+
+(* Admission control: decode nothing whose decoded form would not fit
+   the [--max-graph-mb] budget.  [bytes] is META's decoded-heap estimate
+   for a v2 container and the file size (a lower bound on the decoded
+   heap) for a v1 one. *)
+let check_graph_budget env ~path ~bytes =
+  match env.x_cfg.max_graph_mb with
+  | Some mb when bytes > mb * 1024 * 1024 ->
+      raise
+        (Typed_error
+           ( "graph_too_large",
+             Printf.sprintf
+               "%s: decoded graph needs ~%d MB, over the --max-graph-mb budget (%d MB)"
+               path
+               ((bytes + (1024 * 1024) - 1) / (1024 * 1024))
+               mb ))
+  | Some _ | None -> ()
+
 (* Resolve a request target to (content key, annotated SLIF), going
    through the sharded LRU and, below it, the on-disk cache.  Two
    workers missing on the same key concurrently both build it; the
@@ -205,6 +277,42 @@ let source_of_bundled name =
    duplicate work is idempotent and briefly-doubled, never wrong. *)
 let resolve env target profile =
   match target with
+  | Protocol.Stored path -> (
+      match profile with
+      | Some _ -> Error "store targets are already annotated: \"profile\" does not apply"
+      | None -> (
+          (* Handle first, LRU second: the hit-side stat revalidation in
+             [store_handle] is what invalidates a stale [store:<path>]
+             entry before we consult it. *)
+          match store_handle env path with
+          | Error _ as e -> e
+          | Ok stored -> (
+              let key = stored_key path in
+              match Lru.Sharded.find env.x_lru key with
+              | Some slif ->
+                  Obs.Counter.incr "server.lru_hit";
+                  Ok (key, slif)
+              | None -> (
+                  Obs.Counter.incr "server.lru_miss";
+                  match stored with
+                  | Lazy h -> (
+                      check_graph_budget env ~path
+                        ~bytes:(Slif_store.Lazy_store.decoded_bytes_estimate h);
+                      match Slif_store.Lazy_store.slif h with
+                      | Error err -> Error (Slif_store.Store.error_message err)
+                      | Ok (slif, _prov) ->
+                          Lru.Sharded.add env.x_lru key slif;
+                          Ok (key, slif))
+                  | Eager_v1 -> (
+                      match Slif_store.Store.read_file path with
+                      | Error err -> Error (Slif_store.Store.error_message err)
+                      | Ok text -> (
+                          check_graph_budget env ~path ~bytes:(String.length text);
+                          match Slif_store.Store.slif_of_string text with
+                          | Error err -> Error (Slif_store.Store.error_message err)
+                          | Ok (slif, _prov) ->
+                              Lru.Sharded.add env.x_lru key slif;
+                              Ok (key, slif)))))))
   | Protocol.Key key -> (
       match Lru.Sharded.find env.x_lru key with
       | Some slif ->
@@ -218,7 +326,7 @@ let resolve env target profile =
         match target with
         | Protocol.Bundled name -> source_of_bundled name
         | Protocol.Source text -> Ok text
-        | Protocol.Key _ -> assert false
+        | Protocol.Key _ | Protocol.Stored _ -> assert false
       in
       match source with
       | Error _ as e -> e
@@ -734,6 +842,37 @@ let fields_of_request env req =
     match resolve env target profile with Error _ as e -> e | Ok (key, slif) -> f key slif
   in
   match req with
+  | Protocol.Load { target = Protocol.Stored path; profile = None } -> (
+      (* A v2 container answers from its mapped directory + META — the
+         graph sections stay undecoded however large the file is, so
+         the daemon can describe graphs far over its LRU (or
+         --max-graph-mb) budget.  v1 cannot be decoded piecemeal and
+         takes the ordinary resolve path below. *)
+      match store_handle env path with
+      | Error _ as e -> e
+      | Ok (Lazy h) ->
+          let m = Slif_store.Lazy_store.meta h in
+          Ok
+            [
+              ("key", J.String (stored_key path));
+              ("design", J.String m.Slif_store.Store.vm_design);
+              ("nodes", J.Int m.Slif_store.Store.vm_nodes);
+              ("channels", J.Int m.Slif_store.Store.vm_chans);
+              ("lazy", J.Bool (not (Slif_store.Lazy_store.decoded h)));
+              ( "decoded_bytes_estimate",
+                J.Int (Slif_store.Lazy_store.decoded_bytes_estimate h) );
+              ("file_bytes", J.Int (Slif_store.Lazy_store.file_size h));
+            ]
+      | Ok Eager_v1 ->
+          with_target (Protocol.Stored path) None (fun key (slif : Slif.Types.t) ->
+              Ok
+                [
+                  ("key", J.String key);
+                  ("design", J.String slif.Slif.Types.design_name);
+                  ("nodes", J.Int (Array.length slif.Slif.Types.nodes));
+                  ("channels", J.Int (Array.length slif.Slif.Types.chans));
+                  ("lazy", J.Bool false);
+                ]))
   | Protocol.Load { target; profile } ->
       with_target target profile (fun key (slif : Slif.Types.t) ->
           Ok
@@ -781,6 +920,10 @@ let exec_obj env req =
   match fields_of_request env req with
   | Ok fields -> (Protocol.ok_obj fields, None)
   | Error msg -> (Protocol.error_obj msg, None)
+  | exception Typed_error (kind, msg) ->
+      (* An admission-control rejection is an answer, not a daemon
+         error: typed so clients can dispatch on "kind". *)
+      (Protocol.error_obj ~kind msg, None)
   | exception e ->
       let msg = exn_message e in
       (Protocol.error_obj msg, Some msg)
@@ -1263,7 +1406,14 @@ let run ?on_ready cfg =
     }
   in
   List.iter (fun op -> ignore (lat_for st op)) known_ops;
-  let env = { x_cfg = cfg; x_lru = st.lru } in
+  let env =
+    {
+      x_cfg = cfg;
+      x_lru = st.lru;
+      x_stores = Lru.create ~capacity:store_handle_capacity;
+      x_stores_lock = Mutex.create ();
+    }
+  in
   (* The worker fleet: an oversubscribed pool (condition-parked workers
      do not compute, so the hardware-domain cap does not apply) driven
      by one spawned domain whose [Pool.map] call carries every worker

@@ -58,6 +58,13 @@ type config = {
           disconnected with a protocol error *)
   max_connections : int option;
       (** concurrent connections; extras get an error response and a close *)
+  max_graph_mb : int option;
+      (** admission control for store-file targets: reject (typed error
+          kind ["graph_too_large"]) any load whose decoded graph would
+          exceed this many megabytes — META's decoded-heap estimate for
+          a v2 container, the file size for a v1 one.  Metadata-only
+          [load]s of v2 containers are always admitted: they decode
+          nothing. *)
 }
 
 val default_max_line_bytes : int
@@ -69,7 +76,7 @@ val default_max_outq_bytes : int
 val default_config : addr -> config
 (** lru_capacity 8 over 8 shards, 1 worker, jobs 1, no cache dir, no
     request limit, no slow-log, 64 MB line cap, 4096 batch items, 32 MB
-    outq cap, unlimited connections. *)
+    outq cap, unlimited connections, no graph budget. *)
 
 val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> unit
 (** Bind, listen and serve until a [shutdown] request (or the request

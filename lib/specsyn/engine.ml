@@ -42,7 +42,7 @@ type t = {
   (* Move generation. *)
   proc_comps : Slif.Partition.comp array;
   all_comps : Slif.Partition.comp array;
-  incident : Slif.Types.channel list array;  (* per node, deduplicated *)
+  incident : int array array;       (* per node: channel ids, deduplicated *)
   mark : bool array;                (* scratch: node membership tests *)
   mutable txn : txn option;
   mutable scored : int;
@@ -149,10 +149,12 @@ let crosses t k (c : Slif.Types.channel) =
 (* Add [delta] to the crossing count of every incident channel of [node]
    that currently crosses component [k]. *)
 let shift_cuts_at_node t k node delta =
-  List.iter
-    (fun (c : Slif.Types.channel) ->
+  let s = slif t in
+  Array.iter
+    (fun cid ->
+      let c = s.Slif.Types.chans.(cid) in
       if crosses t k c then begin
-        let b = Slif.Partition.bus_of_exn t.part c.c_id in
+        let b = Slif.Partition.bus_of_exn t.part cid in
         seti t t.cut_count.(k) b (t.cut_count.(k).(b) + delta)
       end)
     t.incident.(node)
@@ -173,19 +175,20 @@ let crossed_comps t (c : Slif.Types.channel) =
    invalidation set [set] (their execution times may have changed) and
    return the buses whose aggregate rate moved. *)
 let refresh_rates t set =
+  let cg = Slif.Graph.compact t.graph in
   let touched = ref [] in
   List.iter
     (fun id ->
       if not t.mark.(id) then begin
         t.mark.(id) <- true;
-        List.iter
-          (fun (c : Slif.Types.channel) ->
-            let r = Slif.Estimate.chan_bitrate_mbps t.est c in
-            if r <> t.chan_rate.(c.c_id) then begin
-              setf t t.chan_rate c.c_id r;
-              touched := Slif.Partition.bus_of_exn t.part c.c_id :: !touched
-            end)
-          (Slif.Graph.out_chans t.graph id)
+        for k = cg.Slif.Compact.out_off.(id) to cg.Slif.Compact.out_off.(id + 1) - 1 do
+          let cid = cg.Slif.Compact.out_chan.(k) in
+          let r = Slif.Estimate.chan_bitrate_by_id t.est cid in
+          if r <> t.chan_rate.(cid) then begin
+            setf t t.chan_rate cid r;
+            touched := Slif.Partition.bus_of_exn t.part cid :: !touched
+          end
+        done
       end)
     set;
   List.iter (fun id -> t.mark.(id) <- false) set;
@@ -409,16 +412,26 @@ let create ?(weights = Cost.default_weights) ?(constraints = Cost.no_constraints
     Array.append proc_comps (Array.init n_mems (fun m -> Slif.Partition.Cmem m))
   in
   let incident =
+    (* Channel ids incident to each node (out-row then in-row, first
+       occurrence kept), straight off the compact CSR — no channel-record
+       lists are materialized for engine construction. *)
+    let cg = Slif.Graph.compact graph in
     Array.init n_nodes (fun i ->
         let seen = Hashtbl.create 8 in
-        List.filter
-          (fun (c : Slif.Types.channel) ->
-            if Hashtbl.mem seen c.c_id then false
-            else begin
-              Hashtbl.add seen c.c_id ();
-              true
-            end)
-          (Slif.Graph.out_chans graph i @ Slif.Graph.in_chans graph i))
+        let acc = ref [] in
+        let add cid =
+          if not (Hashtbl.mem seen cid) then begin
+            Hashtbl.add seen cid ();
+            acc := cid :: !acc
+          end
+        in
+        for k = cg.Slif.Compact.out_off.(i) to cg.Slif.Compact.out_off.(i + 1) - 1 do
+          add cg.Slif.Compact.out_chan.(k)
+        done;
+        for k = cg.Slif.Compact.in_off.(i) to cg.Slif.Compact.in_off.(i + 1) - 1 do
+          add cg.Slif.Compact.in_chan.(k)
+        done;
+        Array.of_list (List.rev !acc))
   in
   let deadlines =
     Array.of_list

@@ -16,8 +16,23 @@ module W = struct
     in
     go n
 
-  (* Zigzag maps the sign bit into bit 0 so small negatives stay short. *)
-  let int b n = uint b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+  (* LEB128 over a raw bit pattern: [lsr] and the mask treat [n] as
+     unsigned, so the full 63-bit range encodes — including patterns
+     with the top bit set, which [uint]'s negative guard rejects. *)
+  let raw b n =
+    let rec go n =
+      if n land lnot 0x7F = 0 then byte b n
+      else begin
+        byte b (0x80 lor (n land 0x7F));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  (* Zigzag maps the sign bit into bit 0 so small negatives stay short.
+     The fold of [min_int]/[max_int] sets the pattern's top bit, hence
+     [raw] rather than [uint]: every OCaml int round-trips. *)
+  let int b n = raw b ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
   let f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
 
   let str b s =
@@ -63,8 +78,20 @@ module R = struct
     in
     go 0 0
 
+  (* Unsigned companion of [W.raw]: accumulates a raw bit pattern, so
+     a zigzagged [min_int]/[max_int] (top bit set) decodes instead of
+     tripping [uint]'s overflow guard. *)
+  let raw r =
+    let rec go shift acc =
+      if shift >= Sys.int_size then fail "varint too long";
+      let c = byte r in
+      let acc = acc lor ((c land 0x7F) lsl shift) in
+      if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
   let int r =
-    let n = uint r in
+    let n = raw r in
     (n lsr 1) lxor (-(n land 1))
 
   let f64 r =

@@ -8,9 +8,23 @@
     re-parsing or re-annotating anything.  The same container also
     carries recorded partition decisions ([slif partition --save]).
 
-    Layout: an 8-byte magic, a 4-byte little-endian format version, then
-    a sequence of sections, each [4-byte tag | 4-byte LE payload length |
-    4-byte LE CRC-32 of the payload | payload].  Payloads use {!Codec}.
+    Layout (v1): an 8-byte magic, a 4-byte little-endian format version,
+    then a sequence of sections, each [4-byte tag | 4-byte LE payload
+    length | 4-byte LE CRC-32 of the payload | payload].  Payloads use
+    {!Codec}.
+
+    Layout (v2): the same magic/version prelude, then a CRC-guarded
+    section {e directory} — [u32 count], [count] entries of [tag(4) |
+    u64 payload offset | u64 payload length | u32 payload CRC-32], a
+    [u32] CRC of the directory bytes — followed by the payloads.  The
+    directory makes a v2 container lazily decodable: a reader (or an
+    [Unix.map_file] mapping, see {!Lazy_store}) can verify the directory
+    alone, answer metadata queries from META (which carries object counts
+    and a decoded-heap estimate in v2), and decode individual sections on
+    demand, checking each payload CRC only when that payload is read.
+    v2 NODE weights reference an interned TECH string table instead of
+    repeating technology names per node.
+
     Decoding is total: any byte sequence either decodes or yields a typed
     {!error} — never an exception escaping this module's [_of_string]
     functions, never a crash. *)
@@ -34,8 +48,15 @@ val magic : string
 (** ["SLIFSTOR"], 8 bytes. *)
 
 val format_version : int
-(** Bumped on any encoding change; readers reject newer versions with
+(** The default {e write} format (1 — the content-addressed cache and the
+    golden corpus are pinned to its bytes); readers accept every version
+    up to {!max_format_version} and reject newer ones with
     {!Unsupported_version} rather than misdecode. *)
+
+val format_version_v2 : int
+(** The offset-indexed, lazily decodable format (2). *)
+
+val max_format_version : int
 
 (** Where an annotated SLIF came from — enough to decide whether a cached
     store file still matches its inputs. *)
@@ -49,14 +70,18 @@ val no_provenance : provenance
 
 (** {2 Annotated SLIF bundles} *)
 
-val slif_to_string : ?provenance:provenance -> Slif.Types.t -> string
+val slif_to_string : ?version:int -> ?provenance:provenance -> Slif.Types.t -> string
+(** [version] is {!format_version} (1) by default or {!format_version_v2};
+    anything else raises [Invalid_argument]. *)
 
 val slif_of_string : string -> (Slif.Types.t * provenance, error) result
-(** Exact inverse of {!slif_to_string}: every float comes back with the
+(** Exact inverse of {!slif_to_string} for either format version (the
+    container's version field decides): every float comes back with the
     identical bit pattern, so estimates computed from the loaded SLIF
     equal the originals to the bit. *)
 
-val save_slif : path:string -> ?provenance:provenance -> Slif.Types.t -> unit
+val save_slif :
+  path:string -> ?version:int -> ?provenance:provenance -> Slif.Types.t -> unit
 (** Write-then-rename, so a concurrent reader never sees a half-written
     file.  Raises [Error (Io _)]. *)
 
@@ -82,17 +107,67 @@ val load_decision : Slif.Types.t -> path:string -> (Slif.Partition.t * string op
 
 type kind = Kslif | Kdecision
 
+type section_info = {
+  sec_tag : string;
+  sec_offset : int;  (** byte offset of the payload within the container *)
+  sec_size : int;  (** payload bytes *)
+  sec_crc : int32;  (** payload CRC-32, as recorded in the container *)
+}
+
 type info = {
   si_version : int;
   si_kind : kind;
   si_design : string;
-  si_sections : (string * int) list;  (** tag, payload bytes; file order *)
+  si_sections : section_info list;  (** file order *)
   si_provenance : provenance option;
 }
 
 val inspect : string -> (info, error) result
-(** Checks magic, version and every section checksum, and decodes the
-    metadata — without rebuilding the graph. *)
+(** Checks magic and version, validates the container's integrity
+    metadata (every v1 section checksum; the v2 directory checksum), and
+    decodes the metadata — without rebuilding the graph. *)
 
 val read_file : string -> (string, error) result
 (** Slurp a file, mapping I/O failures to [Io]. *)
+
+(** {2 v2 internals shared with {!Lazy_store}} *)
+
+type v2_entry = { v2_tag : string; v2_off : int; v2_len : int; v2_crc : int32 }
+
+type v2_meta = {
+  vm_kind : kind;
+  vm_design : string;
+  vm_nodes : int;
+  vm_ports : int;
+  vm_chans : int;
+  vm_procs : int;
+  vm_mems : int;
+  vm_buses : int;
+  vm_decoded_bytes : int;
+      (** write-time estimate of the decoded [Types.t]'s heap bytes — the
+          number admission control compares against [--max-graph-mb] *)
+}
+
+val v2_directory :
+  total:int -> (pos:int -> len:int -> string) -> (v2_entry list, error) result
+(** Parse and CRC-verify a v2 section directory through a byte-range
+    fetch callback ([String.sub] over a loaded container, or a copy out
+    of an [Unix.map_file] mapping); entries are bounds-checked against
+    [total]. *)
+
+val v2_section :
+  fetch:(pos:int -> len:int -> string) -> v2_entry list -> string -> (string, error) result
+(** Fetch one section's payload and verify its CRC — the per-section
+    lazy integrity check. *)
+
+val v2_decode_meta : string -> (v2_meta, error) result
+
+val decode_prov : string -> (provenance, error) result
+(** Decode a PROV payload (shared with {!Lazy_store}). *)
+
+val v2_decode_slif :
+  fetch:(pos:int -> len:int -> string) ->
+  v2_entry list ->
+  (Slif.Types.t * provenance, error) result
+(** Full decode out of a v2 directory (eager path and {!Lazy_store}'s
+    on-demand path share this). *)

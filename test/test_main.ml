@@ -26,6 +26,7 @@ let () =
       ("pareto", Test_pareto.suite);
       ("speccharts", Test_spc.suite);
       ("store", Test_store.suite);
+      ("synth", Test_synth.suite);
       ("server", Test_server.suite);
       ("daemon-mt", Test_daemon_mt.suite);
       ("cli", Test_cli.suite);

@@ -576,6 +576,101 @@ let test_stats_latency () =
           | _ -> Alcotest.fail "latency quantile fields missing")
       | None -> Alcotest.fail "stats has no latency for estimate")
 
+(* --- store-file targets ------------------------------------------------------- *)
+
+(* A v2 store served by the daemon: the metadata-only load decodes
+   nothing, an over-budget compute op earns a typed refusal, and with
+   the budget lifted the same request decodes exactly once and matches
+   the one-shot implementation. *)
+let test_store_target () =
+  let p = Slif_synth.Synth.default_params ~seed:11 ~nodes:50_000 Slif_synth.Synth.Mixed in
+  let slif = Slif_synth.Synth.generate p in
+  let path = Filename.temp_file "slif_served" ".slifstore" in
+  Slif_obs.Registry.reset ();
+  Slif_obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Slif_obs.Registry.disable ();
+      Slif_obs.Registry.reset ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Slif_store.Store.save_slif ~path ~version:Slif_store.Store.format_version_v2 slif;
+      let decodes () = Slif_obs.Counter.get "store.lazy.full_decode" in
+      with_server
+        ~config:(fun c -> { c with Server.max_graph_mb = Some 1 })
+        (fun _port client ->
+          let before = decodes () in
+          let resp =
+            request_exn client [ ("op", Json.String "load"); ("store", Json.String path) ]
+          in
+          (match Json.member "nodes" resp with
+          | Some (Json.Int n) -> Alcotest.(check int) "META node count" 50_000 n
+          | _ -> Alcotest.fail "store load carries no node count");
+          (match Json.member "lazy" resp with
+          | Some (Json.Bool true) -> ()
+          | _ -> Alcotest.fail "store load is not lazy");
+          Alcotest.(check int) "metadata-only load decodes nothing" before (decodes ());
+          (* The decoded graph is far over 1 MB: refused with a
+             machine-readable kind, still without decoding anything. *)
+          let raw =
+            Client.request_raw client
+              (Json.to_string
+                 (Json.Obj [ ("op", Json.String "estimate"); ("store", Json.String path) ]))
+          in
+          (match Json.parse raw with
+          | Ok json ->
+              (match Json.member "ok" json with
+              | Some (Json.Bool false) -> ()
+              | _ -> Alcotest.fail "over-budget estimate accepted");
+              (match Json.member "kind" json with
+              | Some (Json.String "graph_too_large") -> ()
+              | _ -> Alcotest.failf "refusal lacks typed kind: %s" raw)
+          | Error msg -> Alcotest.failf "unparseable refusal: %s" msg);
+          Alcotest.(check int) "refusal decodes nothing" before (decodes ()));
+      with_server (fun _port client ->
+          let before = decodes () in
+          let estimate () =
+            output_exn client [ ("op", Json.String "estimate"); ("store", Json.String path) ]
+          in
+          Alcotest.(check string) "store estimate matches the CLI implementation"
+            (Ops.estimate_output ~bounds:false slif) (estimate ());
+          Alcotest.(check int) "exactly one decode" (before + 1) (decodes ());
+          (* The decoded graph is LRU-resident now; answering again must
+             not touch the store. *)
+          ignore (estimate ());
+          Alcotest.(check int) "second answer from the LRU" (before + 1) (decodes ())))
+
+(* Regenerating a store file on disk must be picked up by a running
+   daemon: save_slif renames a fresh inode over the one the mmap pins,
+   so the cached handle is revalidated per request and the stale
+   decoded LRU entry dropped with it. *)
+let test_store_refresh () =
+  let first =
+    Slif_synth.Synth.generate
+      (Slif_synth.Synth.default_params ~seed:3 ~nodes:2_000 Slif_synth.Synth.Mixed)
+  in
+  let second =
+    Slif_synth.Synth.generate
+      (Slif_synth.Synth.default_params ~seed:4 ~nodes:2_000 Slif_synth.Synth.Fanout)
+  in
+  let out_first = Ops.estimate_output ~bounds:false first in
+  let out_second = Ops.estimate_output ~bounds:false second in
+  Alcotest.(check bool) "the two graphs estimate differently" false
+    (String.equal out_first out_second);
+  let path = Filename.temp_file "slif_refresh" ".slifstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Slif_store.Store.save_slif ~path ~version:Slif_store.Store.format_version_v2 first;
+      with_server (fun _port client ->
+          let estimate () =
+            output_exn client [ ("op", Json.String "estimate"); ("store", Json.String path) ]
+          in
+          Alcotest.(check string) "serves the first graph" out_first (estimate ());
+          Slif_store.Store.save_slif ~path ~version:Slif_store.Store.format_version_v2
+            second;
+          Alcotest.(check string) "serves the regenerated graph" out_second (estimate ())))
+
 (* --- line cap ----------------------------------------------------------------- *)
 
 let test_line_cap () =
@@ -732,6 +827,10 @@ let suite =
     Alcotest.test_case "trace ids shared by spans and event log" `Slow
       test_trace_ids_shared;
     Alcotest.test_case "stats reports latency quantiles" `Slow test_stats_latency;
+    Alcotest.test_case "store target: lazy load, budget, decode-once" `Slow
+      test_store_target;
+    Alcotest.test_case "store target: regenerated file served fresh" `Quick
+      test_store_refresh;
     Alcotest.test_case "line cap earns a protocol error" `Quick test_line_cap;
     Alcotest.test_case "SIGUSR1 dumps telemetry" `Slow test_sigusr1_dump;
     Alcotest.test_case "client timeout on a stalled socket" `Quick test_client_timeout;

@@ -199,11 +199,348 @@ let test_inspect () =
   Alcotest.(check int) "version" Store.format_version info.Store.si_version;
   Alcotest.(check bool) "kind" true (info.Store.si_kind = Store.Kslif);
   Alcotest.(check string) "design" "tiny" info.Store.si_design;
-  let tags = List.map fst info.Store.si_sections in
+  let tags = List.map (fun s -> s.Store.sec_tag) info.Store.si_sections in
   List.iter
     (fun tag ->
       Alcotest.(check bool) (tag ^ " section present") true (List.mem tag tags))
     [ "META"; "NODE"; "PORT"; "CHAN"; "COMP" ]
+
+(* --- Codec primitives: varint boundaries, CRC edges ------------------------ *)
+
+module Codec = Slif_store.Codec
+module Crc32 = Slif_store.Crc32
+
+(* LEB128 and zigzag at every byte-count boundary plus the int63
+   extremes: the values where an off-by-one in continuation bits or
+   sign folding would corrupt silently. *)
+let test_varint_boundaries () =
+  let uint_cases =
+    [ (0, 1); (1, 1); (127, 1); (128, 2); (16383, 2); (16384, 3); (max_int, 9) ]
+  in
+  List.iter
+    (fun (v, bytes) ->
+      let w = Codec.W.create () in
+      Codec.W.uint w v;
+      let s = Codec.W.contents w in
+      Alcotest.(check int) (Printf.sprintf "uint %d width" v) bytes (String.length s);
+      let r = Codec.R.of_string s in
+      Alcotest.(check int) (Printf.sprintf "uint %d round-trip" v) v (Codec.R.uint r);
+      Alcotest.(check bool) "consumed exactly" true (Codec.R.eof r))
+    uint_cases;
+  (match
+     let w = Codec.W.create () in
+     Codec.W.uint w (-1)
+   with
+  | () -> Alcotest.fail "negative uint accepted"
+  | exception Invalid_argument _ -> ());
+  (* Zigzag: small magnitudes of either sign stay one byte; the int63
+     extremes survive the fold. *)
+  let int_cases =
+    [ 0; 1; -1; 63; -64; 64; -65; 8191; -8192; max_int; min_int; min_int + 1 ]
+  in
+  List.iter
+    (fun v ->
+      let w = Codec.W.create () in
+      Codec.W.int w v;
+      let r = Codec.R.of_string (Codec.W.contents w) in
+      Alcotest.(check int) (Printf.sprintf "int %d round-trip" v) v (Codec.R.int r);
+      Alcotest.(check bool) "consumed exactly" true (Codec.R.eof r))
+    int_cases;
+  let width v =
+    let w = Codec.W.create () in
+    Codec.W.int w v;
+    String.length (Codec.W.contents w)
+  in
+  Alcotest.(check int) "zigzag 63 is one byte" 1 (width 63);
+  Alcotest.(check int) "zigzag -64 is one byte" 1 (width (-64));
+  Alcotest.(check int) "zigzag 64 is two bytes" 2 (width 64);
+  Alcotest.(check int) "zigzag -65 is two bytes" 2 (width (-65))
+
+let test_crc_empty () =
+  Alcotest.(check int32) "crc of empty is zero" 0l (Crc32.string "");
+  Alcotest.(check int32) "zero-length sub matches empty" (Crc32.string "")
+    (Crc32.sub "abcdef" ~pos:3 ~len:0);
+  Alcotest.(check bool) "crc of a byte is not zero" true (Crc32.string "\x00" <> 0l)
+
+(* A hand-assembled v2 container whose single section has a zero-length
+   payload: the directory parses, the section fetch verifies the empty
+   CRC, and the payload is "". *)
+let test_v2_zero_length_section () =
+  let b = Buffer.create 64 in
+  let u32 v =
+    for i = 0 to 3 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  let u64 v =
+    for i = 0 to 7 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+    done
+  in
+  Buffer.add_string b Store.magic;
+  u32 Store.format_version_v2;
+  let dir = Buffer.create 32 in
+  let payload_off = 8 + 4 + 4 + 24 + 4 in
+  Buffer.add_string dir "ZERO";
+  (* entry: tag, u64 off, u64 len, u32 crc — built via the same helpers *)
+  let saved = Buffer.contents b in
+  Buffer.clear b;
+  u64 payload_off;
+  u64 0;
+  u32 (Int32.to_int (Crc32.string "") land 0xffffffff);
+  let entry_rest = Buffer.contents b in
+  Buffer.clear b;
+  Buffer.add_string b saved;
+  u32 1;
+  let dir_bytes = Buffer.contents dir ^ entry_rest in
+  Buffer.add_string b dir_bytes;
+  u32 (Int32.to_int (Crc32.string dir_bytes) land 0xffffffff);
+  let blob = Buffer.contents b in
+  let fetch ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length blob then ""
+    else String.sub blob pos len
+  in
+  let entries = check_ok (Store.v2_directory ~total:(String.length blob) fetch) in
+  Alcotest.(check int) "one entry" 1 (List.length entries);
+  let payload = check_ok (Store.v2_section ~fetch entries "ZERO") in
+  Alcotest.(check string) "zero-length payload" "" payload
+
+(* --- Format v2: round trips, inspection, laziness -------------------------- *)
+
+let test_v2_roundtrip () =
+  List.iter
+    (fun (spec : Specs.Registry.spec) ->
+      let slif = annotated_of spec in
+      let blob = Store.slif_to_string ~version:Store.format_version_v2 slif in
+      let loaded, _prov = check_ok (Store.slif_of_string blob) in
+      Alcotest.(check bool)
+        (spec.spec_name ^ " v2 round-trips") true
+        (Slif.Types.equal slif loaded);
+      Alcotest.(check string)
+        (spec.spec_name ^ " v2 re-encoding stable")
+        blob
+        (Store.slif_to_string ~version:Store.format_version_v2 loaded))
+    all_specs
+
+let test_v2_smaller_than_v1 () =
+  let slif = annotated_of (Specs.Registry.find_exn "fuzzy") in
+  let v1 = String.length (Store.slif_to_string slif) in
+  let v2 = String.length (Store.slif_to_string ~version:Store.format_version_v2 slif) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tech interning shrinks the container (v1 %d, v2 %d)" v1 v2)
+    true (v2 < v1)
+
+let test_v2_inspect () =
+  let slif = Lazy.force Helpers.tiny_slif in
+  let blob = Store.slif_to_string ~version:Store.format_version_v2 slif in
+  let info = check_ok (Store.inspect blob) in
+  Alcotest.(check int) "version" Store.format_version_v2 info.Store.si_version;
+  Alcotest.(check string) "design" "tiny" info.Store.si_design;
+  let tags = List.map (fun s -> s.Store.sec_tag) info.Store.si_sections in
+  List.iter
+    (fun tag ->
+      Alcotest.(check bool) (tag ^ " section present") true (List.mem tag tags))
+    [ "META"; "PROV"; "TECH"; "NODE"; "PORT"; "CHAN"; "COMP" ];
+  (* The recorded offsets really frame the payloads: CRC them in place. *)
+  List.iter
+    (fun (s : Store.section_info) ->
+      Alcotest.(check int32)
+        (s.Store.sec_tag ^ " offset/size frame the payload")
+        s.Store.sec_crc
+        (Crc32.sub blob ~pos:s.Store.sec_offset ~len:s.Store.sec_size))
+    info.Store.si_sections
+
+let test_v2_fuzz_corruption () =
+  let blob =
+    Store.slif_to_string ~version:Store.format_version_v2 (Lazy.force Helpers.tiny_slif)
+  in
+  fuzz_blob "tiny-v2" blob 43
+
+let test_lazy_store () =
+  let module Lazy_store = Slif_store.Lazy_store in
+  let slif = annotated_of (Specs.Registry.find_exn "fuzzy") in
+  let path = Filename.temp_file "slif_lazy" ".slifstore" in
+  (* The decode counter only counts while the registry records. *)
+  Slif_obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Slif_obs.Registry.disable ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save_slif ~path ~version:Store.format_version_v2 slif;
+      let decodes () = Slif_obs.Counter.get "store.lazy.full_decode" in
+      let before = decodes () in
+      let h =
+        match Lazy_store.open_file path with
+        | Ok h -> h
+        | Error err -> Alcotest.failf "open_file: %s" (Store.error_message err)
+      in
+      (* Metadata queries decode no graph section. *)
+      let m = Lazy_store.meta h in
+      Alcotest.(check int) "META node count"
+        (Array.length slif.Slif.Types.nodes)
+        m.Store.vm_nodes;
+      Alcotest.(check int) "META channel count"
+        (Array.length slif.Slif.Types.chans)
+        m.Store.vm_chans;
+      Alcotest.(check string) "design" slif.Slif.Types.design_name (Lazy_store.design h);
+      Alcotest.(check bool) "decoded-bytes estimate is positive" true
+        (Lazy_store.decoded_bytes_estimate h > 0);
+      Alcotest.(check bool) "not decoded yet" false (Lazy_store.decoded h);
+      Alcotest.(check int) "no decode counted" before (decodes ());
+      (* Forcing decodes once; the result is exact and memoized. *)
+      let loaded, _prov =
+        match Lazy_store.slif h with
+        | Ok r -> r
+        | Error err -> Alcotest.failf "slif: %s" (Store.error_message err)
+      in
+      Alcotest.(check bool) "decode is exact" true (Slif.Types.equal slif loaded);
+      Alcotest.(check bool) "decoded now" true (Lazy_store.decoded h);
+      Alcotest.(check int) "one decode counted" (before + 1) (decodes ());
+      ignore (check_ok (Lazy_store.slif h));
+      Alcotest.(check int) "second force is memoized" (before + 1) (decodes ()))
+
+let test_lazy_store_rejects_v1 () =
+  let module Lazy_store = Slif_store.Lazy_store in
+  let slif = Lazy.force Helpers.tiny_slif in
+  let path = Filename.temp_file "slif_lazy_v1" ".slifstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save_slif ~path slif;
+      match Lazy_store.open_file path with
+      | Error (Store.Unsupported_version 1) -> ()
+      | Ok _ -> Alcotest.fail "v1 container opened lazily"
+      | Error err -> Alcotest.failf "wrong error: %s" (Store.error_message err))
+
+(* Opening a large container must not pull the graph onto the heap:
+   the resident cost of a handle is the directory + META, not the
+   decoded estimate. *)
+let test_lazy_store_heap_bound () =
+  let module Lazy_store = Slif_store.Lazy_store in
+  let p = Slif_synth.Synth.default_params ~seed:11 ~nodes:50_000 Slif_synth.Synth.Mixed in
+  let slif = Slif_synth.Synth.generate p in
+  let path = Filename.temp_file "slif_lazy_big" ".slifstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save_slif ~path ~version:Store.format_version_v2 slif;
+      Gc.full_major ();
+      let before = (Gc.quick_stat ()).Gc.heap_words in
+      let h =
+        match Lazy_store.open_file path with
+        | Ok h -> h
+        | Error err -> Alcotest.failf "open_file: %s" (Store.error_message err)
+      in
+      Gc.full_major ();
+      let after = (Gc.quick_stat ()).Gc.heap_words in
+      let grown_bytes = (after - before) * (Sys.word_size / 8) in
+      let estimate = Lazy_store.decoded_bytes_estimate h in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "metadata-only open stays small (grew %d bytes, decoded estimate %d)"
+           grown_bytes estimate)
+        true
+        (grown_bytes < estimate / 4);
+      Alcotest.(check bool) "still not decoded" false (Lazy_store.decoded h))
+
+(* A directory entry whose offset + length sum wraps past max_int used
+   to slip through the bounds check and reach an out-of-bounds mmap
+   read; both the string and the mapped decoder must answer with a
+   typed error instead. *)
+let test_v2_overflowing_directory () =
+  let blob =
+    Store.slif_to_string ~version:Store.format_version_v2 (Lazy.force Helpers.tiny_slif)
+  in
+  let bad = Bytes.of_string blob in
+  let count = Int32.to_int (Bytes.get_int32_le bad 12) in
+  Alcotest.(check bool) "container has sections" true (count > 0);
+  (* Entry 0 sits at 16: tag (4), offset (u64), length (u64), crc (u32).
+     max_int - 1000 + 2000 wraps negative, defeating a summed check. *)
+  Bytes.set_int64_le bad 20 (Int64.of_int (max_int - 1000));
+  Bytes.set_int64_le bad 28 2000L;
+  (* Re-seal the directory CRC so only the bounds check can object. *)
+  let dir = Bytes.sub_string bad 16 (count * 24) in
+  Bytes.set_int32_le bad (16 + (count * 24)) (Slif_store.Crc32.string dir);
+  let text = Bytes.to_string bad in
+  (match Store.slif_of_string text with
+  | Error (Store.Truncated _) -> ()
+  | Ok _ -> Alcotest.fail "overflowing directory entry decoded successfully"
+  | Error err -> Alcotest.failf "wrong error: %s" (Store.error_message err)
+  | exception e -> Alcotest.failf "escaped as exception %s" (Printexc.to_string e));
+  let path = Filename.temp_file "slif_overflow" ".slifstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      match Slif_store.Lazy_store.open_file path with
+      | Error (Store.Truncated _) -> ()
+      | Ok _ -> Alcotest.fail "overflowing directory entry opened lazily"
+      | Error err -> Alcotest.failf "wrong error: %s" (Store.error_message err)
+      | exception e -> Alcotest.failf "escaped as exception %s" (Printexc.to_string e))
+
+(* The handle's memo is weak: once the caller's reference dies the
+   decoded graph is collectable, so a long-lived handle (the daemon's
+   handle cache) never pins a decode past LRU eviction. *)
+let test_lazy_store_memo_release () =
+  let module Lazy_store = Slif_store.Lazy_store in
+  let slif = annotated_of (Specs.Registry.find_exn "fuzzy") in
+  let path = Filename.temp_file "slif_lazy_weak" ".slifstore" in
+  Slif_obs.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Slif_obs.Registry.disable ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save_slif ~path ~version:Store.format_version_v2 slif;
+      let decodes () = Slif_obs.Counter.get "store.lazy.full_decode" in
+      let before = decodes () in
+      let h =
+        match Lazy_store.open_file path with
+        | Ok h -> h
+        | Error err -> Alcotest.failf "open_file: %s" (Store.error_message err)
+      in
+      (* The decoded graph's only strong reference lives (and dies) in
+         this helper's frame. *)
+      let decode_nodes () =
+        match Lazy_store.slif h with
+        | Ok (s, _) ->
+            Alcotest.(check bool) "memoized while referenced" true
+              (Lazy_store.decoded h);
+            Array.length s.Slif.Types.nodes
+        | Error err -> Alcotest.failf "slif: %s" (Store.error_message err)
+      in
+      let n = decode_nodes () in
+      Alcotest.(check int) "decode is complete" (Array.length slif.Slif.Types.nodes) n;
+      Alcotest.(check int) "one decode counted" (before + 1) (decodes ());
+      Gc.full_major ();
+      Alcotest.(check bool) "memo released after GC" false (Lazy_store.decoded h);
+      (* A later force decodes afresh — the handle held no copy. *)
+      ignore (decode_nodes ());
+      Alcotest.(check int) "release forces a real re-decode" (before + 2) (decodes ()))
+
+(* Staleness: [save_slif] regenerates by atomic rename, so the mapped
+   inode no longer matches the path. *)
+let test_lazy_store_stale () =
+  let module Lazy_store = Slif_store.Lazy_store in
+  let slif = Lazy.force Helpers.tiny_slif in
+  let path = Filename.temp_file "slif_lazy_stale" ".slifstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Store.save_slif ~path ~version:Store.format_version_v2 slif;
+      let h =
+        match Lazy_store.open_file path with
+        | Ok h -> h
+        | Error err -> Alcotest.failf "open_file: %s" (Store.error_message err)
+      in
+      Alcotest.(check bool) "fresh handle is current" false (Lazy_store.stale h);
+      Store.save_slif ~path ~version:Store.format_version_v2 slif;
+      Alcotest.(check bool) "regeneration detected" true (Lazy_store.stale h);
+      Sys.remove path;
+      Alcotest.(check bool) "unlinked file detected" true (Lazy_store.stale h))
 
 (* --- Cache ----------------------------------------------------------------- *)
 
@@ -272,6 +609,21 @@ let suite =
     Alcotest.test_case "CRC catches payload flip" `Quick test_crc_flip;
     Alcotest.test_case "fuzz: corruption is total" `Slow test_fuzz_corruption;
     Alcotest.test_case "inspect" `Quick test_inspect;
+    Alcotest.test_case "varint boundaries" `Quick test_varint_boundaries;
+    Alcotest.test_case "CRC of empty input" `Quick test_crc_empty;
+    Alcotest.test_case "v2 zero-length section" `Quick test_v2_zero_length_section;
+    Alcotest.test_case "v2 round-trip (all specs)" `Quick test_v2_roundtrip;
+    Alcotest.test_case "v2 smaller than v1" `Quick test_v2_smaller_than_v1;
+    Alcotest.test_case "v2 inspect" `Quick test_v2_inspect;
+    Alcotest.test_case "v2 fuzz: corruption is total" `Slow test_v2_fuzz_corruption;
+    Alcotest.test_case "lazy store: metadata without decode" `Quick test_lazy_store;
+    Alcotest.test_case "lazy store rejects v1" `Quick test_lazy_store_rejects_v1;
+    Alcotest.test_case "lazy store heap bound" `Quick test_lazy_store_heap_bound;
+    Alcotest.test_case "v2 overflowing directory rejected" `Quick
+      test_v2_overflowing_directory;
+    Alcotest.test_case "lazy store memo released on drop" `Quick
+      test_lazy_store_memo_release;
+    Alcotest.test_case "lazy store staleness" `Quick test_lazy_store_stale;
     Alcotest.test_case "cache key sensitivity" `Quick test_cache_key_sensitivity;
     Alcotest.test_case "cache hit/miss/rebuild" `Quick test_cache_hit_miss_rebuild;
     Alcotest.test_case "cache unusable dir" `Quick test_cache_unusable_dir;
