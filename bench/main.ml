@@ -926,6 +926,11 @@ let a9 () =
    request trace context, must agree within ~2%. *)
 let a10 () =
   section "A10: daemon latency quantiles and disabled-telemetry overhead";
+  (* Captured by the client sweep, consumed by the flight-recorder gate
+     below: what one daemon request writes into the ring, and what it
+     costs end to end. *)
+  let p50_c1 = ref None in
+  let flight_records_per_req = ref None in
   let port = Atomic.make None in
   let on_ready = function
     | Unix.ADDR_INET (_, p) -> Atomic.set port (Some p)
@@ -960,6 +965,7 @@ let a10 () =
         Slif_util.Table.create
           ~header:[ "clients"; "requests"; "p50 us"; "p90 us"; "p99 us"; "max us" ]
       in
+      let flight_before = Slif_obs.Flight.records_total () in
       List.iter
         (fun clients ->
           let worker () =
@@ -980,6 +986,7 @@ let a10 () =
           match Slif_obs.Histogram.window_quantiles w with
           | None -> ()
           | Some q ->
+              if clients = 1 then p50_c1 := Some q.q_p50;
               Slif_obs.Counter.add
                 (Printf.sprintf "bench.a10.estimate_p50_us.c%d" clients)
                 (int_of_float q.q_p50);
@@ -996,6 +1003,10 @@ let a10 () =
                   Printf.sprintf "%.0f" q.q_max;
                 ])
         [ 1; 2; 4 ];
+      flight_records_per_req :=
+        Some
+          (float_of_int (Slif_obs.Flight.records_total () - flight_before)
+          /. float_of_int (7 * reqs_per_client));
       Slif_util.Table.print table;
       print_endline
         "(all requests hit the resident graph; the spread between 1 and 4 clients\n\
@@ -1035,7 +1046,70 @@ let a10 () =
     (int_of_float (Float.max 0.0 (overhead_off *. 100.0)));
   print_endline
     "(the disabled-path delta should sit within ~2% — inside run-to-run noise;\n\
-    \ the trace cell is only read once a span or event actually records)"
+    \ the trace cell is only read once a span or event actually records)";
+  (* Flight-recorder ablation: the black box stays on when the registry
+     is off — spans still write one compact record into the per-domain
+     ring.  Its true cost is nanoseconds per record, far below the
+     several-percent run-to-run noise of an A/B on the estimate hot
+     path, so the A/B is reported for the record but the gated number
+     is composed from two measurements that each dwarf their own noise:
+     the per-record cost (tight loop, best of 3 batches) times the
+     records one daemon request actually writes (counted during the
+     sweep above), against the sweep's 1-client p50. *)
+  Slif_obs.Registry.disable ();
+  let run_span () = Slif_obs.Span.with_ "bench.a10.flight" run in
+  Slif_obs.Flight.disable ();
+  ignore (Slif_obs.Clock.time_n reps run_span);
+  let t_all_off = best_of_3 run_span in
+  Slif_obs.Flight.enable ();
+  ignore (Slif_obs.Clock.time_n reps run_span);
+  let t_flight = best_of_3 run_span in
+  Slif_obs.Registry.enable ();
+  let overhead_flight = pct t_flight t_all_off in
+  let cal_reps = if bench_fast then 20_000 else 200_000 in
+  let cal_id = Slif_obs.Flight.next_id () in
+  let record_ns =
+    1e9
+    *. List.fold_left min infinity
+         (List.init 3 (fun _ ->
+              Slif_obs.Clock.time_n cal_reps (fun () ->
+                  Slif_obs.Flight.record_span ~id:cal_id ~parent:0
+                    ~name:"bench.a10.flight_cal" ~t0_ns:0 ~dur_ns:0 ())))
+  in
+  Printf.printf
+    "flight-recorder ablation (registry off in both runs):\n\
+    \  flight off: %.1f us\n\
+    \  flight on:  %.1f us  (%+.2f%% raw A/B — noise-dominated, not gated)\n\
+    \  ring write: %.0f ns/record (tight loop, best of 3 batches)\n"
+    (t_all_off *. 1e6) (t_flight *. 1e6) overhead_flight record_ns;
+  Slif_obs.Counter.add "bench.a10.flight_record_ns" (int_of_float record_ns);
+  let modeled =
+    match (!flight_records_per_req, !p50_c1) with
+    | Some rpr, Some p50 when p50 > 0.0 ->
+        let pct = 100.0 *. (rpr *. record_ns) /. (p50 *. 1000.0) in
+        Printf.printf
+          "  daemon hot path: %.1f records/request x %.0f ns = %.2f us of p50 %.0f us \
+           -> %+.2f%% always-on overhead\n"
+          rpr record_ns
+          (rpr *. record_ns /. 1000.0)
+          p50 pct;
+        Some pct
+    | _ -> None
+  in
+  (match modeled with
+  | Some pct ->
+      Slif_obs.Counter.add "bench.a10.flight_overhead_bp"
+        (int_of_float (Float.max 0.0 (pct *. 100.0)))
+  | None -> ());
+  if Sys.getenv_opt "SLIF_BENCH_FLIGHT_GATE" <> None then begin
+    match modeled with
+    | Some pct ->
+        let ok = pct <= 2.0 in
+        Printf.printf "flight gate: %+.2f%% overhead (ceiling 2.00%%): %s\n" pct
+          (if ok then "OK" else "FAIL");
+        if not ok then exit 1
+    | None -> print_endline "flight gate: sweep produced no sample, nothing to gate"
+  end
 
 (* --- A10b: daemon load harness — closed-loop concurrency sweep -------------- *)
 
@@ -1396,8 +1470,42 @@ let write_bench_obs () =
   (match Sys.getenv_opt "SLIF_BENCH_TRACE" with
   | Some path -> Slif_obs.Trace.write_file path
   | None -> ());
-  Printf.printf "\nwrote %s (%d phases, %d counters)\n" bench_obs_path
-    (List.length phases) (List.length counters)
+  (* The bench history ledger: one JSON line per run, appended (and
+     git-tracked), so perf regressions are visible as a diff rather
+     than an archaeology project.  Headline metrics only — the full
+     counter set stays in BENCH_obs.json. *)
+  let history_path =
+    match Sys.getenv_opt "SLIF_BENCH_HISTORY" with
+    | Some p -> p
+    | None -> "BENCH_history.jsonl"
+  in
+  let ts =
+    let t = Unix.gmtime (Unix.gettimeofday ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+      (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+  in
+  let headline =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 6 && String.sub name 0 6 = "bench.")
+      counters
+  in
+  let record =
+    Slif_obs.Json.Obj
+      [
+        ("schema", Slif_obs.Json.String "slif-bench-history/1");
+        ("ts", Slif_obs.Json.String ts);
+        ("fast", Slif_obs.Json.Bool bench_fast);
+        ("phase_seconds", Slif_obs.Json.Obj phases);
+        ("headline", Slif_obs.Json.Obj headline);
+      ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_path in
+  output_string oc (Slif_obs.Json.to_string record);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (%d phases, %d counters); appended %s\n" bench_obs_path
+    (List.length phases) (List.length counters) history_path
 
 (* --- A5: shared-hardware area (the paper's reference [1]) ------------------ *)
 

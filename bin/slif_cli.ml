@@ -644,8 +644,8 @@ let synth_cmd =
 
 let serve_cmd =
   let run obs socket port cache_dir lru lru_shards workers jobs max_requests slow_ms
-      max_batch_items max_outq_mb max_connections max_graph_mb event_log event_level
-      sample =
+      max_batch_items max_outq_mb max_connections max_graph_mb retain_traces trace_dir
+      event_log event_level sample =
     with_obs obs @@ fun () ->
     let addr =
       match (socket, port) with
@@ -670,6 +670,7 @@ let serve_cmd =
     (match slow_ms with
     | Some s when s < 0.0 -> failf "--slow-ms must not be negative"
     | Some _ | None -> ());
+    if retain_traces < 0 then failf "--retain-traces must not be negative";
     let cfg =
       {
         Slif_server.Server.addr;
@@ -685,6 +686,8 @@ let serve_cmd =
         max_outq_bytes = max_outq_mb * 1024 * 1024;
         max_connections;
         max_graph_mb;
+        retain_traces;
+        trace_dir;
       }
     in
     (match event_log with
@@ -769,7 +772,20 @@ let serve_cmd =
     Arg.(value & opt (some float) None
          & info [ "slow-ms" ] ~docv:"MS"
              ~doc:"Log requests that take at least $(docv) milliseconds to stderr (and \
-                   the event log, at warn level).")
+                   the event log, at warn level), and retain their full cross-domain \
+                   span tree from the flight recorder.")
+  in
+  let retain_traces =
+    Arg.(value & opt int 32
+         & info [ "retain-traces" ] ~docv:"N"
+             ~doc:"Keep the span trees of the last $(docv) slow or failing requests \
+                   (tail-based retention; 0 disables it).")
+  in
+  let trace_dir =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"Mirror each retained trace to $(docv)/<trace-id>.json, and write \
+                   SIGQUIT/crash flight dumps there instead of the temp dir.")
   in
   let event_log =
     Arg.(value & opt (some string) None
@@ -803,7 +819,7 @@ let serve_cmd =
     Term.(
       const run $ obs_term $ socket $ port $ cache_dir_arg $ lru $ lru_shards $ workers
       $ jobs $ max_requests $ slow_ms $ max_batch_items $ max_outq_mb $ max_connections
-      $ max_graph_mb $ event_log $ event_level $ sample)
+      $ max_graph_mb $ retain_traces $ trace_dir $ event_log $ event_level $ sample)
 
 (* --- stats (client) --------------------------------------------------------- *)
 
@@ -857,6 +873,17 @@ let stats_cmd =
           Printf.printf "pool   live %d (created %d)  tasks %d submitted / %d completed\n"
             (inum p "pools_live") (inum p "pools_created") (inum p "tasks_submitted")
             (inum p "tasks_completed")
+      | _ -> ());
+      (match mem "flight" stats with
+      | J.Obj _ as f ->
+          let rings =
+            match mem "rings" f with J.List rs -> List.length rs | _ -> 0
+          in
+          Printf.printf
+            "flight %d records (%d dropped) over %d rings  retained %d traces (%d \
+             live)  dumps %d bytes\n"
+            (inum f "records") (inum f "dropped") rings (inum f "retained")
+            (inum f "retained_live") (inum f "dump_bytes")
       | _ -> ());
       (match mem "last_error" health with
       | J.String msg -> Printf.printf "last error: %s\n" msg
@@ -936,6 +963,160 @@ let stats_cmd =
        ~doc:"Show a running daemon's health and recent per-op latency quantiles.")
     Term.(
       const run $ obs_term $ socket $ port $ watch $ interval $ count $ timeout_ms)
+
+(* --- trace (client) --------------------------------------------------------- *)
+
+let trace_cmd =
+  let run obs socket port id follow interval export timeout_ms =
+    with_obs obs @@ fun () ->
+    if interval <= 0.0 then failf "--interval must be positive";
+    let module J = Slif_obs.Json in
+    let module Client = Slif_server.Client in
+    let connect () =
+      match (socket, port) with
+      | Some path, None -> Client.connect_unix ?timeout_ms path
+      | None, Some p -> Client.connect_tcp ?timeout_ms p
+      | None, None -> failf "specify --socket PATH or --port N"
+      | Some _, Some _ -> failf "give only one of --socket and --port"
+    in
+    let mem name j = Option.value (J.member name j) ~default:J.Null in
+    let str j name = match mem name j with J.String s -> s | _ -> "" in
+    let inum j name =
+      match mem name j with J.Int n -> n | J.Float f -> int_of_float f | _ -> 0
+    in
+    let fnum j name =
+      match mem name j with J.Int n -> float_of_int n | J.Float f -> f | _ -> nan
+    in
+    let fetch c fields =
+      match Client.request c (J.Obj fields) with
+      | Ok json -> json
+      | Error msg -> failf "traces request failed: %s" msg
+    in
+    (* One retained tree, ASCII-indented by parent-span causality.
+       Events carry id 0 and are leaves by construction; a span whose
+       parent fell out of the ring window renders as a root. *)
+    let render_tree trace =
+      let spans = match mem "spans" trace with J.List l -> l | _ -> [] in
+      Printf.printf "trace %s  %s  op %s  %.0f us  %d spans\n" (str trace "id")
+        (str trace "reason") (str trace "op") (fnum trace "dur_us") (List.length spans);
+      let known =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun s -> if str s "kind" = "span" then Some (inum s "id") else None)
+             spans)
+      in
+      let children p =
+        List.filter (fun s -> inum s "parent" = p && inum s "id" <> p) spans
+      in
+      let roots = List.filter (fun s -> not (List.mem (inum s "parent") known)) spans in
+      let rec print_rec depth s =
+        let indent = String.make (2 * depth) ' ' in
+        let label = indent ^ str s "name" in
+        if str s "kind" = "event" then
+          Printf.printf "  %-44s %12s  dom %d\n" label "*" (inum s "dom")
+        else begin
+          Printf.printf "  %-44s %9.1f us  dom %d\n" label
+            (float_of_int (inum s "dur_ns") /. 1e3)
+            (inum s "dom");
+          List.iter (print_rec (depth + 1)) (children (inum s "id"))
+        end
+      in
+      List.iter (print_rec 0) roots
+    in
+    let seen = Hashtbl.create 16 in
+    let render () =
+      let c = connect () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match export with
+      | Some path ->
+          let dump = fetch c [ ("op", J.String "dump") ] in
+          let out = match mem "output" dump with J.String s -> s | _ -> "{}" in
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              output_string oc out);
+          Printf.printf "wrote %d bytes of Chrome trace_event to %s\n"
+            (String.length out) path
+      | None -> ());
+      match id with
+      | Some tid ->
+          let resp = fetch c [ ("op", J.String "traces"); ("id", J.String tid) ] in
+          render_tree (mem "trace" resp)
+      | None ->
+          let resp = fetch c [ ("op", J.String "traces") ] in
+          let traces = match mem "traces" resp with J.List l -> l | _ -> [] in
+          let fresh =
+            List.filter (fun t -> not (Hashtbl.mem seen (str t "id"))) traces
+          in
+          List.iter (fun t -> Hashtbl.replace seen (str t "id") ()) fresh;
+          let shown = if follow then fresh else traces in
+          if shown = [] && not follow then
+            Printf.printf "no traces retained (%d retained in total since start)\n"
+              (inum resp "retained_total")
+          else
+            List.iter
+              (fun t ->
+                Printf.printf "%-12s %-6s %-10s %9.0f us  %d spans\n" (str t "id")
+                  (str t "reason") (str t "op") (fnum t "dur_us") (inum t "spans"))
+              shown;
+          flush stdout
+    in
+    let render () =
+      try render () with
+      | Unix.Unix_error (err, _, _) ->
+          failf "cannot reach the daemon: %s" (Unix.error_message err)
+      | Client.Timeout -> failf "the daemon did not answer within the timeout"
+      | End_of_file -> failf "the daemon closed the connection"
+    in
+    if not follow then render ()
+    else
+      while true do
+        render ();
+        Unix.sleepf interval
+      done;
+    0
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon Unix-domain socket path.")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"N" ~doc:"Daemon loopback TCP port.")
+  in
+  let id =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"TRACE"
+             ~doc:"Render the retained span tree of trace $(docv) (e.g. c3-r17) \
+                   instead of the summary list.")
+  in
+  let follow =
+    Arg.(value & flag
+         & info [ "follow"; "f" ]
+             ~doc:"Poll the daemon and print each newly retained trace once \
+                   (tail -f for slow and failing requests).")
+  in
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between --follow polls.")
+  in
+  let export =
+    Arg.(value & opt (some string) None
+         & info [ "export" ] ~docv:"FILE"
+             ~doc:"Fetch the daemon's whole flight window and write it to $(docv) as \
+                   Chrome trace_event JSON (load in chrome://tracing or Perfetto).")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Fail if the daemon does not answer within $(docv) milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"List or render the traces a daemon retained for slow and failing \
+             requests, or export its flight-recorder window as a Chrome trace.")
+    Term.(
+      const run $ obs_term $ socket $ port $ id $ follow $ interval $ export
+      $ timeout_ms)
 
 (* --- profile ---------------------------------------------------------------- *)
 
@@ -1084,7 +1265,7 @@ let main_cmd =
     (Cmd.info "slif" ~version:"1.0.0" ~doc)
     [
       dump_spec_cmd; build_cmd; estimate_cmd; partition_cmd; compare_cmd; figure4_cmd;
-      store_cmd; synth_cmd; serve_cmd; stats_cmd; profile_cmd;
+      store_cmd; synth_cmd; serve_cmd; stats_cmd; trace_cmd; profile_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -73,6 +73,9 @@ let emitted () = locked (fun () -> !emitted_count)
 let sampled_out () = locked (fun () -> !sampled_out_count)
 
 let emit ?(level = Info) ?(fields = []) name =
+  (* The flight recorder sees every event whether or not a log sink is
+     open — black-box instants are not conditional on --events. *)
+  Flight.record_event name;
   if Atomic.get active then begin
     (* Trace id and domain come from the calling domain's cell, outside
        the lock. *)

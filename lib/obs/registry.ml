@@ -39,6 +39,7 @@ type local = {
   mutable n_samples : int;
   mutable depth : int;
   mutable trace : string option;
+  mutable span : int;  (* innermost open span id (Flight); 0 = none *)
 }
 
 (* The master switch is the only cell every probe reads; an [Atomic] load
@@ -71,6 +72,7 @@ let key =
           n_samples = 0;
           depth = 0;
           trace = None;
+          span = 0;
         }
       in
       Mutex.lock locals_mu;
@@ -111,7 +113,8 @@ let reset () =
       l.dropped <- 0;
       l.samples <- [];
       l.n_samples <- 0;
-      l.depth <- 0)
+      l.depth <- 0;
+      l.span <- 0)
     ();
   epoch := Clock.now_ns ()
 
@@ -131,6 +134,23 @@ let with_trace id f =
   let saved = l.trace in
   l.trace <- Some id;
   Fun.protect ~finally:(fun () -> l.trace <- saved) f
+
+(* The causality context: the innermost open span id, minted by the
+   flight recorder.  Like the trace id it is independent of [on ()] —
+   the always-on flight path is exactly the consumer that needs it when
+   the registry is off. *)
+let current_span () = (local ()).span
+
+let with_causality ?trace ?parent f =
+  let l = local () in
+  let saved_trace = l.trace and saved_span = l.span in
+  (match trace with Some _ -> l.trace <- trace | None -> ());
+  (match parent with Some p -> l.span <- p | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      l.trace <- saved_trace;
+      l.span <- saved_span)
+    f
 
 let push_event l ev =
   if l.n_events >= Atomic.get max_events then l.dropped <- l.dropped + 1

@@ -86,6 +86,10 @@ type local = {
   mutable n_samples : int;
   mutable depth : int;  (** span nesting depth (maintained by {!Span.with_}) *)
   mutable trace : string option;  (** ambient request trace id, if any *)
+  mutable span : int;
+      (** innermost open span id (minted by {!Flight.next_id}, maintained
+          by {!Span.with_}); 0 = none.  Children parent under it, and
+          {!with_causality} carries it across domain hops. *)
 }
 
 val local : unit -> local
@@ -110,6 +114,18 @@ val current_trace : unit -> string option
 val with_trace : string -> (unit -> 'a) -> 'a
 (** Run [f] with the trace id set, restoring the previous id afterwards
     (even on raise). *)
+
+val current_span : unit -> int
+(** The calling domain's innermost open span id (0 = none).  Like
+    {!current_trace}, live whether or not recording is enabled — the
+    always-on flight recorder is its main consumer. *)
+
+val with_causality : ?trace:string -> ?parent:int -> (unit -> 'a) -> 'a
+(** Run [f] with the ambient trace id and/or parent span id set,
+    restoring both afterwards (even on raise).  This is how request
+    causality crosses a domain hop: the dispatching side captures
+    {!current_trace}/{!current_span}, the executing side re-enters them
+    here, and every span or event recorded inside parents correctly. *)
 
 val push_event : local -> span_event -> unit
 (** Append a completed span to the domain's buffer, dropping it (and

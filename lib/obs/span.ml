@@ -1,13 +1,15 @@
-let record ?(args = []) l name ~t0 ~depth =
-  let t1 = Clock.now_ns () in
-  let dur = Int64.sub t1 t0 in
+let record ?(args = []) l name ~t0 ~dur ~depth ~id ~parent =
   (* Every span opened while a request trace id is set carries it, so
      the Chrome trace can be filtered to one request even though the
-     events stay on their domain's lane. *)
+     events stay on their domain's lane.  The flight-recorder span id
+     and parent ride along for tree reconstruction. *)
   let args =
-    match l.Registry.trace with
-    | Some id -> ("trace_id", id) :: args
-    | None -> args
+    ("span_id", string_of_int id)
+    :: ("parent_id", string_of_int parent)
+    ::
+    (match l.Registry.trace with
+    | Some tid -> ("trace_id", tid) :: args
+    | None -> args)
   in
   Registry.push_event l
     {
@@ -21,18 +23,31 @@ let record ?(args = []) l name ~t0 ~depth =
   Histogram.observe ("span." ^ name) (Int64.to_float dur /. 1e3)
 
 let with_ ?args name f =
-  if not (Registry.on ()) then f ()
+  let fl = Flight.on () in
+  let reg = Registry.on () in
+  if not (fl || reg) then f ()
   else begin
-    (* All mutation lands in the calling domain's cell: the nesting depth
-       and the event buffer are per-domain, so spans opened inside pool
-       workers never race. *)
+    (* All mutation lands in the calling domain's cell: the nesting
+       depth, the open-span id and the event buffer are per-domain, so
+       spans opened inside pool workers never race.  The flight write
+       happens whether or not the registry is armed — that is the
+       always-on black box. *)
     let l = Registry.local () in
     let t0 = Clock.now_ns () in
     let d = l.Registry.depth in
+    let parent = l.Registry.span in
+    let id = Flight.next_id () in
     l.Registry.depth <- d + 1;
+    l.Registry.span <- id;
     let finish () =
       l.Registry.depth <- d;
-      record ?args l name ~t0 ~depth:d
+      l.Registry.span <- parent;
+      let dur = Int64.sub (Clock.now_ns ()) t0 in
+      if fl then
+        Flight.record_span
+          ?trace:l.Registry.trace ~id ~parent ~name
+          ~t0_ns:(Int64.to_int t0) ~dur_ns:(Int64.to_int dur) ();
+      if reg then record ?args l name ~t0 ~dur ~depth:d ~id ~parent
     in
     match f () with
     | v ->

@@ -6,8 +6,14 @@
     recorded even when [f] raises.  Each span also feeds the
     [span.<name>] histogram with its duration in microseconds.
 
-    Disabled registry: the only cost is one [bool] check before calling
-    [f]. *)
+    Every span additionally carries a process-unique id and its parent's
+    id (the innermost span open on the calling domain, or whatever
+    {!Registry.with_causality} installed across a domain hop), and is
+    written into the always-on {!Flight} ring — so the black box holds
+    the request tree even with the registry off.
+
+    Fully disabled (registry off *and* flight off): the only cost is two
+    atomic loads before calling [f]. *)
 
 val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the function under a named span.  [args] become the trace

@@ -27,6 +27,8 @@ type request =
   | Stats
   | Health
   | Metrics
+  | Dump
+  | Traces of string option
   | Shutdown
 
 let op_name = function
@@ -38,12 +40,14 @@ let op_name = function
   | Stats -> "stats"
   | Health -> "health"
   | Metrics -> "metrics"
+  | Dump -> "dump"
+  | Traces _ -> "traces"
   | Shutdown -> "shutdown"
 
 (* Control ops read or mutate the acceptor's own accounting; the
    acceptor executes them inline instead of dispatching to a worker. *)
 let is_control = function
-  | Stats | Health | Metrics | Shutdown -> true
+  | Stats | Health | Metrics | Dump | Traces _ | Shutdown -> true
   | Load _ | Estimate _ | Partition _ | Explore _ | Batch _ -> false
 
 let default_max_batch_items = 4096
@@ -104,7 +108,10 @@ let rec request_of_json ?(max_batch_items = default_max_batch_items) ?(in_batch 
     | None -> Error "missing field \"op\""
   in
   let* () =
-    if in_batch && (op = "batch" || List.mem op [ "stats"; "health"; "metrics"; "shutdown" ])
+    if
+      in_batch
+      && (op = "batch"
+         || List.mem op [ "stats"; "health"; "metrics"; "dump"; "traces"; "shutdown" ])
     then Error (Printf.sprintf "op %S is not allowed inside a batch" op)
     else Ok ()
   in
@@ -112,6 +119,10 @@ let rec request_of_json ?(max_batch_items = default_max_batch_items) ?(in_batch 
   | "stats" -> Ok Stats
   | "health" -> Ok Health
   | "metrics" -> Ok Metrics
+  | "dump" -> Ok Dump
+  | "traces" ->
+      let* id = str_field "id" json in
+      Ok (Traces id)
   | "shutdown" -> Ok Shutdown
   | "load" ->
       let* target = target_of json in

@@ -18,6 +18,8 @@
       {"op":"stats"}
       {"op":"health"}
       {"op":"metrics"}
+      {"op":"dump"}
+      {"op":"traces"    [, "id":"c3-r17"]}
       {"op":"shutdown"}
     v}
     where [<target>] is ["spec"] (a bundled benchmark name), ["source"]
@@ -57,14 +59,20 @@ type request =
   | Stats
   | Health
   | Metrics
+  | Dump
+      (** the flight-recorder window as a Chrome trace_event string plus
+          per-domain ring stats *)
+  | Traces of string option
+      (** retained slow/error traces: the summary list, or — with an
+          [id] — one full span tree *)
   | Shutdown
 
 val op_name : request -> string
 
 val is_control : request -> bool
-(** Stats, health, metrics and shutdown: ops that read or mutate the
-    acceptor's own accounting, executed inline on the acceptor rather
-    than dispatched to a domain worker. *)
+(** Stats, health, metrics, dump, traces and shutdown: ops that read or
+    mutate the acceptor's own accounting, executed inline on the
+    acceptor rather than dispatched to a domain worker. *)
 
 val default_max_batch_items : int
 (** 4096. *)

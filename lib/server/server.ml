@@ -18,6 +18,8 @@ type config = {
   max_outq_bytes : int;
   max_connections : int option;
   max_graph_mb : int option;
+  retain_traces : int;  (** tail-retention bound: slow/error traces kept in memory *)
+  trace_dir : string option;  (** also persist retained traces (and dumps) here *)
 }
 
 (* A line that long is not a query; answer with a protocol error and
@@ -42,6 +44,8 @@ let default_config addr =
     max_outq_bytes = default_max_outq_bytes;
     max_connections = None;
     max_graph_mb = None;
+    retain_traces = 32;
+    trace_dir = None;
   }
 
 type conn = {
@@ -74,8 +78,10 @@ type job = {
   jb_cid : int;
   jb_seq : int;
   jb_tid : string;
+  jb_root : int;  (** flight span id of the request root, minted at dispatch *)
   jb_line : string;
   jb_enq_us : float;
+  jb_enq_ns : int;  (** same instant on the ns clock, for flight spans *)
 }
 
 type outcome =
@@ -88,6 +94,8 @@ type completion = {
   cp_cid : int;
   cp_seq : int;
   cp_tid : string;
+  cp_root : int;  (** the request's root flight span id *)
+  cp_enq_ns : int;  (** dispatch instant: the root span opens here *)
   cp_worker : int;
   cp_wait_us : float;  (** time the job sat in the queue *)
   cp_out : outcome;
@@ -112,6 +120,20 @@ type shared = {
    [metrics] and [stats] answer even when span recording is off. *)
 type op_lat = { lt : Obs.Histogram.t; win : Obs.Histogram.window }
 
+(* One tail-retained trace: the span tree of a request that finished
+   slow or failing, reconstructed from the flight window at completion
+   time.  Bounded by [cfg.retain_traces] (oldest evicted first, its
+   on-disk file removed with it). *)
+type retained = {
+  rt_id : string;
+  rt_reason : string;  (* "slow" | "error" *)
+  rt_op : string;
+  rt_dur_us : float;
+  rt_spans : int;
+  rt_json : Obs.Json.t;
+  rt_file : string option;
+}
+
 type state = {
   cfg : config;
   lru : Slif.Types.t Lru.Sharded.t;
@@ -132,6 +154,9 @@ type state = {
   lat : (string, op_lat) Hashtbl.t;
   mutable select_idle_us : float;  (** time parked in [select] with nothing to do *)
   mutable loop_iters : int;
+  retained : retained Queue.t;  (** oldest first, bounded by [cfg.retain_traces] *)
+  mutable retained_total : int;  (** traces ever retained (evictions included) *)
+  mutable dump_bytes : int;  (** bytes of flight dumps written ([dump] op + SIGQUIT) *)
   mutable stop : bool;
 }
 
@@ -163,7 +188,7 @@ exception Typed_error of string * string
    the full family set even before traffic arrives. *)
 let known_ops =
   [ "load"; "estimate"; "partition"; "explore"; "batch"; "stats"; "health";
-    "metrics"; "shutdown"; "malformed" ]
+    "metrics"; "dump"; "traces"; "shutdown"; "malformed" ]
 
 (* Process-wide labeled families (per-worker requests, batch items by
    op); the [stats] op reports daemon-local exact figures from [state]
@@ -270,6 +295,16 @@ let check_graph_budget env ~path ~bytes =
                mb ))
   | Some _ | None -> ()
 
+(* LRU shard ops as black-box instants: a retained trace shows whether
+   the request hit the resident set or paid a decode/rebuild. *)
+let lru_hit () =
+  Obs.Counter.incr "server.lru_hit";
+  Obs.Flight.record_event "server.lru.hit"
+
+let lru_miss () =
+  Obs.Counter.incr "server.lru_miss";
+  Obs.Flight.record_event "server.lru.miss"
+
 (* Resolve a request target to (content key, annotated SLIF), going
    through the sharded LRU and, below it, the on-disk cache.  Two
    workers missing on the same key concurrently both build it; the
@@ -290,15 +325,18 @@ let resolve env target profile =
               let key = stored_key path in
               match Lru.Sharded.find env.x_lru key with
               | Some slif ->
-                  Obs.Counter.incr "server.lru_hit";
+                  lru_hit ();
                   Ok (key, slif)
               | None -> (
-                  Obs.Counter.incr "server.lru_miss";
+                  lru_miss ();
                   match stored with
                   | Lazy h -> (
                       check_graph_budget env ~path
                         ~bytes:(Slif_store.Lazy_store.decoded_bytes_estimate h);
-                      match Slif_store.Lazy_store.slif h with
+                      match
+                        Obs.Span.with_ "server.store.decode" (fun () ->
+                            Slif_store.Lazy_store.slif h)
+                      with
                       | Error err -> Error (Slif_store.Store.error_message err)
                       | Ok (slif, _prov) ->
                           Lru.Sharded.add env.x_lru key slif;
@@ -308,7 +346,10 @@ let resolve env target profile =
                       | Error err -> Error (Slif_store.Store.error_message err)
                       | Ok text -> (
                           check_graph_budget env ~path ~bytes:(String.length text);
-                          match Slif_store.Store.slif_of_string text with
+                          match
+                            Obs.Span.with_ "server.store.decode" (fun () ->
+                                Slif_store.Store.slif_of_string text)
+                          with
                           | Error err -> Error (Slif_store.Store.error_message err)
                           | Ok (slif, _prov) ->
                               Lru.Sharded.add env.x_lru key slif;
@@ -316,10 +357,10 @@ let resolve env target profile =
   | Protocol.Key key -> (
       match Lru.Sharded.find env.x_lru key with
       | Some slif ->
-          Obs.Counter.incr "server.lru_hit";
+          lru_hit ();
           Ok (key, slif)
       | None ->
-          Obs.Counter.incr "server.lru_miss";
+          lru_miss ();
           Error (Printf.sprintf "key %S is not resident (load it first)" key))
   | Protocol.Bundled _ | Protocol.Source _ -> (
       let source =
@@ -334,12 +375,14 @@ let resolve env target profile =
           let key = Slif_store.Cache.key ~source ?profile () in
           match Lru.Sharded.find env.x_lru key with
           | Some slif ->
-              Obs.Counter.incr "server.lru_hit";
+              lru_hit ();
               Ok (key, slif)
           | None ->
-              Obs.Counter.incr "server.lru_miss";
+              lru_miss ();
               let slif =
-                Ops.annotated ?cache_dir:env.x_cfg.cache_dir ?profile_text:profile source
+                Obs.Span.with_ "server.annotate" (fun () ->
+                    Ops.annotated ?cache_dir:env.x_cfg.cache_dir ?profile_text:profile
+                      source)
               in
               Lru.Sharded.add env.x_lru key slif;
               Ok (key, slif)))
@@ -385,6 +428,33 @@ let pool_json () =
       ("pools_live", J.Int g.Slif_util.Pool.g_pools_live);
       ("tasks_submitted", J.Int g.Slif_util.Pool.g_tasks_submitted);
       ("tasks_completed", J.Int g.Slif_util.Pool.g_tasks_completed);
+    ]
+
+(* The flight-recorder block served by [stats] and the SIGUSR1 dump:
+   per-domain ring health plus the tail-retention ledger — black-box
+   health without stopping the daemon. *)
+let flight_json st =
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("records", J.Int (Obs.Flight.records_total ()));
+      ("dropped", J.Int (Obs.Flight.dropped_total ()));
+      ("retained", J.Int st.retained_total);
+      ("retained_live", J.Int (Queue.length st.retained));
+      ("dump_bytes", J.Int st.dump_bytes);
+      ( "rings",
+        J.List
+          (List.map
+             (fun (r : Obs.Flight.ring_stat) ->
+               J.Obj
+                 [
+                   ("domain", J.Int r.rs_dom);
+                   ("capacity", J.Int r.rs_capacity);
+                   ("records", J.Int r.rs_records);
+                   ("dropped", J.Int r.rs_dropped);
+                   ("occupancy", J.Int r.rs_occupancy);
+                 ])
+             (Obs.Flight.ring_stats ())) );
     ]
 
 (* The worker/queue block served by [stats] and [health]: daemon-local
@@ -650,6 +720,46 @@ let prometheus_text st =
           };
       ]
   in
+  let flight_rings = Obs.Flight.ring_stats () in
+  let flight_ring_samples pick =
+    List.map
+      (fun (r : Obs.Flight.ring_stat) -> (dom_label r.rs_dom, float_of_int (pick r)))
+      flight_rings
+  in
+  let flight_families =
+    [
+      P.Counter
+        {
+          name = "slif_flight_records_total";
+          help = "Flight-recorder records written, by domain.";
+          samples = flight_ring_samples (fun r -> r.rs_records);
+        };
+      P.Counter
+        {
+          name = "slif_flight_dropped_total";
+          help = "Flight records overwritten by their ring wrapping, by domain.";
+          samples = flight_ring_samples (fun r -> r.rs_dropped);
+        };
+      P.Gauge
+        {
+          name = "slif_flight_ring_occupancy";
+          help = "Live records in each domain's flight ring.";
+          samples = flight_ring_samples (fun r -> r.rs_occupancy);
+        };
+      P.Counter
+        {
+          name = "slif_flight_retained_traces_total";
+          help = "Slow/error traces tail-retained since startup.";
+          samples = [ ([], float_of_int st.retained_total) ];
+        };
+      P.Counter
+        {
+          name = "slif_flight_dump_bytes_total";
+          help = "Bytes of flight-window dumps written (dump op and SIGQUIT).";
+          samples = [ ([], float_of_int st.dump_bytes) ];
+        };
+    ]
+  in
   let shard_label i = [ ("shard", string_of_int i) ] in
   let shard_stats = Lru.Sharded.shard_stats st.lru in
   let shard_samples pick =
@@ -777,9 +887,9 @@ let prometheus_text st =
            series = recent_series;
          };
      ]
-    @ worker_families @ lru_shard_families @ select_families @ gc_families
-    @ pool_families @ lock_families @ labeled_families @ registry_counters
-    @ registry_hists)
+    @ worker_families @ flight_families @ lru_shard_families @ select_families
+    @ gc_families @ pool_families @ lock_families @ labeled_families
+    @ registry_counters @ registry_hists)
 
 (* The SIGUSR1 runtime dump: everything [stats] and the quantile block
    know, to stderr (or wherever [oc] points), without stopping the
@@ -800,6 +910,16 @@ let dump_telemetry st oc =
   (match st.last_error with
   | Some msg -> Printf.fprintf oc "last_error: %s\n" msg
   | None -> ());
+  Printf.fprintf oc
+    "flight:   %d records (%d dropped), %d traces retained (%d live), %d dump bytes\n"
+    (Obs.Flight.records_total ())
+    (Obs.Flight.dropped_total ())
+    st.retained_total (Queue.length st.retained) st.dump_bytes;
+  List.iter
+    (fun (r : Obs.Flight.ring_stat) ->
+      Printf.fprintf oc "  ring dom %d: %d/%d occupied, %d written, %d dropped\n" r.rs_dom
+        r.rs_occupancy r.rs_capacity r.rs_records r.rs_dropped)
+    (Obs.Flight.ring_stats ());
   Printf.fprintf oc "per-op latency, microseconds (lifetime p50/p90/p99/max | recent):\n";
   List.iter
     (fun (op, l) ->
@@ -909,7 +1029,7 @@ let fields_of_request env req =
               let output = Ops.explore_output ~jobs ~constraints slif in
               Ok [ ("key", J.String key); ("output", J.String output) ])
   | Protocol.Batch _ | Protocol.Stats | Protocol.Health | Protocol.Metrics
-  | Protocol.Shutdown ->
+  | Protocol.Dump | Protocol.Traces _ | Protocol.Shutdown ->
       assert false
 
 (* A failing operation is the client's problem, not the daemon's:
@@ -996,6 +1116,102 @@ let execute env job =
 let response_is_ok response =
   String.length response >= 10 && String.sub response 0 10 = {|{"ok":true|}
 
+(* --- Tail-based trace retention --------------------------------------------
+
+   Every request writes its spans into the flight window for free; only
+   when the completion turns out slow (over [--slow-ms]) or failing does
+   the acceptor reconstruct the cross-domain span tree from the window
+   and keep it — bounded in memory by [retain_traces], mirrored to
+   [trace_dir] when set.  Fast requests never pay more than the ring
+   writes. *)
+
+(* One flight record as JSON, timestamps rebased to the tree's oldest
+   record so a retained trace is self-contained. *)
+let span_json t0 (r : Obs.Flight.record) =
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("name", J.String r.Obs.Flight.fr_name);
+      ( "kind",
+        J.String
+          (match r.Obs.Flight.fr_kind with
+          | Obs.Flight.Span -> "span"
+          | Obs.Flight.Event -> "event") );
+      ("dom", J.Int r.Obs.Flight.fr_dom);
+      ("id", J.Int r.Obs.Flight.fr_id);
+      ("parent", J.Int r.Obs.Flight.fr_parent);
+      ("ts_ns", J.Int (r.Obs.Flight.fr_ts_ns - t0));
+      ("dur_ns", J.Int r.Obs.Flight.fr_dur_ns);
+    ]
+
+let retained_summary rt =
+  let module J = Obs.Json in
+  J.Obj
+    [
+      ("id", J.String rt.rt_id);
+      ("reason", J.String rt.rt_reason);
+      ("op", J.String rt.rt_op);
+      ("dur_us", J.Float rt.rt_dur_us);
+      ("spans", J.Int rt.rt_spans);
+    ]
+
+let retain_trace st ~tid ~op ~dur_us ~reason =
+  let module J = Obs.Json in
+  match Obs.Flight.by_trace tid with
+  | [] -> () (* the window already wrapped past this request *)
+  | first :: _ as records ->
+      let t0 = first.Obs.Flight.fr_ts_ns in
+      let json =
+        J.Obj
+          [
+            ("id", J.String tid);
+            ("reason", J.String reason);
+            ("op", J.String op);
+            ("dur_us", J.Float dur_us);
+            ("spans", J.List (List.map (span_json t0) records));
+          ]
+      in
+      let file =
+        match st.cfg.trace_dir with
+        | None -> None
+        | Some dir -> (
+            (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+             with Unix.Unix_error _ -> ());
+            let path = Filename.concat dir (tid ^ ".json") in
+            try
+              J.write_file path json;
+              Some path
+            with Sys_error _ -> None)
+      in
+      Queue.add
+        {
+          rt_id = tid;
+          rt_reason = reason;
+          rt_op = op;
+          rt_dur_us = dur_us;
+          rt_spans = List.length records;
+          rt_json = json;
+          rt_file = file;
+        }
+        st.retained;
+      st.retained_total <- st.retained_total + 1;
+      Obs.Counter.incr "server.flight.retained";
+      while Queue.length st.retained > max 0 st.cfg.retain_traces do
+        let old = Queue.pop st.retained in
+        match old.rt_file with
+        | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+        | None -> ()
+      done
+
+(* Retention decision for one drained completion: errors always keep
+   their trace; slow requests keep theirs when [--slow-ms] is set. *)
+let retain_reason st ~dur_us ~ok =
+  if not ok then Some "error"
+  else
+    match st.cfg.slow_ms with
+    | Some limit when dur_us /. 1e3 >= limit -> Some "slow"
+    | Some _ | None -> None
+
 (* The request event and the slow-request log, shared by workers (for
    executed requests) and the acceptor (for control ops). *)
 let emit_request_event cfg tid op dur_us ok =
@@ -1042,8 +1258,17 @@ let worker_loop sh env w =
       let job = Queue.pop sh.jq in
       Obs.Lockprof.unlock sh.jq_lock;
       let wait_us = Obs.Clock.now_us () -. job.jb_enq_us in
+      (* The queue wait as a span on the worker's lane, parented under
+         the root the acceptor minted — the first cross-domain edge of
+         the request tree. *)
+      if Obs.Flight.on () then begin
+        let now_ns = Int64.to_int (Obs.Clock.now_ns ()) in
+        Obs.Flight.record_span ~trace:job.jb_tid ~id:(Obs.Flight.next_id ())
+          ~parent:job.jb_root ~name:"server.queue_wait" ~t0_ns:job.jb_enq_ns
+          ~dur_ns:(now_ns - job.jb_enq_ns) ()
+      end;
       let out =
-        Obs.Registry.with_trace job.jb_tid @@ fun () ->
+        Obs.Registry.with_causality ~trace:job.jb_tid ~parent:job.jb_root @@ fun () ->
         let out =
           match execute env job with
           | out -> out
@@ -1069,6 +1294,8 @@ let worker_loop sh env w =
               cp_cid = job.jb_cid;
               cp_seq = job.jb_seq;
               cp_tid = job.jb_tid;
+              cp_root = job.jb_root;
+              cp_enq_ns = job.jb_enq_ns;
               cp_worker = w;
               cp_wait_us = wait_us;
               cp_out = out;
@@ -1086,9 +1313,9 @@ let worker_loop sh env w =
    accounting, so the acceptor renders them itself when the completion
    drains — single-threaded, no locks, and still at the request's wire
    position so per-connection ordering holds. *)
-let render_control st tid req =
+let render_control st ~tid ~root req =
   let module J = Obs.Json in
-  Obs.Registry.with_trace tid @@ fun () ->
+  Obs.Registry.with_causality ~trace:tid ~parent:root @@ fun () ->
   let t0 = Obs.Clock.now_us () in
   let op = Protocol.op_name req in
   let resp =
@@ -1120,6 +1347,7 @@ let render_control st tid req =
             ("latency_us", latency_json st);
             ("gc", gc_json ());
             ("pool", pool_json ());
+            ("flight", flight_json st);
           ]
     | Protocol.Health ->
         Protocol.ok
@@ -1151,6 +1379,40 @@ let render_control st tid req =
               match st.last_error with Some msg -> J.String msg | None -> J.Null );
           ]
     | Protocol.Metrics -> Protocol.ok [ ("output", J.String (prometheus_text st)) ]
+    | Protocol.Dump ->
+        (* The whole flight window as a Chrome trace_event string —
+           what [slif trace --export] saves. *)
+        let chrome = J.to_string (Obs.Flight.to_chrome ()) in
+        st.dump_bytes <- st.dump_bytes + String.length chrome;
+        Obs.Counter.add "server.flight.dump_bytes" (String.length chrome);
+        Protocol.ok
+          [
+            ("output", J.String chrome);
+            ("records", J.Int (Obs.Flight.records_total ()));
+            ("dropped", J.Int (Obs.Flight.dropped_total ()));
+            ("flight", flight_json st);
+          ]
+    | Protocol.Traces None ->
+        let summaries =
+          Queue.fold (fun acc rt -> retained_summary rt :: acc) [] st.retained
+          |> List.rev
+        in
+        Protocol.ok
+          [
+            ("count", J.Int (List.length summaries));
+            ("retained_total", J.Int st.retained_total);
+            ("traces", J.List summaries);
+          ]
+    | Protocol.Traces (Some id) -> (
+        let found =
+          Queue.fold (fun acc rt -> if rt.rt_id = id then Some rt else acc) None st.retained
+        in
+        match found with
+        | Some rt -> Protocol.ok [ ("trace", rt.rt_json) ]
+        | None ->
+            Protocol.error ~kind:"trace_not_retained"
+              (Printf.sprintf "trace %S is not retained (kept: last %d slow/error traces)"
+                 id st.cfg.retain_traces))
     | Protocol.Shutdown ->
         st.stop <- true;
         Protocol.ok [ ("bye", J.Bool true) ]
@@ -1233,12 +1495,20 @@ let dispatch st c line =
   let seq = c.next_seq in
   c.next_seq <- seq + 1;
   (* The trace id names the connection and the request; every span and
-     event-log line emitted while serving it carries the id. *)
+     event-log line emitted while serving it carries the id.  The root
+     flight span id minted here is the causality anchor: the worker
+     parents its queue-wait and execution spans under it, and the
+     acceptor closes it when the completion drains. *)
   let tid = Printf.sprintf "c%d-r%d" c.cid st.next_req in
+  let root = Obs.Flight.next_id () in
+  let enq_ns = Int64.to_int (Obs.Clock.now_ns ()) in
+  (* The accept marker: dispatch instant on the acceptor's lane. *)
+  Obs.Flight.record_span ~trace:tid ~id:(Obs.Flight.next_id ()) ~parent:root
+    ~name:"server.accept" ~t0_ns:enq_ns ~dur_ns:0 ();
   st.jobs_inflight <- st.jobs_inflight + 1;
   let job =
-    { jb_cid = c.cid; jb_seq = seq; jb_tid = tid; jb_line = line;
-      jb_enq_us = Obs.Clock.now_us () }
+    { jb_cid = c.cid; jb_seq = seq; jb_tid = tid; jb_root = root; jb_line = line;
+      jb_enq_us = Obs.Clock.now_us (); jb_enq_ns = enq_ns }
   in
   Obs.Lockprof.lock st.sh.jq_lock;
   Queue.add job st.sh.jq;
@@ -1327,19 +1597,36 @@ let drain_completions st conns =
       if cp.cp_worker >= 0 && cp.cp_worker < Array.length st.worker_served then
         st.worker_served.(cp.cp_worker) <- st.worker_served.(cp.cp_worker) + 1;
       Obs.Histogram.record st.queue_wait cp.cp_wait_us;
-      let resp =
+      let resp, op, dur_us =
         match cp.cp_out with
         | Resp (resp, accts) ->
             List.iter (account st) accts;
-            resp
+            let op, dur_us =
+              match accts with a :: _ -> (a.a_op, a.a_dur_us) | [] -> ("?", 0.0)
+            in
+            (resp, op, dur_us)
         | Control req ->
-            let resp, a = render_control st cp.cp_tid req in
+            let resp, a = render_control st ~tid:cp.cp_tid ~root:cp.cp_root req in
             account st a;
-            resp
+            (resp, a.a_op, a.a_dur_us)
       in
       (match st.cfg.max_requests with
       | Some limit when st.served >= limit -> st.stop <- true
       | _ -> ());
+      (* Mark the response write, close the request's root span
+         (dispatch → response framed) into the flight window, then
+         decide retention: slow or failing completions keep their whole
+         cross-domain tree, fast ones paid only the ring writes. *)
+      if Obs.Flight.on () then begin
+        let now_ns = Int64.to_int (Obs.Clock.now_ns ()) in
+        Obs.Flight.record_span ~trace:cp.cp_tid ~id:(Obs.Flight.next_id ())
+          ~parent:cp.cp_root ~name:"server.respond" ~t0_ns:now_ns ~dur_ns:0 ();
+        Obs.Flight.record_span ~trace:cp.cp_tid ~id:cp.cp_root ~parent:0
+          ~name:"server.request" ~t0_ns:cp.cp_enq_ns ~dur_ns:(now_ns - cp.cp_enq_ns) ();
+        match retain_reason st ~dur_us ~ok:(response_is_ok resp) with
+        | Some reason -> retain_trace st ~tid:cp.cp_tid ~op ~dur_us ~reason
+        | None -> ()
+      end;
       match List.find_opt (fun c -> c.cid = cp.cp_cid) !conns with
       | Some c ->
           Hashtbl.replace c.pending cp.cp_seq resp;
@@ -1354,6 +1641,33 @@ let drain_completions st conns =
    and writes the telemetry dump outside the handler. *)
 let dump_requested = Atomic.make false
 
+(* SIGQUIT is the black-box eject button: same flag discipline, but the
+   loop answers by writing the whole flight window as a Chrome
+   trace_event file and keeps serving. *)
+let flight_dump_requested = Atomic.make false
+
+(* Write the flight window to [slif-flight-<pid>.json] under the trace
+   dir (or the system temp dir) — the SIGQUIT path, and the last act
+   before an acceptor crash propagates.  Never raises: a black box that
+   can take the process down is worse than no black box. *)
+let write_flight_dump st ~reason =
+  try
+    let dir =
+      match st.cfg.trace_dir with Some d -> d | None -> Filename.get_temp_dir_name ()
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error _ | Sys_error _ -> ());
+    let path =
+      Filename.concat dir (Printf.sprintf "slif-flight-%d.json" (Unix.getpid ()))
+    in
+    let chrome = Obs.Flight.to_chrome () in
+    let text = Obs.Json.to_string chrome in
+    st.dump_bytes <- st.dump_bytes + String.length text;
+    Obs.Counter.add "server.flight.dump_bytes" (String.length text);
+    Obs.Json.write_file path chrome;
+    Printf.eprintf "slif serve: flight dump (%s) -> %s (%d bytes)\n%!" reason path
+      (String.length text)
+  with _ -> ()
+
 let run ?on_ready cfg =
   (* A client closing mid-response must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -1362,6 +1676,13 @@ let run ?on_ready cfg =
       Some
         (Sys.signal Sys.sigusr1
            (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let prev_quit =
+    try
+      Some
+        (Sys.signal Sys.sigquit
+           (Sys.Signal_handle (fun _ -> Atomic.set flight_dump_requested true)))
     with Invalid_argument _ | Sys_error _ -> None
   in
   let workers = max 1 cfg.workers in
@@ -1402,6 +1723,9 @@ let run ?on_ready cfg =
       lat = Hashtbl.create 8;
       select_idle_us = 0.0;
       loop_iters = 0;
+      retained = Queue.create ();
+      retained_total = 0;
+      dump_bytes = 0;
       stop = false;
     }
   in
@@ -1441,10 +1765,15 @@ let run ?on_ready cfg =
     st.jobs_inflight > 0
     || List.exists (fun c -> outq_bytes c > 0 || Hashtbl.length c.pending > 0) !conns
   in
-  while (not st.stop) || pending_work () do
+  (try
+     while (not st.stop) || pending_work () do
     if Atomic.get dump_requested then begin
       Atomic.set dump_requested false;
       dump_telemetry st stderr
+    end;
+    if Atomic.get flight_dump_requested then begin
+      Atomic.set flight_dump_requested false;
+      write_flight_dump st ~reason:"SIGQUIT"
     end;
     drain_completions st conns;
     let reads =
@@ -1527,7 +1856,12 @@ let run ?on_ready cfg =
           (fun c -> if List.memq c.fd readable then try_read st conns c)
           (List.filter (fun c -> c.fd != listen_fd) !conns);
         List.iter (fun c -> if List.memq c.fd writable then try_write st conns c) !conns
-  done;
+     done
+   with e ->
+     (* The acceptor dying is exactly what the black box exists for:
+        dump the window, then let the crash propagate. *)
+     write_flight_dump st ~reason:(Printexc.to_string e);
+     raise e);
   drain_completions st conns;
   (* Stop the workers: flag, wake everyone, let the pool wind down. *)
   Obs.Lockprof.with_lock sh.jq_lock (fun () ->
@@ -1544,6 +1878,9 @@ let run ?on_ready cfg =
   (try Unix.close wake_w with Unix.Unix_error _ -> ());
   (match prev_usr1 with
   | Some behavior -> ( try Sys.set_signal Sys.sigusr1 behavior with Invalid_argument _ -> ())
+  | None -> ());
+  (match prev_quit with
+  | Some behavior -> ( try Sys.set_signal Sys.sigquit behavior with Invalid_argument _ -> ())
   | None -> ());
   match cfg.addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())

@@ -34,7 +34,17 @@
     queue depth/wait are exported by [stats] and [metrics] regardless of
     the registry switch.  Requests slower than [slow_ms] are logged to
     stderr and the event log at [Warn]; [SIGUSR1] dumps the live
-    telemetry to stderr without stopping the loop. *)
+    telemetry to stderr without stopping the loop.
+
+    The flight recorder is the black box: every span and event also
+    lands in {!Slif_obs.Flight}'s always-on per-domain rings, and any
+    request that errors or outlives [slow_ms] has its cross-domain
+    span tree reconstructed at completion and retained (bounded by
+    {!field-config.retain_traces}, mirrored to
+    {!field-config.trace_dir} when set).  The [dump] op exports the
+    whole window as Chrome [trace_event] JSON, [traces] lists or
+    fetches retained trees, [SIGQUIT] (or an acceptor crash) writes
+    the window to a dump file without stopping the loop. *)
 
 type addr =
   | Unix_sock of string  (** path of a Unix-domain socket (created; stale file replaced) *)
@@ -65,6 +75,14 @@ type config = {
           a v2 container, the file size for a v1 one.  Metadata-only
           [load]s of v2 containers are always admitted: they decode
           nothing. *)
+  retain_traces : int;
+      (** how many slow/error span trees the tail-based retention keeps
+          (oldest evicted); 0 disables retention without touching the
+          flight recorder itself *)
+  trace_dir : string option;
+      (** also persist each retained trace as
+          [<dir>/trace-<id>.json], and write SIGQUIT/crash flight dumps
+          here (default: the system temp dir) *)
 }
 
 val default_max_line_bytes : int
@@ -76,7 +94,8 @@ val default_max_outq_bytes : int
 val default_config : addr -> config
 (** lru_capacity 8 over 8 shards, 1 worker, jobs 1, no cache dir, no
     request limit, no slow-log, 64 MB line cap, 4096 batch items, 32 MB
-    outq cap, unlimited connections, no graph budget. *)
+    outq cap, unlimited connections, no graph budget, 32 retained
+    traces, no trace dir. *)
 
 val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> unit
 (** Bind, listen and serve until a [shutdown] request (or the request

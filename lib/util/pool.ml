@@ -289,26 +289,46 @@ let mapi pool f tasks =
       let remaining = ref n in
       let settled = Condition.create () in
       (* One flag per call: with every profiling surface off, the thunks
-         skip the clock reads entirely. *)
+         skip the clock reads entirely.  The always-on flight recorder
+         is its own (cheaper) switch: a queue-wait span per task plus
+         causality propagation, so a task executing on another domain
+         still parents its spans under the submitter's open span. *)
       let profiled = Slif_obs.Registry.on () || Slif_obs.Attribution.on () in
+      let fl = Slif_obs.Flight.on () in
+      let sub_trace = Slif_obs.Registry.current_trace () in
+      let sub_span = Slif_obs.Registry.current_span () in
       let wall0 = if profiled then Slif_obs.Clock.now_us () else 0.0 in
       let t_submit = if profiled then Slif_obs.Clock.now_us () else 0.0 in
+      let t_submit_ns = if fl then Int64.to_int (Slif_obs.Clock.now_ns ()) else 0 in
+      let run_task i =
+        Slif_obs.Registry.with_causality ?trace:sub_trace
+          ?parent:(if sub_span = 0 then None else Some sub_span)
+          (fun () ->
+            if fl then begin
+              (* Submission-to-start as a span on the *executing*
+                 domain, parented under the submitter's open span: the
+                 cross-domain queue-wait linkage. *)
+              let now = Int64.to_int (Slif_obs.Clock.now_ns ()) in
+              Slif_obs.Flight.record_span ?trace:sub_trace
+                ~id:(Slif_obs.Flight.next_id ()) ~parent:sub_span
+                ~name:"pool.queue_wait" ~t0_ns:t_submit_ns ~dur_ns:(now - t_submit_ns)
+                ()
+            end;
+            match f i arr.(i) with
+            | v -> results.(i) <- Some v
+            | exception e -> failures.(i) <- Some e)
+      in
       let thunk i () =
         (if profiled then begin
            let t_start = Slif_obs.Clock.now_us () in
            (* Submission-to-start latency: how long the task sat queued. *)
            Slif_obs.Histogram.observe "pool.task_queue_wait_us" (t_start -. t_submit);
-           (match f i arr.(i) with
-           | v -> results.(i) <- Some v
-           | exception e -> failures.(i) <- Some e);
+           run_task i;
            let dur = Slif_obs.Clock.now_us () -. t_start in
            Slif_obs.Histogram.observe "pool.task_run_us" dur;
            Slif_obs.Attribution.add Slif_obs.Attribution.Task_run dur
          end
-         else
-           match f i arr.(i) with
-           | v -> results.(i) <- Some v
-           | exception e -> failures.(i) <- Some e);
+         else run_task i);
         (* Always-on, sub-microsecond: keeps per-domain GC pressure
            counters live for the daemon without any switch. *)
         Slif_obs.Gcprof.sample ();

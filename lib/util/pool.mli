@@ -144,7 +144,13 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     has more than one domain) and returns the results in submission
     order.  When several tasks raise, the exception of the
     lowest-indexed failing task is re-raised after all tasks have
-    settled, so failure behavior is deterministic too. *)
+    settled, so failure behavior is deterministic too.
+
+    Causality: each task runs under the submitter's ambient trace id and
+    open span id (via {!Slif_obs.Registry.with_causality}), and — with
+    the flight recorder on — records a [pool.queue_wait] span parented
+    under the submitter's span, so a request's tree stays connected
+    across the domain hop. *)
 
 val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** {!map} with the task's submission index. *)

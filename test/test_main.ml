@@ -27,6 +27,7 @@ let () =
       ("speccharts", Test_spc.suite);
       ("store", Test_store.suite);
       ("synth", Test_synth.suite);
+      ("flight", Test_flight.suite);
       ("server", Test_server.suite);
       ("daemon-mt", Test_daemon_mt.suite);
       ("cli", Test_cli.suite);

@@ -493,6 +493,88 @@ let test_prometheus_rendering () =
   contains {|lat_us_count{op="x"} 3|};
   Alcotest.(check string) "leading digit escaped" "_fast" (P.sanitize_name "2fast")
 
+(* Hostile label values — quotes, backslashes, newlines, and their
+   combinations — must survive exposition unambiguously, in every label
+   position, with label keys sanitized like metric names. *)
+let test_prometheus_label_escaping () =
+  let module P = Obs.Prometheus in
+  let text =
+    P.to_string
+      [
+        P.Counter
+          {
+            name = "slif_worker_requests";
+            help = "Per-worker requests.";
+            samples =
+              [
+                ([ ("worker", "0"); ("note", {|say "hi"|}) ], 1.0);
+                ([ ("path", {|C:\spec\new|}) ], 2.0);
+                ([ ("msg", "line1\nline2"); ("tail", "\\\"\n") ], 3.0);
+                ([ ("bad-key!", "v") ], 4.0);
+              ];
+          };
+      ]
+  in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "renders %s" (String.escaped needle)) true (go 0)
+  in
+  contains {|slif_worker_requests{worker="0",note="say \"hi\""} 1|};
+  contains {|slif_worker_requests{path="C:\\spec\\new"} 2|};
+  contains {|slif_worker_requests{msg="line1\nline2",tail="\\\"\n"} 3|};
+  (* Label keys pass through the metric-name sanitizer. *)
+  contains {|slif_worker_requests{bad_key_="v"} 4|};
+  (* A raw newline inside a label value would split the sample line;
+     every emitted line must look like a header or a complete sample. *)
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then
+           Alcotest.(check bool)
+             (Printf.sprintf "line %S is header or sample" line)
+             true
+             (String.length line >= 1
+             && (line.[0] = '#' || String.contains line ' ')))
+
+(* Families with nothing to report render their headers and no samples —
+   a scraper sees the metric exists rather than a parse error. *)
+let test_prometheus_empty_families () =
+  let module P = Obs.Prometheus in
+  let text =
+    P.to_string
+      [
+        P.Counter { name = "quiet_total"; help = "Nothing yet."; samples = [] };
+        P.Summary { name = "quiet_lat"; help = "No requests."; series = [] };
+      ]
+  in
+  Alcotest.(check string)
+    "headers only"
+    "# HELP quiet_total Nothing yet.\n# TYPE quiet_total counter\n# HELP quiet_lat No \
+     requests.\n# TYPE quiet_lat summary\n"
+    text;
+  Alcotest.(check string) "no families, empty document" "" (P.to_string [])
+
+(* Reserved characters anywhere in a metric name map to '_'; legal
+   names pass through untouched. *)
+let test_prometheus_reserved_names () =
+  let module P = Obs.Prometheus in
+  Alcotest.(check string) "dots" "server_lru_hit" (P.sanitize_name "server.lru.hit");
+  Alcotest.(check string) "spaces and percent" "hit_rate_" (P.sanitize_name "hit rate%");
+  Alcotest.(check string) "braces and quotes" "a_b_c_d_" (P.sanitize_name "a{b\"c}d=");
+  Alcotest.(check string)
+    "colons survive" "rule:latency_p99"
+    (P.sanitize_name "rule:latency_p99");
+  Alcotest.(check string) "digits after the first" "x2_fast" (P.sanitize_name "x2.fast");
+  Alcotest.(check string) "empty name" "_" (P.sanitize_name "");
+  let text =
+    P.to_string
+      [ P.Counter { name = "bench.a10 p99%"; help = "h"; samples = [ ([], 1.0) ] } ]
+  in
+  Alcotest.(check bool) "sample uses the sanitized name" true
+    (String.length text > 0
+    && String.split_on_char '\n' text
+       |> List.exists (fun l -> l = "bench_a10_p99_ 1"))
+
 let suite =
   [
     Alcotest.test_case "span nesting and ordering" `Quick test_span_nesting;
@@ -529,4 +611,9 @@ let suite =
     Alcotest.test_case "event log: no sink, no work" `Quick test_event_disabled_is_noop;
     Alcotest.test_case "spans carry the ambient trace id" `Quick test_span_trace_id_arg;
     Alcotest.test_case "prometheus exposition rendering" `Quick test_prometheus_rendering;
+    Alcotest.test_case "prometheus label escaping edge cases" `Quick
+      test_prometheus_label_escaping;
+    Alcotest.test_case "prometheus empty families" `Quick test_prometheus_empty_families;
+    Alcotest.test_case "prometheus reserved-char names" `Quick
+      test_prometheus_reserved_names;
   ]

@@ -45,9 +45,18 @@ let test_protocol_parse () =
   (match Protocol.request_of_line {|{"op":"partition","source":"x","deadlines":["m=10"]}|} with
   | Ok (Protocol.Partition { target = Protocol.Source "x"; algo = "greedy"; deadlines = [ "m=10" ]; _ }) -> ()
   | _ -> Alcotest.fail "partition request misparsed");
-  match Protocol.request_of_line {|{"op":"stats"}|} with
+  (match Protocol.request_of_line {|{"op":"stats"}|} with
   | Ok Protocol.Stats -> ()
-  | _ -> Alcotest.fail "stats request misparsed"
+  | _ -> Alcotest.fail "stats request misparsed");
+  (match Protocol.request_of_line {|{"op":"dump"}|} with
+  | Ok Protocol.Dump -> ()
+  | _ -> Alcotest.fail "dump request misparsed");
+  (match Protocol.request_of_line {|{"op":"traces"}|} with
+  | Ok (Protocol.Traces None) -> ()
+  | _ -> Alcotest.fail "traces request misparsed");
+  match Protocol.request_of_line {|{"op":"traces","id":"c3-r17"}|} with
+  | Ok (Protocol.Traces (Some "c3-r17")) -> ()
+  | _ -> Alcotest.fail "traces-by-id request misparsed"
 
 let test_protocol_rejects () =
   let reject line =
@@ -61,7 +70,22 @@ let test_protocol_rejects () =
   reject {|{"op":"load"}|};
   reject {|{"op":"load","spec":"a","source":"b"}|};
   reject {|{"op":"load","spec":17}|};
-  reject {|{"op":"explore","spec":"a","jobs":"four"}|}
+  reject {|{"op":"explore","spec":"a","jobs":"four"}|};
+  reject {|{"op":"traces","id":17}|};
+  (* Control ops stay out of batches — dump and traces included. *)
+  List.iter
+    (fun op ->
+      match
+        Protocol.request_of_line
+          (Printf.sprintf {|{"op":"batch","items":[{"op":%S}]}|} op)
+      with
+      | Ok (Protocol.Batch [ Error msg ]) ->
+          Alcotest.(check bool)
+            (op ^ " rejected inside a batch")
+            true
+            (String.length msg > 0)
+      | _ -> Alcotest.failf "batched %s not isolated as an item error" op)
+    [ "dump"; "traces"; "stats"; "shutdown" ]
 
 (* --- In-process daemon ----------------------------------------------------- *)
 
@@ -771,6 +795,138 @@ let test_sigusr1_dump () =
             ignore (request_exn client [ ("op", Json.String "health") ])))
   end
 
+(* --- flight recorder over the wire ------------------------------------------- *)
+
+(* Force every request slow ([--slow-ms 0]), run an estimate against a
+   store file, and check the daemon retained its complete cross-domain
+   span tree: accept (acceptor), queue wait + execution + store decode
+   (worker), all sharing the root span id — reconstructed purely from
+   the flight window's causality links. *)
+let test_flight_retention () =
+  Slif_obs.Flight.reset ();
+  let p = Slif_synth.Synth.default_params ~seed:3 ~nodes:5_000 Slif_synth.Synth.Mixed in
+  let slif = Slif_synth.Synth.generate p in
+  let path = Filename.temp_file "slif_flight" ".slifstore" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Slif_store.Store.save_slif ~path ~version:Slif_store.Store.format_version_v2 slif;
+      with_server
+        ~config:(fun c -> { c with Server.slow_ms = Some 0.0 })
+        (fun _port client ->
+          ignore
+            (output_exn client
+               [ ("op", Json.String "estimate"); ("store", Json.String path) ]);
+          let listing = request_exn client [ ("op", Json.String "traces") ] in
+          let traces =
+            match Json.member "traces" listing with
+            | Some (Json.List l) -> l
+            | _ -> Alcotest.fail "traces response has no list"
+          in
+          Alcotest.(check bool) "at least one trace retained" true (traces <> []);
+          let sfield t name =
+            match Json.member name t with Some (Json.String s) -> s | _ -> ""
+          in
+          let ifield t name =
+            match Json.member name t with Some (Json.Int n) -> n | _ -> -1
+          in
+          let summary =
+            match List.find_opt (fun t -> sfield t "op" = "estimate") traces with
+            | Some t -> t
+            | None -> Alcotest.fail "estimate trace not in the retained list"
+          in
+          Alcotest.(check string) "retained as slow" "slow" (sfield summary "reason");
+          let tid = sfield summary "id" in
+          let resp =
+            request_exn client
+              [ ("op", Json.String "traces"); ("id", Json.String tid) ]
+          in
+          let trace =
+            match Json.member "trace" resp with
+            | Some t -> t
+            | None -> Alcotest.fail "traces-by-id carries no trace"
+          in
+          Alcotest.(check string) "tree echoes the id" tid (sfield trace "id");
+          let spans =
+            match Json.member "spans" trace with
+            | Some (Json.List l) -> l
+            | _ -> Alcotest.fail "trace has no spans"
+          in
+          (* The tree also carries instant events (e.g. the
+             [server.request] log event) — the named lookups want the
+             spans of the same name. *)
+          let find name =
+            match
+              List.find_opt
+                (fun s -> sfield s "name" = name && sfield s "kind" = "span")
+                spans
+            with
+            | Some s -> s
+            | None ->
+                Alcotest.failf "span %s missing from the retained tree (got: %s)" name
+                  (String.concat ", " (List.map (fun s -> sfield s "name") spans))
+          in
+          let root = find "server.request" in
+          let accept = find "server.accept" in
+          let queue = find "server.queue_wait" in
+          let exec = find "server.request.estimate" in
+          let decode = find "server.store.decode" in
+          let root_id = ifield root "id" in
+          Alcotest.(check bool) "root has a real id" true (root_id > 0);
+          Alcotest.(check int) "root is the tree root" 0 (ifield root "parent");
+          Alcotest.(check int) "accept under the root" root_id (ifield accept "parent");
+          Alcotest.(check int) "queue wait under the root" root_id
+            (ifield queue "parent");
+          Alcotest.(check int) "execution under the root" root_id
+            (ifield exec "parent");
+          Alcotest.(check int) "store decode under the execution span"
+            (ifield exec "id") (ifield decode "parent");
+          (* The causality ids connect spans written by different
+             domains: accept and root by the acceptor, queue wait and
+             execution by the worker. *)
+          Alcotest.(check bool) "tree crosses domains" true
+            (ifield exec "dom" <> ifield accept "dom");
+          (* An unknown id earns a typed error, not a hang or a crash. *)
+          (match
+             Client.request client
+               (Json.Obj
+                  [ ("op", Json.String "traces"); ("id", Json.String "c999-r999") ])
+           with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "unknown trace id accepted");
+          (* The stats block surfaces the recorder's health. *)
+          let stats = request_exn client [ ("op", Json.String "stats") ] in
+          match Json.member "flight" stats with
+          | Some f ->
+              Alcotest.(check bool) "flight records counted" true (ifield f "records" > 0);
+              Alcotest.(check bool) "retention counted" true (ifield f "retained" >= 1)
+          | None -> Alcotest.fail "stats has no flight block"))
+
+(* The dump op: the whole flight window as Chrome trace_event JSON. *)
+let test_flight_dump_op () =
+  Slif_obs.Flight.reset ();
+  with_server (fun _port client ->
+      ignore
+        (output_exn client [ ("op", Json.String "estimate"); ("spec", Json.String "fuzzy") ]);
+      let out = output_exn client [ ("op", Json.String "dump") ] in
+      match Json.parse out with
+      | Error msg -> Alcotest.failf "dump output does not parse: %s" msg
+      | Ok chrome -> (
+          match Json.member "traceEvents" chrome with
+          | Some (Json.List events) ->
+              Alcotest.(check bool) "window has events" true (events <> []);
+              let names =
+                List.filter_map
+                  (fun e ->
+                    match Json.member "name" e with
+                    | Some (Json.String s) -> Some s
+                    | _ -> None)
+                  events
+              in
+              Alcotest.(check bool) "request span exported" true
+                (List.mem "server.request.estimate" names)
+          | _ -> Alcotest.fail "dump output has no traceEvents"))
+
 (* --- client timeouts ---------------------------------------------------------- *)
 
 (* A listener whose backlog completes the TCP handshake but which never
@@ -833,6 +989,9 @@ let suite =
       test_store_refresh;
     Alcotest.test_case "line cap earns a protocol error" `Quick test_line_cap;
     Alcotest.test_case "SIGUSR1 dumps telemetry" `Slow test_sigusr1_dump;
+    Alcotest.test_case "tail retention keeps the cross-domain tree" `Slow
+      test_flight_retention;
+    Alcotest.test_case "dump op exports the flight window" `Slow test_flight_dump_op;
     Alcotest.test_case "client timeout on a stalled socket" `Quick test_client_timeout;
     Alcotest.test_case "client rejects non-positive timeout" `Quick
       test_client_timeout_rejects_bad_value;
